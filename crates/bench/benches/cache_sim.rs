@@ -1,0 +1,73 @@
+//! Simulated memory-access throughput: the substrate cost per access on
+//! the L1-hit, L2-hit, and L2-miss paths, and the footprint ground-truth
+//! query.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use locality_core::ThreadId;
+use locality_sim::{AccessKind, Machine, MachineConfig};
+
+fn bench_access_paths(c: &mut Criterion) {
+    let mut group = c.benchmark_group("machine_access");
+
+    // L1 hit: repeatedly touch one address.
+    group.bench_function("l1_hit", |b| {
+        let mut m = Machine::new(MachineConfig::ultra1());
+        let a = m.alloc(64, 64);
+        m.access(0, a, AccessKind::Read);
+        b.iter(|| black_box(m.access(0, a, AccessKind::Read)))
+    });
+
+    // L2 hit: alternate two lines that share an L1 set but not an L2 set.
+    group.bench_function("l2_hit", |b| {
+        let mut m = Machine::new(MachineConfig::ultra1());
+        let a = m.alloc(64 * 1024, 64);
+        // 16 KiB apart: same L1-D index (16 KiB direct), different L2 index.
+        let (x, y) = (a, a.offset(16 * 1024));
+        m.access(0, x, AccessKind::Read);
+        m.access(0, y, AccessKind::Read);
+        let mut flip = false;
+        b.iter(|| {
+            flip = !flip;
+            black_box(m.access(0, if flip { x } else { y }, AccessKind::Read))
+        })
+    });
+
+    // L2 miss: stream over a region far larger than the cache.
+    group.bench_function("l2_miss_stream", |b| {
+        let mut m = Machine::new(MachineConfig::ultra1());
+        let lines = 8192u64 * 4;
+        let a = m.alloc(lines * 64, 64);
+        let mut i = 0u64;
+        b.iter(|| {
+            i = (i + 1) % lines;
+            black_box(m.access(0, a.offset(i * 64), AccessKind::Read))
+        })
+    });
+
+    // Coherent write with one remote sharer.
+    group.bench_function("coherent_write", |b| {
+        let mut m = Machine::new(MachineConfig::enterprise5000(2));
+        let a = m.alloc(64, 64);
+        b.iter(|| {
+            m.access(0, a, AccessKind::Read);
+            black_box(m.access(1, a, AccessKind::Write))
+        })
+    });
+
+    group.finish();
+
+    // Footprint ground truth over a warm cache.
+    c.bench_function("l2_footprint_query", |b| {
+        let mut m = Machine::new(MachineConfig::ultra1());
+        let t = ThreadId(1);
+        let a = m.alloc(8192 * 64, 64);
+        m.register_region(t, a, 8192 * 64);
+        for i in 0..8192u64 {
+            m.access(0, a.offset(i * 64), AccessKind::Read);
+        }
+        b.iter(|| black_box(m.l2_footprint_lines(0, t)))
+    });
+}
+
+criterion_group!(benches, bench_access_paths);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! The reason the paper derives closed forms: the exact Markov chain is
+//! O(n·N) per query while the closed form is O(1).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use locality_core::markov::DependentChain;
+use locality_core::{FootprintModel, ModelParams};
+
+fn bench_model(c: &mut Criterion) {
+    let params = ModelParams::new(1024).unwrap();
+    let model = FootprintModel::new(params);
+    let chain = DependentChain::new(params, 0.5).unwrap();
+
+    c.bench_function("closed_form_dependent", |b| {
+        let mut n = 1u64;
+        b.iter(|| {
+            n = n % 10_000 + 1;
+            black_box(model.expected_dependent(0.5, 100.0, n))
+        })
+    });
+
+    c.bench_function("markov_chain_n100", |b| {
+        b.iter(|| black_box(chain.expected_after(100, 100)))
+    });
+
+    c.bench_function("markov_recurrence_n10000", |b| {
+        b.iter(|| black_box(chain.expected_after_recurrence(100.0, 10_000)))
+    });
+}
+
+criterion_group!(benches, bench_model);
+criterion_main!(benches);

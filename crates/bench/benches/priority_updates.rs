@@ -1,0 +1,41 @@
+//! Table 3 companion: cost of one priority update per thread class.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use locality_core::{FootprintEntry, ModelParams, PolicyKind, PrioritySchemes};
+
+fn bench_updates(c: &mut Criterion) {
+    let mut group = c.benchmark_group("priority_update");
+    for policy in [PolicyKind::Lff, PolicyKind::Crt] {
+        let schemes = PrioritySchemes::new(policy, ModelParams::new(8192).unwrap());
+        let mut entry = FootprintEntry::cold();
+        schemes.on_dispatch(&mut entry, 0);
+        schemes.on_block_self(&mut entry, 100, 100);
+
+        group.bench_function(format!("{}/blocking", policy.name()), |b| {
+            let mut m = 200u64;
+            b.iter(|| {
+                let p = schemes.on_block_self(black_box(&mut entry), 13, m);
+                m += 13;
+                black_box(p)
+            })
+        });
+        group.bench_function(format!("{}/dependent", policy.name()), |b| {
+            let mut m = 200u64;
+            b.iter(|| {
+                let p = schemes.on_dependent(black_box(&mut entry), 0.5, 13, m);
+                m += 13;
+                black_box(p)
+            })
+        });
+        group.bench_function(format!("{}/independent", policy.name()), |b| {
+            b.iter(|| {
+                schemes.on_independent();
+                black_box(())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_updates);
+criterion_main!(benches);

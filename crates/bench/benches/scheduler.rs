@@ -1,0 +1,66 @@
+//! End-to-end scheduler overhead: the same yield-heavy workload under
+//! FCFS and the locality policies ("the policy that optimizes cache
+//! reload transient induces … about 3% slower than the base FCFS version"
+//! — paper §5), plus raw priority-heap operation costs.
+
+use active_threads::heap::PrioHeap;
+use active_threads::{Engine, EngineConfig, SchedPolicy};
+use criterion::{black_box, criterion_group, criterion_main, BatchSize, Criterion};
+use locality_core::ThreadId;
+use locality_sim::MachineConfig;
+use locality_workloads::tasks::{spawn_parallel, TasksParams};
+
+fn bench_engine(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine_run");
+    group.sample_size(10);
+    let params = TasksParams { tasks: 64, footprint_lines: 40, periods: 6, overlap: 0.0 };
+    for policy in [SchedPolicy::Fcfs, SchedPolicy::Lff, SchedPolicy::Crt] {
+        group.bench_function(format!("tasks_small/{:?}", policy).to_lowercase(), |b| {
+            b.iter_batched(
+                || {
+                    let mut e = Engine::new(
+                        MachineConfig::ultra1(),
+                        policy,
+                        EngineConfig::default(),
+                    );
+                    spawn_parallel(&mut e, &params);
+                    e
+                },
+                |mut e| black_box(e.run().unwrap()),
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+fn bench_heap(c: &mut Criterion) {
+    let mut group = c.benchmark_group("prio_heap");
+    group.bench_function("push_pop_1024", |b| {
+        b.iter(|| {
+            let mut h = PrioHeap::new();
+            for i in 0..1024u64 {
+                h.push(ThreadId(i), ((i * 2654435761) % 10_000) as f64);
+            }
+            while let Some(x) = h.pop_max() {
+                black_box(x);
+            }
+        })
+    });
+    group.bench_function("update_key", |b| {
+        let mut h = PrioHeap::new();
+        for i in 0..1024u64 {
+            h.push(ThreadId(i), ((i * 2654435761) % 10_000) as f64);
+        }
+        let mut i = 0u64;
+        b.iter(|| {
+            i = (i * 16807 + 7) % 1024;
+            h.update(ThreadId(i), ((i * 31) % 5000) as f64);
+            black_box(h.peek_max())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_engine, bench_heap);
+criterion_main!(benches);

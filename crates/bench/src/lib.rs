@@ -1,0 +1,17 @@
+//! # locality-bench
+//!
+//! Criterion benchmarks for the reproduction stack. The benches measure
+//! the costs the paper argues must be tiny for locality scheduling to
+//! pay off:
+//!
+//! * `priority_updates` — Table 3's companion: nanoseconds per LFF/CRT
+//!   priority update for blocking, dependent, and independent threads;
+//! * `cache_sim` — simulated memory-access throughput (hit and miss
+//!   paths), which bounds how fast the experiments run;
+//! * `scheduler` — end-to-end context-switch overhead of FCFS vs the
+//!   locality schedulers on a yield-heavy microbenchmark, plus priority
+//!   heap operations;
+//! * `model` — closed-form evaluation vs the exact Markov-chain oracle
+//!   (why the paper needed closed forms at all).
+
+#![forbid(unsafe_code)]

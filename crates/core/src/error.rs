@@ -1,0 +1,77 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors raised when constructing or feeding the shared-state cache model.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ModelError {
+    /// The cache size in lines must be at least 2 for `k = (N-1)/N` to be a
+    /// meaningful decay factor.
+    CacheTooSmall {
+        /// The rejected number of lines.
+        lines: usize,
+    },
+    /// A sharing coefficient was outside the `[0, 1]` interval or not finite.
+    InvalidSharingCoefficient {
+        /// The rejected coefficient.
+        q: f64,
+    },
+    /// A footprint was negative, not finite, or exceeded the cache size.
+    InvalidFootprint {
+        /// The rejected footprint in lines.
+        footprint: f64,
+        /// The cache size in lines.
+        lines: usize,
+    },
+    /// A self-edge `at_share(t, t, q)` was requested; a thread trivially
+    /// shares all of its state with itself and such edges are rejected to
+    /// keep the dependency graph meaningful.
+    SelfSharing {
+        /// The offending thread.
+        thread: u64,
+    },
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::CacheTooSmall { lines } => {
+                write!(f, "cache of {lines} lines is too small for the model (need >= 2)")
+            }
+            ModelError::InvalidSharingCoefficient { q } => {
+                write!(f, "sharing coefficient {q} is outside [0, 1]")
+            }
+            ModelError::InvalidFootprint { footprint, lines } => {
+                write!(f, "footprint {footprint} is invalid for a cache of {lines} lines")
+            }
+            ModelError::SelfSharing { thread } => {
+                write!(f, "thread t{thread} cannot share state with itself")
+            }
+        }
+    }
+}
+
+impl Error for ModelError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let e = ModelError::CacheTooSmall { lines: 1 };
+        assert!(e.to_string().contains("1 lines"));
+        let e = ModelError::InvalidSharingCoefficient { q: 1.5 };
+        assert!(e.to_string().contains("1.5"));
+        let e = ModelError::InvalidFootprint { footprint: -3.0, lines: 8192 };
+        assert!(e.to_string().contains("-3"));
+        let e = ModelError::SelfSharing { thread: 4 };
+        assert!(e.to_string().contains("t4"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn assert_err<E: Error + Send + Sync + 'static>() {}
+        assert_err::<ModelError>();
+    }
+}

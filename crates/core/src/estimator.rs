@@ -1,0 +1,380 @@
+//! The online per-processor footprint estimator.
+//!
+//! [`LocalityEstimator`] is the piece the runtime talks to: it owns one
+//! footprint table per processor, the processor-wide miss counts `m_p(t)`,
+//! and a [`PrioritySchemes`] engine. At every context switch the runtime
+//! reports the interval's miss count (read from the performance counters)
+//! and receives back the `O(out-degree)` set of priority changes to apply
+//! to its run queues — the complete realization of the paper's "no work
+//! for independent threads" property.
+
+use crate::graph::SharingGraph;
+use crate::priority::{FootprintEntry, PolicyKind, PriorityUpdate, PrioritySchemes};
+use crate::tables::PrecomputedTables;
+use crate::{CpuId, ModelParams, ThreadId};
+use std::collections::HashMap;
+
+/// Configuration of a [`LocalityEstimator`].
+#[derive(Debug, Clone, Copy)]
+pub struct EstimatorConfig {
+    /// Which policy's priorities to maintain.
+    pub policy: PolicyKind,
+    /// The cache model parameters (one secondary cache per processor).
+    pub params: ModelParams,
+    /// Number of processors.
+    pub cpus: usize,
+    /// Optional override of the `kⁿ` table length.
+    pub kpow_entries: Option<usize>,
+}
+
+impl EstimatorConfig {
+    /// Convenience constructor with the default table sizes.
+    pub fn new(policy: PolicyKind, params: ModelParams, cpus: usize) -> Self {
+        EstimatorConfig { policy, params, cpus, kpow_entries: None }
+    }
+}
+
+#[derive(Debug, Default)]
+struct CpuState {
+    /// Total secondary-cache misses on this processor since program start.
+    m: u64,
+    /// Footprint entries for threads with (expected) state in this cache.
+    entries: HashMap<ThreadId, FootprintEntry>,
+}
+
+/// Online estimator of every thread's expected footprint in every
+/// processor's cache, with incremental priority maintenance.
+///
+/// ```
+/// use locality_core::{
+///     CpuId, EstimatorConfig, LocalityEstimator, ModelParams, PolicyKind, SharingGraph, ThreadId,
+/// };
+/// let params = ModelParams::new(8192)?;
+/// let mut est = LocalityEstimator::new(EstimatorConfig::new(PolicyKind::Lff, params, 2));
+/// let graph = SharingGraph::new();
+/// let (cpu, t) = (CpuId(0), ThreadId(1));
+///
+/// est.on_dispatch(cpu, t);
+/// let updates = est.on_interval_end(cpu, t, 4000, &graph);
+/// assert_eq!(updates.len(), 1); // only the blocking thread itself
+/// assert!(est.expected_footprint(cpu, t) > 3000.0);
+/// assert_eq!(est.expected_footprint(CpuId(1), t), 0.0); // never ran there
+/// # Ok::<(), locality_core::ModelError>(())
+/// ```
+#[derive(Debug)]
+pub struct LocalityEstimator {
+    schemes: PrioritySchemes,
+    cpus: Vec<CpuState>,
+}
+
+impl LocalityEstimator {
+    /// Creates an estimator for `config.cpus` processors.
+    pub fn new(config: EstimatorConfig) -> Self {
+        let tables = match config.kpow_entries {
+            Some(entries) => PrecomputedTables::with_kpow_entries(config.params, entries),
+            None => PrecomputedTables::new(config.params),
+        };
+        let schemes = PrioritySchemes::with_tables(config.policy, tables);
+        let cpus = (0..config.cpus).map(|_| CpuState::default()).collect();
+        LocalityEstimator { schemes, cpus }
+    }
+
+    /// The policy in use.
+    pub fn policy(&self) -> PolicyKind {
+        self.schemes.policy()
+    }
+
+    /// The model parameters in use.
+    pub fn params(&self) -> ModelParams {
+        self.schemes.params()
+    }
+
+    /// The priority-update engine (exposes the flop counter for Table 3).
+    pub fn schemes(&self) -> &PrioritySchemes {
+        &self.schemes
+    }
+
+    /// Number of processors.
+    pub fn cpu_count(&self) -> usize {
+        self.cpus.len()
+    }
+
+    /// Total secondary-cache misses recorded for `cpu` so far (`m_p(t)`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cpu` is out of range.
+    pub fn misses(&self, cpu: CpuId) -> u64 {
+        self.cpus[cpu.0].m
+    }
+
+    /// Records that `tid` was dispatched on `cpu`: snapshots its footprint
+    /// at the interval start (`S` of the case-1 formula).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cpu` is out of range.
+    pub fn on_dispatch(&mut self, cpu: CpuId, tid: ThreadId) {
+        let state = &mut self.cpus[cpu.0];
+        let m_now = state.m;
+        let entry = state.entries.entry(tid).or_insert_with(FootprintEntry::cold);
+        self.schemes.on_dispatch(entry, m_now);
+    }
+
+    /// Records the end of `tid`'s scheduling interval on `cpu` with `n`
+    /// misses (from the performance counters), applying:
+    ///
+    /// * case 1 to `tid` itself,
+    /// * case 3 to every dependent of `tid` in `graph`,
+    /// * case 2 (nothing!) to everyone else.
+    ///
+    /// Returns the priority updates to apply to run queues, the blocking
+    /// thread first, dependents after in thread-id order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cpu` is out of range.
+    pub fn on_interval_end(
+        &mut self,
+        cpu: CpuId,
+        tid: ThreadId,
+        n: u64,
+        graph: &SharingGraph,
+    ) -> Vec<PriorityUpdate> {
+        let state = &mut self.cpus[cpu.0];
+        let m_t0 = state.m;
+        let m_new = m_t0 + n;
+        let mut updates = Vec::with_capacity(1 + graph.out_degree(tid));
+
+        let entry = state.entries.entry(tid).or_insert_with(FootprintEntry::cold);
+        let prio = self.schemes.on_block_self(entry, n, m_new);
+        updates.push(PriorityUpdate { thread: tid, prio });
+
+        for (dep, q) in graph.dependents_of(tid) {
+            let entry = state.entries.entry(dep).or_insert_with(FootprintEntry::cold);
+            let prio = self.schemes.on_dependent(entry, q, n, m_t0);
+            updates.push(PriorityUpdate { thread: dep, prio });
+        }
+        self.schemes.on_independent(); // case 2: all other threads, zero work
+
+        state.m = m_new;
+        updates
+    }
+
+    /// Current priority of `tid` on `cpu` (the cold priority if the thread
+    /// has no state there).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cpu` is out of range.
+    pub fn priority(&self, cpu: CpuId, tid: ThreadId) -> f64 {
+        let state = &self.cpus[cpu.0];
+        match state.entries.get(&tid) {
+            Some(e) => e.prio,
+            None => self.schemes.cold_priority(state.m),
+        }
+    }
+
+    /// Current expected footprint of `tid` in `cpu`'s cache, in lines.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cpu` is out of range.
+    pub fn expected_footprint(&self, cpu: CpuId, tid: ThreadId) -> f64 {
+        let state = &self.cpus[cpu.0];
+        match state.entries.get(&tid) {
+            Some(e) => self.schemes.expected_footprint(e, state.m),
+            None => 0.0,
+        }
+    }
+
+    /// Drops `tid`'s entry on `cpu` (e.g. after threshold eviction from
+    /// that processor's heap).
+    pub fn remove_on_cpu(&mut self, cpu: CpuId, tid: ThreadId) {
+        self.cpus[cpu.0].entries.remove(&tid);
+    }
+
+    /// Drops `tid` everywhere (thread exit).
+    pub fn remove_thread(&mut self, tid: ThreadId) {
+        for cpu in &mut self.cpus {
+            cpu.entries.remove(&tid);
+        }
+    }
+
+    /// Number of tracked entries on `cpu` (for bounding heap sizes).
+    pub fn tracked_on(&self, cpu: CpuId) -> usize {
+        self.cpus[cpu.0].entries.len()
+    }
+
+    /// The processor (if any) where `tid`'s expected footprint is largest,
+    /// with that footprint. Useful for wake-up placement hints.
+    pub fn best_cpu(&self, tid: ThreadId) -> Option<(CpuId, f64)> {
+        let mut best: Option<(CpuId, f64)> = None;
+        for (i, state) in self.cpus.iter().enumerate() {
+            if let Some(e) = state.entries.get(&tid) {
+                let f = self.schemes.expected_footprint(e, state.m);
+                if best.is_none_or(|(_, bf)| f > bf) {
+                    best = Some((CpuId(i), f));
+                }
+            }
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn estimator(policy: PolicyKind, cpus: usize) -> LocalityEstimator {
+        let params = ModelParams::new(1024).unwrap();
+        LocalityEstimator::new(EstimatorConfig {
+            policy,
+            params,
+            cpus,
+            kpow_entries: Some(1 << 16),
+        })
+    }
+
+    fn t(i: u64) -> ThreadId {
+        ThreadId(i)
+    }
+
+    #[test]
+    fn run_and_block_builds_footprint() {
+        let mut est = estimator(PolicyKind::Lff, 1);
+        let g = SharingGraph::new();
+        est.on_dispatch(CpuId(0), t(1));
+        let ups = est.on_interval_end(CpuId(0), t(1), 500, &g);
+        assert_eq!(ups.len(), 1);
+        assert_eq!(ups[0].thread, t(1));
+        let f = est.expected_footprint(CpuId(0), t(1));
+        let expect = 1024.0 * (1.0 - est.params().k_pow(500));
+        assert!((f - expect).abs() < 1e-9);
+        assert_eq!(est.misses(CpuId(0)), 500);
+    }
+
+    #[test]
+    fn independent_threads_untouched() {
+        let mut est = estimator(PolicyKind::Lff, 1);
+        let g = SharingGraph::new();
+        // t1 builds state and blocks.
+        est.on_dispatch(CpuId(0), t(1));
+        est.on_interval_end(CpuId(0), t(1), 500, &g);
+        let p1 = est.priority(CpuId(0), t(1));
+        // t2 runs; t1 is independent: its stored priority must not move.
+        est.on_dispatch(CpuId(0), t(2));
+        let ups = est.on_interval_end(CpuId(0), t(2), 300, &g);
+        assert_eq!(ups.len(), 1, "only the blocker updates");
+        assert_eq!(est.priority(CpuId(0), t(1)), p1);
+        // ...but its *footprint* decayed.
+        let f1 = est.expected_footprint(CpuId(0), t(1));
+        let expect = 1024.0 * (1.0 - est.params().k_pow(500)) * est.params().k_pow(300);
+        assert!((f1 - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dependents_updated_and_reported() {
+        let mut est = estimator(PolicyKind::Lff, 1);
+        let mut g = SharingGraph::new();
+        g.set(t(1), t(2), 0.5).unwrap();
+        g.set(t(1), t(3), 0.25).unwrap();
+        est.on_dispatch(CpuId(0), t(1));
+        let ups = est.on_interval_end(CpuId(0), t(1), 1000, &g);
+        assert_eq!(ups.len(), 3);
+        assert_eq!(ups[0].thread, t(1));
+        assert_eq!(ups[1].thread, t(2));
+        assert_eq!(ups[2].thread, t(3));
+        let f2 = est.expected_footprint(CpuId(0), t(2));
+        let f3 = est.expected_footprint(CpuId(0), t(3));
+        let e2 = 512.0 * (1.0 - est.params().k_pow(1000));
+        let e3 = 256.0 * (1.0 - est.params().k_pow(1000));
+        assert!((f2 - e2).abs() < 1e-9);
+        assert!((f3 - e3).abs() < 1e-9);
+        assert!(f2 > f3);
+    }
+
+    #[test]
+    fn per_cpu_isolation() {
+        let mut est = estimator(PolicyKind::Lff, 2);
+        let g = SharingGraph::new();
+        est.on_dispatch(CpuId(0), t(1));
+        est.on_interval_end(CpuId(0), t(1), 400, &g);
+        assert!(est.expected_footprint(CpuId(0), t(1)) > 0.0);
+        assert_eq!(est.expected_footprint(CpuId(1), t(1)), 0.0);
+        assert_eq!(est.misses(CpuId(1)), 0);
+    }
+
+    #[test]
+    fn best_cpu_finds_largest_footprint() {
+        let mut est = estimator(PolicyKind::Lff, 3);
+        let g = SharingGraph::new();
+        est.on_dispatch(CpuId(0), t(1));
+        est.on_interval_end(CpuId(0), t(1), 100, &g);
+        est.on_dispatch(CpuId(2), t(1));
+        est.on_interval_end(CpuId(2), t(1), 700, &g);
+        let (cpu, f) = est.best_cpu(t(1)).unwrap();
+        assert_eq!(cpu, CpuId(2));
+        assert!(f > est.expected_footprint(CpuId(0), t(1)));
+        assert!(est.best_cpu(t(9)).is_none());
+    }
+
+    #[test]
+    fn remove_thread_clears_everywhere() {
+        let mut est = estimator(PolicyKind::Crt, 2);
+        let g = SharingGraph::new();
+        for cpu in 0..2 {
+            est.on_dispatch(CpuId(cpu), t(1));
+            est.on_interval_end(CpuId(cpu), t(1), 100, &g);
+        }
+        est.remove_thread(t(1));
+        assert_eq!(est.expected_footprint(CpuId(0), t(1)), 0.0);
+        assert_eq!(est.expected_footprint(CpuId(1), t(1)), 0.0);
+        assert_eq!(est.tracked_on(CpuId(0)), 0);
+    }
+
+    #[test]
+    fn remove_on_cpu_is_local() {
+        let mut est = estimator(PolicyKind::Lff, 2);
+        let g = SharingGraph::new();
+        for cpu in 0..2 {
+            est.on_dispatch(CpuId(cpu), t(1));
+            est.on_interval_end(CpuId(cpu), t(1), 100, &g);
+        }
+        est.remove_on_cpu(CpuId(0), t(1));
+        assert_eq!(est.expected_footprint(CpuId(0), t(1)), 0.0);
+        assert!(est.expected_footprint(CpuId(1), t(1)) > 0.0);
+    }
+
+    #[test]
+    fn lff_scheduler_would_pick_largest_footprint() {
+        // End-to-end ordering check at the estimator level: three threads
+        // run in turn; at the end, priorities order by current footprint.
+        let mut est = estimator(PolicyKind::Lff, 1);
+        let g = SharingGraph::new();
+        let intervals = [(t(1), 2000u64), (t(2), 100), (t(3), 800)];
+        for (tid, n) in intervals {
+            est.on_dispatch(CpuId(0), tid);
+            est.on_interval_end(CpuId(0), tid, n, &g);
+        }
+        let mut by_prio: Vec<_> = (1..=3).map(|i| (est.priority(CpuId(0), t(i)), t(i))).collect();
+        by_prio.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap());
+        let mut by_foot: Vec<_> =
+            (1..=3).map(|i| (est.expected_footprint(CpuId(0), t(i)), t(i))).collect();
+        by_foot.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap());
+        let prio_order: Vec<_> = by_prio.iter().map(|x| x.1).collect();
+        let foot_order: Vec<_> = by_foot.iter().map(|x| x.1).collect();
+        assert_eq!(prio_order, foot_order);
+    }
+
+    #[test]
+    fn zero_miss_interval_is_harmless() {
+        let mut est = estimator(PolicyKind::Crt, 1);
+        let g = SharingGraph::new();
+        est.on_dispatch(CpuId(0), t(1));
+        let ups = est.on_interval_end(CpuId(0), t(1), 0, &g);
+        assert_eq!(ups.len(), 1);
+        assert_eq!(est.misses(CpuId(0)), 0);
+        assert_eq!(est.expected_footprint(CpuId(0), t(1)), 0.0);
+    }
+}

@@ -1,0 +1,106 @@
+//! Floating-point operation accounting for priority updates.
+//!
+//! Table 3 of the paper reports the cost of priority updates *in floating
+//! point instructions per thread* for each policy and thread class. To
+//! regenerate that table faithfully, the priority schemes count every
+//! floating-point arithmetic operation and every table lookup they perform.
+//! Counting is a couple of integer increments — cheap enough to leave on
+//! unconditionally.
+
+use std::cell::Cell;
+
+/// A cheap interior-mutability counter of floating-point operations and
+/// table lookups.
+///
+/// ```
+/// use locality_core::flops::FlopCounter;
+/// let c = FlopCounter::new();
+/// c.add_flops(3);
+/// c.add_lookups(1);
+/// assert_eq!(c.flops(), 3);
+/// assert_eq!(c.take().0, 3); // take resets
+/// assert_eq!(c.flops(), 0);
+/// ```
+#[derive(Debug, Default)]
+pub struct FlopCounter {
+    flops: Cell<u64>,
+    lookups: Cell<u64>,
+}
+
+impl FlopCounter {
+    /// Creates a zeroed counter.
+    pub fn new() -> Self {
+        FlopCounter::default()
+    }
+
+    /// Records `n` floating-point arithmetic operations.
+    pub fn add_flops(&self, n: u64) {
+        self.flops.set(self.flops.get() + n);
+    }
+
+    /// Records `n` precomputed-table lookups.
+    pub fn add_lookups(&self, n: u64) {
+        self.lookups.set(self.lookups.get() + n);
+    }
+
+    /// Floating-point operations recorded so far.
+    pub fn flops(&self) -> u64 {
+        self.flops.get()
+    }
+
+    /// Table lookups recorded so far.
+    pub fn lookups(&self) -> u64 {
+        self.lookups.get()
+    }
+
+    /// Returns `(flops, lookups)` and resets both to zero.
+    pub fn take(&self) -> (u64, u64) {
+        let out = (self.flops.get(), self.lookups.get());
+        self.flops.set(0);
+        self.lookups.set(0);
+        out
+    }
+}
+
+impl Clone for FlopCounter {
+    fn clone(&self) -> Self {
+        let c = FlopCounter::new();
+        c.add_flops(self.flops());
+        c.add_lookups(self.lookups());
+        c
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_accumulate() {
+        let c = FlopCounter::new();
+        c.add_flops(2);
+        c.add_flops(3);
+        c.add_lookups(1);
+        assert_eq!(c.flops(), 5);
+        assert_eq!(c.lookups(), 1);
+    }
+
+    #[test]
+    fn take_resets() {
+        let c = FlopCounter::new();
+        c.add_flops(7);
+        c.add_lookups(2);
+        assert_eq!(c.take(), (7, 2));
+        assert_eq!(c.take(), (0, 0));
+    }
+
+    #[test]
+    fn clone_copies_counts() {
+        let c = FlopCounter::new();
+        c.add_flops(4);
+        let d = c.clone();
+        assert_eq!(d.flops(), 4);
+        c.add_flops(1);
+        assert_eq!(d.flops(), 4, "clone must be independent");
+    }
+}

@@ -1,0 +1,162 @@
+use crate::ModelError;
+
+/// Parameters of the shared-state cache model.
+///
+/// The model targets large physically-indexed **direct-mapped** secondary
+/// caches (paper §2.1): the only parameter it needs is the cache size `N`
+/// in lines. All probabilities derive from the single-miss survival factor
+/// `k = (N − 1) / N`.
+///
+/// ```
+/// use locality_core::ModelParams;
+/// let p = ModelParams::new(8192)?; // 512 KiB cache, 64-byte lines
+/// assert_eq!(p.lines(), 8192);
+/// assert!(p.k() < 1.0 && p.k() > 0.999);
+/// # Ok::<(), locality_core::ModelError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ModelParams {
+    lines: usize,
+    k: f64,
+    log_k: f64,
+}
+
+impl ModelParams {
+    /// Creates model parameters for a direct-mapped cache of `lines` lines.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::CacheTooSmall`] if `lines < 2`.
+    pub fn new(lines: usize) -> Result<Self, ModelError> {
+        if lines < 2 {
+            return Err(ModelError::CacheTooSmall { lines });
+        }
+        let n = lines as f64;
+        let k = (n - 1.0) / n;
+        Ok(ModelParams { lines, k, log_k: k.ln() })
+    }
+
+    /// The cache size `N` in lines.
+    pub fn lines(&self) -> usize {
+        self.lines
+    }
+
+    /// The cache size `N` as a float, for use in the closed forms.
+    pub fn n(&self) -> f64 {
+        self.lines as f64
+    }
+
+    /// The per-miss survival probability `k = (N − 1) / N`: the probability
+    /// that a single randomly-placed miss does *not* displace a given line.
+    pub fn k(&self) -> f64 {
+        self.k
+    }
+
+    /// Natural logarithm of `k`; a negative constant used by the log-space
+    /// priority schemes (paper §4.1).
+    pub fn log_k(&self) -> f64 {
+        self.log_k
+    }
+
+    /// `kⁿ` computed directly (no table). Exact for any `n`.
+    ///
+    /// `kⁿ = exp(n · ln k)` decays to zero: after `N·lnN` misses virtually
+    /// no unreferenced line survives.
+    pub fn k_pow(&self, n: u64) -> f64 {
+        (self.log_k * n as f64).exp()
+    }
+
+    /// Validates a footprint value against the cache size.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::InvalidFootprint`] unless
+    /// `0 ≤ footprint ≤ N` and the value is finite.
+    pub fn check_footprint(&self, footprint: f64) -> Result<(), ModelError> {
+        if !footprint.is_finite() || footprint < 0.0 || footprint > self.n() {
+            return Err(ModelError::InvalidFootprint { footprint, lines: self.lines });
+        }
+        Ok(())
+    }
+}
+
+/// Validates a sharing coefficient.
+///
+/// # Errors
+///
+/// Returns [`ModelError::InvalidSharingCoefficient`] unless `0 ≤ q ≤ 1`.
+pub fn check_coefficient(q: f64) -> Result<(), ModelError> {
+    if !q.is_finite() || !(0.0..=1.0).contains(&q) {
+        return Err(ModelError::InvalidSharingCoefficient { q });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_rejects_tiny_caches() {
+        assert_eq!(ModelParams::new(0), Err(ModelError::CacheTooSmall { lines: 0 }));
+        assert_eq!(ModelParams::new(1), Err(ModelError::CacheTooSmall { lines: 1 }));
+        assert!(ModelParams::new(2).is_ok());
+    }
+
+    #[test]
+    fn k_matches_definition() {
+        let p = ModelParams::new(8192).unwrap();
+        assert!((p.k() - 8191.0 / 8192.0).abs() < 1e-15);
+        assert!(p.log_k() < 0.0);
+    }
+
+    #[test]
+    fn k_pow_decays_monotonically() {
+        let p = ModelParams::new(128).unwrap();
+        let mut prev = 1.0;
+        for n in 1..2000 {
+            let v = p.k_pow(n);
+            assert!(v < prev, "k^n must strictly decrease");
+            assert!(v > 0.0);
+            prev = v;
+        }
+    }
+
+    #[test]
+    fn k_pow_zero_is_one() {
+        let p = ModelParams::new(64).unwrap();
+        assert_eq!(p.k_pow(0), 1.0);
+    }
+
+    #[test]
+    fn k_pow_matches_naive_product() {
+        let p = ModelParams::new(16).unwrap();
+        let mut naive = 1.0f64;
+        for n in 1..=100u64 {
+            naive *= p.k();
+            assert!((p.k_pow(n) - naive).abs() < 1e-12, "mismatch at n={n}");
+        }
+    }
+
+    #[test]
+    fn footprint_validation() {
+        let p = ModelParams::new(100).unwrap();
+        assert!(p.check_footprint(0.0).is_ok());
+        assert!(p.check_footprint(100.0).is_ok());
+        assert!(p.check_footprint(50.5).is_ok());
+        assert!(p.check_footprint(-0.1).is_err());
+        assert!(p.check_footprint(100.1).is_err());
+        assert!(p.check_footprint(f64::NAN).is_err());
+        assert!(p.check_footprint(f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn coefficient_validation() {
+        assert!(check_coefficient(0.0).is_ok());
+        assert!(check_coefficient(1.0).is_ok());
+        assert!(check_coefficient(0.5).is_ok());
+        assert!(check_coefficient(-0.01).is_err());
+        assert!(check_coefficient(1.01).is_err());
+        assert!(check_coefficient(f64::NAN).is_err());
+    }
+}

@@ -1,0 +1,148 @@
+//! Precomputed lookup tables for constant-time priority updates
+//! (paper §4.1).
+//!
+//! The paper's implementation pre-computes `log(F)` for every integer
+//! footprint `0 < F ≤ N` and `kⁿ` for a sufficiently large range of `n`
+//! (`kⁿ` asymptotically approaches 0), so that a priority update costs only
+//! a handful of floating-point instructions at a context switch.
+
+use crate::ModelParams;
+
+/// Default length of the `kⁿ` table: enough that the tail is below 1e-12
+/// for typical cache sizes (`n ≈ 28·N`), after which the table clamps to 0.
+pub const DEFAULT_KPOW_ENTRIES: usize = 1 << 18;
+
+/// Precomputed `log(F)` and `kⁿ` tables.
+///
+/// [`log_footprint`](PrecomputedTables::log_footprint) rounds a fractional
+/// expected footprint to the nearest line count and clamps it to `[1, N]`
+/// before the table lookup — exactly the paper's "all values of `log(F)`,
+/// `0 < F ≤ N`" scheme. The clamp to at least one line keeps priorities
+/// finite for cold threads.
+#[derive(Debug, Clone)]
+pub struct PrecomputedTables {
+    params: ModelParams,
+    logs: Vec<f64>,
+    kpow: Vec<f64>,
+}
+
+impl PrecomputedTables {
+    /// Builds tables for the given model parameters with the default `kⁿ`
+    /// range.
+    pub fn new(params: ModelParams) -> Self {
+        Self::with_kpow_entries(params, DEFAULT_KPOW_ENTRIES)
+    }
+
+    /// Builds tables with an explicit `kⁿ` range (mostly for tests; at
+    /// least 2 entries are kept so `k⁰` and `k¹` are always exact).
+    pub fn with_kpow_entries(params: ModelParams, kpow_entries: usize) -> Self {
+        let n = params.lines();
+        let mut logs = Vec::with_capacity(n + 1);
+        logs.push(0.0); // log(0) is clamped to log(1) = 0; see log_footprint.
+        for f in 1..=n {
+            logs.push((f as f64).ln());
+        }
+        let entries = kpow_entries.max(2);
+        let mut kpow = Vec::with_capacity(entries);
+        // Filling via exp(n·ln k) instead of a running product keeps the
+        // table free of accumulated rounding error.
+        for i in 0..entries {
+            kpow.push(params.k_pow(i as u64));
+        }
+        PrecomputedTables { params, logs, kpow }
+    }
+
+    /// The model parameters the tables were built for.
+    pub fn params(&self) -> ModelParams {
+        self.params
+    }
+
+    /// `log(F)` with `F = round(footprint)` clamped to `[1, N]`.
+    pub fn log_footprint(&self, footprint: f64) -> f64 {
+        let f = footprint.round();
+        let idx = if f < 1.0 {
+            1
+        } else if f >= self.params.lines() as f64 {
+            self.params.lines()
+        } else {
+            f as usize
+        };
+        self.logs[idx]
+    }
+
+    /// `kⁿ` from the table; values beyond the table range are clamped to 0
+    /// (they are below any footprint resolution).
+    pub fn k_pow(&self, n: u64) -> f64 {
+        self.kpow.get(n as usize).copied().unwrap_or(0.0)
+    }
+
+    /// `ln k`, the constant used by every priority formula.
+    pub fn log_k(&self) -> f64 {
+        self.params.log_k()
+    }
+
+    /// Memory consumed by the tables, in bytes (for reporting).
+    pub fn table_bytes(&self) -> usize {
+        (self.logs.len() + self.kpow.len()) * std::mem::size_of::<f64>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tables(lines: usize) -> PrecomputedTables {
+        PrecomputedTables::with_kpow_entries(ModelParams::new(lines).unwrap(), 4096)
+    }
+
+    #[test]
+    fn log_matches_ln_for_integers() {
+        let t = tables(256);
+        for f in 1..=256usize {
+            assert_eq!(t.log_footprint(f as f64), (f as f64).ln());
+        }
+    }
+
+    #[test]
+    fn log_rounds_fractional_footprints() {
+        let t = tables(100);
+        assert_eq!(t.log_footprint(41.4), (41.0f64).ln());
+        assert_eq!(t.log_footprint(41.6), (42.0f64).ln());
+    }
+
+    #[test]
+    fn log_clamps_to_one_and_n() {
+        let t = tables(100);
+        assert_eq!(t.log_footprint(0.0), 0.0);
+        assert_eq!(t.log_footprint(0.4), 0.0);
+        assert_eq!(t.log_footprint(-5.0), 0.0);
+        assert_eq!(t.log_footprint(100.0), (100.0f64).ln());
+        assert_eq!(t.log_footprint(250.0), (100.0f64).ln());
+    }
+
+    #[test]
+    fn k_pow_matches_exact_within_table() {
+        let t = tables(512);
+        let p = ModelParams::new(512).unwrap();
+        for n in [0u64, 1, 100, 4095] {
+            assert!((t.k_pow(n) - p.k_pow(n)).abs() < 1e-12, "n={n}");
+        }
+    }
+
+    #[test]
+    fn k_pow_clamps_beyond_table() {
+        let t = tables(512);
+        assert_eq!(t.k_pow(4096), 0.0);
+        assert_eq!(t.k_pow(u64::MAX), 0.0);
+    }
+
+    #[test]
+    fn default_table_covers_typical_intervals() {
+        let params = ModelParams::new(8192).unwrap();
+        let t = PrecomputedTables::new(params);
+        // A scheduling interval of 100k misses is still resolved exactly.
+        assert!(t.k_pow(100_000) > 0.0);
+        assert!((t.k_pow(100_000) - params.k_pow(100_000)).abs() < 1e-12);
+        assert!(t.table_bytes() > 8192 * 8);
+    }
+}

@@ -1,0 +1,114 @@
+//! Minimal command-line handling shared by the repro binaries.
+
+use std::path::PathBuf;
+
+/// Workload scale selector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// The paper's parameters (default).
+    Paper,
+    /// Scaled-down for smoke runs and CI.
+    Small,
+}
+
+/// Parsed command-line arguments.
+#[derive(Debug, Clone)]
+pub struct Args {
+    /// Workload scale.
+    pub scale: Scale,
+    /// Output directory for CSV files.
+    pub out: PathBuf,
+}
+
+impl Default for Args {
+    fn default() -> Self {
+        Args { scale: Scale::Paper, out: PathBuf::from("results") }
+    }
+}
+
+impl Args {
+    /// Parses `--scale paper|small` and `--out DIR` from an iterator of
+    /// arguments (the program name must already be consumed).
+    ///
+    /// # Errors
+    ///
+    /// Returns a message suitable for printing on unknown or malformed
+    /// arguments.
+    pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<Self, String> {
+        let mut out = Args::default();
+        let mut it = args.into_iter();
+        while let Some(arg) = it.next() {
+            match arg.as_str() {
+                "--scale" => {
+                    let v = it.next().ok_or("--scale needs a value (paper|small)")?;
+                    out.scale = match v.as_str() {
+                        "paper" => Scale::Paper,
+                        "small" => Scale::Small,
+                        other => return Err(format!("unknown scale '{other}'")),
+                    };
+                }
+                "--out" => {
+                    let v = it.next().ok_or("--out needs a directory")?;
+                    out.out = PathBuf::from(v);
+                }
+                "--help" | "-h" => {
+                    return Err("usage: [--scale paper|small] [--out DIR]".to_string())
+                }
+                other => return Err(format!("unknown argument '{other}'")),
+            }
+        }
+        Ok(out)
+    }
+
+    /// Parses the process arguments, exiting with a message on error.
+    pub fn from_env() -> Self {
+        match Self::parse(std::env::args().skip(1)) {
+            Ok(args) => args,
+            Err(msg) => {
+                eprintln!("{msg}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    /// Creates the output directory and returns the path for `name`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the directory cannot be created.
+    pub fn csv_path(&self, name: &str) -> PathBuf {
+        std::fs::create_dir_all(&self.out).expect("create output directory");
+        self.out.join(name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Result<Args, String> {
+        Args::parse(args.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn defaults() {
+        let a = parse(&[]).unwrap();
+        assert_eq!(a.scale, Scale::Paper);
+        assert_eq!(a.out, PathBuf::from("results"));
+    }
+
+    #[test]
+    fn scale_and_out() {
+        let a = parse(&["--scale", "small", "--out", "/tmp/x"]).unwrap();
+        assert_eq!(a.scale, Scale::Small);
+        assert_eq!(a.out, PathBuf::from("/tmp/x"));
+    }
+
+    #[test]
+    fn rejects_unknown() {
+        assert!(parse(&["--bogus"]).is_err());
+        assert!(parse(&["--scale", "huge"]).is_err());
+        assert!(parse(&["--scale"]).is_err());
+        assert!(parse(&["-h"]).is_err());
+    }
+}

@@ -1,0 +1,35 @@
+//! # locality-repro
+//!
+//! The experiment harness: one binary per table and figure of the paper.
+//!
+//! | binary | regenerates |
+//! |---|---|
+//! | `table1` | Table 1 — simulated UltraSPARC-1 memory hierarchy |
+//! | `table2` | Table 2 — simulated workloads |
+//! | `table3` | Table 3 — costs of priority updates |
+//! | `table4` | Table 4 — input parameters for application runs |
+//! | `table5` | Table 5 — CRT relative to FCFS |
+//! | `fig4` | Figure 4 — random-memory-walk model validation (4 panels) |
+//! | `fig5` | Figure 5 — observed vs predicted footprints, 6 applications |
+//! | `fig6` | Figure 6 — E-cache misses per 1000 instructions |
+//! | `fig7` | Figure 7 — overestimated footprints (typechecker, raytrace) |
+//! | `fig8` | Figure 8 — locality scheduling on the 1-cpu Ultra-1 |
+//! | `fig9` | Figure 9 — locality scheduling on the 8-cpu Enterprise 5000 |
+//! | `ablation` | §5 extras: annotation ablation, threshold sweep, page placement, invalidation effects |
+//!
+//! Every binary prints aligned text tables and writes CSV files under
+//! `results/` (change with `--out DIR`). `--scale small` runs scaled-down
+//! workloads for a quick smoke pass; the default `--scale paper` uses the
+//! paper's parameters.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod args;
+pub mod microbench;
+pub mod monitor;
+pub mod perf;
+pub mod table;
+
+pub use args::{Args, Scale};
+pub use table::Table;

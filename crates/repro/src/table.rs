@@ -1,0 +1,163 @@
+//! Aligned text tables and CSV output.
+
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// A simple column-aligned table that can also serialize itself as CSV.
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    title: String,
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with a title and column headers.
+    pub fn new(title: &str, header: &[&str]) -> Self {
+        Table {
+            title: title.to_string(),
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (stringified cells).
+    pub fn row(&mut self, cells: &[String]) -> &mut Self {
+        assert_eq!(cells.len(), self.header.len(), "row width mismatch");
+        self.rows.push(cells.to_vec());
+        self
+    }
+
+    /// Convenience for string-slice rows.
+    pub fn row_strs(&mut self, cells: &[&str]) -> &mut Self {
+        let owned: Vec<String> = cells.iter().map(|s| s.to_string()).collect();
+        self.row(&owned)
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether there are no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the aligned text form.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        if !self.title.is_empty() {
+            let _ = writeln!(out, "## {}", self.title);
+        }
+        let fmt_row = |cells: &[String]| -> String {
+            let mut line = String::new();
+            for (i, cell) in cells.iter().enumerate() {
+                if i > 0 {
+                    line.push_str("  ");
+                }
+                let _ = write!(line, "{:<width$}", cell, width = widths[i]);
+            }
+            line.trim_end().to_string()
+        };
+        let _ = writeln!(out, "{}", fmt_row(&self.header));
+        let total: usize = widths.iter().sum::<usize>() + 2 * (widths.len() - 1);
+        let _ = writeln!(out, "{}", "-".repeat(total));
+        for row in &self.rows {
+            let _ = writeln!(out, "{}", fmt_row(row));
+        }
+        out
+    }
+
+    /// Prints the table to stdout.
+    pub fn print(&self) {
+        println!("{}", self.render());
+    }
+
+    /// CSV form (header + rows; commas in cells are replaced by `;`).
+    pub fn to_csv(&self) -> String {
+        let esc = |s: &String| s.replace(',', ";");
+        let mut out = String::new();
+        let _ = writeln!(out, "{}", self.header.iter().map(esc).collect::<Vec<_>>().join(","));
+        for row in &self.rows {
+            let _ = writeln!(out, "{}", row.iter().map(esc).collect::<Vec<_>>().join(","));
+        }
+        out
+    }
+
+    /// Writes the CSV form to `path`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the file cannot be written (repro binaries treat that as
+    /// fatal).
+    pub fn write_csv(&self, path: &Path) {
+        std::fs::write(path, self.to_csv())
+            .unwrap_or_else(|e| panic!("writing {}: {e}", path.display()));
+        println!("[csv] {}", path.display());
+    }
+}
+
+/// Formats a float with `digits` decimal places.
+pub fn f(v: f64, digits: usize) -> String {
+    format!("{v:.digits$}")
+}
+
+/// Formats a ratio as a percentage with one decimal.
+pub fn pct(v: f64) -> String {
+    format!("{:.1}%", v * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned() {
+        let mut t = Table::new("demo", &["name", "value"]);
+        t.row_strs(&["a", "1"]);
+        t.row_strs(&["longer", "22"]);
+        let r = t.render();
+        assert!(r.contains("## demo"));
+        assert!(r.contains("name    value"));
+        assert!(r.contains("longer  22"));
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn csv_escapes_commas() {
+        let mut t = Table::new("", &["a", "b"]);
+        t.row_strs(&["x,y", "2"]);
+        assert_eq!(t.to_csv(), "a,b\nx;y,2\n");
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn row_width_checked() {
+        Table::new("", &["a", "b"]).row_strs(&["only-one"]);
+    }
+
+    #[test]
+    fn helpers() {
+        assert_eq!(f(1.23456, 2), "1.23");
+        assert_eq!(pct(0.5), "50.0%");
+    }
+
+    #[test]
+    fn write_csv_roundtrip() {
+        let mut t = Table::new("t", &["x"]);
+        t.row_strs(&["1"]);
+        let dir = std::env::temp_dir().join("locality-repro-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let p = dir.join("t.csv");
+        t.write_csv(&p);
+        assert_eq!(std::fs::read_to_string(&p).unwrap(), "x\n1\n");
+    }
+}

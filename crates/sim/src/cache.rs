@@ -1,0 +1,331 @@
+//! A generic set-associative cache with true-LRU replacement.
+//!
+//! Direct-mapped caches (the L1-D and the E-cache of the simulated
+//! UltraSPARC-1) are the `associativity = 1` special case. The cache
+//! stores no data — only which physical lines are resident and whether
+//! they are dirty — which is all the locality experiments need.
+
+use crate::SimError;
+
+/// Geometry of one cache level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheGeometry {
+    /// Total capacity in bytes.
+    pub size_bytes: u64,
+    /// Line size in bytes.
+    pub line_bytes: u64,
+    /// Number of ways (1 = direct-mapped).
+    pub associativity: u64,
+}
+
+impl CacheGeometry {
+    /// Creates and validates a geometry.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::BadGeometry`] if any parameter is zero or not a
+    /// power of two, or if `size < line × associativity`.
+    pub fn new(size_bytes: u64, line_bytes: u64, associativity: u64) -> Result<Self, SimError> {
+        let geom = CacheGeometry { size_bytes, line_bytes, associativity };
+        geom.validate()?;
+        Ok(geom)
+    }
+
+    fn validate(&self) -> Result<(), SimError> {
+        for (name, v) in
+            [("size", self.size_bytes), ("line", self.line_bytes), ("ways", self.associativity)]
+        {
+            if v == 0 || !v.is_power_of_two() {
+                return Err(SimError::BadGeometry {
+                    reason: format!("{name} = {v} must be a non-zero power of two"),
+                });
+            }
+        }
+        if self.size_bytes < self.line_bytes * self.associativity {
+            return Err(SimError::BadGeometry {
+                reason: format!(
+                    "size {} smaller than one set ({} bytes)",
+                    self.size_bytes,
+                    self.line_bytes * self.associativity
+                ),
+            });
+        }
+        Ok(())
+    }
+
+    /// Total number of lines.
+    pub fn lines(&self) -> u64 {
+        self.size_bytes / self.line_bytes
+    }
+
+    /// Number of sets.
+    pub fn sets(&self) -> u64 {
+        self.lines() / self.associativity
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Way {
+    /// Physical line number (`paddr / line_bytes`) resident in this way.
+    pline: u64,
+    dirty: bool,
+    /// LRU timestamp (global monotone counter).
+    last_use: u64,
+}
+
+/// Result of inserting a line: what, if anything, was displaced.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Eviction {
+    /// The displaced physical line number.
+    pub pline: u64,
+    /// Whether it was dirty (would be written back).
+    pub dirty: bool,
+}
+
+/// A set-associative cache tracking resident physical line numbers.
+#[derive(Debug, Clone)]
+pub struct Cache {
+    geometry: CacheGeometry,
+    /// `sets × ways` entries, row-major by set.
+    ways: Vec<Option<Way>>,
+    tick: u64,
+    resident: u64,
+}
+
+impl Cache {
+    /// Creates an empty cache.
+    pub fn new(geometry: CacheGeometry) -> Self {
+        let n = (geometry.sets() * geometry.associativity) as usize;
+        Cache { geometry, ways: vec![None; n], tick: 0, resident: 0 }
+    }
+
+    /// The cache geometry.
+    pub fn geometry(&self) -> CacheGeometry {
+        self.geometry
+    }
+
+    fn set_of(&self, pline: u64) -> usize {
+        (pline % self.geometry.sets()) as usize
+    }
+
+    fn set_range(&self, set: usize) -> std::ops::Range<usize> {
+        let ways = self.geometry.associativity as usize;
+        set * ways..(set + 1) * ways
+    }
+
+    /// Looks the line up and, on a hit, refreshes its LRU position.
+    /// Returns `true` on hit.
+    pub fn probe(&mut self, pline: u64) -> bool {
+        self.tick += 1;
+        let set = self.set_of(pline);
+        let tick = self.tick;
+        let range = self.set_range(set);
+        for way in self.ways[range].iter_mut().flatten() {
+            if way.pline == pline {
+                way.last_use = tick;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Whether the line is resident, without touching LRU state.
+    pub fn contains(&self, pline: u64) -> bool {
+        let set = self.set_of(pline);
+        self.ways[self.set_range(set)]
+            .iter()
+            .any(|w| w.is_some_and(|way| way.pline == pline))
+    }
+
+    /// Marks a resident line dirty. Returns `true` if the line was found.
+    pub fn mark_dirty(&mut self, pline: u64) -> bool {
+        let set = self.set_of(pline);
+        let range = self.set_range(set);
+        for way in self.ways[range].iter_mut().flatten() {
+            if way.pline == pline {
+                way.dirty = true;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Inserts the line (it must not already be resident — use
+    /// [`probe`](Self::probe) first), evicting the LRU way of its set if
+    /// the set is full. Returns the eviction, if any.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if the line is already resident.
+    pub fn insert(&mut self, pline: u64, dirty: bool) -> Option<Eviction> {
+        debug_assert!(!self.contains(pline), "line {pline:#x} already resident");
+        self.tick += 1;
+        let set = self.set_of(pline);
+        let range = self.set_range(set);
+        let new = Way { pline, dirty, last_use: self.tick };
+
+        // Empty way first.
+        let mut victim: Option<usize> = None;
+        let mut victim_use = u64::MAX;
+        for i in range {
+            match self.ways[i] {
+                None => {
+                    self.ways[i] = Some(new);
+                    self.resident += 1;
+                    return None;
+                }
+                Some(w) if w.last_use < victim_use => {
+                    victim_use = w.last_use;
+                    victim = Some(i);
+                }
+                Some(_) => {}
+            }
+        }
+        let i = victim.expect("non-empty set must have an LRU victim");
+        let old = self.ways[i].replace(new).expect("victim way is occupied");
+        Some(Eviction { pline: old.pline, dirty: old.dirty })
+    }
+
+    /// Removes the line if resident; returns whether it was dirty.
+    pub fn invalidate(&mut self, pline: u64) -> Option<bool> {
+        let set = self.set_of(pline);
+        for i in self.set_range(set) {
+            if let Some(way) = self.ways[i] {
+                if way.pline == pline {
+                    self.ways[i] = None;
+                    self.resident -= 1;
+                    return Some(way.dirty);
+                }
+            }
+        }
+        None
+    }
+
+    /// Number of resident lines.
+    pub fn resident_lines(&self) -> u64 {
+        self.resident
+    }
+
+    /// Iterates over resident physical line numbers (set order).
+    pub fn iter_resident(&self) -> impl Iterator<Item = u64> + '_ {
+        self.ways.iter().filter_map(|w| w.map(|way| way.pline))
+    }
+
+    /// Empties the cache (e.g. between experiment phases, mirroring the
+    /// paper's "state is flushed from the cache" setup for Figure 5).
+    pub fn flush(&mut self) {
+        self.ways.fill(None);
+        self.resident = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dm_cache(lines: u64) -> Cache {
+        Cache::new(CacheGeometry::new(lines * 64, 64, 1).unwrap())
+    }
+
+    #[test]
+    fn geometry_validation() {
+        assert!(CacheGeometry::new(512 * 1024, 64, 1).is_ok());
+        assert!(CacheGeometry::new(0, 64, 1).is_err());
+        assert!(CacheGeometry::new(1024, 0, 1).is_err());
+        assert!(CacheGeometry::new(1024, 64, 0).is_err());
+        assert!(CacheGeometry::new(1000, 64, 1).is_err(), "non power of two");
+        assert!(CacheGeometry::new(64, 64, 2).is_err(), "one set needs 128B");
+    }
+
+    #[test]
+    fn geometry_derived_quantities() {
+        let g = CacheGeometry::new(512 * 1024, 64, 1).unwrap();
+        assert_eq!(g.lines(), 8192);
+        assert_eq!(g.sets(), 8192);
+        let g = CacheGeometry::new(16 * 1024, 32, 2).unwrap();
+        assert_eq!(g.lines(), 512);
+        assert_eq!(g.sets(), 256);
+    }
+
+    #[test]
+    fn probe_miss_then_hit() {
+        let mut c = dm_cache(16);
+        assert!(!c.probe(5));
+        assert_eq!(c.insert(5, false), None);
+        assert!(c.probe(5));
+        assert!(c.contains(5));
+        assert_eq!(c.resident_lines(), 1);
+    }
+
+    #[test]
+    fn direct_mapped_conflict() {
+        let mut c = dm_cache(16);
+        c.insert(3, false);
+        // 3 and 19 share set 3 in a 16-set direct-mapped cache.
+        let ev = c.insert(19, false).expect("conflict must evict");
+        assert_eq!(ev.pline, 3);
+        assert!(!ev.dirty);
+        assert!(!c.contains(3));
+        assert!(c.contains(19));
+        assert_eq!(c.resident_lines(), 1);
+    }
+
+    #[test]
+    fn dirty_eviction_reported() {
+        let mut c = dm_cache(16);
+        c.insert(3, false);
+        assert!(c.mark_dirty(3));
+        let ev = c.insert(19, false).unwrap();
+        assert!(ev.dirty);
+        assert!(!c.mark_dirty(3), "gone after eviction");
+    }
+
+    #[test]
+    fn lru_in_two_way_set() {
+        let g = CacheGeometry::new(4 * 64 * 2, 64, 2).unwrap(); // 4 sets, 2 ways
+        let mut c = Cache::new(g);
+        // Lines 0, 4, 8 all map to set 0.
+        c.insert(0, false);
+        c.insert(4, false);
+        assert!(c.probe(0)); // 0 becomes MRU; 4 is LRU
+        let ev = c.insert(8, false).unwrap();
+        assert_eq!(ev.pline, 4, "LRU way must be evicted");
+        assert!(c.contains(0) && c.contains(8));
+    }
+
+    #[test]
+    fn invalidate_removes() {
+        let mut c = dm_cache(8);
+        c.insert(1, false);
+        c.insert(2, true);
+        assert_eq!(c.invalidate(2), Some(true));
+        assert_eq!(c.invalidate(2), None);
+        assert_eq!(c.invalidate(1), Some(false));
+        assert_eq!(c.resident_lines(), 0);
+    }
+
+    #[test]
+    fn iter_resident_and_flush() {
+        let mut c = dm_cache(8);
+        for l in [1u64, 2, 5] {
+            c.insert(l, false);
+        }
+        let mut res: Vec<u64> = c.iter_resident().collect();
+        res.sort_unstable();
+        assert_eq!(res, vec![1, 2, 5]);
+        c.flush();
+        assert_eq!(c.resident_lines(), 0);
+        assert_eq!(c.iter_resident().count(), 0);
+    }
+
+    #[test]
+    fn fills_whole_cache_without_evictions() {
+        let mut c = dm_cache(32);
+        for l in 0..32u64 {
+            assert_eq!(c.insert(l, false), None);
+        }
+        assert_eq!(c.resident_lines(), 32);
+        // The 33rd distinct line must evict.
+        assert!(c.insert(32, false).is_some());
+    }
+}

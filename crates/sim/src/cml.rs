@@ -1,0 +1,115 @@
+//! A Cache Miss Lookaside buffer (CML).
+//!
+//! The paper's future-work section (§7) cites Bershad et al.'s CML — "an
+//! inexpensive hardware device placed between the cache and main memory"
+//! that records a miss history at page granularity — and suggests that
+//! "with the use of a related hardware device … some sharing patterns
+//! could be inferred without user intervention."
+//!
+//! This is that device: a small direct-mapped table of per-page miss
+//! counters, filled on every E-cache miss and drained by the runtime at
+//! context switches. Like the real hardware it is lossy — two pages that
+//! collide in the table evict each other's history — so anything built
+//! on it must tolerate approximation.
+
+/// One CML entry: a virtual page number and its miss count.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CmlEntry {
+    /// Virtual page number.
+    pub vpn: u64,
+    /// Misses recorded for this page since the last drain.
+    pub count: u32,
+}
+
+/// The miss-lookaside device of one processor.
+#[derive(Debug, Clone)]
+pub struct Cml {
+    slots: Vec<Option<CmlEntry>>,
+    /// Misses dropped because of slot collisions (diagnostics).
+    collisions: u64,
+}
+
+impl Cml {
+    /// Creates a CML with `entries` slots (rounded up to a power of two,
+    /// minimum 8).
+    pub fn new(entries: usize) -> Self {
+        let entries = entries.max(8).next_power_of_two();
+        Cml { slots: vec![None; entries], collisions: 0 }
+    }
+
+    /// Number of slots.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Records one miss on `vpn`. A colliding resident entry for another
+    /// page is replaced (its history is lost — the device is lossy).
+    pub fn record(&mut self, vpn: u64) {
+        let idx = (vpn as usize) & (self.slots.len() - 1);
+        match &mut self.slots[idx] {
+            Some(e) if e.vpn == vpn => e.count += 1,
+            slot => {
+                if slot.is_some() {
+                    self.collisions += 1;
+                }
+                *slot = Some(CmlEntry { vpn, count: 1 });
+            }
+        }
+    }
+
+    /// Returns all entries (sorted by vpn for determinism) and clears the
+    /// table — the runtime's context-switch read.
+    pub fn drain(&mut self) -> Vec<CmlEntry> {
+        let mut out: Vec<CmlEntry> = self.slots.iter_mut().filter_map(Option::take).collect();
+        out.sort_unstable_by_key(|e| e.vpn);
+        out
+    }
+
+    /// Collisions observed so far (history lost to the small table).
+    pub fn collisions(&self) -> u64 {
+        self.collisions
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_and_counts() {
+        let mut cml = Cml::new(16);
+        cml.record(5);
+        cml.record(5);
+        cml.record(7);
+        let drained = cml.drain();
+        assert_eq!(drained, vec![CmlEntry { vpn: 5, count: 2 }, CmlEntry { vpn: 7, count: 1 }]);
+        assert!(cml.drain().is_empty(), "drain clears");
+    }
+
+    #[test]
+    fn collisions_replace_older_history() {
+        let mut cml = Cml::new(8);
+        cml.record(1);
+        cml.record(9); // 9 & 7 == 1: collides with page 1
+        assert_eq!(cml.collisions(), 1);
+        let drained = cml.drain();
+        assert_eq!(drained, vec![CmlEntry { vpn: 9, count: 1 }], "newer page wins the slot");
+    }
+
+    #[test]
+    fn capacity_rounding() {
+        assert_eq!(Cml::new(0).capacity(), 8);
+        assert_eq!(Cml::new(9).capacity(), 16);
+        assert_eq!(Cml::new(128).capacity(), 128);
+    }
+
+    #[test]
+    fn drain_is_sorted() {
+        let mut cml = Cml::new(64);
+        for vpn in [40u64, 3, 17, 22] {
+            cml.record(vpn);
+        }
+        let vpns: Vec<u64> = cml.drain().iter().map(|e| e.vpn).collect();
+        assert_eq!(vpns, vec![3, 17, 22, 40]);
+    }
+}

@@ -1,0 +1,201 @@
+//! Machine configurations, including the paper's two platforms.
+//!
+//! Table 1 of the paper gives the simulated UltraSPARC-1 memory hierarchy;
+//! §5 adds the Enterprise 5000 numbers (E-cache miss of 50 cycles, or 80
+//! if the line is cached by another processor) and the interconnect.
+
+use crate::cache::CacheGeometry;
+use crate::paging::PagePlacement;
+use crate::SimError;
+
+/// Cycle costs of the memory hierarchy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheLatencies {
+    /// An access that hits in the L1 (data or instruction).
+    pub l1_hit: u64,
+    /// An L1 miss that hits in the unified E-cache (paper: 3 cycles).
+    pub l2_hit: u64,
+    /// An E-cache miss served from memory (Ultra-1: 42; E5000: 50).
+    pub l2_miss: u64,
+    /// An E-cache miss for a line currently cached by *another* processor
+    /// (E5000: 80; equal to `l2_miss` on single-processor machines).
+    pub l2_miss_remote: u64,
+}
+
+/// Geometries of the three caches of one processor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HierarchyConfig {
+    /// L1 instruction cache (Table 1: 16 KiB, 2-way, 32-byte lines).
+    pub l1i: CacheGeometry,
+    /// L1 data cache (Table 1: 16 KiB, direct-mapped, 32-byte lines,
+    /// write-through).
+    pub l1d: CacheGeometry,
+    /// Unified external (L2) E-cache (Table 1: 512 KiB, direct-mapped,
+    /// 64-byte lines, write-back, inclusive of both L1s).
+    pub l2: CacheGeometry,
+}
+
+impl HierarchyConfig {
+    /// The Table 1 UltraSPARC-1 hierarchy.
+    pub fn ultrasparc1() -> Self {
+        HierarchyConfig {
+            l1i: CacheGeometry { size_bytes: 16 * 1024, line_bytes: 32, associativity: 2 },
+            l1d: CacheGeometry { size_bytes: 16 * 1024, line_bytes: 32, associativity: 1 },
+            l2: CacheGeometry { size_bytes: 512 * 1024, line_bytes: 64, associativity: 1 },
+        }
+    }
+
+    /// Validates all three geometries and the inclusion requirement
+    /// (L2 line size must be a multiple of the L1 line sizes).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::BadGeometry`] on any violation.
+    pub fn validate(&self) -> Result<(), SimError> {
+        CacheGeometry::new(self.l1i.size_bytes, self.l1i.line_bytes, self.l1i.associativity)?;
+        CacheGeometry::new(self.l1d.size_bytes, self.l1d.line_bytes, self.l1d.associativity)?;
+        CacheGeometry::new(self.l2.size_bytes, self.l2.line_bytes, self.l2.associativity)?;
+        if !self.l2.line_bytes.is_multiple_of(self.l1d.line_bytes)
+            || !self.l2.line_bytes.is_multiple_of(self.l1i.line_bytes)
+        {
+            return Err(SimError::BadGeometry {
+                reason: "L2 line size must be a multiple of the L1 line sizes (inclusion)".into(),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Full machine configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MachineConfig {
+    /// Number of processors.
+    pub cpus: usize,
+    /// Per-processor cache hierarchy.
+    pub hierarchy: HierarchyConfig,
+    /// Cycle costs.
+    pub latencies: CacheLatencies,
+    /// Page size in bytes (UltraSPARC/Solaris: 8 KiB).
+    pub page_bytes: u64,
+    /// Virtual→physical page placement policy.
+    pub placement: PagePlacement,
+}
+
+impl MachineConfig {
+    /// The paper's single-processor platform: a stand-alone 167 MHz
+    /// UltraSPARC-1 workstation (Table 1: E-cache miss penalty 42 cycles).
+    pub fn ultra1() -> Self {
+        MachineConfig {
+            cpus: 1,
+            hierarchy: HierarchyConfig::ultrasparc1(),
+            latencies: CacheLatencies { l1_hit: 1, l2_hit: 3, l2_miss: 42, l2_miss_remote: 42 },
+            page_bytes: 8 * 1024,
+            placement: PagePlacement::bin_hopping(),
+        }
+    }
+
+    /// The paper's multiprocessor platform: an `cpus`-way Sun Enterprise
+    /// 5000 (E-cache miss: 50 cycles, or 80 if the line is cached by
+    /// another processor). The paper uses 8 processors.
+    pub fn enterprise5000(cpus: usize) -> Self {
+        MachineConfig {
+            cpus,
+            hierarchy: HierarchyConfig::ultrasparc1(),
+            latencies: CacheLatencies { l1_hit: 1, l2_hit: 3, l2_miss: 50, l2_miss_remote: 80 },
+            page_bytes: 8 * 1024,
+            placement: PagePlacement::bin_hopping(),
+        }
+    }
+
+    /// Replaces the page placement policy (builder-style).
+    #[must_use]
+    pub fn with_placement(mut self, placement: PagePlacement) -> Self {
+        self.placement = placement;
+        self
+    }
+
+    /// Validates the whole configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::NoCpus`] or [`SimError::BadGeometry`].
+    pub fn validate(&self) -> Result<(), SimError> {
+        if self.cpus == 0 {
+            return Err(SimError::NoCpus);
+        }
+        self.hierarchy.validate()?;
+        if self.page_bytes == 0 || !self.page_bytes.is_power_of_two() {
+            return Err(SimError::BadGeometry {
+                reason: format!("page size {} must be a power of two", self.page_bytes),
+            });
+        }
+        Ok(())
+    }
+
+    /// Number of E-cache lines `N` — the cache-model parameter.
+    pub fn l2_lines(&self) -> usize {
+        self.hierarchy.l2.lines() as usize
+    }
+
+    /// Number of page-sized bins in the L2 cache (for placement policies).
+    pub fn l2_page_bins(&self) -> u64 {
+        (self.hierarchy.l2.size_bytes / self.page_bytes).max(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ultra1_matches_table1() {
+        let c = MachineConfig::ultra1();
+        assert_eq!(c.cpus, 1);
+        assert_eq!(c.hierarchy.l2.size_bytes, 512 * 1024);
+        assert_eq!(c.hierarchy.l2.line_bytes, 64);
+        assert_eq!(c.hierarchy.l2.associativity, 1);
+        assert_eq!(c.l2_lines(), 8192);
+        assert_eq!(c.latencies.l2_hit, 3);
+        assert_eq!(c.latencies.l2_miss, 42);
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn e5000_miss_costs() {
+        let c = MachineConfig::enterprise5000(8);
+        assert_eq!(c.cpus, 8);
+        assert_eq!(c.latencies.l2_miss, 50);
+        assert_eq!(c.latencies.l2_miss_remote, 80);
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn validation_catches_bad_configs() {
+        let mut c = MachineConfig::ultra1();
+        c.cpus = 0;
+        assert_eq!(c.validate(), Err(SimError::NoCpus));
+
+        let mut c = MachineConfig::ultra1();
+        c.page_bytes = 3000;
+        assert!(c.validate().is_err());
+
+        let mut c = MachineConfig::ultra1();
+        c.hierarchy.l1d.line_bytes = 128; // larger than the L2 line
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn page_bins() {
+        let c = MachineConfig::ultra1();
+        assert_eq!(c.l2_page_bins(), 64); // 512 KiB / 8 KiB
+    }
+
+    #[test]
+    fn l1_geometries_match_table1() {
+        let h = HierarchyConfig::ultrasparc1();
+        assert_eq!(h.l1i.size_bytes, 16 * 1024);
+        assert_eq!(h.l1i.associativity, 2);
+        assert_eq!(h.l1i.line_bytes, 32);
+        assert_eq!(h.l1d.associativity, 1);
+    }
+}

@@ -1,0 +1,222 @@
+//! Performance instrumentation counters (PICs).
+//!
+//! The UltraSPARC exposes two 32-bit Performance Instrumentation Counters
+//! configured through the Performance Control Register (PCR); with the
+//! user-access bit set, a runtime can read them without a system call
+//! (paper §2.2). The paper's runtime configures them to count **E-cache
+//! references** and **E-cache hits** and reads both at every context
+//! switch; the difference is the miss count `n` fed to the cache model.
+//!
+//! [`Pic`] models exactly that: two counters, an event selection, a cheap
+//! read, and an interval-delta helper. Overflow wraps at 32 bits like the
+//! hardware (callers that read every context switch never notice).
+
+/// Events a counter can be configured to count (subset relevant here).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PicEvent {
+    /// E-cache (L2) references.
+    EcacheRefs,
+    /// E-cache (L2) hits.
+    EcacheHits,
+    /// Cycle count (used by the high-resolution timer experiments).
+    Cycles,
+}
+
+/// The per-processor performance-counter block.
+///
+/// ```
+/// use locality_sim::Pic;
+/// let mut pic = Pic::new();
+/// pic.record_l2(true);
+/// pic.record_l2(false);
+/// assert_eq!(pic.refs(), 2);
+/// assert_eq!(pic.hits(), 1);
+/// assert_eq!(pic.misses(), 1);
+/// let delta = pic.take_interval();
+/// assert_eq!(delta.misses, 1);
+/// assert_eq!(pic.take_interval().refs, 0); // interval was reset
+/// ```
+#[derive(Debug, Clone)]
+pub struct Pic {
+    pic0: u32,
+    pic1: u32,
+    event0: PicEvent,
+    event1: PicEvent,
+    /// Snapshot of (pic0, pic1) at the last `take_interval`.
+    snap: (u32, u32),
+    /// Whether user-level access is enabled (PCR.UT/ST bits). Reads with
+    /// user access disabled model a trap and are surfaced to the caller as
+    /// a higher cost; the values are returned either way.
+    user_access: bool,
+}
+
+impl Default for Pic {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Counter deltas over a scheduling interval.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PicDelta {
+    /// E-cache references during the interval.
+    pub refs: u64,
+    /// E-cache hits during the interval.
+    pub hits: u64,
+    /// E-cache misses (`refs − hits`).
+    pub misses: u64,
+}
+
+impl Pic {
+    /// Creates a PIC block configured the way the paper's runtime uses it:
+    /// PIC0 = E-cache references, PIC1 = E-cache hits, user access on.
+    pub fn new() -> Self {
+        Pic {
+            pic0: 0,
+            pic1: 0,
+            event0: PicEvent::EcacheRefs,
+            event1: PicEvent::EcacheHits,
+            snap: (0, 0),
+            user_access: true,
+        }
+    }
+
+    /// Reconfigures the events (writing the PCR). Clears both counters,
+    /// like reprogramming the PCR does in practice.
+    pub fn configure(&mut self, event0: PicEvent, event1: PicEvent, user_access: bool) {
+        self.event0 = event0;
+        self.event1 = event1;
+        self.user_access = user_access;
+        self.pic0 = 0;
+        self.pic1 = 0;
+        self.snap = (0, 0);
+    }
+
+    /// The configured events.
+    pub fn events(&self) -> (PicEvent, PicEvent) {
+        (self.event0, self.event1)
+    }
+
+    /// Whether user-level reads are enabled.
+    pub fn user_access(&self) -> bool {
+        self.user_access
+    }
+
+    /// Records one E-cache access (called by the cache hierarchy).
+    pub fn record_l2(&mut self, hit: bool) {
+        self.bump(PicEvent::EcacheRefs);
+        if hit {
+            self.bump(PicEvent::EcacheHits);
+        }
+    }
+
+    /// Records elapsed cycles (for a `Cycles` event selection).
+    pub fn record_cycles(&mut self, cycles: u64) {
+        if self.event0 == PicEvent::Cycles {
+            self.pic0 = self.pic0.wrapping_add(cycles as u32);
+        }
+        if self.event1 == PicEvent::Cycles {
+            self.pic1 = self.pic1.wrapping_add(cycles as u32);
+        }
+    }
+
+    fn bump(&mut self, ev: PicEvent) {
+        if self.event0 == ev {
+            self.pic0 = self.pic0.wrapping_add(1);
+        }
+        if self.event1 == ev {
+            self.pic1 = self.pic1.wrapping_add(1);
+        }
+    }
+
+    /// Raw register values `(PIC0, PIC1)`.
+    pub fn read_raw(&self) -> (u32, u32) {
+        (self.pic0, self.pic1)
+    }
+
+    /// Cumulative E-cache references (assuming the default configuration).
+    pub fn refs(&self) -> u64 {
+        self.pic0 as u64
+    }
+
+    /// Cumulative E-cache hits (assuming the default configuration).
+    pub fn hits(&self) -> u64 {
+        self.pic1 as u64
+    }
+
+    /// Cumulative E-cache misses (`refs − hits`, 32-bit wrapping like the
+    /// hardware registers).
+    pub fn misses(&self) -> u64 {
+        self.pic0.wrapping_sub(self.pic1) as u64
+    }
+
+    /// Reads the interval deltas since the previous call and starts a new
+    /// interval — exactly what the runtime does at a context switch
+    /// ("reading and resetting the appropriate registers", paper §5).
+    pub fn take_interval(&mut self) -> PicDelta {
+        let refs = self.pic0.wrapping_sub(self.snap.0) as u64;
+        let hits = self.pic1.wrapping_sub(self.snap.1) as u64;
+        self.snap = (self.pic0, self.pic1);
+        PicDelta { refs, hits, misses: refs.saturating_sub(hits) }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_configuration() {
+        let pic = Pic::new();
+        assert_eq!(pic.events(), (PicEvent::EcacheRefs, PicEvent::EcacheHits));
+        assert!(pic.user_access());
+        assert_eq!(pic.read_raw(), (0, 0));
+    }
+
+    #[test]
+    fn records_refs_and_hits() {
+        let mut pic = Pic::new();
+        for i in 0..10 {
+            pic.record_l2(i % 2 == 0);
+        }
+        assert_eq!(pic.refs(), 10);
+        assert_eq!(pic.hits(), 5);
+        assert_eq!(pic.misses(), 5);
+    }
+
+    #[test]
+    fn interval_deltas_reset() {
+        let mut pic = Pic::new();
+        pic.record_l2(false);
+        pic.record_l2(false);
+        pic.record_l2(true);
+        let d = pic.take_interval();
+        assert_eq!(d, PicDelta { refs: 3, hits: 1, misses: 2 });
+        pic.record_l2(false);
+        let d = pic.take_interval();
+        assert_eq!(d, PicDelta { refs: 1, hits: 0, misses: 1 });
+    }
+
+    #[test]
+    fn wrapping_at_32_bits() {
+        let mut pic = Pic::new();
+        pic.pic0 = u32::MAX;
+        pic.snap = (u32::MAX, 0);
+        pic.record_l2(false); // pic0 wraps to 0
+        let d = pic.take_interval();
+        assert_eq!(d.refs, 1, "wrap must still yield a correct delta");
+    }
+
+    #[test]
+    fn reconfigure_clears() {
+        let mut pic = Pic::new();
+        pic.record_l2(true);
+        pic.configure(PicEvent::Cycles, PicEvent::EcacheHits, false);
+        assert_eq!(pic.read_raw(), (0, 0));
+        assert!(!pic.user_access());
+        pic.record_cycles(7);
+        assert_eq!(pic.read_raw().0, 7);
+        pic.record_l2(true); // hits still counted on pic1
+        assert_eq!(pic.read_raw().1, 1);
+    }
+}

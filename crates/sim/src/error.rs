@@ -1,0 +1,56 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors raised by simulator configuration validation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SimError {
+    /// A cache geometry parameter was zero or not a power of two, or the
+    /// sizes were inconsistent (e.g. line larger than the cache).
+    BadGeometry {
+        /// Human-readable description of the violated constraint.
+        reason: String,
+    },
+    /// The machine was configured with zero processors.
+    NoCpus,
+    /// A processor index was out of range.
+    BadCpu {
+        /// The rejected index.
+        cpu: usize,
+        /// The number of processors configured.
+        cpus: usize,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::BadGeometry { reason } => write!(f, "invalid cache geometry: {reason}"),
+            SimError::NoCpus => write!(f, "machine must have at least one processor"),
+            SimError::BadCpu { cpu, cpus } => {
+                write!(f, "processor index {cpu} out of range (machine has {cpus})")
+            }
+        }
+    }
+}
+
+impl Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        assert!(SimError::NoCpus.to_string().contains("at least one"));
+        assert!(SimError::BadCpu { cpu: 9, cpus: 8 }.to_string().contains('9'));
+        let e = SimError::BadGeometry { reason: "line of 0 bytes".into() };
+        assert!(e.to_string().contains("line of 0 bytes"));
+    }
+
+    #[test]
+    fn is_std_error() {
+        fn assert_err<E: Error + Send + Sync + 'static>() {}
+        assert_err::<SimError>();
+    }
+}

@@ -1,0 +1,282 @@
+//! One processor's cache hierarchy: L1-I, L1-D, unified L2, and the PIC
+//! block, with L2 inclusion over both L1s.
+//!
+//! The L1 data cache is write-through / no-write-allocate (UltraSPARC-1),
+//! so every store references the E-cache; the E-cache is write-back and
+//! write-allocate. When an L2 line is evicted or invalidated, the covered
+//! L1 lines are invalidated too (inclusion).
+
+use crate::cache::{Cache, Eviction};
+use crate::config::HierarchyConfig;
+use crate::counters::Pic;
+
+/// What a single access did at the L2 level (for directory maintenance).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct L2Change {
+    /// Line brought into the L2 by this access.
+    pub filled: Option<u64>,
+    /// Line displaced from the L2 (inclusion already enforced).
+    pub evicted: Option<Eviction>,
+}
+
+/// Outcome of one access against a [`CpuCache`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AccessOutcome {
+    /// Hit in the relevant L1.
+    pub l1_hit: bool,
+    /// Whether the E-cache was referenced.
+    pub l2_ref: bool,
+    /// Whether the E-cache reference hit (meaningless if `!l2_ref`).
+    pub l2_hit: bool,
+    /// L2 fill/eviction performed.
+    pub change: L2Change,
+}
+
+/// The kind of access at the hierarchy level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HierAccess {
+    /// A data load.
+    Read,
+    /// A data store.
+    Write,
+    /// An instruction fetch.
+    Fetch,
+}
+
+/// One processor's caches and counters.
+#[derive(Debug, Clone)]
+pub struct CpuCache {
+    l1i: Cache,
+    l1d: Cache,
+    l2: Cache,
+    pic: Pic,
+    l1_line: u64,
+    l2_line: u64,
+}
+
+impl CpuCache {
+    /// Builds the hierarchy from a validated configuration.
+    pub fn new(config: &HierarchyConfig) -> Self {
+        CpuCache {
+            l1i: Cache::new(config.l1i),
+            l1d: Cache::new(config.l1d),
+            l2: Cache::new(config.l2),
+            pic: Pic::new(),
+            l1_line: config.l1d.line_bytes,
+            l2_line: config.l2.line_bytes,
+        }
+    }
+
+    /// The performance counters (read-only).
+    pub fn pic(&self) -> &Pic {
+        &self.pic
+    }
+
+    /// The performance counters (for interval reads / reconfiguration).
+    pub fn pic_mut(&mut self) -> &mut Pic {
+        &mut self.pic
+    }
+
+    /// The unified L2 (E-cache), read-only — used for footprint ground
+    /// truth.
+    pub fn l2(&self) -> &Cache {
+        &self.l2
+    }
+
+    /// Performs one access at physical address `pa`.
+    pub fn access(&mut self, pa: u64, kind: HierAccess) -> AccessOutcome {
+        let pline1 = pa / self.l1_line;
+        let pline2 = pa / self.l2_line;
+        match kind {
+            HierAccess::Read => self.read_like(pline1, pline2, false),
+            HierAccess::Fetch => self.read_like(pline1, pline2, true),
+            HierAccess::Write => self.write(pline1, pline2),
+        }
+    }
+
+    fn read_like(&mut self, pline1: u64, pline2: u64, fetch: bool) -> AccessOutcome {
+        let l1 = if fetch { &mut self.l1i } else { &mut self.l1d };
+        if l1.probe(pline1) {
+            return AccessOutcome {
+                l1_hit: true,
+                l2_ref: false,
+                l2_hit: false,
+                change: L2Change::default(),
+            };
+        }
+        let l2_hit = self.l2.probe(pline2);
+        self.pic.record_l2(l2_hit);
+        let mut change = L2Change::default();
+        if !l2_hit {
+            let evicted = self.l2.insert(pline2, false);
+            if let Some(ev) = evicted {
+                self.enforce_inclusion(ev.pline);
+            }
+            change = L2Change { filled: Some(pline2), evicted };
+        }
+        // Allocate in the L1 (read allocate); evicted L1 lines are clean
+        // (write-through) and simply dropped.
+        let l1 = if fetch { &mut self.l1i } else { &mut self.l1d };
+        if !l1.contains(pline1) {
+            l1.insert(pline1, false);
+        }
+        AccessOutcome { l1_hit: false, l2_ref: true, l2_hit, change }
+    }
+
+    fn write(&mut self, pline1: u64, pline2: u64) -> AccessOutcome {
+        // Write-through L1: update in place if present (stays clean), no
+        // allocation on a write miss.
+        let l1_hit = self.l1d.probe(pline1);
+        // The store always references the E-cache.
+        let l2_hit = self.l2.probe(pline2);
+        self.pic.record_l2(l2_hit);
+        let mut change = L2Change::default();
+        if l2_hit {
+            self.l2.mark_dirty(pline2);
+        } else {
+            let evicted = self.l2.insert(pline2, true);
+            if let Some(ev) = evicted {
+                self.enforce_inclusion(ev.pline);
+            }
+            change = L2Change { filled: Some(pline2), evicted };
+        }
+        AccessOutcome { l1_hit, l2_ref: true, l2_hit, change }
+    }
+
+    /// Invalidates the L1 lines covered by an evicted/invalidated L2 line.
+    fn enforce_inclusion(&mut self, pline2: u64) {
+        let sublines = self.l2_line / self.l1_line;
+        let first = pline2 * sublines;
+        for pl1 in first..first + sublines {
+            self.l1d.invalidate(pl1);
+            self.l1i.invalidate(pl1);
+        }
+    }
+
+    /// Externally invalidates an L2 line (coherence). Returns `true` if
+    /// the line was resident.
+    pub fn invalidate_line(&mut self, pline2: u64) -> bool {
+        if self.l2.invalidate(pline2).is_some() {
+            self.enforce_inclusion(pline2);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Whether the L2 holds the line (no LRU side effects).
+    pub fn l2_contains(&self, pline2: u64) -> bool {
+        self.l2.contains(pline2)
+    }
+
+    /// Flushes all three caches.
+    pub fn flush(&mut self) {
+        self.l1i.flush();
+        self.l1d.flush();
+        self.l2.flush();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cpu() -> CpuCache {
+        CpuCache::new(&HierarchyConfig::ultrasparc1())
+    }
+
+    #[test]
+    fn read_miss_then_hits() {
+        let mut c = cpu();
+        let o = c.access(0x1000, HierAccess::Read);
+        assert!(!o.l1_hit && o.l2_ref && !o.l2_hit);
+        assert_eq!(o.change.filled, Some(0x1000 / 64));
+        // Same address: L1 hit, no L2 traffic.
+        let o = c.access(0x1000, HierAccess::Read);
+        assert!(o.l1_hit && !o.l2_ref);
+        // Next L1 line within the same L2 line: L1 miss, L2 hit.
+        let o = c.access(0x1020, HierAccess::Read);
+        assert!(!o.l1_hit && o.l2_ref && o.l2_hit);
+        assert_eq!(c.pic().refs(), 2);
+        assert_eq!(c.pic().misses(), 1);
+    }
+
+    #[test]
+    fn write_through_always_references_l2() {
+        let mut c = cpu();
+        c.access(0x2000, HierAccess::Read); // L1+L2 fill
+        let o = c.access(0x2000, HierAccess::Write);
+        assert!(o.l1_hit, "line is in L1");
+        assert!(o.l2_ref && o.l2_hit, "write-through still references E-cache");
+    }
+
+    #[test]
+    fn write_miss_does_not_allocate_l1() {
+        let mut c = cpu();
+        let o = c.access(0x3000, HierAccess::Write);
+        assert!(!o.l1_hit && o.l2_ref && !o.l2_hit);
+        // A read after the write: L1 must miss (no-write-allocate), L2 hit.
+        let o = c.access(0x3000, HierAccess::Read);
+        assert!(!o.l1_hit && o.l2_hit);
+    }
+
+    #[test]
+    fn dirty_line_reported_on_eviction() {
+        let mut c = cpu();
+        c.access(0x4000, HierAccess::Write);
+        // Conflict in the direct-mapped 512 KiB L2: same index, 512 KiB apart.
+        let o = c.access(0x4000 + 512 * 1024, HierAccess::Read);
+        let ev = o.change.evicted.expect("conflict eviction");
+        assert_eq!(ev.pline, 0x4000 / 64);
+        assert!(ev.dirty, "written line must evict dirty");
+    }
+
+    #[test]
+    fn inclusion_invalidates_l1_on_l2_eviction() {
+        let mut c = cpu();
+        c.access(0x5000, HierAccess::Read); // in L1D and L2
+        c.access(0x5000 + 512 * 1024, HierAccess::Read); // evicts L2 line
+        // The L1 copy must be gone: a re-read misses both.
+        let o = c.access(0x5000, HierAccess::Read);
+        assert!(!o.l1_hit, "inclusion must purge the L1 copy");
+        assert!(!o.l2_hit);
+    }
+
+    #[test]
+    fn fetches_use_l1i() {
+        let mut c = cpu();
+        let o = c.access(0x6000, HierAccess::Fetch);
+        assert!(!o.l1_hit && o.l2_ref);
+        let o = c.access(0x6000, HierAccess::Fetch);
+        assert!(o.l1_hit);
+        // A data read of the same address misses L1D but hits the unified L2.
+        let o = c.access(0x6000, HierAccess::Read);
+        assert!(!o.l1_hit && o.l2_hit);
+    }
+
+    #[test]
+    fn external_invalidation() {
+        let mut c = cpu();
+        c.access(0x7000, HierAccess::Read);
+        assert!(c.l2_contains(0x7000 / 64));
+        assert!(c.invalidate_line(0x7000 / 64));
+        assert!(!c.l2_contains(0x7000 / 64));
+        assert!(!c.invalidate_line(0x7000 / 64), "already gone");
+        // The L1 copy is gone too (inclusion).
+        let o = c.access(0x7000, HierAccess::Read);
+        assert!(!o.l1_hit && !o.l2_hit);
+    }
+
+    #[test]
+    fn flush_empties_everything() {
+        let mut c = cpu();
+        for a in (0..4096u64).step_by(64) {
+            c.access(a, HierAccess::Read);
+        }
+        assert!(c.l2().resident_lines() > 0);
+        c.flush();
+        assert_eq!(c.l2().resident_lines(), 0);
+        let o = c.access(0, HierAccess::Read);
+        assert!(!o.l1_hit && !o.l2_hit);
+    }
+}

@@ -1,0 +1,576 @@
+//! The whole simulated SMP: processors, translation, coherence, and
+//! footprint ground truth.
+
+use crate::addr::{PAddr, VAddr};
+use crate::alloc::SimAllocator;
+use crate::config::MachineConfig;
+use crate::counters::{Pic, PicDelta};
+use crate::hierarchy::{CpuCache, HierAccess};
+use crate::paging::PageTable;
+use crate::regions::RegionTable;
+use crate::stats::{CpuStats, ThreadStats};
+use crate::cml::{Cml, CmlEntry};
+use crate::trace::Trace;
+use locality_core::ThreadId;
+use std::collections::{BTreeMap, HashMap};
+
+/// The kind of a memory access issued by a thread.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccessKind {
+    /// Data load.
+    Read,
+    /// Data store.
+    Write,
+    /// Instruction fetch.
+    Fetch,
+}
+
+impl From<AccessKind> for HierAccess {
+    fn from(kind: AccessKind) -> Self {
+        match kind {
+            AccessKind::Read => HierAccess::Read,
+            AccessKind::Write => HierAccess::Write,
+            AccessKind::Fetch => HierAccess::Fetch,
+        }
+    }
+}
+
+/// The simulated multiprocessor.
+///
+/// All methods take plain `usize` processor indices; the machine is
+/// deterministic and single-threaded — "parallelism" is the caller's
+/// interleaving of `access` calls across processor indices, which is how
+/// the runtime engine models an SMP.
+#[derive(Debug)]
+pub struct Machine {
+    config: MachineConfig,
+    cpus: Vec<CpuCache>,
+    page_table: PageTable,
+    allocator: SimAllocator,
+    regions: RegionTable,
+    /// Coherence directory: physical L2 line → bitmask of holders.
+    directory: HashMap<u64, u64>,
+    running: Vec<Option<ThreadId>>,
+    cpu_stats: Vec<CpuStats>,
+    thread_stats: HashMap<ThreadId, ThreadStats>,
+    tracer: Option<Trace>,
+    cml: Option<Vec<Cml>>,
+}
+
+impl Machine {
+    /// Builds the machine.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid or has more than 64
+    /// processors (the coherence directory uses a 64-bit holder mask).
+    pub fn new(config: MachineConfig) -> Self {
+        config.validate().expect("invalid machine configuration");
+        assert!(config.cpus <= 64, "at most 64 processors supported");
+        let cpus = (0..config.cpus).map(|_| CpuCache::new(&config.hierarchy)).collect();
+        let page_table =
+            PageTable::new(config.page_bytes, config.l2_page_bins(), config.placement.clone());
+        Machine {
+            cpu_stats: vec![CpuStats::default(); config.cpus],
+            thread_stats: HashMap::new(),
+            running: vec![None; config.cpus],
+            cpus,
+            page_table,
+            allocator: SimAllocator::new(),
+            regions: RegionTable::new(),
+            directory: HashMap::new(),
+            tracer: None,
+            cml: None,
+            config,
+        }
+    }
+
+    /// Starts recording every access into an in-memory [`Trace`]
+    /// (Shade-style reference forwarding; see [`crate::trace`]).
+    pub fn start_tracing(&mut self) {
+        self.tracer = Some(Trace::new());
+    }
+
+    /// Stops tracing and returns the recorded trace (None if tracing was
+    /// never started).
+    pub fn take_trace(&mut self) -> Option<Trace> {
+        self.tracer.take()
+    }
+
+    /// Attaches a Cache Miss Lookaside device (see [`crate::cml`]) with
+    /// `entries` slots to every processor. E-cache misses then record
+    /// their virtual page numbers.
+    pub fn enable_cml(&mut self, entries: usize) {
+        self.cml = Some((0..self.cpu_count()).map(|_| Cml::new(entries)).collect());
+    }
+
+    /// Drains `cpu`'s CML (empty if no device is attached).
+    pub fn cml_drain(&mut self, cpu: usize) -> Vec<CmlEntry> {
+        match &mut self.cml {
+            Some(devices) => devices[cpu].drain(),
+            None => Vec::new(),
+        }
+    }
+
+    /// The machine configuration.
+    pub fn config(&self) -> &MachineConfig {
+        &self.config
+    }
+
+    /// Number of processors.
+    pub fn cpu_count(&self) -> usize {
+        self.config.cpus
+    }
+
+    /// Number of E-cache lines per processor (the model's `N`).
+    pub fn l2_lines(&self) -> usize {
+        self.config.l2_lines()
+    }
+
+    /// Allocates `bytes` of simulated memory aligned to `align`.
+    pub fn alloc(&mut self, bytes: u64, align: u64) -> VAddr {
+        self.allocator.alloc(bytes, align)
+    }
+
+    /// Frees a block previously returned by [`alloc`](Self::alloc).
+    pub fn free(&mut self, addr: VAddr, bytes: u64, align: u64) {
+        self.allocator.free(addr, bytes, align);
+    }
+
+    /// Registers `[start, start+bytes)` as part of `tid`'s state (ground
+    /// truth for footprints and exact sharing coefficients).
+    pub fn register_region(&mut self, tid: ThreadId, start: VAddr, bytes: u64) {
+        self.regions.register(tid, start, bytes);
+    }
+
+    /// The region table (exact sharing coefficients, state sizes, …).
+    pub fn regions(&self) -> &RegionTable {
+        &self.regions
+    }
+
+    /// Drops `tid` from the region table (thread exit).
+    pub fn remove_thread_regions(&mut self, tid: ThreadId) {
+        self.regions.remove_thread(tid);
+    }
+
+    /// Declares which thread is running on `cpu` (attribution for
+    /// per-thread statistics; `None` while idle).
+    pub fn set_running(&mut self, cpu: usize, tid: Option<ThreadId>) {
+        self.running[cpu] = tid;
+    }
+
+    /// Performs one memory access on `cpu` and returns its cost in cycles.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cpu` is out of range.
+    pub fn access(&mut self, cpu: usize, va: VAddr, kind: AccessKind) -> u64 {
+        if let Some(tracer) = &mut self.tracer {
+            tracer.record(cpu, kind, va);
+        }
+        let pa = self.page_table.translate(va);
+        let l2_line = self.config.hierarchy.l2.line_bytes;
+        let pline2 = pa.0 / l2_line;
+
+        // Check for remote holders before the local fill updates the
+        // directory (this decides the E5000's 50-vs-80-cycle split).
+        let me = 1u64 << cpu;
+        let holders_before = self.directory.get(&pline2).copied().unwrap_or(0);
+        let outcome = self.cpus[cpu].access(pa.0, kind.into());
+        let remote = outcome.l2_ref && !outcome.l2_hit && (holders_before & !me) != 0;
+
+        // Directory maintenance for this processor's fill/eviction.
+        if let Some(ev) = outcome.change.evicted {
+            self.directory_clear(ev.pline, cpu);
+        }
+        if let Some(fill) = outcome.change.filled {
+            *self.directory.entry(fill).or_insert(0) |= me;
+        }
+
+        // Write-invalidate coherence: a store purges every other copy.
+        if kind == AccessKind::Write {
+            let holders = self.directory.get(&pline2).copied().unwrap_or(0) & !me;
+            if holders != 0 {
+                for other in 0..self.cpu_count() {
+                    if holders & (1 << other) != 0 {
+                        self.cpus[other].invalidate_line(pline2);
+                        self.cpu_stats[other].invalidations += 1;
+                        self.directory_clear(pline2, other);
+                    }
+                }
+            }
+        }
+
+        // Cycle cost.
+        let lat = self.config.latencies;
+        let cycles = if outcome.l1_hit {
+            lat.l1_hit
+        } else if outcome.l2_hit {
+            lat.l2_hit
+        } else if remote {
+            lat.l2_miss_remote
+        } else {
+            lat.l2_miss
+        };
+
+        // Statistics.
+        let cs = &mut self.cpu_stats[cpu];
+        cs.instructions += 1;
+        cs.mem_cycles += cycles;
+        match kind {
+            AccessKind::Fetch => {
+                cs.l1i_refs += 1;
+                if !outcome.l1_hit {
+                    cs.l1i_misses += 1;
+                }
+            }
+            _ => {
+                cs.l1d_refs += 1;
+                if !outcome.l1_hit {
+                    cs.l1d_misses += 1;
+                }
+            }
+        }
+        if outcome.l2_ref {
+            cs.l2_refs += 1;
+            if outcome.l2_hit {
+                cs.l2_hits += 1;
+            } else {
+                cs.l2_misses += 1;
+                if remote {
+                    cs.l2_misses_remote += 1;
+                }
+            }
+        }
+        if let Some(tid) = self.running[cpu] {
+            let ts = self.thread_stats.entry(tid).or_default();
+            ts.accesses += 1;
+            ts.instructions += 1;
+            ts.mem_cycles += cycles;
+            if outcome.l2_ref {
+                ts.l2_refs += 1;
+                if !outcome.l2_hit {
+                    ts.l2_misses += 1;
+                }
+            }
+        }
+        if outcome.l2_ref && !outcome.l2_hit {
+            if let Some(devices) = &mut self.cml {
+                devices[cpu].record(va.page(self.config.page_bytes));
+            }
+        }
+        cycles
+    }
+
+    fn directory_clear(&mut self, pline: u64, cpu: usize) {
+        if let Some(mask) = self.directory.get_mut(&pline) {
+            *mask &= !(1u64 << cpu);
+            if *mask == 0 {
+                self.directory.remove(&pline);
+            }
+        }
+    }
+
+    /// Records `n` non-memory instructions (compute) on `cpu`, attributed
+    /// to the running thread.
+    pub fn note_instructions(&mut self, cpu: usize, n: u64) {
+        self.cpu_stats[cpu].instructions += n;
+        if let Some(tid) = self.running[cpu] {
+            self.thread_stats.entry(tid).or_default().instructions += n;
+        }
+    }
+
+    /// The performance counters of `cpu` (read-only).
+    pub fn pic(&self, cpu: usize) -> &Pic {
+        self.cpus[cpu].pic()
+    }
+
+    /// Reads-and-resets the counter interval on `cpu` — the context-switch
+    /// read.
+    pub fn pic_take_interval(&mut self, cpu: usize) -> PicDelta {
+        self.cpus[cpu].pic_mut().take_interval()
+    }
+
+    /// Cumulative statistics of `cpu`.
+    pub fn cpu_stats(&self, cpu: usize) -> CpuStats {
+        self.cpu_stats[cpu]
+    }
+
+    /// Cumulative statistics of `tid` (zero if it never ran).
+    pub fn thread_stats(&self, tid: ThreadId) -> ThreadStats {
+        self.thread_stats.get(&tid).copied().unwrap_or_default()
+    }
+
+    /// Total E-cache misses over all processors.
+    pub fn total_l2_misses(&self) -> u64 {
+        self.cpu_stats.iter().map(|s| s.l2_misses).sum()
+    }
+
+    /// Total instructions over all processors.
+    pub fn total_instructions(&self) -> u64 {
+        self.cpu_stats.iter().map(|s| s.instructions).sum()
+    }
+
+    /// **Ground truth**: number of resident L2 lines on `cpu` that belong
+    /// to `tid`'s registered state — the thread's observed footprint
+    /// (paper §3's per-thread line association).
+    pub fn l2_footprint_lines(&self, cpu: usize, tid: ThreadId) -> u64 {
+        let line = self.config.hierarchy.l2.line_bytes;
+        self.cpus[cpu]
+            .l2()
+            .iter_resident()
+            .filter(|&pl| match self.page_table.reverse(PAddr(pl * line)) {
+                Some(va) => self.regions.range_touches(tid, va, line),
+                None => false,
+            })
+            .count() as u64
+    }
+
+    /// Ground-truth footprints of *all* threads with state in `cpu`'s
+    /// E-cache (a resident line shared by several threads counts for each).
+    pub fn l2_footprints(&self, cpu: usize) -> BTreeMap<ThreadId, u64> {
+        let line = self.config.hierarchy.l2.line_bytes;
+        let mut out = BTreeMap::new();
+        for pl in self.cpus[cpu].l2().iter_resident() {
+            if let Some(va) = self.page_table.reverse(PAddr(pl * line)) {
+                for tid in self.regions.owners_in_range(va, line) {
+                    *out.entry(tid).or_insert(0) += 1;
+                }
+            }
+        }
+        out
+    }
+
+    /// Resident L2 lines on `cpu` (all threads plus unattributed lines).
+    pub fn l2_resident_lines(&self, cpu: usize) -> u64 {
+        self.cpus[cpu].l2().resident_lines()
+    }
+
+    /// Flushes all caches of `cpu` (experiment setup; directory updated).
+    pub fn flush_cpu(&mut self, cpu: usize) {
+        let resident: Vec<u64> = self.cpus[cpu].l2().iter_resident().collect();
+        for pl in resident {
+            self.directory_clear(pl, cpu);
+        }
+        self.cpus[cpu].flush();
+    }
+
+    /// Flushes every processor's caches.
+    pub fn flush_all(&mut self) {
+        for cpu in 0..self.cpu_count() {
+            self.flush_cpu(cpu);
+        }
+    }
+
+    /// Page faults taken so far.
+    pub fn page_faults(&self) -> u64 {
+        self.page_table.faults()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::MachineConfig;
+
+    fn t(i: u64) -> ThreadId {
+        ThreadId(i)
+    }
+
+    #[test]
+    fn sequential_walk_costs_and_counts() {
+        let mut m = Machine::new(MachineConfig::ultra1());
+        m.set_running(0, Some(t(1)));
+        let buf = m.alloc(64 * 64, 64);
+        let mut cycles = 0;
+        for i in 0..64u64 {
+            cycles += m.access(0, buf.offset(i * 64), AccessKind::Read);
+        }
+        // Every access touched a fresh 64-byte L2 line: all L2 misses.
+        assert_eq!(m.pic(0).misses(), 64);
+        assert_eq!(cycles, 64 * 42);
+        assert_eq!(m.cpu_stats(0).l2_misses, 64);
+        assert_eq!(m.thread_stats(t(1)).l2_misses, 64);
+        // Re-walk: now L1-line-granular; every other access hits L1,
+        // the rest hit L2 (64B L2 line = 2×32B L1 lines).
+        let before = m.pic(0).misses();
+        for i in 0..64u64 {
+            m.access(0, buf.offset(i * 64), AccessKind::Read);
+        }
+        assert_eq!(m.pic(0).misses(), before, "no new misses on re-walk");
+    }
+
+    #[test]
+    fn footprint_ground_truth() {
+        let mut m = Machine::new(MachineConfig::ultra1());
+        m.set_running(0, Some(t(1)));
+        let a = m.alloc(4096, 64);
+        let b = m.alloc(4096, 64);
+        m.register_region(t(1), a, 4096);
+        m.register_region(t(2), b, 4096);
+        for i in (0..4096u64).step_by(64) {
+            m.access(0, a.offset(i), AccessKind::Read);
+        }
+        assert_eq!(m.l2_footprint_lines(0, t(1)), 64);
+        assert_eq!(m.l2_footprint_lines(0, t(2)), 0);
+        let all = m.l2_footprints(0);
+        assert_eq!(all.get(&t(1)), Some(&64));
+        assert!(!all.contains_key(&t(2)));
+    }
+
+    #[test]
+    fn shared_lines_count_for_both_threads() {
+        let mut m = Machine::new(MachineConfig::ultra1());
+        m.set_running(0, Some(t(1)));
+        let a = m.alloc(1024, 64);
+        m.register_region(t(1), a, 1024);
+        m.register_region(t(2), a, 1024);
+        for i in (0..1024u64).step_by(64) {
+            m.access(0, a.offset(i), AccessKind::Read);
+        }
+        assert_eq!(m.l2_footprint_lines(0, t(1)), 16);
+        assert_eq!(m.l2_footprint_lines(0, t(2)), 16);
+    }
+
+    #[test]
+    fn remote_miss_costs_more_on_e5000() {
+        let mut m = Machine::new(MachineConfig::enterprise5000(2));
+        let a = m.alloc(64, 64);
+        let c0 = m.access(0, a, AccessKind::Read);
+        assert_eq!(c0, 50, "clean miss");
+        let c1 = m.access(1, a, AccessKind::Read);
+        assert_eq!(c1, 80, "line cached by cpu0 costs the remote penalty");
+        assert_eq!(m.cpu_stats(1).l2_misses_remote, 1);
+    }
+
+    #[test]
+    fn write_invalidates_other_copies() {
+        let mut m = Machine::new(MachineConfig::enterprise5000(2));
+        let a = m.alloc(64, 64);
+        m.access(0, a, AccessKind::Read);
+        m.access(1, a, AccessKind::Read);
+        // cpu1 writes: cpu0's copy must be invalidated.
+        m.access(1, a, AccessKind::Write);
+        assert_eq!(m.cpu_stats(0).invalidations, 1);
+        // cpu0 re-reads: it's a miss again, and remote (cpu1 holds it).
+        let c = m.access(0, a, AccessKind::Read);
+        assert_eq!(c, 80);
+    }
+
+    #[test]
+    fn invalidation_shrinks_footprint() {
+        let mut m = Machine::new(MachineConfig::enterprise5000(2));
+        let a = m.alloc(64 * 8, 64);
+        m.register_region(t(1), a, 64 * 8);
+        for i in 0..8u64 {
+            m.access(0, a.offset(i * 64), AccessKind::Read);
+        }
+        assert_eq!(m.l2_footprint_lines(0, t(1)), 8);
+        for i in 0..8u64 {
+            m.access(1, a.offset(i * 64), AccessKind::Write);
+        }
+        assert_eq!(m.l2_footprint_lines(0, t(1)), 0, "all copies invalidated");
+        assert_eq!(m.l2_footprint_lines(1, t(1)), 8);
+    }
+
+    #[test]
+    fn flush_cpu_clears_footprints_and_directory() {
+        let mut m = Machine::new(MachineConfig::enterprise5000(2));
+        let a = m.alloc(4096, 64);
+        m.register_region(t(1), a, 4096);
+        for i in (0..4096u64).step_by(64) {
+            m.access(0, a.offset(i), AccessKind::Read);
+        }
+        m.flush_cpu(0);
+        assert_eq!(m.l2_footprint_lines(0, t(1)), 0);
+        // After the flush the line is not "cached by another processor".
+        let c = m.access(1, a, AccessKind::Read);
+        assert_eq!(c, 50);
+    }
+
+    #[test]
+    fn note_instructions_feeds_mpi() {
+        let mut m = Machine::new(MachineConfig::ultra1());
+        m.set_running(0, Some(t(1)));
+        let a = m.alloc(64, 64);
+        m.access(0, a, AccessKind::Read);
+        m.note_instructions(0, 999);
+        assert_eq!(m.cpu_stats(0).instructions, 1000);
+        assert!((m.cpu_stats(0).mpi() - 1.0).abs() < 1e-12);
+        assert_eq!(m.thread_stats(t(1)).instructions, 1000);
+    }
+
+    #[test]
+    fn capacity_eviction_updates_directory() {
+        // Two lines that conflict in the direct-mapped L2: after the
+        // second fill, the first is no longer charged as remote elsewhere.
+        let mut m = Machine::new(MachineConfig::enterprise5000(2));
+        let a = m.alloc(64, 64);
+        let b = VAddr(a.0 + 512 * 1024); // same L2 index after translation?
+        // Use page-coloring to be sure of conflict: translate both and
+        // check; with bin hopping the pages land in different bins, so
+        // instead just verify directory consistency via re-reads.
+        m.access(0, a, AccessKind::Read);
+        m.access(0, b, AccessKind::Read);
+        // Whatever happened, a read from cpu1 of `a` is remote only if
+        // cpu0 still holds it.
+        let holds = {
+            let pa = m.page_table.translate_existing(a).unwrap();
+            m.cpus[0].l2_contains(pa.0 / 64)
+        };
+        let c = m.access(1, a, AccessKind::Read);
+        assert_eq!(c == 80, holds, "remote charge must match directory truth");
+    }
+
+    #[test]
+    fn tracing_records_and_replays_identically() {
+        let mut m = Machine::new(MachineConfig::ultra1());
+        m.start_tracing();
+        let a = m.alloc(4096, 64);
+        for i in (0..4096u64).step_by(64) {
+            m.access(0, a.offset(i), AccessKind::Read);
+        }
+        m.access(0, a, AccessKind::Write);
+        let trace = m.take_trace().expect("tracing was on");
+        assert_eq!(trace.len(), 65);
+        // Replaying on a fresh identical machine reproduces the stats.
+        let mut fresh = Machine::new(MachineConfig::ultra1());
+        // The fresh machine must see the same virtual addresses; alloc
+        // the same block first so translation state matches.
+        let b = fresh.alloc(4096, 64);
+        assert_eq!(a, b, "deterministic allocator");
+        trace.replay(&mut fresh);
+        assert_eq!(fresh.cpu_stats(0).l2_misses, m.cpu_stats(0).l2_misses);
+        assert_eq!(fresh.cpu_stats(0).l2_refs, m.cpu_stats(0).l2_refs);
+    }
+
+    #[test]
+    fn cml_observes_miss_pages() {
+        let mut m = Machine::new(MachineConfig::ultra1());
+        m.enable_cml(128);
+        let a = m.alloc(3 * 8192, 8192); // three pages
+        for page in 0..3u64 {
+            m.access(0, a.offset(page * 8192), AccessKind::Read);
+        }
+        // A hit records nothing.
+        m.access(0, a, AccessKind::Read);
+        let drained = m.cml_drain(0);
+        assert_eq!(drained.len(), 3);
+        assert!(drained.iter().all(|e| e.count == 1));
+        assert!(m.cml_drain(0).is_empty());
+        // Without a device, drain is empty.
+        let mut plain = Machine::new(MachineConfig::ultra1());
+        assert!(plain.cml_drain(0).is_empty());
+    }
+
+    #[test]
+    fn total_counters() {
+        let mut m = Machine::new(MachineConfig::enterprise5000(2));
+        let a = m.alloc(128, 64);
+        m.access(0, a, AccessKind::Read);
+        m.access(1, a.offset(64), AccessKind::Read);
+        assert_eq!(m.total_l2_misses(), 2);
+        assert_eq!(m.total_instructions(), 2);
+        assert!(m.page_faults() >= 1);
+    }
+}

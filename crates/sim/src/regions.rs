@@ -1,0 +1,345 @@
+//! Thread state regions: the footprint ground truth.
+//!
+//! The paper's Shade-based simulator "understands Active Threads context
+//! switches" and tracks which cache lines belong to which thread — the
+//! association that raw hardware counters lose (paper §3). We make the
+//! association explicit: workloads register the virtual address ranges
+//! that constitute each thread's state, possibly overlapping (shared
+//! state). The machine then reports the *observed* footprint of a thread
+//! as the number of resident L2 lines that intersect its regions, and the
+//! region table can also derive the exact sharing coefficients
+//! `q_ab = |state_a ∩ state_b| / |state_a|` that a perfectly annotated
+//! program would pass to `at_share`.
+//!
+//! Internally this is a map of **disjoint segments**, each carrying the
+//! sorted set of owning threads; registering a range splits segments as
+//! needed, so lookups are a single `BTreeMap` probe.
+
+use crate::addr::VAddr;
+use locality_core::ThreadId;
+use std::collections::BTreeMap;
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Segment {
+    end: u64,
+    owners: Vec<ThreadId>,
+}
+
+/// A table of (possibly shared) thread state regions over virtual
+/// addresses.
+#[derive(Debug, Clone, Default)]
+pub struct RegionTable {
+    /// Disjoint segments keyed by start address.
+    segments: BTreeMap<u64, Segment>,
+}
+
+impl RegionTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        RegionTable::default()
+    }
+
+    /// Registers `[start, start+bytes)` as part of `tid`'s state.
+    /// Overlaps with existing regions (its own or other threads') are
+    /// fine; zero-length regions are ignored.
+    pub fn register(&mut self, tid: ThreadId, start: VAddr, bytes: u64) {
+        if bytes == 0 {
+            return;
+        }
+        let (s, e) = (start.0, start.0 + bytes);
+
+        // If a segment begins before `s` and spills into the range, split it.
+        if let Some((&ss, seg)) = self.segments.range(..s).next_back() {
+            if seg.end > s {
+                let tail = Segment { end: seg.end, owners: seg.owners.clone() };
+                self.segments.get_mut(&ss).expect("segment exists").end = s;
+                self.segments.insert(s, tail);
+            }
+        }
+        // Walk segments starting in [s, e); fill gaps and tag overlaps.
+        let mut cursor = s;
+        while cursor < e {
+            let next = self.segments.range(cursor..e).next().map(|(&ss, seg)| (ss, seg.end));
+            match next {
+                Some((ss, _)) if ss > cursor => {
+                    // Gap before the next segment: new exclusive segment.
+                    self.segments
+                        .insert(cursor, Segment { end: ss.min(e), owners: vec![tid] });
+                    cursor = ss.min(e);
+                }
+                Some((ss, se)) => {
+                    debug_assert_eq!(ss, cursor);
+                    if se > e {
+                        // Split off the part past the range.
+                        let seg = self.segments.get_mut(&ss).expect("segment exists");
+                        let owners = seg.owners.clone();
+                        seg.end = e;
+                        self.segments.insert(e, Segment { end: se, owners });
+                    }
+                    let seg = self.segments.get_mut(&ss).expect("segment exists");
+                    if let Err(pos) = seg.owners.binary_search(&tid) {
+                        seg.owners.insert(pos, tid);
+                    }
+                    cursor = se.min(e);
+                }
+                None => {
+                    self.segments.insert(cursor, Segment { end: e, owners: vec![tid] });
+                    cursor = e;
+                }
+            }
+        }
+    }
+
+    /// The owners of the byte at `addr` (sorted); empty if unregistered.
+    pub fn owners_of(&self, addr: VAddr) -> &[ThreadId] {
+        match self.segments.range(..=addr.0).next_back() {
+            Some((_, seg)) if seg.end > addr.0 => &seg.owners,
+            _ => &[],
+        }
+    }
+
+    /// Whether any byte of `[start, start+bytes)` belongs to `tid`.
+    pub fn range_touches(&self, tid: ThreadId, start: VAddr, bytes: u64) -> bool {
+        if bytes == 0 {
+            return false;
+        }
+        let (s, e) = (start.0, start.0 + bytes);
+        // Segment covering s, if any.
+        if let Some((_, seg)) = self.segments.range(..=s).next_back() {
+            if seg.end > s && seg.owners.binary_search(&tid).is_ok() {
+                return true;
+            }
+        }
+        self.segments
+            .range(s..e)
+            .skip_while(|(&ss, _)| ss < s)
+            .any(|(_, seg)| seg.owners.binary_search(&tid).is_ok())
+    }
+
+    /// The union of owners over `[start, start+bytes)`, sorted.
+    pub fn owners_in_range(&self, start: VAddr, bytes: u64) -> Vec<ThreadId> {
+        let mut owners = Vec::new();
+        if bytes == 0 {
+            return owners;
+        }
+        let (s, e) = (start.0, start.0 + bytes);
+        let mut merge = |seg: &Segment| {
+            for &t in &seg.owners {
+                if let Err(pos) = owners.binary_search(&t) {
+                    owners.insert(pos, t);
+                }
+            }
+        };
+        if let Some((_, seg)) = self.segments.range(..=s).next_back() {
+            if seg.end > s {
+                merge(seg);
+            }
+        }
+        for (_, seg) in self.segments.range(s..e) {
+            merge(seg);
+        }
+        owners
+    }
+
+    /// Total registered state of `tid`, in bytes.
+    pub fn state_bytes(&self, tid: ThreadId) -> u64 {
+        self.segments
+            .iter()
+            .filter(|(_, seg)| seg.owners.binary_search(&tid).is_ok())
+            .map(|(&s, seg)| seg.end - s)
+            .sum()
+    }
+
+    /// Bytes shared between the states of `a` and `b`.
+    pub fn shared_bytes(&self, a: ThreadId, b: ThreadId) -> u64 {
+        self.segments
+            .iter()
+            .filter(|(_, seg)| {
+                seg.owners.binary_search(&a).is_ok() && seg.owners.binary_search(&b).is_ok()
+            })
+            .map(|(&s, seg)| seg.end - s)
+            .sum()
+    }
+
+    /// The exact sharing coefficient `q_ab = |a ∩ b| / |a|` — what a
+    /// perfectly informed `at_share(a, b, q)` annotation would say.
+    /// Zero if `a` has no registered state.
+    pub fn coefficient(&self, a: ThreadId, b: ThreadId) -> f64 {
+        let total = self.state_bytes(a);
+        if total == 0 {
+            0.0
+        } else {
+            self.shared_bytes(a, b) as f64 / total as f64
+        }
+    }
+
+    /// Removes `tid` from all segments (thread exit); segments left
+    /// ownerless are dropped.
+    pub fn remove_thread(&mut self, tid: ThreadId) {
+        let mut empty = Vec::new();
+        for (&s, seg) in &mut self.segments {
+            if let Ok(pos) = seg.owners.binary_search(&tid) {
+                seg.owners.remove(pos);
+                if seg.owners.is_empty() {
+                    empty.push(s);
+                }
+            }
+        }
+        for s in empty {
+            self.segments.remove(&s);
+        }
+    }
+
+    /// Number of internal segments (diagnostics).
+    pub fn segment_count(&self) -> usize {
+        self.segments.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(i: u64) -> ThreadId {
+        ThreadId(i)
+    }
+
+    #[test]
+    fn single_region_lookup() {
+        let mut r = RegionTable::new();
+        r.register(t(1), VAddr(100), 50);
+        assert_eq!(r.owners_of(VAddr(100)), &[t(1)]);
+        assert_eq!(r.owners_of(VAddr(149)), &[t(1)]);
+        assert!(r.owners_of(VAddr(150)).is_empty());
+        assert!(r.owners_of(VAddr(99)).is_empty());
+        assert_eq!(r.state_bytes(t(1)), 50);
+    }
+
+    #[test]
+    fn zero_length_ignored() {
+        let mut r = RegionTable::new();
+        r.register(t(1), VAddr(100), 0);
+        assert_eq!(r.segment_count(), 0);
+    }
+
+    #[test]
+    fn exact_overlap_shares() {
+        let mut r = RegionTable::new();
+        r.register(t(1), VAddr(0), 100);
+        r.register(t(2), VAddr(0), 100);
+        assert_eq!(r.owners_of(VAddr(50)), &[t(1), t(2)]);
+        assert_eq!(r.shared_bytes(t(1), t(2)), 100);
+        assert_eq!(r.coefficient(t(1), t(2)), 1.0);
+    }
+
+    #[test]
+    fn partial_overlap_splits() {
+        let mut r = RegionTable::new();
+        r.register(t(1), VAddr(0), 100);
+        r.register(t(2), VAddr(50), 100);
+        assert_eq!(r.owners_of(VAddr(25)), &[t(1)]);
+        assert_eq!(r.owners_of(VAddr(75)), &[t(1), t(2)]);
+        assert_eq!(r.owners_of(VAddr(125)), &[t(2)]);
+        assert_eq!(r.shared_bytes(t(1), t(2)), 50);
+        assert!((r.coefficient(t(1), t(2)) - 0.5).abs() < 1e-12);
+        assert!((r.coefficient(t(2), t(1)) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn contained_overlap() {
+        let mut r = RegionTable::new();
+        r.register(t(1), VAddr(0), 300);
+        r.register(t(2), VAddr(100), 100);
+        assert_eq!(r.owners_of(VAddr(150)), &[t(1), t(2)]);
+        assert_eq!(r.owners_of(VAddr(250)), &[t(1)]);
+        // Mergesort-style: all of child 2's state is inside parent 1's.
+        assert_eq!(r.coefficient(t(2), t(1)), 1.0);
+        assert!((r.coefficient(t(1), t(2)) - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gap_filling_across_segments() {
+        let mut r = RegionTable::new();
+        r.register(t(1), VAddr(10), 10); // [10,20)
+        r.register(t(1), VAddr(40), 10); // [40,50)
+        r.register(t(2), VAddr(0), 60); // covers both and the gaps
+        assert_eq!(r.owners_of(VAddr(5)), &[t(2)]);
+        assert_eq!(r.owners_of(VAddr(15)), &[t(1), t(2)]);
+        assert_eq!(r.owners_of(VAddr(30)), &[t(2)]);
+        assert_eq!(r.owners_of(VAddr(45)), &[t(1), t(2)]);
+        assert_eq!(r.state_bytes(t(2)), 60);
+        assert_eq!(r.shared_bytes(t(1), t(2)), 20);
+    }
+
+    #[test]
+    fn reregistering_same_range_is_idempotent() {
+        let mut r = RegionTable::new();
+        r.register(t(1), VAddr(0), 100);
+        r.register(t(1), VAddr(0), 100);
+        assert_eq!(r.state_bytes(t(1)), 100);
+        assert_eq!(r.owners_of(VAddr(0)), &[t(1)]);
+    }
+
+    #[test]
+    fn range_touches() {
+        let mut r = RegionTable::new();
+        r.register(t(1), VAddr(100), 20);
+        assert!(r.range_touches(t(1), VAddr(90), 15)); // overlaps head
+        assert!(r.range_touches(t(1), VAddr(110), 50)); // overlaps tail
+        assert!(r.range_touches(t(1), VAddr(105), 2)); // inside
+        assert!(!r.range_touches(t(1), VAddr(0), 100));
+        assert!(!r.range_touches(t(1), VAddr(120), 100));
+        assert!(!r.range_touches(t(2), VAddr(100), 20));
+        assert!(!r.range_touches(t(1), VAddr(100), 0));
+    }
+
+    #[test]
+    fn remove_thread_drops_exclusive_segments() {
+        let mut r = RegionTable::new();
+        r.register(t(1), VAddr(0), 100);
+        r.register(t(2), VAddr(50), 100);
+        r.remove_thread(t(1));
+        assert!(r.owners_of(VAddr(25)).is_empty());
+        assert_eq!(r.owners_of(VAddr(75)), &[t(2)]);
+        assert_eq!(r.state_bytes(t(1)), 0);
+        assert_eq!(r.state_bytes(t(2)), 100);
+    }
+
+    #[test]
+    fn three_way_sharing() {
+        let mut r = RegionTable::new();
+        r.register(t(1), VAddr(0), 90);
+        r.register(t(2), VAddr(30), 90);
+        r.register(t(3), VAddr(60), 90);
+        assert_eq!(r.owners_of(VAddr(70)), &[t(1), t(2), t(3)]);
+        assert_eq!(r.shared_bytes(t(1), t(3)), 30);
+        assert_eq!(r.shared_bytes(t(2), t(3)), 60);
+    }
+
+    #[test]
+    fn owners_in_range_unions() {
+        let mut r = RegionTable::new();
+        r.register(t(1), VAddr(0), 100);
+        r.register(t(2), VAddr(50), 100);
+        r.register(t(3), VAddr(200), 10);
+        assert_eq!(r.owners_in_range(VAddr(40), 20), vec![t(1), t(2)]);
+        assert_eq!(r.owners_in_range(VAddr(0), 10), vec![t(1)]);
+        assert_eq!(r.owners_in_range(VAddr(0), 300), vec![t(1), t(2), t(3)]);
+        assert!(r.owners_in_range(VAddr(300), 10).is_empty());
+        assert!(r.owners_in_range(VAddr(0), 0).is_empty());
+        // Starting mid-segment still sees the covering segment.
+        assert_eq!(r.owners_in_range(VAddr(75), 1), vec![t(1), t(2)]);
+    }
+
+    #[test]
+    fn segment_count_stays_bounded() {
+        // Registering the same ranges repeatedly must not grow the map.
+        let mut r = RegionTable::new();
+        for _ in 0..10 {
+            for i in 0..20u64 {
+                r.register(t(i % 4), VAddr(i * 64), 64);
+            }
+        }
+        assert!(r.segment_count() <= 20);
+    }
+}

@@ -1,0 +1,91 @@
+//! Per-processor and per-thread event accounting.
+//!
+//! These counters are the *simulator's* omniscient view (used by the
+//! figures and the harness); the scheduling policies themselves only ever
+//! see the [`crate::Pic`] counters, like on real hardware.
+
+/// Events observed by one processor since machine creation.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CpuStats {
+    /// L1 data-cache references.
+    pub l1d_refs: u64,
+    /// L1 data-cache misses.
+    pub l1d_misses: u64,
+    /// L1 instruction-cache references.
+    pub l1i_refs: u64,
+    /// L1 instruction-cache misses.
+    pub l1i_misses: u64,
+    /// E-cache (L2) references.
+    pub l2_refs: u64,
+    /// E-cache hits.
+    pub l2_hits: u64,
+    /// E-cache misses.
+    pub l2_misses: u64,
+    /// E-cache misses satisfied while another processor cached the line
+    /// (the E5000's 80-cycle case).
+    pub l2_misses_remote: u64,
+    /// Lines invalidated in this processor's caches by other processors'
+    /// writes.
+    pub invalidations: u64,
+    /// Instructions executed (memory accesses + compute).
+    pub instructions: u64,
+    /// Cycles charged for memory accesses on this processor.
+    pub mem_cycles: u64,
+}
+
+/// Events attributed to one thread (wherever it ran).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ThreadStats {
+    /// Memory accesses issued.
+    pub accesses: u64,
+    /// E-cache references caused.
+    pub l2_refs: u64,
+    /// E-cache misses caused.
+    pub l2_misses: u64,
+    /// Instructions executed (accesses + compute).
+    pub instructions: u64,
+    /// Cycles charged for memory accesses.
+    pub mem_cycles: u64,
+}
+
+impl CpuStats {
+    /// E-cache misses per 1000 instructions — the paper's Figure 6 metric.
+    pub fn mpi(&self) -> f64 {
+        if self.instructions == 0 {
+            0.0
+        } else {
+            self.l2_misses as f64 * 1000.0 / self.instructions as f64
+        }
+    }
+}
+
+impl ThreadStats {
+    /// E-cache misses per 1000 instructions for this thread.
+    pub fn mpi(&self) -> f64 {
+        if self.instructions == 0 {
+            0.0
+        } else {
+            self.l2_misses as f64 * 1000.0 / self.instructions as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mpi_computation() {
+        let s = CpuStats { l2_misses: 5, instructions: 1000, ..CpuStats::default() };
+        assert!((s.mpi() - 5.0).abs() < 1e-12);
+        let s = CpuStats::default();
+        assert_eq!(s.mpi(), 0.0);
+    }
+
+    #[test]
+    fn thread_mpi() {
+        let s = ThreadStats { l2_misses: 2, instructions: 4000, ..ThreadStats::default() };
+        assert!((s.mpi() - 0.5).abs() < 1e-12);
+        assert_eq!(ThreadStats::default().mpi(), 0.0);
+    }
+}

@@ -1,0 +1,1066 @@
+//! The multiprocessor runtime engine.
+//!
+//! The engine owns the simulated [`Machine`], the thread table, the
+//! synchronization objects, the annotation graph, and the scheduler. It
+//! advances the processor with the smallest local clock one *batch* at a
+//! time — a deterministic discrete-event interleaving that models true
+//! SMP execution at batch granularity.
+//!
+//! At every context switch it performs exactly the paper's runtime
+//! sequence: read-and-reset the performance counters (a few instructions,
+//! charged), hand the interval's miss count to the scheduler (which runs
+//! the model's `O(out-degree)` priority updates), fire scheduling-event
+//! hooks, and dispatch the next thread.
+
+use crate::error::RuntimeError;
+use crate::events::{EngineHook, EngineView, SwitchEvent, SwitchReason};
+use crate::inference::{InferenceConfig, SharingInference};
+use crate::program::{BatchCtx, Control, PendingSpawn, Program};
+use crate::report::RunReport;
+use crate::sched::{self, SchedPolicy, Scheduler};
+use crate::sync::{MutexId, SyncTables};
+use crate::thread::{Tcb, ThreadState};
+use locality_core::{SharingGraph, ThreadId};
+use locality_sim::{Machine, MachineConfig};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+
+/// Engine tunables.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EngineConfig {
+    /// Base context-switch cost in cycles (paper: "a basic context switch
+    /// cost on the order of 100 instructions").
+    pub switch_cost_cycles: u64,
+    /// Cost of reading and resetting the PICs at a switch ("only several
+    /// instructions").
+    pub pic_read_cycles: u64,
+    /// Cost of an uncontended synchronization operation.
+    pub sync_op_cycles: u64,
+    /// Optional preemption time slice in cycles (None = run to block,
+    /// the common fine-grained-threads configuration).
+    pub time_slice: Option<u64>,
+    /// Optional runtime sharing inference (the paper's §7 future work):
+    /// drain a per-processor Cache Miss Lookaside buffer at each context
+    /// switch and write inferred `at_share` edges into the graph.
+    pub infer_sharing: Option<InferenceConfig>,
+    /// Safety valve: maximum engine steps before aborting the run.
+    pub max_steps: u64,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            switch_cost_cycles: 100,
+            pic_read_cycles: 8,
+            sync_op_cycles: 12,
+            time_slice: None,
+            infer_sharing: None,
+            max_steps: 2_000_000_000,
+        }
+    }
+}
+
+/// The Active Threads runtime over the simulated machine.
+pub struct Engine {
+    machine: Machine,
+    config: EngineConfig,
+    sched: Box<dyn Scheduler>,
+    threads: HashMap<ThreadId, Tcb>,
+    sync: SyncTables,
+    graph: SharingGraph,
+    clocks: Vec<u64>,
+    current: Vec<Option<ThreadId>>,
+    run_start: Vec<u64>,
+    sleepers: BinaryHeap<Reverse<(u64, ThreadId)>>,
+    inference: Option<SharingInference>,
+    hooks: Vec<Box<dyn EngineHook>>,
+    next_tid: u64,
+    live: u64,
+    completed: u64,
+    switches: u64,
+    steps: u64,
+}
+
+impl std::fmt::Debug for Engine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Engine")
+            .field("policy", &self.sched.name())
+            .field("cpus", &self.clocks.len())
+            .field("live", &self.live)
+            .field("switches", &self.switches)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Engine {
+    /// Builds an engine over a fresh machine.
+    pub fn new(machine: MachineConfig, policy: SchedPolicy, config: EngineConfig) -> Self {
+        let mut machine = Machine::new(machine);
+        let cpus = machine.cpu_count();
+        let sched = sched::build(policy, machine.l2_lines(), cpus);
+        let inference = config.infer_sharing.map(|cfg| {
+            machine.enable_cml(cfg.cml_entries);
+            SharingInference::new(cfg)
+        });
+        Engine {
+            inference,
+            machine,
+            config,
+            sched,
+            threads: HashMap::new(),
+            sync: SyncTables::new(),
+            graph: SharingGraph::new(),
+            clocks: vec![0; cpus],
+            current: vec![None; cpus],
+            run_start: vec![0; cpus],
+            sleepers: BinaryHeap::new(),
+            hooks: Vec::new(),
+            next_tid: 1,
+            live: 0,
+            completed: 0,
+            switches: 0,
+            steps: 0,
+        }
+    }
+
+    /// The simulated machine (ground truth, allocation, regions).
+    pub fn machine(&self) -> &Machine {
+        &self.machine
+    }
+
+    /// Mutable machine access (experiment setup: prefilling caches,
+    /// registering regions for externally-managed memory).
+    pub fn machine_mut(&mut self) -> &mut Machine {
+        &mut self.machine
+    }
+
+    /// The annotation graph.
+    pub fn graph(&self) -> &SharingGraph {
+        &self.graph
+    }
+
+    /// Adds an `at_share(src, dst, q)` annotation from outside any thread
+    /// (equivalent to annotations placed at thread-creation sites).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`locality_core::ModelError`] for invalid coefficients or
+    /// self-sharing; annotations are hints, so callers may ignore it.
+    pub fn annotate(
+        &mut self,
+        src: ThreadId,
+        dst: ThreadId,
+        q: f64,
+    ) -> Result<(), locality_core::ModelError> {
+        self.graph.set(src, dst, q)
+    }
+
+    /// The scheduler (e.g. for expected footprints in experiments).
+    pub fn scheduler(&self) -> &dyn Scheduler {
+        self.sched.as_ref()
+    }
+
+    /// The synchronization tables (pre-creating objects before a run).
+    pub fn sync_tables_mut(&mut self) -> &mut SyncTables {
+        &mut self.sync
+    }
+
+    /// Registers an observer hook.
+    pub fn add_hook(&mut self, hook: Box<dyn EngineHook>) {
+        self.hooks.push(hook);
+    }
+
+    /// Removes and returns all hooks (to read results after a run).
+    pub fn take_hooks(&mut self) -> Vec<Box<dyn EngineHook>> {
+        std::mem::take(&mut self.hooks)
+    }
+
+    /// Number of context switches so far.
+    pub fn switches(&self) -> u64 {
+        self.switches
+    }
+
+    /// The largest processor clock (current makespan).
+    pub fn now(&self) -> u64 {
+        self.clocks.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Spawns a root thread (ready immediately).
+    pub fn spawn(&mut self, program: Box<dyn Program>) -> ThreadId {
+        let tid = ThreadId(self.next_tid);
+        self.next_tid += 1;
+        self.admit(PendingSpawn { tid, program });
+        tid
+    }
+
+    fn admit(&mut self, spawn: PendingSpawn) {
+        let tcb = Tcb::new(spawn.tid, spawn.program);
+        self.threads.insert(spawn.tid, tcb);
+        self.live += 1;
+        self.sched.on_spawn(spawn.tid);
+    }
+
+    /// Runs until every thread has exited.
+    ///
+    /// # Errors
+    ///
+    /// * [`RuntimeError::Deadlock`] if blocked threads can never wake;
+    /// * [`RuntimeError::StepBudgetExceeded`] on runaway programs;
+    /// * sync-object usage errors ([`RuntimeError::NotOwner`], …).
+    pub fn run(&mut self) -> Result<RunReport, RuntimeError> {
+        while self.live > 0 {
+            self.steps += 1;
+            if self.steps > self.config.max_steps {
+                return Err(RuntimeError::StepBudgetExceeded { budget: self.config.max_steps });
+            }
+            self.process_wakeups();
+            let cpu = self.min_clock_cpu();
+            match self.current[cpu] {
+                Some(tid) => self.step_thread(cpu, tid)?,
+                None => {
+                    if !self.dispatch(cpu) {
+                        self.advance_idle(cpu)?;
+                    }
+                }
+            }
+        }
+        Ok(self.report())
+    }
+
+    /// Builds a report of the run so far.
+    pub fn report(&self) -> RunReport {
+        let per_cpu: Vec<_> = (0..self.clocks.len()).map(|c| self.machine.cpu_stats(c)).collect();
+        RunReport {
+            policy: self.sched.name().to_string(),
+            cpus: self.clocks.len(),
+            total_cycles: self.now(),
+            total_l2_misses: per_cpu.iter().map(|s| s.l2_misses).sum(),
+            total_l2_refs: per_cpu.iter().map(|s| s.l2_refs).sum(),
+            total_instructions: per_cpu.iter().map(|s| s.instructions).sum(),
+            context_switches: self.switches,
+            threads_completed: self.completed,
+            steals: self.sched.steals(),
+            priority_flops: self.sched.priority_flops(),
+            per_cpu,
+        }
+    }
+
+    fn min_clock_cpu(&self) -> usize {
+        let mut best = 0;
+        for (i, &c) in self.clocks.iter().enumerate() {
+            if c < self.clocks[best] {
+                best = i;
+            }
+        }
+        best
+    }
+
+    fn process_wakeups(&mut self) {
+        let frontier = self.clocks.iter().copied().min().unwrap_or(0);
+        while let Some(&Reverse((wake, tid))) = self.sleepers.peek() {
+            if wake > frontier {
+                break;
+            }
+            self.sleepers.pop();
+            self.make_ready(tid);
+        }
+    }
+
+    fn make_ready(&mut self, tid: ThreadId) {
+        let tcb = self.threads.get_mut(&tid).expect("waking unknown thread");
+        debug_assert!(
+            matches!(tcb.state, ThreadState::Blocked | ThreadState::Sleeping),
+            "{tid} woken in state {:?}",
+            tcb.state
+        );
+        tcb.state = ThreadState::Ready;
+        self.sched.on_ready(tid);
+    }
+
+    fn dispatch(&mut self, cpu: usize) -> bool {
+        let Some(tid) = self.sched.pick(cpu) else { return false };
+        let tcb = self.threads.get_mut(&tid).expect("picked unknown thread");
+        debug_assert_eq!(tcb.state, ThreadState::Ready);
+        tcb.state = ThreadState::Running;
+        self.current[cpu] = Some(tid);
+        self.run_start[cpu] = self.clocks[cpu];
+        self.machine.set_running(cpu, Some(tid));
+        self.sched.on_dispatch(cpu, tid);
+        // Start the counter interval cleanly at dispatch.
+        self.machine.pic_take_interval(cpu);
+        true
+    }
+
+    fn advance_idle(&mut self, cpu: usize) -> Result<(), RuntimeError> {
+        let busy_min = self
+            .clocks
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| self.current[i].is_some())
+            .map(|(_, &c)| c)
+            .min();
+        let wake_min = self.sleepers.peek().map(|&Reverse((w, _))| w);
+        let candidate = match (busy_min, wake_min) {
+            (Some(b), Some(w)) => b.min(w),
+            (Some(b), None) => b,
+            (None, Some(w)) => w,
+            (None, None) => {
+                // Nothing running, nothing sleeping; with nothing ready
+                // either, the remaining threads are deadlocked.
+                if self.sched.ready_count() == 0 {
+                    let mut blocked: Vec<ThreadId> = self
+                        .threads
+                        .values()
+                        .filter(|t| t.state == ThreadState::Blocked)
+                        .map(|t| t.id)
+                        .collect();
+                    blocked.sort_unstable();
+                    return Err(RuntimeError::Deadlock { blocked });
+                }
+                // Ready work exists but this policy could not hand it to
+                // this cpu; retry after a minimal advance.
+                self.clocks[cpu] += 1;
+                return Ok(());
+            }
+        };
+        self.clocks[cpu] = self.clocks[cpu].max(candidate).max(self.clocks[cpu] + 1);
+        Ok(())
+    }
+
+    fn step_thread(&mut self, cpu: usize, tid: ThreadId) -> Result<(), RuntimeError> {
+        let mut program = {
+            let tcb = self.threads.get_mut(&tid).expect("running unknown thread");
+            tcb.batches += 1;
+            tcb.program.take().expect("program taken twice")
+        };
+        let mut ctx = BatchCtx {
+            machine: &mut self.machine,
+            sync: &mut self.sync,
+            graph: &mut self.graph,
+            cpu,
+            tid,
+            cycles: 0,
+            next_tid: &mut self.next_tid,
+            spawns: Vec::new(),
+        };
+        let control = program.next_batch(&mut ctx);
+        let cycles = ctx.cycles;
+        let spawns = std::mem::take(&mut ctx.spawns);
+        drop(ctx);
+        self.threads.get_mut(&tid).expect("tcb exists").program = Some(program);
+        self.clocks[cpu] += cycles;
+        for spawn in spawns {
+            self.admit(spawn);
+        }
+        self.handle_control(cpu, tid, control)?;
+        // Time-slice preemption applies only if the thread kept running.
+        if let Some(slice) = self.config.time_slice {
+            if self.current[cpu] == Some(tid)
+                && self.clocks[cpu] - self.run_start[cpu] >= slice
+            {
+                self.switch_out(cpu, tid, SwitchReason::Preempted);
+            }
+        }
+        Ok(())
+    }
+
+    fn handle_control(
+        &mut self,
+        cpu: usize,
+        tid: ThreadId,
+        control: Control,
+    ) -> Result<(), RuntimeError> {
+        match control {
+            Control::Yield => self.switch_out(cpu, tid, SwitchReason::Yield),
+            Control::Sleep(dur) => {
+                let wake = self.clocks[cpu] + dur;
+                self.threads.get_mut(&tid).expect("tcb").state = ThreadState::Sleeping;
+                self.sleepers.push(Reverse((wake, tid)));
+                self.switch_out(cpu, tid, SwitchReason::Sleeping);
+            }
+            Control::Exit => {
+                self.switch_out(cpu, tid, SwitchReason::Exited);
+                self.finish_thread(tid);
+            }
+            Control::Lock(m) => {
+                let mx = self.sync.mutex(m)?;
+                if mx.owner.is_none() {
+                    mx.owner = Some(tid);
+                    self.continue_running(cpu);
+                } else {
+                    // Note: re-locking a held mutex self-deadlocks, like
+                    // a non-recursive pthread mutex.
+                    mx.waiters.push_back(tid);
+                    self.block(cpu, tid);
+                }
+            }
+            Control::Unlock(m) => {
+                self.unlock_mutex(m, tid)?;
+                self.continue_running(cpu);
+            }
+            Control::SemWait(s) => {
+                let sem = self.sync.sem(s)?;
+                if sem.count > 0 {
+                    sem.count -= 1;
+                    self.continue_running(cpu);
+                } else {
+                    sem.waiters.push_back(tid);
+                    self.block(cpu, tid);
+                }
+            }
+            Control::SemPost(s) => {
+                let sem = self.sync.sem(s)?;
+                if let Some(w) = sem.waiters.pop_front() {
+                    self.make_ready(w);
+                } else {
+                    sem.count += 1;
+                }
+                self.continue_running(cpu);
+            }
+            Control::BarrierWait(b) => {
+                let bar = self.sync.barrier(b)?;
+                bar.waiting.push(tid);
+                if bar.waiting.len() == bar.parties {
+                    let woken: Vec<ThreadId> =
+                        bar.waiting.drain(..).filter(|&w| w != tid).collect();
+                    for w in woken {
+                        self.make_ready(w);
+                    }
+                    self.continue_running(cpu);
+                } else {
+                    self.block(cpu, tid);
+                }
+            }
+            Control::CondWait(c, m) => {
+                self.unlock_mutex(m, tid)?;
+                self.sync.cond(c)?.waiters.push_back((tid, m));
+                self.block(cpu, tid);
+            }
+            Control::CondSignal(c) => {
+                if let Some((w, m)) = self.sync.cond(c)?.waiters.pop_front() {
+                    self.grant_or_enqueue_mutex(m, w)?;
+                }
+                self.continue_running(cpu);
+            }
+            Control::CondBroadcast(c) => {
+                let woken: Vec<(ThreadId, MutexId)> =
+                    self.sync.cond(c)?.waiters.drain(..).collect();
+                for (w, m) in woken {
+                    self.grant_or_enqueue_mutex(m, w)?;
+                }
+                self.continue_running(cpu);
+            }
+            Control::Join(target) => {
+                let Some(t) = self.threads.get_mut(&target) else {
+                    return Err(RuntimeError::UnknownThread { thread: target });
+                };
+                if t.exited() {
+                    self.continue_running(cpu);
+                } else {
+                    t.join_waiters.push(tid);
+                    self.block(cpu, tid);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn unlock_mutex(&mut self, m: MutexId, tid: ThreadId) -> Result<(), RuntimeError> {
+        let mx = self.sync.mutex(m)?;
+        if mx.owner != Some(tid) {
+            return Err(RuntimeError::NotOwner { thread: tid, mutex: m.0 });
+        }
+        mx.owner = None;
+        if let Some(w) = mx.waiters.pop_front() {
+            mx.owner = Some(w);
+            self.make_ready(w);
+        }
+        Ok(())
+    }
+
+    /// Hands the mutex to `w` (waking it) or queues it on the mutex.
+    fn grant_or_enqueue_mutex(&mut self, m: MutexId, w: ThreadId) -> Result<(), RuntimeError> {
+        let mx = self.sync.mutex(m)?;
+        if mx.owner.is_none() {
+            mx.owner = Some(w);
+            self.make_ready(w);
+        } else {
+            mx.waiters.push_back(w);
+        }
+        Ok(())
+    }
+
+    fn continue_running(&mut self, cpu: usize) {
+        self.clocks[cpu] += self.config.sync_op_cycles;
+    }
+
+    fn block(&mut self, cpu: usize, tid: ThreadId) {
+        let tcb = self.threads.get_mut(&tid).expect("tcb");
+        if tcb.state == ThreadState::Running {
+            tcb.state = ThreadState::Blocked;
+        }
+        self.switch_out(cpu, tid, SwitchReason::Blocked);
+    }
+
+    fn switch_out(&mut self, cpu: usize, tid: ThreadId, reason: SwitchReason) {
+        // Read and reset the counters: the interval's misses.
+        let delta = self.machine.pic_take_interval(cpu);
+        // Runtime sharing inference (§7): drain the CML and fold inferred
+        // edges into the annotation graph before the priority updates.
+        if let Some(inference) = &mut self.inference {
+            let drained = self.machine.cml_drain(cpu);
+            for edge in inference.note_interval(tid, &drained) {
+                let _ = self.graph.set(edge.src, edge.dst, edge.q);
+            }
+        }
+        self.clocks[cpu] += self.config.switch_cost_cycles + self.config.pic_read_cycles;
+        self.switches += 1;
+        {
+            let tcb = self.threads.get_mut(&tid).expect("tcb");
+            tcb.switches += 1;
+            if reason == SwitchReason::Exited {
+                tcb.state = ThreadState::Exited;
+            }
+        }
+        // Model updates: case 1 for the blocker, case 3 for dependents.
+        self.sched.on_interval_end(cpu, tid, delta, &self.graph);
+        // Scheduling-event hooks observe the post-update state.
+        if !self.hooks.is_empty() {
+            let mut hooks = std::mem::take(&mut self.hooks);
+            let event = SwitchEvent {
+                cpu,
+                tid,
+                reason,
+                delta,
+                clock: self.clocks[cpu],
+                switch_index: self.switches,
+            };
+            let view = EngineView { machine: &self.machine, sched: self.sched.as_ref() };
+            for h in &mut hooks {
+                h.on_context_switch(&event, &view);
+            }
+            self.hooks = hooks;
+        }
+        if matches!(reason, SwitchReason::Yield | SwitchReason::Preempted) {
+            let tcb = self.threads.get_mut(&tid).expect("tcb");
+            tcb.state = ThreadState::Ready;
+            self.sched.on_ready(tid);
+        }
+        self.current[cpu] = None;
+        self.machine.set_running(cpu, None);
+    }
+
+    fn finish_thread(&mut self, tid: ThreadId) {
+        self.live -= 1;
+        self.completed += 1;
+        let waiters = {
+            let tcb = self.threads.get_mut(&tid).expect("tcb");
+            std::mem::take(&mut tcb.join_waiters)
+        };
+        for w in waiters {
+            self.make_ready(w);
+        }
+        self.graph.remove_thread(tid);
+        self.sched.on_exit(tid);
+        self.machine.remove_thread_regions(tid);
+        if let Some(inference) = &mut self.inference {
+            inference.forget(tid);
+        }
+    }
+
+    /// Per-thread runtime counters `(switches, batches)`.
+    pub fn thread_counters(&self, tid: ThreadId) -> Option<(u64, u64)> {
+        self.threads.get(&tid).map(|t| (t.switches, t.batches))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::events::EngineView;
+    use crate::sync::{CondId, SemId};
+    use locality_sim::VAddr;
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    fn engine(policy: SchedPolicy) -> Engine {
+        Engine::new(MachineConfig::ultra1(), policy, EngineConfig::default())
+    }
+
+    fn engine_smp(cpus: usize, policy: SchedPolicy) -> Engine {
+        Engine::new(MachineConfig::enterprise5000(cpus), policy, EngineConfig::default())
+    }
+
+    /// Touches a buffer `rounds` times, yielding in between.
+    struct Walker {
+        buf: Option<VAddr>,
+        bytes: u64,
+        rounds: u32,
+    }
+    impl Walker {
+        fn new(bytes: u64, rounds: u32) -> Self {
+            Walker { buf: None, bytes, rounds }
+        }
+    }
+    impl Program for Walker {
+        fn next_batch(&mut self, ctx: &mut BatchCtx<'_>) -> Control {
+            let bytes = self.bytes;
+            let buf = *self.buf.get_or_insert_with(|| ctx.alloc(bytes, 64));
+            ctx.register_region(buf, bytes);
+            ctx.read_range(buf, bytes, 64);
+            self.rounds -= 1;
+            if self.rounds == 0 {
+                Control::Exit
+            } else {
+                Control::Yield
+            }
+        }
+        fn name(&self) -> &str {
+            "walker"
+        }
+    }
+
+    #[test]
+    fn single_thread_runs_to_completion() {
+        let mut e = engine(SchedPolicy::Fcfs);
+        let tid = e.spawn(Box::new(Walker::new(4096, 3)));
+        let report = e.run().unwrap();
+        assert_eq!(report.threads_completed, 1);
+        assert_eq!(report.policy, "fcfs");
+        // 64 compulsory misses, then cache hits.
+        assert_eq!(report.total_l2_misses, 64);
+        assert!(report.total_cycles > 0);
+        let (switches, batches) = e.thread_counters(tid).unwrap();
+        assert_eq!(batches, 3);
+        assert_eq!(switches, 3); // 2 yields + exit
+    }
+
+    #[test]
+    fn spawn_and_join() {
+        struct Parent {
+            phase: u8,
+            child: Option<ThreadId>,
+        }
+        impl Program for Parent {
+            fn next_batch(&mut self, ctx: &mut BatchCtx<'_>) -> Control {
+                match self.phase {
+                    0 => {
+                        self.phase = 1;
+                        let child = ctx.spawn(Box::new(Walker::new(1024, 1)));
+                        // Annotate: child's state is inside the parent's.
+                        ctx.at_share(child, ctx.self_id(), 1.0).unwrap();
+                        self.child = Some(child);
+                        Control::Join(child)
+                    }
+                    _ => Control::Exit,
+                }
+            }
+        }
+        let mut e = engine(SchedPolicy::Lff);
+        e.spawn(Box::new(Parent { phase: 0, child: None }));
+        let report = e.run().unwrap();
+        assert_eq!(report.threads_completed, 2);
+    }
+
+    #[test]
+    fn join_already_exited_continues() {
+        struct P {
+            phase: u8,
+            child: Option<ThreadId>,
+        }
+        impl Program for P {
+            fn next_batch(&mut self, ctx: &mut BatchCtx<'_>) -> Control {
+                match self.phase {
+                    0 => {
+                        self.phase = 1;
+                        self.child = Some(ctx.spawn(Box::new(Walker::new(64, 1))));
+                        Control::Yield
+                    }
+                    1 => {
+                        self.phase = 2;
+                        // Sleep long enough for the child to finish.
+                        Control::Sleep(1_000_000)
+                    }
+                    2 => {
+                        self.phase = 3;
+                        Control::Join(self.child.unwrap())
+                    }
+                    _ => Control::Exit,
+                }
+            }
+        }
+        let mut e = engine(SchedPolicy::Fcfs);
+        e.spawn(Box::new(P { phase: 0, child: None }));
+        assert_eq!(e.run().unwrap().threads_completed, 2);
+    }
+
+    #[test]
+    fn mutex_mutual_exclusion_and_handoff() {
+        // Two threads increment a shared counter region under a mutex.
+        struct Incr {
+            m: MutexId,
+            buf: VAddr,
+            phase: u8,
+        }
+        impl Program for Incr {
+            fn next_batch(&mut self, ctx: &mut BatchCtx<'_>) -> Control {
+                match self.phase {
+                    0 => {
+                        self.phase = 1;
+                        Control::Lock(self.m)
+                    }
+                    1 => {
+                        self.phase = 2;
+                        ctx.write(self.buf);
+                        Control::Unlock(self.m)
+                    }
+                    _ => Control::Exit,
+                }
+            }
+        }
+        let mut e = engine_smp(2, SchedPolicy::Fcfs);
+        let m = e.sync_tables_mut().create_mutex();
+        let buf = e.machine_mut().alloc(64, 64);
+        for _ in 0..4 {
+            e.spawn(Box::new(Incr { m, buf, phase: 0 }));
+        }
+        let report = e.run().unwrap();
+        assert_eq!(report.threads_completed, 4);
+    }
+
+    #[test]
+    fn unlock_not_owner_is_error() {
+        struct Bad;
+        impl Program for Bad {
+            fn next_batch(&mut self, _ctx: &mut BatchCtx<'_>) -> Control {
+                Control::Unlock(MutexId(0))
+            }
+        }
+        let mut e = engine(SchedPolicy::Fcfs);
+        e.sync_tables_mut().create_mutex();
+        let tid = e.spawn(Box::new(Bad));
+        assert_eq!(e.run(), Err(RuntimeError::NotOwner { thread: tid, mutex: 0 }));
+    }
+
+    #[test]
+    fn semaphore_producer_consumer() {
+        struct Producer {
+            s: SemId,
+            n: u32,
+        }
+        impl Program for Producer {
+            fn next_batch(&mut self, ctx: &mut BatchCtx<'_>) -> Control {
+                ctx.compute(10);
+                if self.n == 0 {
+                    return Control::Exit;
+                }
+                self.n -= 1;
+                Control::SemPost(self.s)
+            }
+        }
+        struct Consumer {
+            s: SemId,
+            n: u32,
+        }
+        impl Program for Consumer {
+            fn next_batch(&mut self, ctx: &mut BatchCtx<'_>) -> Control {
+                ctx.compute(10);
+                if self.n == 0 {
+                    return Control::Exit;
+                }
+                self.n -= 1;
+                Control::SemWait(self.s)
+            }
+        }
+        let mut e = engine_smp(2, SchedPolicy::Fcfs);
+        let s = e.sync_tables_mut().create_semaphore(0);
+        e.spawn(Box::new(Consumer { s, n: 10 }));
+        e.spawn(Box::new(Producer { s, n: 10 }));
+        let report = e.run().unwrap();
+        assert_eq!(report.threads_completed, 2);
+    }
+
+    #[test]
+    fn barrier_releases_all_parties() {
+        struct Worker {
+            b: crate::sync::BarrierId,
+            phase: u8,
+        }
+        impl Program for Worker {
+            fn next_batch(&mut self, ctx: &mut BatchCtx<'_>) -> Control {
+                ctx.compute(100);
+                match self.phase {
+                    0 => {
+                        self.phase = 1;
+                        Control::BarrierWait(self.b)
+                    }
+                    _ => Control::Exit,
+                }
+            }
+        }
+        let mut e = engine_smp(4, SchedPolicy::Fcfs);
+        let b = e.sync_tables_mut().create_barrier(4);
+        for _ in 0..4 {
+            e.spawn(Box::new(Worker { b, phase: 0 }));
+        }
+        assert_eq!(e.run().unwrap().threads_completed, 4);
+    }
+
+    #[test]
+    fn condvar_signal_wakes_with_mutex_held() {
+        struct Waiter {
+            m: MutexId,
+            c: CondId,
+            phase: u8,
+        }
+        impl Program for Waiter {
+            fn next_batch(&mut self, _ctx: &mut BatchCtx<'_>) -> Control {
+                match self.phase {
+                    0 => {
+                        self.phase = 1;
+                        Control::Lock(self.m)
+                    }
+                    1 => {
+                        self.phase = 2;
+                        Control::CondWait(self.c, self.m)
+                    }
+                    2 => {
+                        // Woken: we hold the mutex again.
+                        self.phase = 3;
+                        Control::Unlock(self.m)
+                    }
+                    _ => Control::Exit,
+                }
+            }
+        }
+        struct Signaler {
+            c: CondId,
+            phase: u8,
+        }
+        impl Program for Signaler {
+            fn next_batch(&mut self, _ctx: &mut BatchCtx<'_>) -> Control {
+                match self.phase {
+                    0 => {
+                        self.phase = 1;
+                        Control::Sleep(10_000) // let the waiter wait first
+                    }
+                    1 => {
+                        self.phase = 2;
+                        Control::CondSignal(self.c)
+                    }
+                    _ => Control::Exit,
+                }
+            }
+        }
+        let mut e = engine_smp(2, SchedPolicy::Fcfs);
+        let m = e.sync_tables_mut().create_mutex();
+        let c = e.sync_tables_mut().create_cond();
+        e.spawn(Box::new(Waiter { m, c, phase: 0 }));
+        e.spawn(Box::new(Signaler { c, phase: 0 }));
+        assert_eq!(e.run().unwrap().threads_completed, 2);
+    }
+
+    #[test]
+    fn condvar_broadcast_wakes_everyone() {
+        struct Waiter {
+            m: MutexId,
+            c: CondId,
+            phase: u8,
+        }
+        impl Program for Waiter {
+            fn next_batch(&mut self, _ctx: &mut BatchCtx<'_>) -> Control {
+                match self.phase {
+                    0 => {
+                        self.phase = 1;
+                        Control::Lock(self.m)
+                    }
+                    1 => {
+                        self.phase = 2;
+                        Control::CondWait(self.c, self.m)
+                    }
+                    2 => {
+                        self.phase = 3;
+                        Control::Unlock(self.m)
+                    }
+                    _ => Control::Exit,
+                }
+            }
+        }
+        struct Caster {
+            c: CondId,
+            phase: u8,
+        }
+        impl Program for Caster {
+            fn next_batch(&mut self, _ctx: &mut BatchCtx<'_>) -> Control {
+                match self.phase {
+                    0 => {
+                        self.phase = 1;
+                        Control::Sleep(100_000)
+                    }
+                    1 => {
+                        self.phase = 2;
+                        Control::CondBroadcast(self.c)
+                    }
+                    _ => Control::Exit,
+                }
+            }
+        }
+        let mut e = engine_smp(2, SchedPolicy::Fcfs);
+        let m = e.sync_tables_mut().create_mutex();
+        let c = e.sync_tables_mut().create_cond();
+        for _ in 0..3 {
+            e.spawn(Box::new(Waiter { m, c, phase: 0 }));
+        }
+        e.spawn(Box::new(Caster { c, phase: 0 }));
+        assert_eq!(e.run().unwrap().threads_completed, 4);
+    }
+
+    #[test]
+    fn deadlock_detected() {
+        struct SelfLock {
+            m: MutexId,
+            phase: u8,
+        }
+        impl Program for SelfLock {
+            fn next_batch(&mut self, _ctx: &mut BatchCtx<'_>) -> Control {
+                match self.phase {
+                    0 => {
+                        self.phase = 1;
+                        Control::Lock(self.m)
+                    }
+                    _ => Control::Lock(self.m), // second lock: self-deadlock
+                }
+            }
+        }
+        let mut e = engine(SchedPolicy::Fcfs);
+        let m = e.sync_tables_mut().create_mutex();
+        let tid = e.spawn(Box::new(SelfLock { m, phase: 0 }));
+        assert_eq!(e.run(), Err(RuntimeError::Deadlock { blocked: vec![tid] }));
+    }
+
+    #[test]
+    fn sleep_orders_by_wake_time() {
+        struct Sleeper {
+            dur: u64,
+            order: std::rc::Rc<std::cell::RefCell<Vec<u64>>>,
+            tag: u64,
+            phase: u8,
+        }
+        impl Program for Sleeper {
+            fn next_batch(&mut self, _ctx: &mut BatchCtx<'_>) -> Control {
+                match self.phase {
+                    0 => {
+                        self.phase = 1;
+                        Control::Sleep(self.dur)
+                    }
+                    _ => {
+                        self.order.borrow_mut().push(self.tag);
+                        Control::Exit
+                    }
+                }
+            }
+        }
+        let order = std::rc::Rc::new(std::cell::RefCell::new(Vec::new()));
+        let mut e = engine(SchedPolicy::Fcfs);
+        for (tag, dur) in [(1u64, 50_000u64), (2, 10_000), (3, 30_000)] {
+            e.spawn(Box::new(Sleeper { dur, order: order.clone(), tag, phase: 0 }));
+        }
+        e.run().unwrap();
+        assert_eq!(*order.borrow(), vec![2, 3, 1], "wake order must follow durations");
+    }
+
+    #[test]
+    fn multi_cpu_runs_in_parallel() {
+        let mut e = engine_smp(4, SchedPolicy::Fcfs);
+        for _ in 0..4 {
+            e.spawn(Box::new(Walker::new(256 * 1024, 20)));
+        }
+        let report = e.run().unwrap();
+        assert_eq!(report.threads_completed, 4);
+        // Work must actually spread: several cpus saw instructions.
+        let active = report.per_cpu.iter().filter(|s| s.instructions > 0).count();
+        assert!(active >= 2, "expected parallel execution, got {active} active cpus");
+        // Parallel makespan must be well under the serial sum.
+        let serial: u64 = report.per_cpu.iter().map(|s| s.mem_cycles).sum();
+        assert!(report.total_cycles < serial);
+    }
+
+    #[test]
+    fn hooks_see_every_switch() {
+        struct SharedHook {
+            events: Rc<RefCell<Vec<SwitchEvent>>>,
+        }
+        impl EngineHook for SharedHook {
+            fn on_context_switch(&mut self, event: &SwitchEvent, view: &EngineView<'_>) {
+                // The hook can read model state at the switch.
+                let _ = view.sched.expected_footprint(event.cpu, event.tid);
+                self.events.borrow_mut().push(*event);
+            }
+        }
+        let events = Rc::new(RefCell::new(Vec::new()));
+        let mut e = engine(SchedPolicy::Lff);
+        e.add_hook(Box::new(SharedHook { events: events.clone() }));
+        e.spawn(Box::new(Walker::new(4096, 5)));
+        let report = e.run().unwrap();
+        let events = events.borrow();
+        assert_eq!(events.len() as u64, report.context_switches);
+        assert_eq!(events.len(), 5);
+        // The first interval carried the compulsory misses.
+        assert_eq!(events[0].delta.misses, 64);
+        assert_eq!(events.last().unwrap().reason, SwitchReason::Exited);
+    }
+
+    #[test]
+    fn preemption_time_slice() {
+        // A thread that never blocks (SemPost always continues): only the
+        // time slice can switch it out.
+        struct Hog2 {
+            s: SemId,
+            batches: u32,
+        }
+        impl Program for Hog2 {
+            fn next_batch(&mut self, ctx: &mut BatchCtx<'_>) -> Control {
+                ctx.compute(1000);
+                self.batches -= 1;
+                if self.batches == 0 {
+                    return Control::Exit;
+                }
+                Control::SemPost(self.s)
+            }
+        }
+
+        let config = EngineConfig { time_slice: Some(2500), ..EngineConfig::default() };
+        let mut e = Engine::new(MachineConfig::ultra1(), SchedPolicy::Fcfs, config);
+        let s = e.sync_tables_mut().create_semaphore(0);
+        e.spawn(Box::new(Hog2 { s, batches: 10 }));
+        let report = e.run().unwrap();
+        // 10 batches à 1000 cycles with a 2500-cycle slice: at least 3
+        // preemptions (plus the exit switch).
+        assert!(report.context_switches >= 4, "switches = {}", report.context_switches);
+    }
+
+    #[test]
+    fn determinism_same_seeds_same_report() {
+        let run = || {
+            let mut e = engine_smp(4, SchedPolicy::Crt);
+            for _ in 0..8 {
+                e.spawn(Box::new(Walker::new(64 * 1024, 10)));
+            }
+            e.run().unwrap()
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a, b, "two identical runs must produce identical reports");
+    }
+
+    #[test]
+    fn locality_policy_reports_flops() {
+        let mut e = engine(SchedPolicy::Lff);
+        for _ in 0..3 {
+            e.spawn(Box::new(Walker::new(128 * 1024, 5)));
+        }
+        let report = e.run().unwrap();
+        assert!(report.priority_flops.0 > 0, "LFF must have spent flops on updates");
+        assert_eq!(report.policy, "lff");
+    }
+}

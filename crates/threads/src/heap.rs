@@ -1,0 +1,326 @@
+//! A handle-based binary max-heap of thread priorities.
+//!
+//! Both locality policies keep one such heap per processor (paper §5:
+//! "both policies use the same binary heap data structure associated with
+//! each processor"). Beyond the usual push/pop-max, the schedulers need
+//! O(log n) *update-key* and *remove-by-thread* (priority updates of
+//! dependents, dispatch removal) and an occasional min scan (idle
+//! processors steal the thread with the **lowest** priority from a
+//! neighbour).
+//!
+//! Ties break toward the smaller [`ThreadId`], so runs are deterministic.
+
+use locality_core::ThreadId;
+use std::collections::HashMap;
+
+/// A max-heap of `(priority, thread)` with by-thread handles.
+#[derive(Debug, Clone, Default)]
+pub struct PrioHeap {
+    items: Vec<(f64, ThreadId)>,
+    pos: HashMap<ThreadId, usize>,
+}
+
+fn beats(a: (f64, ThreadId), b: (f64, ThreadId)) -> bool {
+    a.0 > b.0 || (a.0 == b.0 && a.1 < b.1)
+}
+
+impl PrioHeap {
+    /// Creates an empty heap.
+    pub fn new() -> Self {
+        PrioHeap::default()
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether the heap is empty.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Whether `tid` is present.
+    pub fn contains(&self, tid: ThreadId) -> bool {
+        self.pos.contains_key(&tid)
+    }
+
+    /// Current priority of `tid`, if present.
+    pub fn priority_of(&self, tid: ThreadId) -> Option<f64> {
+        self.pos.get(&tid).map(|&i| self.items[i].0)
+    }
+
+    /// Inserts `tid` with `prio`, or updates its key if already present.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `prio` is NaN (priorities must be totally ordered).
+    pub fn push(&mut self, tid: ThreadId, prio: f64) {
+        assert!(!prio.is_nan(), "priority must not be NaN");
+        if let Some(&i) = self.pos.get(&tid) {
+            self.items[i].0 = prio;
+            self.restore(i);
+            return;
+        }
+        self.items.push((prio, tid));
+        let i = self.items.len() - 1;
+        self.pos.insert(tid, i);
+        self.sift_up(i);
+    }
+
+    /// Updates `tid`'s key; returns `false` if absent.
+    pub fn update(&mut self, tid: ThreadId, prio: f64) -> bool {
+        if self.contains(tid) {
+            self.push(tid, prio);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// The maximum entry without removing it.
+    pub fn peek_max(&self) -> Option<(ThreadId, f64)> {
+        self.items.first().map(|&(p, t)| (t, p))
+    }
+
+    /// Removes and returns the maximum entry.
+    pub fn pop_max(&mut self) -> Option<(ThreadId, f64)> {
+        if self.items.is_empty() {
+            return None;
+        }
+        let (p, t) = self.items[0];
+        self.remove_at(0);
+        Some((t, p))
+    }
+
+    /// Removes `tid`; returns its priority if it was present.
+    pub fn remove(&mut self, tid: ThreadId) -> Option<f64> {
+        let i = *self.pos.get(&tid)?;
+        let p = self.items[i].0;
+        self.remove_at(i);
+        Some(p)
+    }
+
+    /// The minimum entry (O(n) scan over the leaves; used only by idle
+    /// stealing, which is rare).
+    pub fn min_entry(&self) -> Option<(ThreadId, f64)> {
+        let mut best: Option<(f64, ThreadId)> = None;
+        let first_leaf = self.items.len() / 2;
+        for &(p, t) in &self.items[first_leaf..] {
+            if best.is_none_or(|b| beats(b, (p, t))) {
+                best = Some((p, t));
+            }
+        }
+        best.map(|(p, t)| (t, p))
+    }
+
+    /// All entries in arbitrary (heap) order.
+    pub fn iter(&self) -> impl Iterator<Item = (ThreadId, f64)> + '_ {
+        self.items.iter().map(|&(p, t)| (t, p))
+    }
+
+    fn remove_at(&mut self, i: usize) {
+        let last = self.items.len() - 1;
+        let (_, tid) = self.items[i];
+        self.items.swap(i, last);
+        self.items.pop();
+        self.pos.remove(&tid);
+        if i <= last && i < self.items.len() {
+            let moved = self.items[i].1;
+            self.pos.insert(moved, i);
+            self.restore(i);
+        }
+    }
+
+    fn restore(&mut self, i: usize) {
+        if i > 0 && beats(self.items[i], self.items[(i - 1) / 2]) {
+            self.sift_up(i);
+        } else {
+            self.sift_down(i);
+        }
+    }
+
+    fn sift_up(&mut self, mut i: usize) {
+        while i > 0 {
+            let parent = (i - 1) / 2;
+            if beats(self.items[i], self.items[parent]) {
+                self.swap(i, parent);
+                i = parent;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn sift_down(&mut self, mut i: usize) {
+        loop {
+            let (l, r) = (2 * i + 1, 2 * i + 2);
+            let mut best = i;
+            if l < self.items.len() && beats(self.items[l], self.items[best]) {
+                best = l;
+            }
+            if r < self.items.len() && beats(self.items[r], self.items[best]) {
+                best = r;
+            }
+            if best == i {
+                break;
+            }
+            self.swap(i, best);
+            i = best;
+        }
+    }
+
+    fn swap(&mut self, a: usize, b: usize) {
+        self.items.swap(a, b);
+        self.pos.insert(self.items[a].1, a);
+        self.pos.insert(self.items[b].1, b);
+    }
+
+    /// Checks the heap invariant (tests/debugging).
+    #[doc(hidden)]
+    pub fn check_invariants(&self) -> bool {
+        for i in 1..self.items.len() {
+            let parent = (i - 1) / 2;
+            if beats(self.items[i], self.items[parent]) {
+                return false;
+            }
+        }
+        self.pos.len() == self.items.len()
+            && self.pos.iter().all(|(&t, &i)| self.items[i].1 == t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(i: u64) -> ThreadId {
+        ThreadId(i)
+    }
+
+    #[test]
+    fn push_pop_order() {
+        let mut h = PrioHeap::new();
+        h.push(t(1), 1.0);
+        h.push(t(2), 3.0);
+        h.push(t(3), 2.0);
+        assert_eq!(h.pop_max(), Some((t(2), 3.0)));
+        assert_eq!(h.pop_max(), Some((t(3), 2.0)));
+        assert_eq!(h.pop_max(), Some((t(1), 1.0)));
+        assert_eq!(h.pop_max(), None);
+    }
+
+    #[test]
+    fn ties_break_by_smaller_tid() {
+        let mut h = PrioHeap::new();
+        h.push(t(9), 1.0);
+        h.push(t(2), 1.0);
+        h.push(t(5), 1.0);
+        assert_eq!(h.pop_max().unwrap().0, t(2));
+        assert_eq!(h.pop_max().unwrap().0, t(5));
+        assert_eq!(h.pop_max().unwrap().0, t(9));
+    }
+
+    #[test]
+    fn update_moves_entries_both_ways() {
+        let mut h = PrioHeap::new();
+        for i in 0..10 {
+            h.push(t(i), i as f64);
+        }
+        assert!(h.update(t(0), 100.0));
+        assert_eq!(h.peek_max().unwrap().0, t(0));
+        assert!(h.update(t(0), -1.0));
+        assert_eq!(h.peek_max().unwrap().0, t(9));
+        assert!(h.check_invariants());
+        assert!(!h.update(t(99), 5.0));
+    }
+
+    #[test]
+    fn remove_arbitrary() {
+        let mut h = PrioHeap::new();
+        for i in 0..20 {
+            h.push(t(i), (i * 7 % 13) as f64);
+        }
+        assert_eq!(h.remove(t(5)), Some((5 * 7 % 13) as f64));
+        assert_eq!(h.remove(t(5)), None);
+        assert!(!h.contains(t(5)));
+        assert_eq!(h.len(), 19);
+        assert!(h.check_invariants());
+    }
+
+    #[test]
+    fn min_entry_finds_global_min() {
+        let mut h = PrioHeap::new();
+        for i in 0..50u64 {
+            h.push(t(i), ((i * 31 + 7) % 101) as f64);
+        }
+        let (tid, p) = h.min_entry().unwrap();
+        let true_min = h.iter().min_by(|a, b| a.1.partial_cmp(&b.1).unwrap()).unwrap();
+        assert_eq!(p, true_min.1);
+        assert_eq!(tid, true_min.0);
+    }
+
+    #[test]
+    fn min_of_empty_and_single() {
+        let mut h = PrioHeap::new();
+        assert_eq!(h.min_entry(), None);
+        h.push(t(1), 4.0);
+        assert_eq!(h.min_entry(), Some((t(1), 4.0)));
+    }
+
+    #[test]
+    fn push_existing_updates() {
+        let mut h = PrioHeap::new();
+        h.push(t(1), 1.0);
+        h.push(t(1), 9.0);
+        assert_eq!(h.len(), 1);
+        assert_eq!(h.priority_of(t(1)), Some(9.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn nan_priority_panics() {
+        PrioHeap::new().push(t(1), f64::NAN);
+    }
+
+    #[test]
+    fn stress_invariants() {
+        // Deterministic pseudo-random operation mix.
+        let mut h = PrioHeap::new();
+        let mut x = 12345u64;
+        let mut step = || {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            x
+        };
+        for _ in 0..2000 {
+            let op = step() % 4;
+            let tid = t(step() % 40);
+            let prio = (step() % 1000) as f64;
+            match op {
+                0 | 1 => h.push(tid, prio),
+                2 => {
+                    h.remove(tid);
+                }
+                _ => {
+                    h.pop_max();
+                }
+            }
+            assert!(h.check_invariants());
+        }
+    }
+
+    #[test]
+    fn pop_all_sorted() {
+        let mut h = PrioHeap::new();
+        for i in 0..100u64 {
+            h.push(t(i), ((i * 37 + 11) % 97) as f64);
+        }
+        let mut prev = f64::INFINITY;
+        while let Some((_, p)) = h.pop_max() {
+            assert!(p <= prev);
+            prev = p;
+        }
+    }
+}

@@ -1,0 +1,119 @@
+//! End-of-run reports.
+
+use locality_sim::stats::CpuStats;
+
+/// Summary of a completed engine run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunReport {
+    /// The scheduling policy used.
+    pub policy: String,
+    /// Number of processors.
+    pub cpus: usize,
+    /// Makespan: the largest processor clock at completion, in cycles.
+    pub total_cycles: u64,
+    /// Total E-cache misses across processors.
+    pub total_l2_misses: u64,
+    /// Total E-cache references across processors.
+    pub total_l2_refs: u64,
+    /// Total instructions executed.
+    pub total_instructions: u64,
+    /// Context switches performed.
+    pub context_switches: u64,
+    /// Threads that ran to completion.
+    pub threads_completed: u64,
+    /// Threads stolen across processors by idle stealing.
+    pub steals: u64,
+    /// Floating-point operations spent on priority updates
+    /// `(arithmetic, table lookups)`.
+    pub priority_flops: (u64, u64),
+    /// Per-processor statistics.
+    pub per_cpu: Vec<CpuStats>,
+}
+
+impl RunReport {
+    /// E-cache miss ratio (`misses / refs`), 0 if no references.
+    pub fn miss_ratio(&self) -> f64 {
+        if self.total_l2_refs == 0 {
+            0.0
+        } else {
+            self.total_l2_misses as f64 / self.total_l2_refs as f64
+        }
+    }
+
+    /// Misses per 1000 instructions.
+    pub fn mpi(&self) -> f64 {
+        if self.total_instructions == 0 {
+            0.0
+        } else {
+            self.total_l2_misses as f64 * 1000.0 / self.total_instructions as f64
+        }
+    }
+
+    /// Speedup of this run relative to a baseline run of the same work
+    /// (`baseline.total_cycles / self.total_cycles`).
+    pub fn speedup_over(&self, baseline: &RunReport) -> f64 {
+        if self.total_cycles == 0 {
+            0.0
+        } else {
+            baseline.total_cycles as f64 / self.total_cycles as f64
+        }
+    }
+
+    /// Fraction of the baseline's E-cache misses this run eliminated
+    /// (negative if it took more).
+    pub fn misses_eliminated_vs(&self, baseline: &RunReport) -> f64 {
+        if baseline.total_l2_misses == 0 {
+            0.0
+        } else {
+            1.0 - self.total_l2_misses as f64 / baseline.total_l2_misses as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(cycles: u64, misses: u64) -> RunReport {
+        RunReport {
+            policy: "test".into(),
+            cpus: 1,
+            total_cycles: cycles,
+            total_l2_misses: misses,
+            total_l2_refs: misses * 2,
+            total_instructions: 1_000_000,
+            context_switches: 10,
+            threads_completed: 5,
+            steals: 0,
+            priority_flops: (0, 0),
+            per_cpu: vec![],
+        }
+    }
+
+    #[test]
+    fn ratios() {
+        let r = report(1000, 50);
+        assert!((r.miss_ratio() - 0.5).abs() < 1e-12);
+        assert!((r.mpi() - 0.05).abs() < 1e-12);
+    }
+
+    #[test]
+    fn comparisons() {
+        let fcfs = report(2000, 100);
+        let lff = report(1000, 30);
+        assert!((lff.speedup_over(&fcfs) - 2.0).abs() < 1e-12);
+        assert!((lff.misses_eliminated_vs(&fcfs) - 0.7).abs() < 1e-12);
+        // Worse than baseline shows as negative elimination.
+        let bad = report(3000, 150);
+        assert!(bad.misses_eliminated_vs(&fcfs) < 0.0);
+    }
+
+    #[test]
+    fn degenerate_divisions() {
+        let z = RunReport { total_l2_refs: 0, total_instructions: 0, ..report(0, 0) };
+        assert_eq!(z.miss_ratio(), 0.0);
+        assert_eq!(z.mpi(), 0.0);
+        assert_eq!(z.speedup_over(&report(10, 1)), 0.0);
+        assert_eq!(report(10, 5).misses_eliminated_vs(&z), 0.0);
+    }
+}

@@ -1,0 +1,100 @@
+//! The first-come first-served baseline: one global FIFO ready queue.
+
+use super::Scheduler;
+use locality_core::{SharingGraph, ThreadId};
+use locality_sim::counters::PicDelta;
+use std::collections::VecDeque;
+
+/// FCFS scheduler: threads are dispatched in the order they became ready,
+/// with no locality information of any kind (the paper's base case).
+#[derive(Debug, Default)]
+pub struct FcfsScheduler {
+    queue: VecDeque<ThreadId>,
+}
+
+impl FcfsScheduler {
+    /// Creates an empty FCFS scheduler.
+    pub fn new() -> Self {
+        FcfsScheduler::default()
+    }
+}
+
+impl Scheduler for FcfsScheduler {
+    fn on_spawn(&mut self, tid: ThreadId) {
+        self.queue.push_back(tid);
+    }
+
+    fn on_ready(&mut self, tid: ThreadId) {
+        debug_assert!(!self.queue.contains(&tid), "{tid} queued twice");
+        self.queue.push_back(tid);
+    }
+
+    fn on_dispatch(&mut self, _cpu: usize, _tid: ThreadId) {}
+
+    fn on_interval_end(
+        &mut self,
+        _cpu: usize,
+        _tid: ThreadId,
+        _delta: PicDelta,
+        _graph: &SharingGraph,
+    ) {
+    }
+
+    fn pick(&mut self, _cpu: usize) -> Option<ThreadId> {
+        self.queue.pop_front()
+    }
+
+    fn on_exit(&mut self, _tid: ThreadId) {}
+
+    fn expected_footprint(&self, _cpu: usize, _tid: ThreadId) -> Option<f64> {
+        None
+    }
+
+    fn ready_count(&self) -> usize {
+        self.queue.len()
+    }
+
+    fn name(&self) -> &'static str {
+        "fcfs"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(i: u64) -> ThreadId {
+        ThreadId(i)
+    }
+
+    #[test]
+    fn fifo_order() {
+        let mut s = FcfsScheduler::new();
+        s.on_spawn(t(1));
+        s.on_spawn(t(2));
+        s.on_ready(t(3));
+        assert_eq!(s.ready_count(), 3);
+        assert_eq!(s.pick(0), Some(t(1)));
+        assert_eq!(s.pick(1), Some(t(2)));
+        assert_eq!(s.pick(0), Some(t(3)));
+        assert_eq!(s.pick(0), None);
+    }
+
+    #[test]
+    fn no_footprints_tracked() {
+        let s = FcfsScheduler::new();
+        assert_eq!(s.expected_footprint(0, t(1)), None);
+        assert_eq!(s.priority_flops(), (0, 0));
+        assert_eq!(s.steals(), 0);
+        assert_eq!(s.name(), "fcfs");
+    }
+
+    #[test]
+    fn interval_end_is_noop() {
+        let mut s = FcfsScheduler::new();
+        let g = SharingGraph::new();
+        s.on_ready(t(1));
+        s.on_interval_end(0, t(2), PicDelta::default(), &g);
+        assert_eq!(s.ready_count(), 1);
+    }
+}

@@ -1,0 +1,169 @@
+//! Scheduling policies.
+//!
+//! The engine talks to a [`Scheduler`] through a narrow event interface:
+//! threads become ready, get dispatched, end scheduling intervals (with
+//! the performance-counter miss count of the interval), and exit. The
+//! scheduler owns the run-queue structures and — for the locality
+//! policies — the per-processor footprint estimator.
+
+mod fcfs;
+mod locality;
+
+pub use fcfs::FcfsScheduler;
+pub use locality::{LocalityConfig, LocalityScheduler};
+
+use locality_core::{PolicyKind, SharingGraph, ThreadId};
+use locality_sim::counters::PicDelta;
+
+/// The policy selector used when building an [`crate::Engine`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SchedPolicy {
+    /// First-come first-served: one global FIFO queue (the paper's base
+    /// case).
+    Fcfs,
+    /// Largest Footprint First with default locality parameters.
+    Lff,
+    /// Smallest cache-reload ratio with default locality parameters.
+    Crt,
+    /// LFF that ignores `at_share` annotations (the paper's §5 photo
+    /// ablation: counters only).
+    LffNoAnnotations,
+    /// CRT that ignores `at_share` annotations.
+    CrtNoAnnotations,
+    /// A locality policy with explicit parameters.
+    Custom(LocalityConfig),
+}
+
+impl SchedPolicy {
+    /// Short name for reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            SchedPolicy::Fcfs => "fcfs",
+            SchedPolicy::Lff => "lff",
+            SchedPolicy::Crt => "crt",
+            SchedPolicy::LffNoAnnotations => "lff-noann",
+            SchedPolicy::CrtNoAnnotations => "crt-noann",
+            SchedPolicy::Custom(c) => {
+                if c.use_annotations {
+                    match c.policy {
+                        PolicyKind::Lff => "lff-custom",
+                        PolicyKind::Crt => "crt-custom",
+                    }
+                } else {
+                    match c.policy {
+                        PolicyKind::Lff => "lff-custom-noann",
+                        PolicyKind::Crt => "crt-custom-noann",
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// The scheduler interface driven by the engine.
+pub trait Scheduler {
+    /// A new thread was created (it is ready).
+    fn on_spawn(&mut self, tid: ThreadId);
+
+    /// A blocked/sleeping thread became ready again.
+    fn on_ready(&mut self, tid: ThreadId);
+
+    /// `tid` was chosen to run on `cpu` (it left the ready structures).
+    fn on_dispatch(&mut self, cpu: usize, tid: ThreadId);
+
+    /// `tid`'s scheduling interval on `cpu` ended with the given counter
+    /// deltas; apply the model updates (no-op for FCFS).
+    fn on_interval_end(
+        &mut self,
+        cpu: usize,
+        tid: ThreadId,
+        delta: PicDelta,
+        graph: &SharingGraph,
+    );
+
+    /// Picks the next thread for `cpu`, removing it from the ready
+    /// structures.
+    fn pick(&mut self, cpu: usize) -> Option<ThreadId>;
+
+    /// `tid` exited.
+    fn on_exit(&mut self, tid: ThreadId);
+
+    /// The expected footprint of `tid` on `cpu` in lines, if this policy
+    /// tracks one (None for FCFS).
+    fn expected_footprint(&self, cpu: usize, tid: ThreadId) -> Option<f64>;
+
+    /// Number of ready threads currently queued.
+    fn ready_count(&self) -> usize;
+
+    /// Threads stolen from other processors' heaps so far.
+    fn steals(&self) -> u64 {
+        0
+    }
+
+    /// Total floating-point operations spent on priority updates
+    /// (Table 3); zero for FCFS.
+    fn priority_flops(&self) -> (u64, u64) {
+        (0, 0)
+    }
+
+    /// The policy's report name.
+    fn name(&self) -> &'static str;
+}
+
+/// Builds the scheduler for a policy.
+pub(crate) fn build(
+    policy: SchedPolicy,
+    l2_lines: usize,
+    cpus: usize,
+) -> Box<dyn Scheduler> {
+    match policy {
+        SchedPolicy::Fcfs => Box::new(FcfsScheduler::new()),
+        SchedPolicy::Lff => Box::new(LocalityScheduler::new(
+            LocalityConfig::new(PolicyKind::Lff),
+            l2_lines,
+            cpus,
+        )),
+        SchedPolicy::Crt => Box::new(LocalityScheduler::new(
+            LocalityConfig::new(PolicyKind::Crt),
+            l2_lines,
+            cpus,
+        )),
+        SchedPolicy::LffNoAnnotations => Box::new(LocalityScheduler::new(
+            LocalityConfig { use_annotations: false, ..LocalityConfig::new(PolicyKind::Lff) },
+            l2_lines,
+            cpus,
+        )),
+        SchedPolicy::CrtNoAnnotations => Box::new(LocalityScheduler::new(
+            LocalityConfig { use_annotations: false, ..LocalityConfig::new(PolicyKind::Crt) },
+            l2_lines,
+            cpus,
+        )),
+        SchedPolicy::Custom(config) => {
+            Box::new(LocalityScheduler::new(config, l2_lines, cpus))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn policy_names() {
+        assert_eq!(SchedPolicy::Fcfs.name(), "fcfs");
+        assert_eq!(SchedPolicy::Lff.name(), "lff");
+        assert_eq!(SchedPolicy::Crt.name(), "crt");
+        assert_eq!(SchedPolicy::LffNoAnnotations.name(), "lff-noann");
+        assert_eq!(SchedPolicy::CrtNoAnnotations.name(), "crt-noann");
+        let c = SchedPolicy::Custom(LocalityConfig::new(PolicyKind::Lff));
+        assert_eq!(c.name(), "lff-custom");
+    }
+
+    #[test]
+    fn build_produces_right_kinds() {
+        assert_eq!(build(SchedPolicy::Fcfs, 8192, 2).name(), "fcfs");
+        assert_eq!(build(SchedPolicy::Lff, 8192, 2).name(), "lff");
+        assert_eq!(build(SchedPolicy::Crt, 8192, 2).name(), "crt");
+        assert_eq!(build(SchedPolicy::LffNoAnnotations, 8192, 2).name(), "lff-noann");
+    }
+}

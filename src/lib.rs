@@ -1,0 +1,23 @@
+//! # thread-locality
+//!
+//! A full reproduction of Boris Weissman's ASPLOS 1998 paper
+//! *"Performance Counters and State Sharing Annotations: a Unified Approach
+//! to Thread Locality"*, as a facade crate re-exporting the workspace:
+//!
+//! * [`core`] — the analytical shared-state cache model, sharing-annotation
+//!   graph, and the LFF/CRT priority schemes (`locality-core`);
+//! * [`sim`] — the deterministic SMP machine simulator standing in for the
+//!   paper's UltraSPARC/Shade infrastructure (`locality-sim`);
+//! * [`threads`] — the Active-Threads-style green-thread runtime and its
+//!   locality schedulers (`active-threads`);
+//! * [`workloads`] — the paper's nine workloads (`locality-workloads`).
+//!
+//! See `examples/quickstart.rs` for a five-minute tour and `DESIGN.md` for
+//! the experiment index.
+
+#![forbid(unsafe_code)]
+
+pub use active_threads as threads;
+pub use locality_core as core;
+pub use locality_sim as sim;
+pub use locality_workloads as workloads;

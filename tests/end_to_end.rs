@@ -1,0 +1,238 @@
+//! Integration tests spanning all crates through the facade.
+
+use thread_locality::core::{CpuId, FootprintModel, ModelParams};
+use thread_locality::sim::{AccessKind, Machine, MachineConfig};
+use thread_locality::threads::{
+    BatchCtx, Control, Engine, EngineConfig, EngineHook, Program, SchedPolicy, SwitchEvent,
+    ThreadId,
+};
+use thread_locality::workloads::{merge, tasks, walk};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+#[test]
+fn machine_footprint_matches_model_for_random_walk() {
+    // Drive the machine directly (no runtime): uniform random misses over
+    // a huge region must follow the case-1 closed form.
+    let mut machine = Machine::new(MachineConfig::ultra1());
+    let tid = ThreadId(1);
+    let lines = 8192u64 * 64;
+    let region = machine.alloc(lines * 64, 64);
+    machine.register_region(tid, region, lines * 64);
+    machine.set_running(0, Some(tid));
+
+    let mut x = 0x12345678u64;
+    let mut step = || {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        x
+    };
+    for _ in 0..12_000 {
+        let line = step() % lines;
+        machine.access(0, region.offset(line * 64), AccessKind::Read);
+    }
+    let misses = machine.pic(0).misses();
+    let observed = machine.l2_footprint_lines(0, tid) as f64;
+    let model = FootprintModel::new(ModelParams::new(8192).unwrap());
+    let predicted = model.expected_blocking(0.0, misses);
+    let err = (observed - predicted).abs() / predicted;
+    assert!(err < 0.04, "observed {observed} predicted {predicted:.0} err {err:.3}");
+}
+
+#[test]
+fn estimator_tracks_ground_truth_through_the_runtime() {
+    // A full runtime run: at every context switch, the scheduler's
+    // expected footprint must stay close to the machine's ground truth
+    // for the random walker (whose references satisfy the model).
+    struct Check {
+        tid: ThreadId,
+        worst: Rc<RefCell<f64>>,
+    }
+    impl EngineHook for Check {
+        fn on_context_switch(
+            &mut self,
+            ev: &SwitchEvent,
+            view: &thread_locality::threads::events::EngineView<'_>,
+        ) {
+            if ev.tid != self.tid {
+                return;
+            }
+            let observed = view.machine.l2_footprint_lines(ev.cpu, self.tid) as f64;
+            let predicted = view.sched.expected_footprint(ev.cpu, self.tid).unwrap_or(0.0);
+            if observed > 512.0 {
+                let err = (predicted - observed).abs() / observed;
+                let mut worst = self.worst.borrow_mut();
+                if err > *worst {
+                    *worst = err;
+                }
+            }
+        }
+    }
+    let mut engine =
+        Engine::new(MachineConfig::ultra1(), SchedPolicy::Lff, EngineConfig::default());
+    let params = walk::WalkParams { total_accesses: 30_000, ..walk::WalkParams::default() };
+    let tid = walk::spawn_single(&mut engine, &params);
+    let worst = Rc::new(RefCell::new(0.0f64));
+    engine.add_hook(Box::new(Check { tid, worst: worst.clone() }));
+    engine.run().unwrap();
+    let worst = *worst.borrow();
+    assert!(worst < 0.06, "worst estimator error {worst:.3}");
+}
+
+#[test]
+fn policies_preserve_program_semantics() {
+    // Same sort, three schedulers, identical sorted output, identical
+    // thread counts — only cache behaviour may differ.
+    let params = merge::MergeParams { elements: 10_000, cutoff: 100, seed: 3 };
+    let mut outcomes = Vec::new();
+    for policy in [SchedPolicy::Fcfs, SchedPolicy::Lff, SchedPolicy::Crt] {
+        let mut engine =
+            Engine::new(MachineConfig::enterprise5000(4), policy, EngineConfig::default());
+        let (shared, _) = merge::spawn_parallel(&mut engine, &params);
+        let report = engine.run().unwrap();
+        assert!(shared.is_sorted());
+        outcomes.push(report.threads_completed);
+    }
+    assert_eq!(outcomes[0], outcomes[1]);
+    assert_eq!(outcomes[1], outcomes[2]);
+}
+
+#[test]
+fn oversubscribed_tasks_shape_holds_end_to_end() {
+    let params = tasks::TasksParams { tasks: 200, footprint_lines: 100, periods: 10, overlap: 0.0 };
+    let run = |policy| {
+        let mut engine =
+            Engine::new(MachineConfig::enterprise5000(2), policy, EngineConfig::default());
+        tasks::spawn_parallel(&mut engine, &params);
+        engine.run().unwrap()
+    };
+    let fcfs = run(SchedPolicy::Fcfs);
+    let lff = run(SchedPolicy::Lff);
+    let crt = run(SchedPolicy::Crt);
+    assert!(lff.misses_eliminated_vs(&fcfs) > 0.5);
+    assert!(crt.misses_eliminated_vs(&fcfs) > 0.5);
+    assert!(lff.speedup_over(&fcfs) > 1.2);
+    assert!(crt.speedup_over(&fcfs) > 1.2);
+}
+
+#[test]
+fn counters_are_the_only_model_input() {
+    // The scheduler must work (and help) even when ground-truth regions
+    // are never registered: the estimator runs on PIC deltas alone.
+    struct Toucher {
+        region: Option<thread_locality::sim::VAddr>,
+        rounds: u32,
+    }
+    impl Program for Toucher {
+        fn next_batch(&mut self, ctx: &mut BatchCtx<'_>) -> Control {
+            let region = *self.region.get_or_insert_with(|| ctx.alloc(6400, 64));
+            // Note: no register_region at all.
+            ctx.read_range(region, 6400, 64);
+            self.rounds -= 1;
+            if self.rounds == 0 {
+                Control::Exit
+            } else {
+                Control::Sleep(ctx.batch_cycles())
+            }
+        }
+    }
+    let run = |policy| {
+        let mut engine =
+            Engine::new(MachineConfig::ultra1(), policy, EngineConfig::default());
+        for _ in 0..200 {
+            engine.spawn(Box::new(Toucher { region: None, rounds: 8 }));
+        }
+        engine.run().unwrap()
+    };
+    let fcfs = run(SchedPolicy::Fcfs);
+    let lff = run(SchedPolicy::Lff);
+    assert!(
+        lff.misses_eliminated_vs(&fcfs) > 0.5,
+        "counters-only affinity must still work: {:.2}",
+        lff.misses_eliminated_vs(&fcfs)
+    );
+}
+
+#[test]
+fn cross_cpu_invalidations_are_visible_to_ground_truth_only() {
+    // Build footprint on cpu0, write from cpu1: ground truth shrinks, the
+    // estimator (which ignores invalidations, paper §3.4) does not.
+    use thread_locality::core::{EstimatorConfig, LocalityEstimator, PolicyKind, SharingGraph};
+    let mut machine = Machine::new(MachineConfig::enterprise5000(2));
+    let mut est = LocalityEstimator::new(EstimatorConfig::new(
+        PolicyKind::Lff,
+        ModelParams::new(8192).unwrap(),
+        2,
+    ));
+    let graph = SharingGraph::new();
+    let a = ThreadId(1);
+    let region = machine.alloc(2048 * 64, 64);
+    machine.register_region(a, region, 2048 * 64);
+    machine.set_running(0, Some(a));
+    est.on_dispatch(CpuId(0), a);
+    for l in 0..2048u64 {
+        machine.access(0, region.offset(l * 64), AccessKind::Read);
+    }
+    let delta = machine.pic_take_interval(0);
+    est.on_interval_end(CpuId(0), a, delta.misses, &graph);
+
+    machine.set_running(1, Some(ThreadId(2)));
+    for l in 0..1024u64 {
+        machine.access(1, region.offset(l * 64), AccessKind::Write);
+    }
+    let observed = machine.l2_footprint_lines(0, a) as f64;
+    let predicted = est.expected_footprint(CpuId(0), a);
+    assert!(observed < 1100.0, "half the lines were invalidated: {observed}");
+    // The estimate (~N·(1−k^2048) ≈ 1812) is untouched by the remote
+    // writes — far above the real, invalidated footprint.
+    assert!(predicted > 1700.0, "the model cannot see invalidations: {predicted}");
+    assert!(predicted > observed * 1.5);
+}
+
+#[test]
+fn runtime_inference_discovers_sharing() {
+    // Two iterating threads over one buffer, no annotations: with CML
+    // inference enabled, the engine must discover the sharing and place
+    // them together (fewer misses than without inference).
+    use thread_locality::threads::InferenceConfig;
+    struct Pinger {
+        buf: thread_locality::sim::VAddr,
+        rounds: u32,
+    }
+    impl Program for Pinger {
+        fn next_batch(&mut self, ctx: &mut BatchCtx<'_>) -> Control {
+            ctx.register_region(self.buf, 6400);
+            ctx.write_range(self.buf, 6400, 64);
+            self.rounds -= 1;
+            if self.rounds == 0 {
+                Control::Exit
+            } else {
+                Control::Sleep(ctx.batch_cycles())
+            }
+        }
+    }
+    let run = |infer: bool| {
+        let config = EngineConfig {
+            infer_sharing: infer.then(InferenceConfig::default),
+            ..EngineConfig::default()
+        };
+        let mut engine =
+            Engine::new(MachineConfig::enterprise5000(2), SchedPolicy::Lff, config);
+        // Many pairs sharing buffers, interleaved so FIFO separates them.
+        for _ in 0..24 {
+            let buf = engine.machine_mut().alloc(6400, 8192);
+            engine.spawn(Box::new(Pinger { buf, rounds: 12 }));
+            engine.spawn(Box::new(Pinger { buf, rounds: 12 }));
+        }
+        engine.run().unwrap()
+    };
+    let without = run(false);
+    let with = run(true);
+    assert!(
+        with.total_l2_misses < without.total_l2_misses,
+        "inference should colocate sharers: {} vs {}",
+        with.total_l2_misses,
+        without.total_l2_misses
+    );
+}
