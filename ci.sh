@@ -1,0 +1,8 @@
+#!/bin/sh
+# The project's definition of green. Runs offline; no network access.
+set -eux
+
+cargo build --release
+cargo test -q --workspace
+cargo fmt --check
+cargo clippy --workspace --all-targets -- -D warnings

@@ -9,7 +9,7 @@
 //! for independent threads" property.
 
 use crate::graph::SharingGraph;
-use crate::priority::{FootprintEntry, PolicyKind, PriorityUpdate, PrioritySchemes};
+use crate::priority::{FootprintEntry, PolicyKind, PrioritySchemes, PriorityUpdate};
 use crate::tables::PrecomputedTables;
 use crate::{CpuId, ModelParams, ThreadId};
 use std::collections::HashMap;

@@ -149,9 +149,7 @@ impl SharingGraph {
 
     /// All edges `(src, dst, q)` in deterministic order.
     pub fn edges(&self) -> impl Iterator<Item = (ThreadId, ThreadId, f64)> + '_ {
-        self.out
-            .iter()
-            .flat_map(|(&src, dsts)| dsts.iter().map(move |(&dst, &q)| (src, dst, q)))
+        self.out.iter().flat_map(|(&src, dsts)| dsts.iter().map(move |(&dst, &q)| (src, dst, q)))
     }
 }
 

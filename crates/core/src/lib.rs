@@ -74,6 +74,7 @@ pub mod footprint;
 pub mod graph;
 pub mod markov;
 pub mod priority;
+pub mod sanitizer;
 pub mod tables;
 
 pub use error::ModelError;
@@ -81,7 +82,8 @@ pub use estimator::{EstimatorConfig, LocalityEstimator};
 pub use footprint::FootprintModel;
 pub use graph::SharingGraph;
 pub use params::ModelParams;
-pub use priority::{FootprintEntry, PolicyKind, PriorityUpdate, PrioritySchemes};
+pub use priority::{FootprintEntry, PolicyKind, PrioritySchemes, PriorityUpdate};
+pub use sanitizer::{CounterSanitizer, SanitizedInterval, SanitizerConfig};
 
 use std::fmt;
 

@@ -101,7 +101,11 @@ impl PrioritySchemes {
     /// Creates an update engine for `policy` over a cache described by
     /// `params`.
     pub fn new(policy: PolicyKind, params: ModelParams) -> Self {
-        PrioritySchemes { policy, tables: PrecomputedTables::new(params), counter: FlopCounter::new() }
+        PrioritySchemes {
+            policy,
+            tables: PrecomputedTables::new(params),
+            counter: FlopCounter::new(),
+        }
     }
 
     /// Creates an engine with custom tables (e.g. a short `kⁿ` table for

@@ -18,11 +18,14 @@ pub struct Args {
     pub scale: Scale,
     /// Output directory for CSV files.
     pub out: PathBuf,
+    /// Counter-fault scenario keyword (`--fault <scenario>|all`), used
+    /// by the ablation binary's robustness runs.
+    pub fault: Option<String>,
 }
 
 impl Default for Args {
     fn default() -> Self {
-        Args { scale: Scale::Paper, out: PathBuf::from("results") }
+        Args { scale: Scale::Paper, out: PathBuf::from("results"), fault: None }
     }
 }
 
@@ -51,8 +54,13 @@ impl Args {
                     let v = it.next().ok_or("--out needs a directory")?;
                     out.out = PathBuf::from(v);
                 }
+                "--fault" => {
+                    let v = it.next().ok_or("--fault needs a scenario name (or 'all')")?;
+                    out.fault = Some(v);
+                }
                 "--help" | "-h" => {
-                    return Err("usage: [--scale paper|small] [--out DIR]".to_string())
+                    return Err("usage: [--scale paper|small] [--out DIR] [--fault SCENARIO|all]"
+                        .to_string())
                 }
                 other => return Err(format!("unknown argument '{other}'")),
             }
@@ -102,6 +110,14 @@ mod tests {
         let a = parse(&["--scale", "small", "--out", "/tmp/x"]).unwrap();
         assert_eq!(a.scale, Scale::Small);
         assert_eq!(a.out, PathBuf::from("/tmp/x"));
+        assert_eq!(a.fault, None);
+    }
+
+    #[test]
+    fn fault_scenario() {
+        let a = parse(&["--fault", "wraparound"]).unwrap();
+        assert_eq!(a.fault.as_deref(), Some("wraparound"));
+        assert!(parse(&["--fault"]).is_err());
     }
 
     #[test]

@@ -19,7 +19,8 @@ fn emit_panel(args: &Args, panel: &str, title: &str, curves: Vec<(String, Vec<Wa
     t.write_csv(&args.csv_path(&format!("fig4{panel}.csv")));
 
     // Print a compact summary per curve instead of every point.
-    let mut s = Table::new(title, &["curve", "start", "end observed", "end predicted", "max rel err"]);
+    let mut s =
+        Table::new(title, &["curve", "start", "end observed", "end predicted", "max rel err"]);
     for (name, pts) in &curves {
         let first = pts.first().expect("curve has points");
         let last = pts.last().expect("curve has points");
@@ -45,8 +46,7 @@ fn main() {
     let curves = [0.0f64, 2048.0, 4096.0, 6144.0]
         .into_iter()
         .map(|s0| {
-            let pts =
-                run(&WalkExperiment::direct(Monitored::Walker { s0 }, total, every, 11));
+            let pts = run(&WalkExperiment::direct(Monitored::Walker { s0 }, total, every, 11));
             (format!("S_A={s0:.0}"), pts)
         })
         .collect();
@@ -56,8 +56,7 @@ fn main() {
     let curves = [2048.0f64, 4096.0, 8192.0]
         .into_iter()
         .map(|s0| {
-            let pts =
-                run(&WalkExperiment::direct(Monitored::Independent { s0 }, total, every, 12));
+            let pts = run(&WalkExperiment::direct(Monitored::Independent { s0 }, total, every, 12));
             (format!("S_B={s0:.0}"), pts)
         })
         .collect();
@@ -68,12 +67,8 @@ fn main() {
     let curves = [512.0f64, 2048.0, 6144.0, 8000.0]
         .into_iter()
         .map(|s0| {
-            let pts = run(&WalkExperiment::direct(
-                Monitored::Dependent { q: 0.5, s0 },
-                total,
-                every,
-                13,
-            ));
+            let pts =
+                run(&WalkExperiment::direct(Monitored::Dependent { q: 0.5, s0 }, total, every, 13));
             (format!("S_C={s0:.0}"), pts)
         })
         .collect();

@@ -46,10 +46,8 @@ fn main() {
         ]);
 
         // Print a thinned view of the curve.
-        let mut view = Table::new(
-            &format!("fig5: {}", app.name()),
-            &["misses", "observed", "predicted"],
-        );
+        let mut view =
+            Table::new(&format!("fig5: {}", app.name()), &["misses", "observed", "predicted"]);
         for s in trace.thin(10) {
             view.row(&[
                 s.misses.to_string(),

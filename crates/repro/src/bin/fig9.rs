@@ -16,10 +16,8 @@ fn main() {
         "Figure 9 (right) — performance relative to FCFS, 8-cpu Enterprise 5000",
         &["app", "fcfs", "lff", "crt"],
     );
-    let mut raw = Table::new(
-        "raw data",
-        &["app", "policy", "l2 misses", "cycles", "switches", "threads"],
-    );
+    let mut raw =
+        Table::new("raw data", &["app", "policy", "l2 misses", "cycles", "switches", "threads"]);
     for app in PerfApp::ALL {
         let cmp = PolicyComparison::run(app, 8, args.scale);
         let (m_lff, s_lff) = cmp.vs_fcfs(&cmp.lff);

@@ -5,10 +5,8 @@ use locality_workloads::{merge, photo, tasks, tsp};
 
 fn main() {
     let args = Args::from_env();
-    let mut t = Table::new(
-        "Table 4 — input parameters for application runs",
-        &["app", "parameters"],
-    );
+    let mut t =
+        Table::new("Table 4 — input parameters for application runs", &["app", "parameters"]);
     match args.scale {
         Scale::Paper => {
             let tk = tasks::TasksParams::default();

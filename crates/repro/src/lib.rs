@@ -15,7 +15,7 @@
 //! | `fig7` | Figure 7 — overestimated footprints (typechecker, raytrace) |
 //! | `fig8` | Figure 8 — locality scheduling on the 1-cpu Ultra-1 |
 //! | `fig9` | Figure 9 — locality scheduling on the 8-cpu Enterprise 5000 |
-//! | `ablation` | §5 extras: annotation ablation, threshold sweep, page placement, invalidation effects |
+//! | `ablation` | §5 extras: annotation ablation, threshold sweep, page placement, invalidation effects; `--fault <scenario>` runs the counter-fault robustness table instead |
 //!
 //! Every binary prints aligned text tables and writes CSV files under
 //! `results/` (change with `--out DIR`). `--scale small` runs scaled-down
@@ -26,10 +26,12 @@
 #![warn(missing_docs)]
 
 pub mod args;
+pub mod faults;
 pub mod microbench;
 pub mod monitor;
 pub mod perf;
 pub mod table;
 
 pub use args::{Args, Scale};
+pub use faults::FaultScenario;
 pub use table::Table;

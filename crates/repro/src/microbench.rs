@@ -101,8 +101,7 @@ pub fn run(exp: &WalkExperiment) -> Vec<WalkPoint> {
 
     // Sleeper region: a slice of the walker's region covering fraction q
     // of it (dependent), or a disjoint region (independent).
-    let (monitored_tid, predict): (ThreadId, Box<dyn Fn(f64, u64) -> f64>) = match exp.monitored
-    {
+    let (monitored_tid, predict): (ThreadId, Box<dyn Fn(f64, u64) -> f64>) = match exp.monitored {
         Monitored::Walker { s0 } => {
             // Establish the initial footprint: touch the first s0 lines.
             prefill(&mut machine, walker_region, s0 as u64);
@@ -127,7 +126,7 @@ pub fn run(exp: &WalkExperiment) -> Vec<WalkPoint> {
 
     // Reset the interval: everything from here on is the measured walk.
     machine.set_running(0, Some(walker));
-    machine.pic_take_interval(0);
+    machine.pic_take_interval(0).expect("clean machine read");
     // The raw PIC registers are cumulative; measure against a baseline
     // like the runtime's interval reads do.
     let pic_base = machine.pic(0).misses();
@@ -190,8 +189,7 @@ mod tests {
 
     #[test]
     fn walker_with_initial_footprint_starts_there() {
-        let pts =
-            run(&WalkExperiment::direct(Monitored::Walker { s0: 4096.0 }, 5_000, 1_000, 2));
+        let pts = run(&WalkExperiment::direct(Monitored::Walker { s0: 4096.0 }, 5_000, 1_000, 2));
         assert!((pts[0].observed - 4096.0).abs() < 64.0, "start at {}", pts[0].observed);
         assert!(max_rel_error(&pts, 256.0) < 0.05);
     }

@@ -41,7 +41,12 @@ impl PerfApp {
             PerfApp::Tasks => {
                 let params = match scale {
                     Scale::Paper => tasks::TasksParams::default(),
-                    Scale::Small => tasks::TasksParams { tasks: 96, footprint_lines: 100, periods: 12, overlap: 0.0 },
+                    Scale::Small => tasks::TasksParams {
+                        tasks: 96,
+                        footprint_lines: 100,
+                        periods: 12,
+                        overlap: 0.0,
+                    },
                 };
                 tasks::spawn_parallel(engine, &params);
             }
@@ -68,7 +73,9 @@ impl PerfApp {
             PerfApp::Tsp => {
                 let params = match scale {
                     Scale::Paper => tsp::TspParams::default(),
-                    Scale::Small => tsp::TspParams { cities: 48, thread_budget: 120, max_depth: 10, seed: 3 },
+                    Scale::Small => {
+                        tsp::TspParams { cities: 48, thread_budget: 120, max_depth: 10, seed: 3 }
+                    }
                 };
                 tsp::spawn_parallel(engine, &params);
             }
@@ -78,11 +85,8 @@ impl PerfApp {
 
 /// Runs one `(app, policy, machine)` cell and returns the report.
 pub fn run_cell(app: PerfApp, policy: SchedPolicy, cpus: usize, scale: Scale) -> RunReport {
-    let machine = if cpus == 1 {
-        MachineConfig::ultra1()
-    } else {
-        MachineConfig::enterprise5000(cpus)
-    };
+    let machine =
+        if cpus == 1 { MachineConfig::ultra1() } else { MachineConfig::enterprise5000(cpus) };
     let mut engine = Engine::new(machine, policy, EngineConfig::default());
     app.spawn(&mut engine, scale);
     engine.run().expect("perf workload must complete")

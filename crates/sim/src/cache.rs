@@ -132,9 +132,7 @@ impl Cache {
     /// Whether the line is resident, without touching LRU state.
     pub fn contains(&self, pline: u64) -> bool {
         let set = self.set_of(pline);
-        self.ways[self.set_range(set)]
-            .iter()
-            .any(|w| w.is_some_and(|way| way.pline == pline))
+        self.ways[self.set_range(set)].iter().any(|w| w.is_some_and(|way| way.pline == pline))
     }
 
     /// Marks a resident line dirty. Returns `true` if the line was found.

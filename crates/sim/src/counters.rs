@@ -208,6 +208,41 @@ mod tests {
     }
 
     #[test]
+    fn both_registers_wrap_between_snapshots() {
+        // An interval in which pic0 (refs) and pic1 (hits) each cross
+        // the 32-bit boundary: the wrapping deltas must still be exact.
+        let mut pic = Pic::new();
+        pic.pic0 = u32::MAX - 2;
+        pic.pic1 = u32::MAX - 1;
+        pic.snap = (pic.pic0, pic.pic1);
+        for i in 0..10 {
+            pic.record_l2(i % 2 == 0); // 10 refs, 5 hits
+        }
+        assert!(pic.pic0 < 10, "pic0 must have wrapped");
+        assert!(pic.pic1 < 10, "pic1 must have wrapped");
+        let d = pic.take_interval();
+        assert_eq!(d, PicDelta { refs: 10, hits: 5, misses: 5 });
+    }
+
+    #[test]
+    fn hits_register_wraps_alone() {
+        // Only pic1 crosses the boundary (possible after a PCR rewrite
+        // left the registers at different counts): the delta for pic1
+        // must still come out right, and misses must not underflow.
+        let mut pic = Pic::new();
+        pic.pic1 = u32::MAX;
+        pic.snap = (0, u32::MAX);
+        pic.record_l2(true); // both bump; pic1 wraps to 0
+        pic.record_l2(true);
+        let d = pic.take_interval();
+        assert_eq!(d.hits, 2, "pic1 wrap must still yield a correct delta");
+        assert_eq!(d.refs, 2);
+        assert_eq!(d.misses, 0);
+        // Next interval starts clean from the post-wrap snapshot.
+        assert_eq!(pic.take_interval(), PicDelta::default());
+    }
+
+    #[test]
     fn reconfigure_clears() {
         let mut pic = Pic::new();
         pic.record_l2(true);

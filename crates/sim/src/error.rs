@@ -20,6 +20,15 @@ pub enum SimError {
         /// The number of processors configured.
         cpus: usize,
     },
+    /// A performance-counter read trapped: the PCR user-access bit is
+    /// cleared (a user-level `rd %pic` faults into the kernel) or an
+    /// injected [`TrapOnRead`](crate::faults::FaultKind::TrapOnRead)
+    /// fault is live. The interval is *not* reset — counts keep
+    /// accumulating until a read succeeds.
+    CounterTrap {
+        /// The processor whose read trapped.
+        cpu: usize,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -29,6 +38,9 @@ impl fmt::Display for SimError {
             SimError::NoCpus => write!(f, "machine must have at least one processor"),
             SimError::BadCpu { cpu, cpus } => {
                 write!(f, "processor index {cpu} out of range (machine has {cpus})")
+            }
+            SimError::CounterTrap { cpu } => {
+                write!(f, "performance-counter read trapped on cpu {cpu}")
             }
         }
     }
@@ -44,6 +56,7 @@ mod tests {
     fn display() {
         assert!(SimError::NoCpus.to_string().contains("at least one"));
         assert!(SimError::BadCpu { cpu: 9, cpus: 8 }.to_string().contains('9'));
+        assert!(SimError::CounterTrap { cpu: 3 }.to_string().contains("trapped on cpu 3"));
         let e = SimError::BadGeometry { reason: "line of 0 bytes".into() };
         assert!(e.to_string().contains("line of 0 bytes"));
     }

@@ -236,7 +236,7 @@ mod tests {
         let mut c = cpu();
         c.access(0x5000, HierAccess::Read); // in L1D and L2
         c.access(0x5000 + 512 * 1024, HierAccess::Read); // evicts L2 line
-        // The L1 copy must be gone: a re-read misses both.
+                                                         // The L1 copy must be gone: a re-read misses both.
         let o = c.access(0x5000, HierAccess::Read);
         assert!(!o.l1_hit, "inclusion must purge the L1 copy");
         assert!(!o.l2_hit);

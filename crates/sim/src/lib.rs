@@ -54,6 +54,7 @@ pub mod cache;
 pub mod cml;
 pub mod config;
 pub mod counters;
+pub mod faults;
 pub mod hierarchy;
 pub mod machine;
 pub mod paging;
@@ -67,8 +68,9 @@ pub use cml::{Cml, CmlEntry};
 pub use config::{CacheLatencies, HierarchyConfig, MachineConfig};
 pub use counters::Pic;
 pub use error::SimError;
+pub use faults::{FaultConfig, FaultInjector, FaultKind, FaultWindow};
 pub use machine::{AccessKind, Machine};
 pub use paging::PagePlacement;
 pub use regions::RegionTable;
-pub use trace::{Trace, TraceRecord};
 pub use stats::{CpuStats, ThreadStats};
+pub use trace::{Trace, TraceRecord};

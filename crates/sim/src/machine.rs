@@ -3,13 +3,15 @@
 
 use crate::addr::{PAddr, VAddr};
 use crate::alloc::SimAllocator;
+use crate::cml::{Cml, CmlEntry};
 use crate::config::MachineConfig;
 use crate::counters::{Pic, PicDelta};
+use crate::error::SimError;
+use crate::faults::{FaultConfig, FaultInjector};
 use crate::hierarchy::{CpuCache, HierAccess};
 use crate::paging::PageTable;
 use crate::regions::RegionTable;
 use crate::stats::{CpuStats, ThreadStats};
-use crate::cml::{Cml, CmlEntry};
 use crate::trace::Trace;
 use locality_core::ThreadId;
 use std::collections::{BTreeMap, HashMap};
@@ -55,6 +57,8 @@ pub struct Machine {
     thread_stats: HashMap<ThreadId, ThreadStats>,
     tracer: Option<Trace>,
     cml: Option<Vec<Cml>>,
+    /// Installed counter-fault injector (see [`crate::faults`]).
+    faults: Option<FaultInjector>,
 }
 
 impl Machine {
@@ -64,13 +68,23 @@ impl Machine {
     ///
     /// Panics if the configuration is invalid or has more than 64
     /// processors (the coherence directory uses a 64-bit holder mask).
+    /// Use [`try_new`](Self::try_new) where a typed error is preferred.
     pub fn new(config: MachineConfig) -> Self {
-        config.validate().expect("invalid machine configuration");
-        assert!(config.cpus <= 64, "at most 64 processors supported");
+        Self::try_new(config).expect("invalid machine configuration")
+    }
+
+    /// Builds the machine, returning a typed error on an invalid
+    /// configuration instead of panicking.
+    pub fn try_new(config: MachineConfig) -> Result<Self, SimError> {
+        config.validate()?;
+        if config.cpus > 64 {
+            // The coherence directory packs holders into a u64 mask.
+            return Err(SimError::BadCpu { cpu: config.cpus - 1, cpus: 64 });
+        }
         let cpus = (0..config.cpus).map(|_| CpuCache::new(&config.hierarchy)).collect();
         let page_table =
             PageTable::new(config.page_bytes, config.l2_page_bins(), config.placement.clone());
-        Machine {
+        Ok(Machine {
             cpu_stats: vec![CpuStats::default(); config.cpus],
             thread_stats: HashMap::new(),
             running: vec![None; config.cpus],
@@ -81,8 +95,9 @@ impl Machine {
             directory: HashMap::new(),
             tracer: None,
             cml: None,
+            faults: None,
             config,
-        }
+        })
     }
 
     /// Starts recording every access into an in-memory [`Trace`]
@@ -285,10 +300,53 @@ impl Machine {
         self.cpus[cpu].pic()
     }
 
+    /// Installs a counter-fault injector; every subsequent
+    /// [`pic_take_interval`](Self::pic_take_interval) goes through it.
+    /// Replaces any previously installed injector.
+    pub fn install_fault(&mut self, config: FaultConfig) {
+        self.faults = Some(FaultInjector::new(config));
+    }
+
+    /// Removes the installed fault injector, if any.
+    pub fn clear_fault(&mut self) {
+        self.faults = None;
+    }
+
+    /// The installed fault injector (None when the counters are clean).
+    pub fn fault(&self) -> Option<&FaultInjector> {
+        self.faults.as_ref()
+    }
+
     /// Reads-and-resets the counter interval on `cpu` — the context-switch
     /// read.
-    pub fn pic_take_interval(&mut self, cpu: usize) -> PicDelta {
-        self.cpus[cpu].pic_mut().take_interval()
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::BadCpu`] for an out-of-range processor index, and
+    /// [`SimError::CounterTrap`] when the read traps — because the PIC's
+    /// user-access bit is cleared, or a [`FaultKind::TrapOnRead`]
+    /// (see [`crate::faults::FaultKind`]) fault is live. On a trap the
+    /// interval is **not** reset: counts keep accumulating and are
+    /// reported whole by the next successful read, like a runtime that
+    /// skips a failed sample and catches up at the next switch.
+    pub fn pic_take_interval(&mut self, cpu: usize) -> Result<PicDelta, SimError> {
+        if cpu >= self.cpu_count() {
+            return Err(SimError::BadCpu { cpu, cpus: self.cpu_count() });
+        }
+        if !self.cpus[cpu].pic().user_access() {
+            return Err(SimError::CounterTrap { cpu });
+        }
+        let Some(inj) = &mut self.faults else {
+            return Ok(self.cpus[cpu].pic_mut().take_interval());
+        };
+        if !inj.begin_read() {
+            return Ok(self.cpus[cpu].pic_mut().take_interval());
+        }
+        if inj.traps() {
+            return Err(SimError::CounterTrap { cpu });
+        }
+        let truth = self.cpus[cpu].pic_mut().take_interval();
+        Ok(inj.perturb(truth))
     }
 
     /// Cumulative statistics of `cpu`.
@@ -507,9 +565,9 @@ mod tests {
         let mut m = Machine::new(MachineConfig::enterprise5000(2));
         let a = m.alloc(64, 64);
         let b = VAddr(a.0 + 512 * 1024); // same L2 index after translation?
-        // Use page-coloring to be sure of conflict: translate both and
-        // check; with bin hopping the pages land in different bins, so
-        // instead just verify directory consistency via re-reads.
+                                         // Use page-coloring to be sure of conflict: translate both and
+                                         // check; with bin hopping the pages land in different bins, so
+                                         // instead just verify directory consistency via re-reads.
         m.access(0, a, AccessKind::Read);
         m.access(0, b, AccessKind::Read);
         // Whatever happened, a read from cpu1 of `a` is remote only if
@@ -561,6 +619,64 @@ mod tests {
         // Without a device, drain is empty.
         let mut plain = Machine::new(MachineConfig::ultra1());
         assert!(plain.cml_drain(0).is_empty());
+    }
+
+    #[test]
+    fn try_new_rejects_bad_configs() {
+        let mut cfg = MachineConfig::ultra1();
+        cfg.cpus = 0;
+        assert_eq!(Machine::try_new(cfg).unwrap_err(), SimError::NoCpus);
+        let mut big = MachineConfig::enterprise5000(2);
+        big.cpus = 65;
+        assert!(matches!(Machine::try_new(big), Err(SimError::BadCpu { .. })));
+        assert!(Machine::try_new(MachineConfig::ultra1()).is_ok());
+    }
+
+    #[test]
+    fn take_interval_checks_cpu_and_user_access() {
+        let mut m = Machine::new(MachineConfig::ultra1());
+        assert!(matches!(m.pic_take_interval(5), Err(SimError::BadCpu { cpu: 5, cpus: 1 })));
+        let a = m.alloc(64, 64);
+        m.access(0, a, AccessKind::Read);
+        assert_eq!(m.pic_take_interval(0).unwrap().refs, 1);
+        // Clearing user access turns every read into a trap.
+        use crate::counters::PicEvent;
+        m.cpus[0].pic_mut().configure(PicEvent::EcacheRefs, PicEvent::EcacheHits, false);
+        assert_eq!(m.pic_take_interval(0).unwrap_err(), SimError::CounterTrap { cpu: 0 });
+    }
+
+    #[test]
+    fn installed_fault_perturbs_reads() {
+        use crate::faults::{FaultConfig, FaultKind, WRAP_ARTIFACT_THRESHOLD};
+        let mut m = Machine::new(MachineConfig::ultra1());
+        m.install_fault(FaultConfig::always(FaultKind::Wraparound, 11));
+        let a = m.alloc(4096, 64);
+        for i in (0..4096u64).step_by(64) {
+            m.access(0, a.offset(i), AccessKind::Read);
+        }
+        let d = m.pic_take_interval(0).unwrap();
+        assert!(d.misses >= WRAP_ARTIFACT_THRESHOLD, "wraparound must corrupt: {d:?}");
+        assert!(m.fault().is_some());
+        m.clear_fault();
+        m.access(0, a, AccessKind::Read);
+        let clean = m.pic_take_interval(0).unwrap();
+        assert!(clean.misses < 64, "clean after clear_fault: {clean:?}");
+    }
+
+    #[test]
+    fn trap_fault_leaves_interval_accumulating() {
+        use crate::faults::{FaultConfig, FaultKind};
+        let mut m = Machine::new(MachineConfig::ultra1());
+        // Trap for the first two reads, then recover.
+        m.install_fault(FaultConfig::windowed(FaultKind::TrapOnRead, 1, 0, 2));
+        let a = m.alloc(64 * 8, 64);
+        for i in 0..8u64 {
+            m.access(0, a.offset(i * 64), AccessKind::Read);
+        }
+        assert_eq!(m.pic_take_interval(0).unwrap_err(), SimError::CounterTrap { cpu: 0 });
+        assert_eq!(m.pic_take_interval(0).unwrap_err(), SimError::CounterTrap { cpu: 0 });
+        // Third read succeeds and reports the *whole* accumulated span.
+        assert_eq!(m.pic_take_interval(0).unwrap().refs, 8, "no counts lost across traps");
     }
 
     #[test]

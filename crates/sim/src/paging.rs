@@ -215,9 +215,8 @@ mod tests {
     fn bin_hopping_spreads_consecutive_faults() {
         let mut pt = PageTable::new(8192, 64, PagePlacement::bin_hopping());
         // 64 consecutive virtual pages must land in 64 distinct bins.
-        let mut bins: Vec<u64> = (0..64u64)
-            .map(|p| pt.translate(VAddr(p * 8192)).0 / 8192 % 64)
-            .collect();
+        let mut bins: Vec<u64> =
+            (0..64u64).map(|p| pt.translate(VAddr(p * 8192)).0 / 8192 % 64).collect();
         bins.sort_unstable();
         bins.dedup();
         assert_eq!(bins.len(), 64);

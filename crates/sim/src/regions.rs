@@ -63,8 +63,7 @@ impl RegionTable {
             match next {
                 Some((ss, _)) if ss > cursor => {
                     // Gap before the next segment: new exclusive segment.
-                    self.segments
-                        .insert(cursor, Segment { end: ss.min(e), owners: vec![tid] });
+                    self.segments.insert(cursor, Segment { end: ss.min(e), owners: vec![tid] });
                     cursor = ss.min(e);
                 }
                 Some((ss, se)) => {

@@ -106,8 +106,7 @@ impl Trace {
                 _ => return Err(err()),
             };
             let cpu: u8 = parts.next().ok_or_else(err)?.parse().map_err(|_| err())?;
-            let addr = u64::from_str_radix(parts.next().ok_or_else(err)?, 16)
-                .map_err(|_| err())?;
+            let addr = u64::from_str_radix(parts.next().ok_or_else(err)?, 16).map_err(|_| err())?;
             if parts.next().is_some() {
                 return Err(err());
             }
@@ -202,9 +201,8 @@ mod tests {
             t.record(0, AccessKind::Read, VAddr(0x10000 + (i % 700) * 8192));
         }
         let mut careful = Machine::new(MachineConfig::ultra1());
-        let mut naive = Machine::new(
-            MachineConfig::ultra1().with_placement(PagePlacement::arbitrary()),
-        );
+        let mut naive =
+            Machine::new(MachineConfig::ultra1().with_placement(PagePlacement::arbitrary()));
         t.replay(&mut careful);
         t.replay(&mut naive);
         assert_eq!(careful.cpu_stats(0).l1d_refs, naive.cpu_stats(0).l1d_refs);

@@ -8,9 +8,12 @@
 //!
 //! At every context switch it performs exactly the paper's runtime
 //! sequence: read-and-reset the performance counters (a few instructions,
-//! charged), hand the interval's miss count to the scheduler (which runs
-//! the model's `O(out-degree)` priority updates), fire scheduling-event
-//! hooks, and dispatch the next thread.
+//! charged), run the raw deltas through the [`CounterSanitizer`]
+//! (wraparound and outlier correction — the model never sees absurd miss
+//! counts even under injected counter faults), hand the sanitized
+//! interval to the scheduler (which runs the model's `O(out-degree)`
+//! priority updates), fire scheduling-event hooks, and dispatch the next
+//! thread.
 
 use crate::error::RuntimeError;
 use crate::events::{EngineHook, EngineView, SwitchEvent, SwitchReason};
@@ -20,8 +23,8 @@ use crate::report::RunReport;
 use crate::sched::{self, SchedPolicy, Scheduler};
 use crate::sync::{MutexId, SyncTables};
 use crate::thread::{Tcb, ThreadState};
-use locality_core::{SharingGraph, ThreadId};
-use locality_sim::{Machine, MachineConfig};
+use locality_core::{CounterSanitizer, SanitizedInterval, SanitizerConfig, SharingGraph, ThreadId};
+use locality_sim::{Machine, MachineConfig, SimError};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap};
 
@@ -73,11 +76,13 @@ pub struct Engine {
     run_start: Vec<u64>,
     sleepers: BinaryHeap<Reverse<(u64, ThreadId)>>,
     inference: Option<SharingInference>,
+    sanitizer: CounterSanitizer,
     hooks: Vec<Box<dyn EngineHook>>,
     next_tid: u64,
     live: u64,
     completed: u64,
     switches: u64,
+    corrected_intervals: u64,
     steps: u64,
 }
 
@@ -114,11 +119,13 @@ impl Engine {
             current: vec![None; cpus],
             run_start: vec![0; cpus],
             sleepers: BinaryHeap::new(),
+            sanitizer: CounterSanitizer::new(SanitizerConfig::default()),
             hooks: Vec::new(),
             next_tid: 1,
             live: 0,
             completed: 0,
             switches: 0,
+            corrected_intervals: 0,
             steps: 0,
         }
     }
@@ -158,6 +165,18 @@ impl Engine {
     /// The scheduler (e.g. for expected footprints in experiments).
     pub fn scheduler(&self) -> &dyn Scheduler {
         self.sched.as_ref()
+    }
+
+    /// Counter intervals the sanitizer had to correct so far (plus read
+    /// traps); zero on a clean machine.
+    pub fn corrected_intervals(&self) -> u64 {
+        self.corrected_intervals
+    }
+
+    /// Looks up a thread's TCB, surfacing a typed error instead of
+    /// panicking when the runtime's tables are inconsistent.
+    fn tcb_mut(&mut self, tid: ThreadId) -> Result<&mut Tcb, RuntimeError> {
+        self.threads.get_mut(&tid).ok_or(RuntimeError::UnknownThread { thread: tid })
     }
 
     /// The synchronization tables (pre-creating objects before a run).
@@ -213,12 +232,12 @@ impl Engine {
             if self.steps > self.config.max_steps {
                 return Err(RuntimeError::StepBudgetExceeded { budget: self.config.max_steps });
             }
-            self.process_wakeups();
+            self.process_wakeups()?;
             let cpu = self.min_clock_cpu();
             match self.current[cpu] {
                 Some(tid) => self.step_thread(cpu, tid)?,
                 None => {
-                    if !self.dispatch(cpu) {
+                    if !self.dispatch(cpu)? {
                         self.advance_idle(cpu)?;
                     }
                 }
@@ -241,6 +260,8 @@ impl Engine {
             threads_completed: self.completed,
             steals: self.sched.steals(),
             priority_flops: self.sched.priority_flops(),
+            degraded_intervals: self.sched.degraded_intervals(),
+            corrected_intervals: self.corrected_intervals,
             per_cpu,
         }
     }
@@ -255,19 +276,20 @@ impl Engine {
         best
     }
 
-    fn process_wakeups(&mut self) {
+    fn process_wakeups(&mut self) -> Result<(), RuntimeError> {
         let frontier = self.clocks.iter().copied().min().unwrap_or(0);
         while let Some(&Reverse((wake, tid))) = self.sleepers.peek() {
             if wake > frontier {
                 break;
             }
             self.sleepers.pop();
-            self.make_ready(tid);
+            self.make_ready(tid)?;
         }
+        Ok(())
     }
 
-    fn make_ready(&mut self, tid: ThreadId) {
-        let tcb = self.threads.get_mut(&tid).expect("waking unknown thread");
+    fn make_ready(&mut self, tid: ThreadId) -> Result<(), RuntimeError> {
+        let tcb = self.tcb_mut(tid)?;
         debug_assert!(
             matches!(tcb.state, ThreadState::Blocked | ThreadState::Sleeping),
             "{tid} woken in state {:?}",
@@ -275,20 +297,23 @@ impl Engine {
         );
         tcb.state = ThreadState::Ready;
         self.sched.on_ready(tid);
+        Ok(())
     }
 
-    fn dispatch(&mut self, cpu: usize) -> bool {
-        let Some(tid) = self.sched.pick(cpu) else { return false };
-        let tcb = self.threads.get_mut(&tid).expect("picked unknown thread");
+    fn dispatch(&mut self, cpu: usize) -> Result<bool, RuntimeError> {
+        let Some(tid) = self.sched.pick(cpu) else { return Ok(false) };
+        let tcb = self.tcb_mut(tid)?;
         debug_assert_eq!(tcb.state, ThreadState::Ready);
         tcb.state = ThreadState::Running;
         self.current[cpu] = Some(tid);
         self.run_start[cpu] = self.clocks[cpu];
         self.machine.set_running(cpu, Some(tid));
         self.sched.on_dispatch(cpu, tid);
-        // Start the counter interval cleanly at dispatch.
-        self.machine.pic_take_interval(cpu);
-        true
+        // Start the counter interval cleanly at dispatch. A trapping read
+        // cannot reset the PICs; the stale span is absorbed by the
+        // sanitizer when the interval ends.
+        let _ = self.machine.pic_take_interval(cpu);
+        Ok(true)
     }
 
     fn advance_idle(&mut self, cpu: usize) -> Result<(), RuntimeError> {
@@ -329,9 +354,11 @@ impl Engine {
 
     fn step_thread(&mut self, cpu: usize, tid: ThreadId) -> Result<(), RuntimeError> {
         let mut program = {
-            let tcb = self.threads.get_mut(&tid).expect("running unknown thread");
+            let tcb = self.tcb_mut(tid)?;
             tcb.batches += 1;
-            tcb.program.take().expect("program taken twice")
+            tcb.program.take().ok_or(RuntimeError::Internal {
+                what: format!("{tid} stepped while its program was checked out"),
+            })?
         };
         let mut ctx = BatchCtx {
             machine: &mut self.machine,
@@ -347,7 +374,7 @@ impl Engine {
         let cycles = ctx.cycles;
         let spawns = std::mem::take(&mut ctx.spawns);
         drop(ctx);
-        self.threads.get_mut(&tid).expect("tcb exists").program = Some(program);
+        self.tcb_mut(tid)?.program = Some(program);
         self.clocks[cpu] += cycles;
         for spawn in spawns {
             self.admit(spawn);
@@ -355,10 +382,8 @@ impl Engine {
         self.handle_control(cpu, tid, control)?;
         // Time-slice preemption applies only if the thread kept running.
         if let Some(slice) = self.config.time_slice {
-            if self.current[cpu] == Some(tid)
-                && self.clocks[cpu] - self.run_start[cpu] >= slice
-            {
-                self.switch_out(cpu, tid, SwitchReason::Preempted);
+            if self.current[cpu] == Some(tid) && self.clocks[cpu] - self.run_start[cpu] >= slice {
+                self.switch_out(cpu, tid, SwitchReason::Preempted)?;
             }
         }
         Ok(())
@@ -371,16 +396,16 @@ impl Engine {
         control: Control,
     ) -> Result<(), RuntimeError> {
         match control {
-            Control::Yield => self.switch_out(cpu, tid, SwitchReason::Yield),
+            Control::Yield => self.switch_out(cpu, tid, SwitchReason::Yield)?,
             Control::Sleep(dur) => {
                 let wake = self.clocks[cpu] + dur;
-                self.threads.get_mut(&tid).expect("tcb").state = ThreadState::Sleeping;
+                self.tcb_mut(tid)?.state = ThreadState::Sleeping;
                 self.sleepers.push(Reverse((wake, tid)));
-                self.switch_out(cpu, tid, SwitchReason::Sleeping);
+                self.switch_out(cpu, tid, SwitchReason::Sleeping)?;
             }
             Control::Exit => {
-                self.switch_out(cpu, tid, SwitchReason::Exited);
-                self.finish_thread(tid);
+                self.switch_out(cpu, tid, SwitchReason::Exited)?;
+                self.finish_thread(tid)?;
             }
             Control::Lock(m) => {
                 let mx = self.sync.mutex(m)?;
@@ -391,7 +416,7 @@ impl Engine {
                     // Note: re-locking a held mutex self-deadlocks, like
                     // a non-recursive pthread mutex.
                     mx.waiters.push_back(tid);
-                    self.block(cpu, tid);
+                    self.block(cpu, tid)?;
                 }
             }
             Control::Unlock(m) => {
@@ -405,13 +430,13 @@ impl Engine {
                     self.continue_running(cpu);
                 } else {
                     sem.waiters.push_back(tid);
-                    self.block(cpu, tid);
+                    self.block(cpu, tid)?;
                 }
             }
             Control::SemPost(s) => {
                 let sem = self.sync.sem(s)?;
                 if let Some(w) = sem.waiters.pop_front() {
-                    self.make_ready(w);
+                    self.make_ready(w)?;
                 } else {
                     sem.count += 1;
                 }
@@ -424,17 +449,17 @@ impl Engine {
                     let woken: Vec<ThreadId> =
                         bar.waiting.drain(..).filter(|&w| w != tid).collect();
                     for w in woken {
-                        self.make_ready(w);
+                        self.make_ready(w)?;
                     }
                     self.continue_running(cpu);
                 } else {
-                    self.block(cpu, tid);
+                    self.block(cpu, tid)?;
                 }
             }
             Control::CondWait(c, m) => {
                 self.unlock_mutex(m, tid)?;
                 self.sync.cond(c)?.waiters.push_back((tid, m));
-                self.block(cpu, tid);
+                self.block(cpu, tid)?;
             }
             Control::CondSignal(c) => {
                 if let Some((w, m)) = self.sync.cond(c)?.waiters.pop_front() {
@@ -458,7 +483,7 @@ impl Engine {
                     self.continue_running(cpu);
                 } else {
                     t.join_waiters.push(tid);
-                    self.block(cpu, tid);
+                    self.block(cpu, tid)?;
                 }
             }
         }
@@ -473,7 +498,7 @@ impl Engine {
         mx.owner = None;
         if let Some(w) = mx.waiters.pop_front() {
             mx.owner = Some(w);
-            self.make_ready(w);
+            self.make_ready(w)?;
         }
         Ok(())
     }
@@ -483,7 +508,7 @@ impl Engine {
         let mx = self.sync.mutex(m)?;
         if mx.owner.is_none() {
             mx.owner = Some(w);
-            self.make_ready(w);
+            self.make_ready(w)?;
         } else {
             mx.waiters.push_back(w);
         }
@@ -494,17 +519,39 @@ impl Engine {
         self.clocks[cpu] += self.config.sync_op_cycles;
     }
 
-    fn block(&mut self, cpu: usize, tid: ThreadId) {
-        let tcb = self.threads.get_mut(&tid).expect("tcb");
+    fn block(&mut self, cpu: usize, tid: ThreadId) -> Result<(), RuntimeError> {
+        let tcb = self.tcb_mut(tid)?;
         if tcb.state == ThreadState::Running {
             tcb.state = ThreadState::Blocked;
         }
-        self.switch_out(cpu, tid, SwitchReason::Blocked);
+        self.switch_out(cpu, tid, SwitchReason::Blocked)
     }
 
-    fn switch_out(&mut self, cpu: usize, tid: ThreadId, reason: SwitchReason) {
-        // Read and reset the counters: the interval's misses.
-        let delta = self.machine.pic_take_interval(cpu);
+    fn switch_out(
+        &mut self,
+        cpu: usize,
+        tid: ThreadId,
+        reason: SwitchReason,
+    ) -> Result<(), RuntimeError> {
+        // Read and reset the counters, then sanitize the raw deltas: the
+        // scheduler's model never sees wrapped, inconsistent, or absurd
+        // values. A trapped read (user access disabled, or an injected
+        // trap fault) yields an empty interval with reduced confidence —
+        // the PICs keep accumulating and the next clean read absorbs the
+        // whole span.
+        let delta = match self.machine.pic_take_interval(cpu) {
+            Ok(raw) => self.sanitizer.sanitize(tid, raw.refs, raw.hits, raw.misses),
+            Err(SimError::CounterTrap { .. }) => {
+                let confidence = self.sanitizer.note_trap(tid);
+                SanitizedInterval { refs: 0, hits: 0, misses: 0, confidence, corrected: true }
+            }
+            Err(e) => {
+                return Err(RuntimeError::Internal { what: format!("counter read failed: {e}") })
+            }
+        };
+        if delta.corrected {
+            self.corrected_intervals += 1;
+        }
         // Runtime sharing inference (§7): drain the CML and fold inferred
         // edges into the annotation graph before the priority updates.
         if let Some(inference) = &mut self.inference {
@@ -516,7 +563,7 @@ impl Engine {
         self.clocks[cpu] += self.config.switch_cost_cycles + self.config.pic_read_cycles;
         self.switches += 1;
         {
-            let tcb = self.threads.get_mut(&tid).expect("tcb");
+            let tcb = self.tcb_mut(tid)?;
             tcb.switches += 1;
             if reason == SwitchReason::Exited {
                 tcb.state = ThreadState::Exited;
@@ -542,30 +589,33 @@ impl Engine {
             self.hooks = hooks;
         }
         if matches!(reason, SwitchReason::Yield | SwitchReason::Preempted) {
-            let tcb = self.threads.get_mut(&tid).expect("tcb");
+            let tcb = self.tcb_mut(tid)?;
             tcb.state = ThreadState::Ready;
             self.sched.on_ready(tid);
         }
         self.current[cpu] = None;
         self.machine.set_running(cpu, None);
+        Ok(())
     }
 
-    fn finish_thread(&mut self, tid: ThreadId) {
+    fn finish_thread(&mut self, tid: ThreadId) -> Result<(), RuntimeError> {
         self.live -= 1;
         self.completed += 1;
         let waiters = {
-            let tcb = self.threads.get_mut(&tid).expect("tcb");
+            let tcb = self.tcb_mut(tid)?;
             std::mem::take(&mut tcb.join_waiters)
         };
         for w in waiters {
-            self.make_ready(w);
+            self.make_ready(w)?;
         }
         self.graph.remove_thread(tid);
         self.sched.on_exit(tid);
         self.machine.remove_thread_regions(tid);
+        self.sanitizer.forget(tid);
         if let Some(inference) = &mut self.inference {
             inference.forget(tid);
         }
+        Ok(())
     }
 
     /// Per-thread runtime counters `(switches, batches)`.
@@ -1051,6 +1101,64 @@ mod tests {
         let a = run();
         let b = run();
         assert_eq!(a, b, "two identical runs must produce identical reports");
+    }
+
+    #[test]
+    fn survives_persistent_wraparound_fault() {
+        use locality_sim::{FaultConfig, FaultKind};
+        let mut e = engine(SchedPolicy::Lff);
+        e.machine_mut().install_fault(FaultConfig::always(FaultKind::Wraparound, 7));
+        for _ in 0..3 {
+            e.spawn(Box::new(Walker::new(64 * 1024, 30)));
+        }
+        let report = e.run().expect("run must complete under counter faults");
+        assert_eq!(report.threads_completed, 3);
+        assert!(report.corrected_intervals > 0, "wrap artifacts must be corrected");
+    }
+
+    #[test]
+    fn degrades_under_trap_fault_and_recovers() {
+        use locality_sim::{FaultConfig, FaultKind};
+        let mut e = engine(SchedPolicy::Lff);
+        // Every counter read traps for the first 150 reads, then the
+        // fault clears for good.
+        e.machine_mut().install_fault(FaultConfig::windowed(FaultKind::TrapOnRead, 3, 0, 150));
+        for _ in 0..3 {
+            e.spawn(Box::new(Walker::new(64 * 1024, 80)));
+        }
+        let report = e.run().expect("run must complete under trap faults");
+        assert_eq!(report.threads_completed, 3);
+        assert!(
+            report.degraded_intervals > 0,
+            "sustained traps must push the scheduler into degraded mode"
+        );
+        assert!(
+            !e.scheduler().is_degraded(),
+            "scheduler must recover once the fault window passes"
+        );
+        assert!(report.corrected_intervals > 0);
+    }
+
+    #[test]
+    fn fcfs_unaffected_by_faults() {
+        use locality_sim::{FaultConfig, FaultKind};
+        let run = |fault: Option<FaultConfig>| {
+            let mut e = engine(SchedPolicy::Fcfs);
+            if let Some(f) = fault {
+                e.machine_mut().install_fault(f);
+            }
+            for _ in 0..3 {
+                e.spawn(Box::new(Walker::new(16 * 1024, 10)));
+            }
+            e.run().unwrap()
+        };
+        let clean = run(None);
+        let noisy = run(Some(FaultConfig::always(FaultKind::Noise { percent: 50 }, 11)));
+        // FCFS never consults the counters: identical schedule and misses.
+        assert_eq!(clean.total_l2_misses, noisy.total_l2_misses);
+        assert_eq!(clean.context_switches, noisy.context_switches);
+        assert_eq!(clean.degraded_intervals, 0);
+        assert_eq!(noisy.degraded_intervals, 0);
     }
 
     #[test]

@@ -34,6 +34,12 @@ pub enum RuntimeError {
         /// The configured budget.
         budget: u64,
     },
+    /// An internal invariant failed (a bug surfaced as an error instead
+    /// of a panic, so fault-injection runs can report it gracefully).
+    Internal {
+        /// What went wrong.
+        what: String,
+    },
 }
 
 impl fmt::Display for RuntimeError {
@@ -50,6 +56,7 @@ impl fmt::Display for RuntimeError {
             RuntimeError::StepBudgetExceeded { budget } => {
                 write!(f, "engine exceeded its step budget of {budget}")
             }
+            RuntimeError::Internal { what } => write!(f, "internal runtime error: {what}"),
         }
     }
 }
@@ -71,6 +78,8 @@ mod tests {
         assert!(RuntimeError::StepBudgetExceeded { budget: 10 }.to_string().contains("10"));
         let e = RuntimeError::UnknownSyncObject { what: "semaphore 9".into() };
         assert!(e.to_string().contains("semaphore 9"));
+        let e = RuntimeError::Internal { what: "tcb missing".into() };
+        assert!(e.to_string().contains("tcb missing"));
     }
 
     #[test]

@@ -7,8 +7,7 @@
 //! how the model-accuracy experiments (Figures 4–7) sample both series.
 
 use crate::sched::Scheduler;
-use locality_core::ThreadId;
-use locality_sim::counters::PicDelta;
+use locality_core::{SanitizedInterval, ThreadId};
 use locality_sim::Machine;
 
 /// Why a context switch happened.
@@ -27,7 +26,7 @@ pub enum SwitchReason {
 }
 
 /// A context-switch observation.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SwitchEvent {
     /// The processor switching.
     pub cpu: usize,
@@ -35,8 +34,9 @@ pub struct SwitchEvent {
     pub tid: ThreadId,
     /// Why it left.
     pub reason: SwitchReason,
-    /// Counter deltas of the ending interval.
-    pub delta: PicDelta,
+    /// Sanitized counter deltas of the ending interval (what the
+    /// scheduler saw, after wraparound/outlier correction).
+    pub delta: SanitizedInterval,
     /// The processor's local clock (cycles) at the switch.
     pub clock: u64,
     /// Machine-wide count of context switches so far.
@@ -88,7 +88,7 @@ mod tests {
             cpu: 0,
             tid: ThreadId(1),
             reason: SwitchReason::Yield,
-            delta: PicDelta::default(),
+            delta: SanitizedInterval::default(),
             clock: 100,
             switch_index: 0,
         };

@@ -185,8 +185,7 @@ impl PrioHeap {
                 return false;
             }
         }
-        self.pos.len() == self.items.len()
-            && self.pos.iter().all(|(&t, &i)| self.items[i].1 == t)
+        self.pos.len() == self.items.len() && self.pos.iter().all(|(&t, &i)| self.items[i].1 == t)
     }
 }
 

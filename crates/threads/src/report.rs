@@ -26,6 +26,12 @@ pub struct RunReport {
     /// Floating-point operations spent on priority updates
     /// `(arithmetic, table lookups)`.
     pub priority_flops: (u64, u64),
+    /// Scheduling intervals spent in degraded (counters-distrusted)
+    /// mode; zero for FCFS and for clean-counter runs.
+    pub degraded_intervals: u64,
+    /// Counter intervals the sanitizer corrected (wraparound artifacts,
+    /// outliers, inconsistent registers) or lost to read traps.
+    pub corrected_intervals: u64,
     /// Per-processor statistics.
     pub per_cpu: Vec<CpuStats>,
 }
@@ -86,6 +92,8 @@ mod tests {
             threads_completed: 5,
             steals: 0,
             priority_flops: (0, 0),
+            degraded_intervals: 0,
+            corrected_intervals: 0,
             per_cpu: vec![],
         }
     }

@@ -1,8 +1,7 @@
 //! The first-come first-served baseline: one global FIFO ready queue.
 
 use super::Scheduler;
-use locality_core::{SharingGraph, ThreadId};
-use locality_sim::counters::PicDelta;
+use locality_core::{SanitizedInterval, SharingGraph, ThreadId};
 use std::collections::VecDeque;
 
 /// FCFS scheduler: threads are dispatched in the order they became ready,
@@ -35,7 +34,7 @@ impl Scheduler for FcfsScheduler {
         &mut self,
         _cpu: usize,
         _tid: ThreadId,
-        _delta: PicDelta,
+        _interval: SanitizedInterval,
         _graph: &SharingGraph,
     ) {
     }
@@ -94,7 +93,7 @@ mod tests {
         let mut s = FcfsScheduler::new();
         let g = SharingGraph::new();
         s.on_ready(t(1));
-        s.on_interval_end(0, t(2), PicDelta::default(), &g);
+        s.on_interval_end(0, t(2), SanitizedInterval::default(), &g);
         assert_eq!(s.ready_count(), 1);
     }
 }

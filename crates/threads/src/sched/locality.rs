@@ -14,14 +14,49 @@
 //!   priority updates (blocker + annotation dependents); ready dependents
 //!   whose footprint just crossed the threshold are *promoted* from the
 //!   global queue into the processor's heap.
+//!
+//! ## Graceful degradation
+//!
+//! Counter-derived priorities are only as good as the counters. Each
+//! sanitized interval carries a per-thread confidence score (see
+//! [`locality_core::sanitizer`]); the scheduler folds those samples into
+//! a machine-wide EWMA. When that estimate stays below
+//! [`LocalityConfig::degrade_low`] for
+//! [`LocalityConfig::hysteresis_intervals`] consecutive intervals, the
+//! scheduler enters [`SchedMode::Degraded`]: priorities computed from
+//! counter data are no longer trusted for dispatch. In that mode picks
+//! use *annotations only* — the `at_share` dependents of the processor's
+//! last blocker run first (they share state regardless of what the
+//! counters claim) — and otherwise fall back to plain arrival-order FIFO,
+//! making the policy FCFS-equivalent when annotations are off. The
+//! estimator keeps consuming sanitized (bounded) intervals throughout,
+//! so footprint state stays warm; once confidence holds above
+//! [`LocalityConfig::recover_high`] for the same streak length the
+//! scheduler returns to [`SchedMode::Normal`] automatically. The
+//! two-threshold band plus streak requirement gives hysteresis against
+//! flapping on noisy confidence samples.
 
 use super::Scheduler;
 use crate::heap::PrioHeap;
 use locality_core::{
-    CpuId, EstimatorConfig, LocalityEstimator, ModelParams, PolicyKind, SharingGraph, ThreadId,
+    CpuId, EstimatorConfig, LocalityEstimator, ModelParams, PolicyKind, SanitizedInterval,
+    SharingGraph, ThreadId,
 };
-use locality_sim::counters::PicDelta;
+use std::cmp::Ordering;
 use std::collections::{HashMap, HashSet, VecDeque};
+
+/// Smoothing factor of the machine-wide confidence EWMA.
+const CONF_ALPHA: f64 = 0.25;
+
+/// Whether the scheduler currently trusts counter-derived priorities.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SchedMode {
+    /// Counters look sane: full LFF/CRT priority dispatch.
+    Normal,
+    /// Counters are distrusted: annotations-only preference, then
+    /// arrival-order FIFO (FCFS-equivalent without annotations).
+    Degraded,
+}
 
 /// Tunables of a locality scheduler.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -36,13 +71,31 @@ pub struct LocalityConfig {
     /// Sweep the processor's heap for under-threshold entries every this
     /// many context switches.
     pub sweep_interval: u64,
+    /// Enter [`SchedMode::Degraded`] when the confidence EWMA stays below
+    /// this value.
+    pub degrade_low: f64,
+    /// Return to [`SchedMode::Normal`] when the confidence EWMA stays
+    /// above this value (kept above `degrade_low` for hysteresis).
+    pub recover_high: f64,
+    /// Consecutive intervals the EWMA must sit beyond a threshold before
+    /// the mode flips (streak hysteresis against flapping).
+    pub hysteresis_intervals: u64,
 }
 
 impl LocalityConfig {
     /// Default parameters for a policy: annotations on, 8-line threshold,
-    /// sweep every 64 switches.
+    /// sweep every 64 switches, degrade below 0.5 / recover above 0.8
+    /// confidence with a 4-interval streak requirement.
     pub fn new(policy: PolicyKind) -> Self {
-        LocalityConfig { policy, use_annotations: true, threshold_lines: 8.0, sweep_interval: 64 }
+        LocalityConfig {
+            policy,
+            use_annotations: true,
+            threshold_lines: 8.0,
+            sweep_interval: 64,
+            degrade_low: 0.5,
+            recover_high: 0.8,
+            hysteresis_intervals: 4,
+        }
     }
 }
 
@@ -56,7 +109,17 @@ pub struct LocalityScheduler {
     in_global: HashSet<ThreadId>,
     /// For each ready thread, the bitmask of heaps containing it.
     heap_mask: HashMap<ThreadId, u64>,
+    /// All ready threads in arrival order (the degraded-mode FIFO).
+    arrival: VecDeque<ThreadId>,
+    /// Per-cpu annotation dependents of the cpu's last blocker, by
+    /// descending share weight (degraded-mode preference list).
+    preferred: Vec<VecDeque<ThreadId>>,
     empty_graph: SharingGraph,
+    mode: SchedMode,
+    conf: f64,
+    low_streak: u64,
+    high_streak: u64,
+    degraded_intervals: u64,
     interval_ends: u64,
     steals: u64,
 }
@@ -79,7 +142,14 @@ impl LocalityScheduler {
             global: VecDeque::new(),
             in_global: HashSet::new(),
             heap_mask: HashMap::new(),
+            arrival: VecDeque::new(),
+            preferred: (0..cpus).map(|_| VecDeque::new()).collect(),
             empty_graph: SharingGraph::new(),
+            mode: SchedMode::Normal,
+            conf: 1.0,
+            low_streak: 0,
+            high_streak: 0,
+            degraded_intervals: 0,
             interval_ends: 0,
             steals: 0,
         }
@@ -88,6 +158,16 @@ impl LocalityScheduler {
     /// The configuration in use.
     pub fn config(&self) -> LocalityConfig {
         self.config
+    }
+
+    /// The current dispatch mode.
+    pub fn mode(&self) -> SchedMode {
+        self.mode
+    }
+
+    /// The machine-wide counter-confidence EWMA in `[0, 1]`.
+    pub fn confidence(&self) -> f64 {
+        self.conf
     }
 
     /// The underlying estimator (inspection).
@@ -106,6 +186,7 @@ impl LocalityScheduler {
 
     fn enqueue_ready(&mut self, tid: ThreadId) {
         debug_assert!(!self.is_ready(tid), "{tid} enqueued twice");
+        self.arrival.push_back(tid);
         let mut mask = 0u64;
         for cpu in 0..self.heaps.len() {
             if self.est.expected_footprint(CpuId(cpu), tid) >= self.config.threshold_lines {
@@ -133,6 +214,7 @@ impl LocalityScheduler {
         if self.in_global.remove(&tid) {
             self.global.retain(|&x| x != tid);
         }
+        self.arrival.retain(|&x| x != tid);
     }
 
     /// Demotes a ready thread out of `cpu`'s heap; if it is then in no
@@ -182,6 +264,62 @@ impl LocalityScheduler {
             self.demote(cpu, tid);
         }
     }
+
+    /// Folds one confidence sample into the EWMA and runs the streak
+    /// hysteresis that flips the dispatch mode.
+    fn note_confidence(&mut self, sample: f64) {
+        let sample = if sample.is_finite() { sample.clamp(0.0, 1.0) } else { 0.0 };
+        self.conf += CONF_ALPHA * (sample - self.conf);
+        match self.mode {
+            SchedMode::Normal => {
+                self.high_streak = 0;
+                if self.conf < self.config.degrade_low {
+                    self.low_streak += 1;
+                    if self.low_streak >= self.config.hysteresis_intervals {
+                        self.mode = SchedMode::Degraded;
+                        self.low_streak = 0;
+                    }
+                } else {
+                    self.low_streak = 0;
+                }
+            }
+            SchedMode::Degraded => {
+                self.low_streak = 0;
+                if self.conf > self.config.recover_high {
+                    self.high_streak += 1;
+                    if self.high_streak >= self.config.hysteresis_intervals {
+                        self.mode = SchedMode::Normal;
+                        self.high_streak = 0;
+                        for p in &mut self.preferred {
+                            p.clear();
+                        }
+                    }
+                } else {
+                    self.high_streak = 0;
+                }
+            }
+        }
+    }
+
+    /// Degraded-mode pick: ready annotation dependents of `cpu`'s last
+    /// blocker first, then plain arrival-order FIFO.
+    fn pick_degraded(&mut self, cpu: usize) -> Option<ThreadId> {
+        while let Some(tid) = self.preferred[cpu].pop_front() {
+            if self.is_ready(tid) {
+                self.remove_everywhere(tid);
+                return Some(tid);
+            }
+        }
+        while let Some(&tid) = self.arrival.front() {
+            if self.is_ready(tid) {
+                self.remove_everywhere(tid);
+                return Some(tid);
+            }
+            // Defensive: drop any entry that fell out of the ready set.
+            self.arrival.pop_front();
+        }
+        None
+    }
 }
 
 impl Scheduler for LocalityScheduler {
@@ -202,11 +340,14 @@ impl Scheduler for LocalityScheduler {
         &mut self,
         cpu: usize,
         tid: ThreadId,
-        delta: PicDelta,
+        interval: SanitizedInterval,
         graph: &SharingGraph,
     ) {
-        let graph = if self.config.use_annotations { graph } else { &self.empty_graph };
-        let updates = self.est.on_interval_end(CpuId(cpu), tid, delta.misses, graph);
+        let model_graph = if self.config.use_annotations { graph } else { &self.empty_graph };
+        // The estimator always consumes the (sanitized, bounded) interval,
+        // even in degraded mode: keeping footprint state warm makes the
+        // switch back to Normal seamless once confidence recovers.
+        let updates = self.est.on_interval_end(CpuId(cpu), tid, interval.misses, model_graph);
         for u in updates {
             if u.thread == tid {
                 // The blocker is still Running from the scheduler's point
@@ -223,13 +364,30 @@ impl Scheduler for LocalityScheduler {
             }
         }
         self.interval_ends += 1;
-        if self.config.sweep_interval > 0 && self.interval_ends.is_multiple_of(self.config.sweep_interval)
+        if self.config.sweep_interval > 0
+            && self.interval_ends.is_multiple_of(self.config.sweep_interval)
         {
             self.sweep(cpu);
+        }
+        self.note_confidence(interval.confidence);
+        if self.mode == SchedMode::Degraded {
+            self.degraded_intervals += 1;
+            if self.config.use_annotations {
+                // Cache the blocker's annotation dependents for the
+                // annotations-only picks (pick() has no graph access).
+                let mut deps: Vec<(ThreadId, f64)> = graph.dependents_of(tid).collect();
+                deps.sort_by(|a, b| {
+                    b.1.partial_cmp(&a.1).unwrap_or(Ordering::Equal).then(a.0.cmp(&b.0))
+                });
+                self.preferred[cpu] = deps.into_iter().map(|(dep, _)| dep).collect();
+            }
         }
     }
 
     fn pick(&mut self, cpu: usize) -> Option<ThreadId> {
+        if self.mode == SchedMode::Degraded {
+            return self.pick_degraded(cpu);
+        }
         // Local heap first, lazily demoting entries that decayed below the
         // threshold since they were queued.
         while let Some((tid, _)) = self.heaps[cpu].pop_max() {
@@ -253,6 +411,7 @@ impl Scheduler for LocalityScheduler {
         if let Some(tid) = self.global.pop_front() {
             self.in_global.remove(&tid);
             self.heap_mask.remove(&tid);
+            self.arrival.retain(|&x| x != tid);
             return Some(tid);
         }
         // Steal the lowest-priority thread from the fullest neighbour.
@@ -287,6 +446,14 @@ impl Scheduler for LocalityScheduler {
         (c.flops(), c.lookups())
     }
 
+    fn degraded_intervals(&self) -> u64 {
+        self.degraded_intervals
+    }
+
+    fn is_degraded(&self) -> bool {
+        self.mode == SchedMode::Degraded
+    }
+
     fn name(&self) -> &'static str {
         match (self.config.policy, self.config.use_annotations) {
             (PolicyKind::Lff, true) => "lff",
@@ -309,15 +476,26 @@ mod tests {
         LocalityScheduler::new(LocalityConfig::new(PolicyKind::Lff), 1024, cpus)
     }
 
+    fn interval(misses: u64, confidence: f64) -> SanitizedInterval {
+        SanitizedInterval { refs: misses, hits: 0, misses, confidence, corrected: false }
+    }
+
     /// Run a synthetic interval: dispatch tid on cpu, charge misses, end.
     fn run_interval(s: &mut LocalityScheduler, cpu: usize, tid: ThreadId, misses: u64) {
         s.on_dispatch(cpu, tid);
-        s.on_interval_end(
-            cpu,
-            tid,
-            PicDelta { refs: misses, hits: 0, misses },
-            &SharingGraph::new(),
-        );
+        s.on_interval_end(cpu, tid, interval(misses, 1.0), &SharingGraph::new());
+    }
+
+    /// Like [`run_interval`] but with an explicit confidence sample.
+    fn run_interval_conf(
+        s: &mut LocalityScheduler,
+        cpu: usize,
+        tid: ThreadId,
+        misses: u64,
+        confidence: f64,
+    ) {
+        s.on_dispatch(cpu, tid);
+        s.on_interval_end(cpu, tid, interval(misses, confidence), &SharingGraph::new());
     }
 
     #[test]
@@ -376,8 +554,8 @@ mod tests {
         // Now another thread trashes the cache; t1 decays below 50 lines.
         s.on_spawn(t(2));
         s.pick(0); // t1 still beats t2? t1 in heap wins; force: pop order
-        // Actually pick returned t1 (heap first). Re-run it with 0 misses
-        // and requeue, then run t2 with many misses.
+                   // Actually pick returned t1 (heap first). Re-run it with 0 misses
+                   // and requeue, then run t2 with many misses.
         run_interval(&mut s, 0, t(1), 0);
         s.on_ready(t(1));
         assert_eq!(s.pick(0), Some(t(1)));
@@ -428,7 +606,7 @@ mod tests {
         // pick returns t2 first (FIFO within global)... we want t1; force.
         s.remove_everywhere(t(1));
         s.on_dispatch(0, t(1));
-        s.on_interval_end(0, t(1), PicDelta { refs: 2000, hits: 0, misses: 2000 }, &graph);
+        s.on_interval_end(0, t(1), interval(2000, 1.0), &graph);
         // t2 must now sit in cpu0's heap (promoted).
         assert_eq!(s.heap_len(0), 1);
         assert_eq!(s.pick(0), Some(t(2)));
@@ -448,7 +626,7 @@ mod tests {
         s.on_spawn(t(1));
         s.remove_everywhere(t(1));
         s.on_dispatch(0, t(1));
-        s.on_interval_end(0, t(1), PicDelta { refs: 2000, hits: 0, misses: 2000 }, &graph);
+        s.on_interval_end(0, t(1), interval(2000, 1.0), &graph);
         assert_eq!(s.heap_len(0), 0, "dependent must NOT be promoted");
         assert_eq!(s.name(), "lff-noann");
     }
@@ -509,5 +687,123 @@ mod tests {
             s.on_ready(tid);
         }
         assert_eq!(s.pick(0), Some(t(2)), "most recently blocked has ratio 0");
+    }
+
+    /// A scheduler with tight hysteresis for the degradation tests.
+    fn degradable(use_annotations: bool, cpus: usize) -> LocalityScheduler {
+        LocalityScheduler::new(
+            LocalityConfig {
+                use_annotations,
+                hysteresis_intervals: 2,
+                ..LocalityConfig::new(PolicyKind::Lff)
+            },
+            1024,
+            cpus,
+        )
+    }
+
+    /// Drive `tid` through low-confidence intervals until the scheduler
+    /// degrades (bounded; panics if it never does).
+    fn force_degrade(s: &mut LocalityScheduler, tid: ThreadId) {
+        for _ in 0..32 {
+            s.remove_everywhere(tid);
+            run_interval_conf(s, 0, tid, 100, 0.0);
+            s.on_ready(tid);
+            if s.is_degraded() {
+                return;
+            }
+        }
+        panic!("scheduler never degraded");
+    }
+
+    #[test]
+    fn sustained_low_confidence_degrades() {
+        let mut s = degradable(true, 1);
+        s.on_spawn(t(1));
+        assert!(!s.is_degraded());
+        assert_eq!(s.degraded_intervals(), 0);
+        force_degrade(&mut s, t(1));
+        assert_eq!(s.mode(), SchedMode::Degraded);
+        assert!(s.degraded_intervals() > 0, "degraded intervals are counted");
+        assert!(s.confidence() < 0.5);
+    }
+
+    #[test]
+    fn one_bad_sample_does_not_degrade() {
+        let mut s = degradable(true, 1);
+        s.on_spawn(t(1));
+        // Alternating good/bad samples: the EWMA dips but the streak
+        // requirement keeps the mode stable.
+        for i in 0..20 {
+            s.remove_everywhere(t(1));
+            run_interval_conf(&mut s, 0, t(1), 100, if i % 2 == 0 { 0.0 } else { 1.0 });
+            s.on_ready(t(1));
+        }
+        assert!(!s.is_degraded(), "hysteresis must absorb alternating samples");
+    }
+
+    #[test]
+    fn degraded_mode_is_arrival_fifo_without_annotations() {
+        let mut s = degradable(false, 1);
+        // t1 arrives first and stays cold; t2 arrives later and runs hot.
+        s.on_spawn(t(1));
+        s.on_spawn(t(2));
+        force_degrade(&mut s, t(2));
+        // t2 now has a large footprint (heap) but distrusted counters:
+        // dispatch must follow arrival order, i.e. t1 first.
+        assert_eq!(s.pick(0), Some(t(1)), "degraded pick ignores footprints");
+        assert_eq!(s.pick(0), Some(t(2)));
+        assert_eq!(s.pick(0), None);
+    }
+
+    #[test]
+    fn degraded_mode_prefers_annotation_dependents() {
+        let mut s = degradable(true, 1);
+        let mut graph = SharingGraph::new();
+        graph.set(t(1), t(3), 1.0).unwrap();
+        // t2 arrives before t3; FIFO alone would pick t2 first.
+        s.on_spawn(t(2));
+        s.on_spawn(t(3));
+        s.on_spawn(t(1));
+        // Degrade while t1 blocks repeatedly, so cpu0's preference list
+        // holds t1's dependents.
+        for _ in 0..8 {
+            s.remove_everywhere(t(1));
+            s.on_dispatch(0, t(1));
+            s.on_interval_end(0, t(1), interval(100, 0.0), &graph);
+            s.on_ready(t(1));
+            if s.is_degraded() {
+                break;
+            }
+        }
+        assert!(s.is_degraded());
+        assert_eq!(s.pick(0), Some(t(3)), "dependent of the last blocker runs first");
+        assert_eq!(s.pick(0), Some(t(2)), "then arrival order");
+    }
+
+    #[test]
+    fn recovers_when_confidence_returns() {
+        let mut s = degradable(true, 1);
+        s.on_spawn(t(1));
+        force_degrade(&mut s, t(1));
+        let degraded_so_far = s.degraded_intervals();
+        for _ in 0..32 {
+            s.remove_everywhere(t(1));
+            run_interval_conf(&mut s, 0, t(1), 100, 1.0);
+            s.on_ready(t(1));
+            if !s.is_degraded() {
+                break;
+            }
+        }
+        assert_eq!(s.mode(), SchedMode::Normal, "clean counters must restore Normal mode");
+        assert!(s.degraded_intervals() >= degraded_so_far);
+        // Normal dispatch again: the warm thread comes from the heap.
+        let final_count = s.degraded_intervals();
+        s.remove_everywhere(t(1));
+        run_interval(&mut s, 0, t(1), 400);
+        s.on_ready(t(1));
+        s.on_spawn(t(2));
+        assert_eq!(s.pick(0), Some(t(1)), "heap priority wins again after recovery");
+        assert_eq!(s.degraded_intervals(), final_count, "counting stops after recovery");
     }
 }

@@ -2,18 +2,18 @@
 //!
 //! The engine talks to a [`Scheduler`] through a narrow event interface:
 //! threads become ready, get dispatched, end scheduling intervals (with
-//! the performance-counter miss count of the interval), and exit. The
-//! scheduler owns the run-queue structures and — for the locality
-//! policies — the per-processor footprint estimator.
+//! the *sanitized* performance-counter deltas of the interval — see
+//! [`locality_core::sanitizer`]), and exit. The scheduler owns the
+//! run-queue structures and — for the locality policies — the
+//! per-processor footprint estimator.
 
 mod fcfs;
 mod locality;
 
 pub use fcfs::FcfsScheduler;
-pub use locality::{LocalityConfig, LocalityScheduler};
+pub use locality::{LocalityConfig, LocalityScheduler, SchedMode};
 
-use locality_core::{PolicyKind, SharingGraph, ThreadId};
-use locality_sim::counters::PicDelta;
+use locality_core::{PolicyKind, SanitizedInterval, SharingGraph, ThreadId};
 
 /// The policy selector used when building an [`crate::Engine`].
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -71,13 +71,15 @@ pub trait Scheduler {
     /// `tid` was chosen to run on `cpu` (it left the ready structures).
     fn on_dispatch(&mut self, cpu: usize, tid: ThreadId);
 
-    /// `tid`'s scheduling interval on `cpu` ended with the given counter
-    /// deltas; apply the model updates (no-op for FCFS).
+    /// `tid`'s scheduling interval on `cpu` ended with the given
+    /// sanitized counter deltas; apply the model updates (no-op for
+    /// FCFS). A trapped read arrives as an all-zero interval with
+    /// `corrected = true` and a reduced confidence.
     fn on_interval_end(
         &mut self,
         cpu: usize,
         tid: ThreadId,
-        delta: PicDelta,
+        interval: SanitizedInterval,
         graph: &SharingGraph,
     );
 
@@ -106,28 +108,31 @@ pub trait Scheduler {
         (0, 0)
     }
 
+    /// Intervals this scheduler spent in degraded (counters-distrusted)
+    /// mode; zero for policies without a degraded mode.
+    fn degraded_intervals(&self) -> u64 {
+        0
+    }
+
+    /// Whether the scheduler is currently running degraded.
+    fn is_degraded(&self) -> bool {
+        false
+    }
+
     /// The policy's report name.
     fn name(&self) -> &'static str;
 }
 
 /// Builds the scheduler for a policy.
-pub(crate) fn build(
-    policy: SchedPolicy,
-    l2_lines: usize,
-    cpus: usize,
-) -> Box<dyn Scheduler> {
+pub(crate) fn build(policy: SchedPolicy, l2_lines: usize, cpus: usize) -> Box<dyn Scheduler> {
     match policy {
         SchedPolicy::Fcfs => Box::new(FcfsScheduler::new()),
-        SchedPolicy::Lff => Box::new(LocalityScheduler::new(
-            LocalityConfig::new(PolicyKind::Lff),
-            l2_lines,
-            cpus,
-        )),
-        SchedPolicy::Crt => Box::new(LocalityScheduler::new(
-            LocalityConfig::new(PolicyKind::Crt),
-            l2_lines,
-            cpus,
-        )),
+        SchedPolicy::Lff => {
+            Box::new(LocalityScheduler::new(LocalityConfig::new(PolicyKind::Lff), l2_lines, cpus))
+        }
+        SchedPolicy::Crt => {
+            Box::new(LocalityScheduler::new(LocalityConfig::new(PolicyKind::Crt), l2_lines, cpus))
+        }
         SchedPolicy::LffNoAnnotations => Box::new(LocalityScheduler::new(
             LocalityConfig { use_annotations: false, ..LocalityConfig::new(PolicyKind::Lff) },
             l2_lines,
@@ -138,9 +143,7 @@ pub(crate) fn build(
             l2_lines,
             cpus,
         )),
-        SchedPolicy::Custom(config) => {
-            Box::new(LocalityScheduler::new(config, l2_lines, cpus))
-        }
+        SchedPolicy::Custom(config) => Box::new(LocalityScheduler::new(config, l2_lines, cpus)),
     }
 }
 

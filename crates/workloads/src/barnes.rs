@@ -164,7 +164,14 @@ impl BarnesScene {
     }
 
     fn new_node(&mut self, center: [f64; 3], half: f64) -> usize {
-        self.nodes.push(Node { center, half, mass: 0.0, com: [0.0; 3], children: [None; 8], body: None });
+        self.nodes.push(Node {
+            center,
+            half,
+            mass: 0.0,
+            com: [0.0; 3],
+            children: [None; 8],
+            body: None,
+        });
         self.nodes.len() - 1
     }
 
@@ -223,14 +230,13 @@ impl BarnesScene {
                 d2 += dx * dx;
             }
             let dist = d2.sqrt().max(1e-6);
-            let open = (2.0 * node.half) / dist > theta
-                && node.children.iter().any(Option::is_some);
+            let open =
+                (2.0 * node.half) / dist > theta && node.children.iter().any(Option::is_some);
             if open {
                 for child in node.children.into_iter().flatten() {
                     stack.push(child);
                 }
-            } else if !(node.body == Some(body_idx) && node.children.iter().all(Option::is_none))
-            {
+            } else if !(node.body == Some(body_idx) && node.children.iter().all(Option::is_none)) {
                 let f = node.mass / (d2 + 1e-9);
                 for d in 0..3 {
                     acc[d] += f * (node.com[d] - pos[d]) / dist;

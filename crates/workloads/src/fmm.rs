@@ -216,8 +216,7 @@ impl FmmWorker {
             ctx.read(scene.cell_addr(child));
             let (ccx, ccy) = (cells[child].cx, cells[child].cy);
             let (pcx, pcy) = (cells[parent_idx].cx, cells[parent_idx].cy);
-            let shift =
-                ((ccx - pcx) * (ccx - pcx) + (ccy - pcy) * (ccy - pcy)).sqrt();
+            let shift = ((ccx - pcx) * (ccx - pcx) + (ccy - pcy) * (ccy - pcy)).sqrt();
             let m = cells[child].multipole;
             let mut sk = 1.0;
             for k in 0..P {
@@ -240,8 +239,7 @@ impl FmmWorker {
         // (well separated; children of the parent's neighbours).
         for sy in iy.saturating_sub(3)..(iy + 4).min(side) {
             for sx in ix.saturating_sub(3)..(ix + 4).min(side) {
-                let (dx, dy) =
-                    ((sx as i64 - ix as i64).abs(), (sy as i64 - iy as i64).abs());
+                let (dx, dy) = ((sx as i64 - ix as i64).abs(), (sy as i64 - iy as i64).abs());
                 if dx.max(dy) < 2 {
                     continue; // near field, handled directly
                 }
@@ -294,8 +292,7 @@ impl FmmWorker {
             let mut pot = 0.0;
             let p = particles[pi];
             let cell = &cells[leaf];
-            let r = ((p.x - cell.cx) * (p.x - cell.cx) + (p.y - cell.cy) * (p.y - cell.cy))
-                .sqrt();
+            let r = ((p.x - cell.cx) * (p.x - cell.cx) + (p.y - cell.cy) * (p.y - cell.cy)).sqrt();
             let mut rk = 1.0;
             for l in cell.local {
                 pot += l * rk;
@@ -311,8 +308,7 @@ impl FmmWorker {
                         }
                         ctx.read(scene.particle_addr(qi));
                         let q = particles[qi];
-                        let d =
-                            ((p.x - q.x) * (p.x - q.x) + (p.y - q.y) * (p.y - q.y)).sqrt();
+                        let d = ((p.x - q.x) * (p.x - q.x) + (p.y - q.y) * (p.y - q.y)).sqrt();
                         pot += q.q / d.max(1e-6);
                         ctx.compute(8);
                     }
@@ -341,7 +337,11 @@ impl Program for FmmWorker {
                     let start = level_start(depth);
                     let count = level_cells(depth);
                     if self.cursor >= count {
-                        self.pass = if depth > 0 { Pass::M2m { level: depth - 1 } } else { Pass::M2l { level: 0 } };
+                        self.pass = if depth > 0 {
+                            Pass::M2m { level: depth - 1 }
+                        } else {
+                            Pass::M2l { level: 0 }
+                        };
                         self.cursor = 0;
                         continue;
                     }
@@ -430,7 +430,13 @@ pub fn spawn_single(engine: &mut Engine, params: &FmmParams) -> ThreadId {
     let cells = level_start(params.depth + 1) as u64;
     let cells_base = engine.machine_mut().alloc(cells * LINE, LINE);
     let scene = FmmScene::new(parts_base, cells_base, params);
-    engine.spawn(Box::new(FmmWorker { scene, params: *params, pass: Pass::P2m, cursor: 0, iteration: 0 }))
+    engine.spawn(Box::new(FmmWorker {
+        scene,
+        params: *params,
+        pass: Pass::P2m,
+        cursor: 0,
+        iteration: 0,
+    }))
 }
 
 #[cfg(test)]

@@ -89,10 +89,7 @@ impl App {
 
     /// Spawns the app's monitored single work thread into an engine,
     /// using scaled-down default parameters suitable for simulation.
-    pub fn spawn_single(
-        &self,
-        engine: &mut active_threads::Engine,
-    ) -> locality_core::ThreadId {
+    pub fn spawn_single(&self, engine: &mut active_threads::Engine) -> locality_core::ThreadId {
         match self {
             App::Barnes => barnes::spawn_single(engine, &barnes::BarnesParams::default()),
             App::Fmm => fmm::spawn_single(engine, &fmm::FmmParams::default()),

@@ -352,11 +352,8 @@ mod tests {
     use locality_sim::MachineConfig;
 
     fn run(policy: SchedPolicy, params: &MergeParams) -> (active_threads::RunReport, bool) {
-        let mut e = active_threads::Engine::new(
-            MachineConfig::ultra1(),
-            policy,
-            EngineConfig::default(),
-        );
+        let mut e =
+            active_threads::Engine::new(MachineConfig::ultra1(), policy, EngineConfig::default());
         let (shared, _root) = spawn_parallel(&mut e, params);
         let report = e.run().unwrap();
         (report, shared.is_sorted())

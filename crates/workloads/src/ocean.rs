@@ -70,9 +70,9 @@ impl OceanGrid {
         let mut sum = 0.0;
         for i in 1..n - 1 {
             for j in 1..n - 1 {
-                let r = g[(i - 1) * n + j] + g[(i + 1) * n + j] + g[i * n + j - 1]
-                    + g[i * n + j + 1]
-                    - 4.0 * g[i * n + j];
+                let r =
+                    g[(i - 1) * n + j] + g[(i + 1) * n + j] + g[i * n + j - 1] + g[i * n + j + 1]
+                        - 4.0 * g[i * n + j];
                 sum += r * r;
             }
         }
@@ -103,8 +103,8 @@ impl OceanWorker {
         ctx.read_range(self.grid.addr(i, 0), row_bytes, LINE);
         let start = 1 + (i + self.color) % 2;
         for j in (start..n - 1).step_by(2) {
-            let stencil = g[(i - 1) * n + j] + g[(i + 1) * n + j] + g[i * n + j - 1]
-                + g[i * n + j + 1];
+            let stencil =
+                g[(i - 1) * n + j] + g[(i + 1) * n + j] + g[i * n + j - 1] + g[i * n + j + 1];
             let old = g[i * n + j];
             g[i * n + j] = old + omega * (stencil / 4.0 - old);
         }
@@ -169,13 +169,7 @@ mod tests {
             SchedPolicy::Fcfs,
             EngineConfig::default(),
         );
-        e.spawn(Box::new(OceanWorker {
-            grid: grid.clone(),
-            params,
-            sweep: 0,
-            color: 0,
-            row: 1,
-        }));
+        e.spawn(Box::new(OceanWorker { grid: grid.clone(), params, sweep: 0, color: 0, row: 1 }));
         e.run().unwrap();
         let after = grid.residual();
         assert!(after < before * 0.7, "SOR must relax: {before} -> {after}");

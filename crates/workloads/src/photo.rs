@@ -252,11 +252,7 @@ fn register_row_regions(engine: &mut Engine, tid: ThreadId, shared: &PhotoShared
     let lo = y.saturating_sub(2 * p.filter_radius);
     let m = engine.machine_mut();
     m.register_region(tid, shared.row_addr(shared.in_base, y), row_bytes);
-    m.register_region(
-        tid,
-        shared.row_addr(shared.tmp_base, lo),
-        ((y - lo + 1) as u64) * row_bytes,
-    );
+    m.register_region(tid, shared.row_addr(shared.tmp_base, lo), ((y - lo + 1) as u64) * row_bytes);
     m.register_region(tid, shared.row_addr(shared.out_base, y), row_bytes);
 }
 
@@ -282,9 +278,8 @@ pub fn spawn_parallel_with(
     let tmp_base = engine.machine_mut().alloc(bytes, LINE);
     let out_base = engine.machine_mut().alloc(bytes, LINE);
     let shared = PhotoShared::new(in_base, tmp_base, out_base, *params);
-    let sems: Rc<Vec<SemId>> = Rc::new(
-        (0..params.height).map(|_| engine.sync_tables_mut().create_semaphore(0)).collect(),
-    );
+    let sems: Rc<Vec<SemId>> =
+        Rc::new((0..params.height).map(|_| engine.sync_tables_mut().create_semaphore(0)).collect());
     let mut tids = Vec::with_capacity(params.height);
     for y in 0..params.height {
         let tid = engine.spawn(Box::new(RowThread {
@@ -382,11 +377,8 @@ mod tests {
         policy: SchedPolicy,
         params: &PhotoParams,
     ) -> (active_threads::RunReport, u64) {
-        let config = if cpus == 1 {
-            MachineConfig::ultra1()
-        } else {
-            MachineConfig::enterprise5000(cpus)
-        };
+        let config =
+            if cpus == 1 { MachineConfig::ultra1() } else { MachineConfig::enterprise5000(cpus) };
         let mut e = active_threads::Engine::new(config, policy, EngineConfig::default());
         let (shared, _) = spawn_parallel(&mut e, params);
         let report = e.run().unwrap();
@@ -408,8 +400,7 @@ mod tests {
     fn filter_matches_direct_computation() {
         let params = PhotoParams::small();
         let (_, sum) = run(1, SchedPolicy::Fcfs, &params);
-        let shared =
-            PhotoShared::new(VAddr(0x10000), VAddr(0x20000000), VAddr(0x40000000), params);
+        let shared = PhotoShared::new(VAddr(0x10000), VAddr(0x20000000), VAddr(0x40000000), params);
         for y in 0..params.height {
             shared.hblur_row(y);
         }
@@ -424,8 +415,7 @@ mod tests {
         // The blend must pull pixel values toward the local mean: the
         // output's total variation along x is smaller than the input's.
         let params = PhotoParams::small();
-        let shared =
-            PhotoShared::new(VAddr(0x10000), VAddr(0x20000000), VAddr(0x40000000), params);
+        let shared = PhotoShared::new(VAddr(0x10000), VAddr(0x20000000), VAddr(0x40000000), params);
         for y in 0..params.height {
             shared.hblur_row(y);
         }

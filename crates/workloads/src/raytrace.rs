@@ -113,9 +113,7 @@ pub fn build_scene(engine: &mut Engine, params: &RaytraceParams) -> Rc<Scene> {
     for (si, s) in spheres.iter().enumerate() {
         // Conservative rasterization of each sphere into the grid.
         let lo = |c: f64, rad: f64| (((c - rad) * n as f64).floor().max(0.0)) as usize;
-        let hi = |c: f64, rad: f64| {
-            ((((c + rad) * n as f64).ceil()) as usize).min(n - 1)
-        };
+        let hi = |c: f64, rad: f64| ((((c + rad) * n as f64).ceil()) as usize).min(n - 1);
         for z in lo(s.center[2], s.radius)..=hi(s.center[2], s.radius) {
             for y in lo(s.center[1], s.radius)..=hi(s.center[1], s.radius) {
                 for x in lo(s.center[0], s.radius)..=hi(s.center[0], s.radius) {
@@ -162,10 +160,8 @@ impl RayWorker {
         let n = scene.grid_side;
         let side = self.params.image_side as f64;
         let (ox, oy) = ((px as f64 + 0.5) / side, (py as f64 + 0.5) / side);
-        let (vx, vy) = (
-            ((ox * n as f64) as usize).min(n - 1),
-            ((oy * n as f64) as usize).min(n - 1),
-        );
+        let (vx, vy) =
+            (((ox * n as f64) as usize).min(n - 1), ((oy * n as f64) as usize).min(n - 1));
         let mut best: Option<f64> = None;
         let page = 8192u64;
         for vz in 0..n {
@@ -259,7 +255,12 @@ mod tests {
             EngineConfig::default(),
         );
         let scene = build_scene(&mut e, params);
-        e.spawn(Box::new(RayWorker { scene: scene.clone(), params: *params, next_ray: 0, pass: 0 }));
+        e.spawn(Box::new(RayWorker {
+            scene: scene.clone(),
+            params: *params,
+            next_ray: 0,
+            pass: 0,
+        }));
         let report = e.run().unwrap();
         let hits = *scene.hits.borrow();
         (report, hits)

@@ -85,17 +85,12 @@ pub fn spawn_parallel_with(
 ) -> Vec<ThreadId> {
     let bytes = params.footprint_lines * LINE;
     let overlap = params.overlap.clamp(0.0, 0.9);
-    let stride_lines =
-        ((params.footprint_lines as f64) * (1.0 - overlap)).round().max(1.0) as u64;
+    let stride_lines = ((params.footprint_lines as f64) * (1.0 - overlap)).round().max(1.0) as u64;
     let mut tids = Vec::with_capacity(params.tasks);
     if overlap == 0.0 {
         for _ in 0..params.tasks {
             let region = engine.machine_mut().alloc(bytes, LINE);
-            tids.push(engine.spawn(Box::new(Task {
-                region,
-                bytes,
-                periods_left: params.periods,
-            })));
+            tids.push(engine.spawn(Box::new(Task { region, bytes, periods_left: params.periods })));
         }
         return tids;
     }
@@ -126,11 +121,8 @@ mod tests {
     use locality_sim::MachineConfig;
 
     fn run(policy: SchedPolicy, params: &TasksParams) -> active_threads::RunReport {
-        let mut e = active_threads::Engine::new(
-            MachineConfig::ultra1(),
-            policy,
-            EngineConfig::default(),
-        );
+        let mut e =
+            active_threads::Engine::new(MachineConfig::ultra1(), policy, EngineConfig::default());
         spawn_parallel(&mut e, params);
         e.run().unwrap()
     }

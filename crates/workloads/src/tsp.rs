@@ -14,7 +14,10 @@
 //! *prefetch data for their children* (they write the copies), which the
 //! annotations record — and, as in the paper, the tree shape is fixed by
 //! a depth/budget rule rather than by the racy incumbent bound, so every
-//! scheduling policy performs **equal work**.
+//! scheduling policy performs **equal work**. Each node carries its own
+//! spawn budget, split between its children when it branches, so the set
+//! of evaluated tours (not just their count) is independent of dispatch
+//! order.
 
 use crate::common::{rng, LineToucher, LINE};
 use active_threads::{BatchCtx, Control, Engine, MutexId, Program, ThreadId};
@@ -110,7 +113,6 @@ enum Phase {
     Reduce,
     AllocChildren,
     CopyAndSpawn,
-    GreedyFallback,
     UpdateBest,
     Done,
 }
@@ -124,6 +126,10 @@ pub struct TspTask {
     matrix_addr: VAddr,
     depth: u32,
     bound: u64,
+    /// Threads this subtree may still spawn. Fixed at spawn time (the
+    /// parent splits its own budget between its children), so the tree
+    /// shape never depends on dispatch order.
+    node_budget: i64,
     alloc_mutex: MutexId,
     best_mutex: MutexId,
     phase: Phase,
@@ -134,12 +140,14 @@ pub struct TspTask {
 }
 
 impl TspTask {
+    #[allow(clippy::too_many_arguments)]
     fn new(
         shared: Rc<TspShared>,
         matrix: Vec<u32>,
         matrix_addr: VAddr,
         depth: u32,
         bound: u64,
+        node_budget: i64,
         alloc_mutex: MutexId,
         best_mutex: MutexId,
     ) -> Self {
@@ -149,6 +157,7 @@ impl TspTask {
             matrix_addr,
             depth,
             bound,
+            node_budget,
             alloc_mutex,
             best_mutex,
             phase: Phase::Reduce,
@@ -255,7 +264,7 @@ impl TspTask {
     fn is_leaf(&self) -> bool {
         self.depth >= self.shared.params.max_depth
             || self.branch_edge.is_none()
-            || self.shared.budget.get() < 2
+            || self.node_budget < 2
     }
 }
 
@@ -276,22 +285,16 @@ impl Program for TspTask {
                 Control::Lock(self.alloc_mutex)
             }
             Phase::AllocChildren => {
-                // Re-check the budget under the lock: another task may
-                // have consumed it while we waited.
-                if self.shared.budget.get() < 2 {
-                    self.phase = Phase::GreedyFallback;
-                    return Control::Unlock(self.alloc_mutex);
-                }
+                // The spawn decision was made from this node's own budget
+                // share, so nothing needs re-checking under the lock — it
+                // only serialises the allocator, like the paper's
+                // lock-protected Solaris malloc. The shared cell just
+                // keeps global accounting.
                 let bytes = self.shared.params.matrix_bytes();
                 self.child_addrs = [Some(ctx.alloc(bytes, LINE)), Some(ctx.alloc(bytes, LINE))];
                 self.shared.budget.set(self.shared.budget.get() - 2);
                 self.phase = Phase::CopyAndSpawn;
                 Control::Unlock(self.alloc_mutex)
-            }
-            Phase::GreedyFallback => {
-                self.tour_cost = self.greedy_tour(ctx);
-                self.phase = Phase::UpdateBest;
-                Control::Lock(self.best_mutex)
             }
             Phase::CopyAndSpawn => {
                 let n = self.shared.n;
@@ -309,6 +312,12 @@ impl Program for TspTask {
                 let mut without_edge = base;
                 without_edge[bi * n + bj] = INF;
 
+                // Split the remaining spawn budget between the subtrees:
+                // the include-edge child (deeper, more promising) gets
+                // the larger half of an odd remainder.
+                let rem = self.node_budget - 2;
+                let child_budget = [rem - rem / 2, rem / 2];
+
                 let me = ctx.self_id();
                 for (slot, (matrix, extra_bound)) in
                     [(0, (with_edge, 0u64)), (1, (without_edge, 0u64))]
@@ -323,6 +332,7 @@ impl Program for TspTask {
                         addr,
                         self.depth + 1,
                         self.bound + extra_bound,
+                        child_budget[slot],
                         self.alloc_mutex,
                         self.best_mutex,
                     );
@@ -371,12 +381,15 @@ pub fn spawn_parallel(engine: &mut Engine, params: &TspParams) -> (Rc<TspShared>
     let best_mutex = engine.sync_tables_mut().create_mutex();
     let bytes = params.matrix_bytes();
     let root_matrix_addr = engine.machine_mut().alloc(bytes, LINE);
+    // The root holds the full spawn budget (minus itself); it hands
+    // shares down the tree as it branches.
     let root = TspTask::new(
         shared.clone(),
         shared.dist.clone(),
         root_matrix_addr,
         0,
         0,
+        params.thread_budget as i64 - 1,
         alloc_mutex,
         best_mutex,
     );
@@ -442,8 +455,9 @@ pub fn spawn_single(engine: &mut Engine, params: &TspParams) -> ThreadId {
     let best_mutex = engine.sync_tables_mut().create_mutex();
     let bytes = params.matrix_bytes();
     let addr = engine.machine_mut().alloc(bytes, LINE);
+    // The single worker never spawns, so its budget share is zero.
     let task =
-        TspTask::new(shared.clone(), shared.dist.clone(), addr, 0, 0, alloc_mutex, best_mutex);
+        TspTask::new(shared.clone(), shared.dist.clone(), addr, 0, 0, 0, alloc_mutex, best_mutex);
     engine.spawn(Box::new(TspWorker { shared, task, rounds: 24 }))
 }
 
@@ -453,12 +467,13 @@ mod tests {
     use active_threads::{EngineConfig, SchedPolicy};
     use locality_sim::MachineConfig;
 
-    fn run(cpus: usize, policy: SchedPolicy, params: &TspParams) -> (active_threads::RunReport, u64, u64) {
-        let config = if cpus == 1 {
-            MachineConfig::ultra1()
-        } else {
-            MachineConfig::enterprise5000(cpus)
-        };
+    fn run(
+        cpus: usize,
+        policy: SchedPolicy,
+        params: &TspParams,
+    ) -> (active_threads::RunReport, u64, u64) {
+        let config =
+            if cpus == 1 { MachineConfig::ultra1() } else { MachineConfig::enterprise5000(cpus) };
         let mut e = active_threads::Engine::new(config, policy, EngineConfig::default());
         let (shared, _) = spawn_parallel(&mut e, params);
         let report = e.run().unwrap();
@@ -494,8 +509,7 @@ mod tests {
         let params = TspParams::small();
         let (_, best, _) = run(1, SchedPolicy::Fcfs, &params);
         let shared = TspShared::new(VAddr(0x1000), &params);
-        let min_d =
-            shared.dist.iter().copied().filter(|&d| d > 0 && d < INF).min().unwrap() as u64;
+        let min_d = shared.dist.iter().copied().filter(|&d| d > 0 && d < INF).min().unwrap() as u64;
         assert!(best >= min_d * params.cities as u64 / 2);
     }
 

@@ -97,11 +97,7 @@ impl TypecheckerData {
                 if r.gen_bool(0.02) {
                     cur_ty = r.gen_range(0..params.types) as u32;
                 }
-                let ty = if r.gen_bool(0.7) {
-                    cur_ty
-                } else {
-                    r.gen_range(0..params.types) as u32
-                };
+                let ty = if r.gen_bool(0.7) { cur_ty } else { r.gen_range(0..params.types) as u32 };
                 AstNode { ty }
             })
             .collect();
@@ -160,10 +156,7 @@ impl Program for TypecheckerWorker {
                 if next == 0 {
                     // The thread's *state* is the type graph; the AST is
                     // streamed-once input (see module docs).
-                    ctx.register_region(
-                        self.data.types_base,
-                        self.params.types as u64 * LINE,
-                    );
+                    ctx.register_region(self.data.types_base, self.params.types as u64 * LINE);
                 }
                 // Intensive burst: bring the whole graph in, resolving
                 // every supertype link.
@@ -260,7 +253,8 @@ mod tests {
 
     #[test]
     fn supertype_chains_are_acyclic() {
-        let data = TypecheckerData::new(VAddr(0x10000), VAddr(0x4000000), &TypecheckerParams::small());
+        let data =
+            TypecheckerData::new(VAddr(0x10000), VAddr(0x4000000), &TypecheckerParams::small());
         for start in 0..data.types.len() {
             let mut t = start as u32;
             let mut hops = 0;

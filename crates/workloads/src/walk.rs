@@ -96,7 +96,13 @@ pub struct Sleeper {
 impl Sleeper {
     /// Creates a sleeper over a pre-allocated region.
     pub fn new(region: VAddr, region_bytes: u64, prefill_bytes: u64, sleep_cycles: u64) -> Self {
-        Sleeper { region, region_bytes, prefill_bytes: prefill_bytes.min(region_bytes), sleep_cycles, phase: 0 }
+        Sleeper {
+            region,
+            region_bytes,
+            prefill_bytes: prefill_bytes.min(region_bytes),
+            sleep_cycles,
+            phase: 0,
+        }
     }
 }
 
@@ -196,10 +202,7 @@ mod tests {
         let model = FootprintModel::new(ModelParams::new(8192).unwrap());
         let predicted = model.expected_blocking(0.0, misses);
         let err = (observed as f64 - predicted).abs() / predicted;
-        assert!(
-            err < 0.05,
-            "observed {observed} vs predicted {predicted:.0} ({misses} misses)"
-        );
+        assert!(err < 0.05, "observed {observed} vs predicted {predicted:.0} ({misses} misses)");
     }
 
     #[test]

@@ -21,8 +21,7 @@ fn main() {
 
     let mut results = Vec::new();
     for policy in [SchedPolicy::Fcfs, SchedPolicy::Lff, SchedPolicy::Crt] {
-        let mut engine =
-            Engine::new(MachineConfig::ultra1(), policy, EngineConfig::default());
+        let mut engine = Engine::new(MachineConfig::ultra1(), policy, EngineConfig::default());
         let (shared, _) = spawn_parallel(&mut engine, &params);
         let report = engine.run().expect("sort completes");
         assert!(shared.is_sorted(), "the sort is real: the data must end up ordered");
@@ -45,7 +44,5 @@ fn main() {
     // the parent. (The graph is empty again after the run — exited
     // threads are removed — so we inspect the fresh engine above.)
     let _ = root;
-    println!(
-        "annotation pattern: at_share(child, parent, 1.0) after each at_create (paper §2.3)"
-    );
+    println!("annotation pattern: at_share(child, parent, 1.0) after each at_create (paper §2.3)");
 }

@@ -19,12 +19,9 @@ fn main() {
 
     let mut reference = None;
     let mut fcfs = None;
-    for policy in [
-        SchedPolicy::Fcfs,
-        SchedPolicy::Lff,
-        SchedPolicy::Crt,
-        SchedPolicy::LffNoAnnotations,
-    ] {
+    for policy in
+        [SchedPolicy::Fcfs, SchedPolicy::Lff, SchedPolicy::Crt, SchedPolicy::LffNoAnnotations]
+    {
         let mut engine =
             Engine::new(MachineConfig::enterprise5000(8), policy, EngineConfig::default());
         let (shared, tids) = spawn_parallel(&mut engine, &params);

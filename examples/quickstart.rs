@@ -39,8 +39,7 @@ impl Program for PeriodicTask {
 }
 
 fn run(policy: SchedPolicy) -> thread_locality::threads::RunReport {
-    let mut engine =
-        Engine::new(MachineConfig::enterprise5000(8), policy, EngineConfig::default());
+    let mut engine = Engine::new(MachineConfig::enterprise5000(8), policy, EngineConfig::default());
     for _ in 0..512 {
         engine.spawn(Box::new(PeriodicTask { region: None, periods: 25 }));
     }
@@ -59,14 +58,8 @@ fn main() {
     // The full runtime: FCFS vs Largest-Footprint-First.
     let fcfs = run(SchedPolicy::Fcfs);
     let lff = run(SchedPolicy::Lff);
-    println!(
-        "FCFS: {:>9} E-cache misses, {:>12} cycles",
-        fcfs.total_l2_misses, fcfs.total_cycles
-    );
-    println!(
-        "LFF : {:>9} E-cache misses, {:>12} cycles",
-        lff.total_l2_misses, lff.total_cycles
-    );
+    println!("FCFS: {:>9} E-cache misses, {:>12} cycles", fcfs.total_l2_misses, fcfs.total_cycles);
+    println!("LFF : {:>9} E-cache misses, {:>12} cycles", lff.total_l2_misses, lff.total_cycles);
     println!(
         "LFF eliminated {:.0}% of the misses and ran {:.2}x faster",
         lff.misses_eliminated_vs(&fcfs) * 100.0,

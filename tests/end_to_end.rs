@@ -1,5 +1,7 @@
 //! Integration tests spanning all crates through the facade.
 
+use std::cell::RefCell;
+use std::rc::Rc;
 use thread_locality::core::{CpuId, FootprintModel, ModelParams};
 use thread_locality::sim::{AccessKind, Machine, MachineConfig};
 use thread_locality::threads::{
@@ -7,8 +9,6 @@ use thread_locality::threads::{
     ThreadId,
 };
 use thread_locality::workloads::{merge, tasks, walk};
-use std::cell::RefCell;
-use std::rc::Rc;
 
 #[test]
 fn machine_footprint_matches_model_for_random_walk() {
@@ -138,8 +138,7 @@ fn counters_are_the_only_model_input() {
         }
     }
     let run = |policy| {
-        let mut engine =
-            Engine::new(MachineConfig::ultra1(), policy, EngineConfig::default());
+        let mut engine = Engine::new(MachineConfig::ultra1(), policy, EngineConfig::default());
         for _ in 0..200 {
             engine.spawn(Box::new(Toucher { region: None, rounds: 8 }));
         }
@@ -174,7 +173,7 @@ fn cross_cpu_invalidations_are_visible_to_ground_truth_only() {
     for l in 0..2048u64 {
         machine.access(0, region.offset(l * 64), AccessKind::Read);
     }
-    let delta = machine.pic_take_interval(0);
+    let delta = machine.pic_take_interval(0).expect("clean machine read");
     est.on_interval_end(CpuId(0), a, delta.misses, &graph);
 
     machine.set_running(1, Some(ThreadId(2)));
@@ -217,8 +216,7 @@ fn runtime_inference_discovers_sharing() {
             infer_sharing: infer.then(InferenceConfig::default),
             ..EngineConfig::default()
         };
-        let mut engine =
-            Engine::new(MachineConfig::enterprise5000(2), SchedPolicy::Lff, config);
+        let mut engine = Engine::new(MachineConfig::enterprise5000(2), SchedPolicy::Lff, config);
         // Many pairs sharing buffers, interleaved so FIFO separates them.
         for _ in 0..24 {
             let buf = engine.machine_mut().alloc(6400, 8192);

@@ -2,10 +2,10 @@
 
 use proptest::prelude::*;
 use thread_locality::core::markov::{expectation, total_mass, DependentChain};
+use thread_locality::core::priority::FootprintEntry;
 use thread_locality::core::{
     FootprintModel, ModelParams, PolicyKind, PrioritySchemes, SharingGraph, ThreadId,
 };
-use thread_locality::core::priority::FootprintEntry;
 
 proptest! {
     /// The closed form equals the exact Markov-chain expectation for any
