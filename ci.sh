@@ -6,3 +6,9 @@ cargo build --release
 cargo test -q --workspace
 cargo fmt --check
 cargo clippy --workspace --all-targets -- -D warnings
+
+# Smoke the full repro suite through the parallel cached runner.
+SMOKE_OUT=$(mktemp -d)
+cargo run --release -p locality-repro --bin repro-all -- \
+    --scale small --jobs 2 --out "$SMOKE_OUT"
+rm -rf "$SMOKE_OUT"

@@ -2,6 +2,20 @@
 
 use std::path::PathBuf;
 
+/// Usage text printed for `--help` and on argument errors.
+pub const USAGE: &str = "usage: [--scale paper|small] [--out DIR] [--jobs N] [--no-cache] \
+     [--fault SCENARIO|all]
+
+options:
+  --scale paper|small  workload scale (default: paper)
+  --out DIR            output directory for CSV files (default: results)
+  --jobs N             worker threads for independent runs
+                       (default: available parallelism)
+  --no-cache           ignore and do not write the on-disk result cache
+  --fault SCENARIO     ablation only: run the counter-fault robustness
+                       table for one scenario, or 'all'
+  --help, -h           print this help";
+
 /// Workload scale selector.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Scale {
@@ -21,23 +35,50 @@ pub struct Args {
     /// Counter-fault scenario keyword (`--fault <scenario>|all`), used
     /// by the ablation binary's robustness runs.
     pub fault: Option<String>,
+    /// Worker threads used by the experiment runner (`--jobs N`).
+    pub jobs: usize,
+    /// Disable the on-disk result cache (`--no-cache`).
+    pub no_cache: bool,
+}
+
+/// Outcome of parsing an argument list.
+#[derive(Debug, Clone)]
+pub enum Parsed {
+    /// Normal invocation.
+    Run(Args),
+    /// `--help`/`-h` was requested; the caller should print [`USAGE`]
+    /// to stdout and exit successfully.
+    Help,
+}
+
+/// The default worker count: the host's available parallelism.
+pub fn default_jobs() -> usize {
+    std::thread::available_parallelism().map(std::num::NonZeroUsize::get).unwrap_or(1)
 }
 
 impl Default for Args {
     fn default() -> Self {
-        Args { scale: Scale::Paper, out: PathBuf::from("results"), fault: None }
+        Args {
+            scale: Scale::Paper,
+            out: PathBuf::from("results"),
+            fault: None,
+            jobs: default_jobs(),
+            no_cache: false,
+        }
     }
 }
 
 impl Args {
-    /// Parses `--scale paper|small` and `--out DIR` from an iterator of
-    /// arguments (the program name must already be consumed).
+    /// Parses `--scale paper|small`, `--out DIR`, `--jobs N`,
+    /// `--no-cache`, and `--fault` from an iterator of arguments (the
+    /// program name must already be consumed). `--help`/`-h` yields
+    /// [`Parsed::Help`] rather than an error.
     ///
     /// # Errors
     ///
     /// Returns a message suitable for printing on unknown or malformed
     /// arguments.
-    pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<Self, String> {
+    pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<Parsed, String> {
         let mut out = Args::default();
         let mut it = args.into_iter();
         while let Some(arg) = it.next() {
@@ -54,26 +95,38 @@ impl Args {
                     let v = it.next().ok_or("--out needs a directory")?;
                     out.out = PathBuf::from(v);
                 }
+                "--jobs" => {
+                    let v = it.next().ok_or("--jobs needs a worker count")?;
+                    out.jobs = match v.parse::<usize>() {
+                        Ok(n) if n > 0 => n,
+                        _ => return Err(format!("--jobs needs a positive integer, got '{v}'")),
+                    };
+                }
+                "--no-cache" => out.no_cache = true,
                 "--fault" => {
                     let v = it.next().ok_or("--fault needs a scenario name (or 'all')")?;
                     out.fault = Some(v);
                 }
-                "--help" | "-h" => {
-                    return Err("usage: [--scale paper|small] [--out DIR] [--fault SCENARIO|all]"
-                        .to_string())
-                }
+                "--help" | "-h" => return Ok(Parsed::Help),
                 other => return Err(format!("unknown argument '{other}'")),
             }
         }
-        Ok(out)
+        Ok(Parsed::Run(out))
     }
 
-    /// Parses the process arguments, exiting with a message on error.
+    /// Parses the process arguments. `--help`/`-h` prints usage to
+    /// stdout and exits 0; malformed arguments print to stderr and
+    /// exit 2.
     pub fn from_env() -> Self {
         match Self::parse(std::env::args().skip(1)) {
-            Ok(args) => args,
+            Ok(Parsed::Run(args)) => args,
+            Ok(Parsed::Help) => {
+                println!("{USAGE}");
+                std::process::exit(0);
+            }
             Err(msg) => {
                 eprintln!("{msg}");
+                eprintln!("{USAGE}");
                 std::process::exit(2);
             }
         }
@@ -81,12 +134,12 @@ impl Args {
 
     /// Creates the output directory and returns the path for `name`.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the directory cannot be created.
-    pub fn csv_path(&self, name: &str) -> PathBuf {
-        std::fs::create_dir_all(&self.out).expect("create output directory");
-        self.out.join(name)
+    /// Returns the I/O error if the directory cannot be created.
+    pub fn csv_path(&self, name: &str) -> Result<PathBuf, std::io::Error> {
+        std::fs::create_dir_all(&self.out)?;
+        Ok(self.out.join(name))
     }
 }
 
@@ -95,7 +148,10 @@ mod tests {
     use super::*;
 
     fn parse(args: &[&str]) -> Result<Args, String> {
-        Args::parse(args.iter().map(|s| s.to_string()))
+        match Args::parse(args.iter().map(|s| s.to_string()))? {
+            Parsed::Run(a) => Ok(a),
+            Parsed::Help => Err("help requested".to_string()),
+        }
     }
 
     #[test]
@@ -103,6 +159,8 @@ mod tests {
         let a = parse(&[]).unwrap();
         assert_eq!(a.scale, Scale::Paper);
         assert_eq!(a.out, PathBuf::from("results"));
+        assert!(a.jobs >= 1);
+        assert!(!a.no_cache);
     }
 
     #[test]
@@ -114,6 +172,16 @@ mod tests {
     }
 
     #[test]
+    fn jobs_and_no_cache() {
+        let a = parse(&["--jobs", "4", "--no-cache"]).unwrap();
+        assert_eq!(a.jobs, 4);
+        assert!(a.no_cache);
+        assert!(parse(&["--jobs"]).is_err());
+        assert!(parse(&["--jobs", "0"]).is_err());
+        assert!(parse(&["--jobs", "many"]).is_err());
+    }
+
+    #[test]
     fn fault_scenario() {
         let a = parse(&["--fault", "wraparound"]).unwrap();
         assert_eq!(a.fault.as_deref(), Some("wraparound"));
@@ -121,10 +189,15 @@ mod tests {
     }
 
     #[test]
+    fn help_is_not_an_error() {
+        assert!(matches!(Args::parse(["-h".to_string()]), Ok(Parsed::Help)));
+        assert!(matches!(Args::parse(["--help".to_string()]), Ok(Parsed::Help)));
+    }
+
+    #[test]
     fn rejects_unknown() {
         assert!(parse(&["--bogus"]).is_err());
         assert!(parse(&["--scale", "huge"]).is_err());
         assert!(parse(&["--scale"]).is_err());
-        assert!(parse(&["-h"]).is_err());
     }
 }

@@ -7,503 +7,18 @@
 //! 2. **Threshold sweep**: the heap-eviction threshold bounds heap sizes;
 //!    too aggressive a threshold costs locality.
 //! 3. **Page placement** (§3.1): bin hopping vs page coloring vs
-//!    arbitrary placement, on the ocean sweep.
+//!    arbitrary placement.
 //! 4. **Invalidation effects** (§3.4): the model ignores cross-processor
 //!    invalidations; measure the prediction error they cause.
 //! 5. **Runtime sharing inference** (§7 future work): a CML-driven
-//!    inference engine discovers sharing without any annotations; how
-//!    close does it get to the hand-annotated program?
+//!    inference engine discovers sharing without any annotations.
 //! 6. **Counter-fault robustness** (`--fault <scenario>|all`): inject
-//!    deterministic PIC failure modes (wraparound, stuck-at, dropouts,
-//!    saturation, noise, read traps) and measure the sanitizer's and the
-//!    degraded scheduling mode's damage control: miss rate and
-//!    footprint-prediction error under each fault vs the clean baseline
-//!    and FCFS. Passing `--fault` runs *only* this table.
+//!    deterministic PIC failure modes and measure the sanitizer's and the
+//!    degraded scheduling mode's damage control. Passing `--fault` runs
+//!    *only* this table.
 
-use active_threads::events::EngineView;
-use active_threads::sched::LocalityConfig;
-use active_threads::{Engine, EngineConfig, EngineHook, SchedPolicy, SwitchEvent};
-use locality_core::{PolicyKind, ThreadId};
-use locality_repro::perf::{run_cell, PerfApp};
-use locality_repro::{Args, FaultScenario, Scale, Table};
-use locality_sim::{AccessKind, Machine, MachineConfig, PagePlacement};
-use locality_workloads::tasks;
-use std::cell::RefCell;
-use std::rc::Rc;
-
-fn annotation_ablation(args: &Args) {
-    let mut t = Table::new(
-        "Ablation 1 — photo on 8 cpus: the value of at_share annotations",
-        &["policy", "l2 misses", "cycles", "misses eliminated", "speedup"],
-    );
-    let fcfs = run_cell(PerfApp::Photo, SchedPolicy::Fcfs, 8, args.scale);
-    let lff = run_cell(PerfApp::Photo, SchedPolicy::Lff, 8, args.scale);
-    let noann = run_cell(PerfApp::Photo, SchedPolicy::LffNoAnnotations, 8, args.scale);
-    for r in [&fcfs, &lff, &noann] {
-        t.row(&[
-            r.policy.clone(),
-            r.total_l2_misses.to_string(),
-            r.total_cycles.to_string(),
-            format!("{:.0}%", r.misses_eliminated_vs(&fcfs) * 100.0),
-            format!("{:.2}", r.speedup_over(&fcfs)),
-        ]);
-    }
-    t.print();
-    let full_elim = lff.misses_eliminated_vs(&fcfs);
-    let part_elim = noann.misses_eliminated_vs(&fcfs);
-    let full_speed = lff.speedup_over(&fcfs) - 1.0;
-    let part_speed = noann.speedup_over(&fcfs) - 1.0;
-    if full_elim > 0.0 && full_speed > 0.0 {
-        println!(
-            "without annotations, LFF achieves {:.0}% of the full miss elimination and {:.0}% of the speedup\n\
-             (paper: 41% and 53%).\n",
-            100.0 * part_elim / full_elim,
-            100.0 * part_speed / full_speed
-        );
-    }
-    t.write_csv(&args.csv_path("ablation_annotations.csv"));
-}
-
-fn threshold_sweep(args: &Args) {
-    let mut t = Table::new(
-        "Ablation 2 — heap-eviction threshold sweep (tasks, 1 cpu, LFF)",
-        &["threshold (lines)", "l2 misses", "cycles"],
-    );
-    let params = match args.scale {
-        Scale::Paper => {
-            tasks::TasksParams { tasks: 512, footprint_lines: 100, periods: 30, overlap: 0.0 }
-        }
-        Scale::Small => {
-            tasks::TasksParams { tasks: 96, footprint_lines: 100, periods: 10, overlap: 0.0 }
-        }
-    };
-    for threshold in [1.0f64, 8.0, 64.0, 256.0, 1024.0] {
-        let config =
-            LocalityConfig { threshold_lines: threshold, ..LocalityConfig::new(PolicyKind::Lff) };
-        let mut engine = Engine::new(
-            MachineConfig::ultra1(),
-            SchedPolicy::Custom(config),
-            EngineConfig::default(),
-        );
-        tasks::spawn_parallel(&mut engine, &params);
-        let r = engine.run().expect("tasks completes");
-        t.row(&[
-            format!("{threshold:.0}"),
-            r.total_l2_misses.to_string(),
-            r.total_cycles.to_string(),
-        ]);
-    }
-    t.print();
-    t.write_csv(&args.csv_path("ablation_threshold.csv"));
-}
-
-fn page_placement(args: &Args) {
-    let mut t = Table::new(
-        "Ablation 3 — page placement policies (conflict-sensitive apps, 1 cpu)",
-        &["app", "placement", "l2 misses"],
-    );
-    for app in [locality_workloads::App::Typechecker, locality_workloads::App::Raytrace] {
-        for placement in
-            [PagePlacement::bin_hopping(), PagePlacement::PageColoring, PagePlacement::arbitrary()]
-        {
-            let machine = MachineConfig::ultra1().with_placement(placement.clone());
-            let mut engine = Engine::new(machine, SchedPolicy::Fcfs, EngineConfig::default());
-            app.spawn_single(&mut engine);
-            let r = engine.run().expect("app completes");
-            t.row(&[
-                app.name().to_string(),
-                placement.name().to_string(),
-                r.total_l2_misses.to_string(),
-            ]);
-        }
-    }
-    t.print();
-    println!(
-        "careful placement (bin hopping / coloring, per Kessler & Hill) avoids a share of\n\
-         the conflict misses that arbitrary placement incurs; capacity-bound streaming\n\
-         apps (e.g. ocean) are insensitive to placement.\n"
-    );
-    t.write_csv(&args.csv_path("ablation_placement.csv"));
-}
-
-/// Invalidation effects: thread A builds a footprint on cpu0; a writer on
-/// cpu1 invalidates a varying share of it. The model (which ignores
-/// invalidations, §3.4) keeps predicting the pre-invalidation footprint.
-fn invalidation_effects(args: &Args) {
-    let mut t = Table::new(
-        "Ablation 4 — invalidation effects the model ignores (2 cpus)",
-        &["lines written remotely", "observed footprint", "model prediction", "error"],
-    );
-    for written in [0u64, 1024, 2048, 4096] {
-        let mut machine = Machine::new(MachineConfig::enterprise5000(2));
-        let a = ThreadId(1);
-        let lines = 4096u64;
-        let region = machine.alloc(lines * 64, 64);
-        machine.register_region(a, region, lines * 64);
-        machine.set_running(0, Some(a));
-        for l in 0..lines {
-            machine.access(0, region.offset(l * 64), AccessKind::Read);
-        }
-        let predicted = machine.l2_footprint_lines(0, a); // model sees no further misses on cpu0
-        machine.set_running(1, Some(ThreadId(2)));
-        for l in 0..written {
-            machine.access(1, region.offset(l * 64), AccessKind::Write);
-        }
-        let observed = machine.l2_footprint_lines(0, a);
-        t.row(&[
-            written.to_string(),
-            observed.to_string(),
-            predicted.to_string(),
-            format!("{:+.0}%", 100.0 * (predicted as f64 - observed as f64) / predicted as f64),
-        ]);
-    }
-    t.print();
-    println!("cross-processor writes shrink real footprints while the counter-driven model sees nothing (paper §3.4).\n");
-    t.write_csv(&args.csv_path("ablation_invalidation.csv"));
-}
-
-/// A producer/consumer pipeline pair: the producer rewrites a shared
-/// buffer each period and posts; the consumer waits, reads it, and
-/// hands the turn back. Colocating the pair is the *only* available
-/// locality win — a thread's affinity to its own past state is useless
-/// because the producer rewrites (and thereby invalidates) the buffer
-/// every period. This isolates the annotation/inference channel.
-mod pipeline {
-    use active_threads::{BatchCtx, Control, Engine, Program, SemId, ThreadId};
-    use locality_core::ModelError;
-    use locality_sim::VAddr;
-
-    const LINE: u64 = 64;
-
-    pub struct Params {
-        pub pairs: usize,
-        pub buffer_lines: u64,
-        pub periods: u32,
-    }
-
-    struct Producer {
-        buf: VAddr,
-        bytes: u64,
-        full: SemId,
-        empty: SemId,
-        periods: u32,
-        phase: u8,
-    }
-    impl Program for Producer {
-        fn next_batch(&mut self, ctx: &mut BatchCtx<'_>) -> Control {
-            match self.phase {
-                0 => {
-                    ctx.register_region(self.buf, self.bytes);
-                    ctx.write_range(self.buf, self.bytes, LINE);
-                    ctx.compute(self.bytes / LINE * 4);
-                    self.phase = 1;
-                    Control::SemPost(self.full)
-                }
-                _ => {
-                    self.periods -= 1;
-                    if self.periods == 0 {
-                        return Control::Exit;
-                    }
-                    self.phase = 0;
-                    Control::SemWait(self.empty)
-                }
-            }
-        }
-        fn name(&self) -> &str {
-            "producer"
-        }
-    }
-
-    struct Consumer {
-        buf: VAddr,
-        bytes: u64,
-        full: SemId,
-        empty: SemId,
-        periods: u32,
-        phase: u8,
-    }
-    impl Program for Consumer {
-        fn next_batch(&mut self, ctx: &mut BatchCtx<'_>) -> Control {
-            match self.phase {
-                0 => {
-                    self.phase = 1;
-                    Control::SemWait(self.full)
-                }
-                _ => {
-                    ctx.register_region(self.buf, self.bytes);
-                    ctx.read_range(self.buf, self.bytes, LINE);
-                    ctx.compute(self.bytes / LINE * 4);
-                    self.periods -= 1;
-                    if self.periods == 0 {
-                        return Control::Exit;
-                    }
-                    self.phase = 0;
-                    Control::SemPost(self.empty)
-                }
-            }
-        }
-        fn name(&self) -> &str {
-            "consumer"
-        }
-    }
-
-    /// Spawns the pairs; returns `(producer, consumer)` ids per pair.
-    pub fn spawn(
-        engine: &mut Engine,
-        params: &Params,
-        annotate: bool,
-    ) -> Result<Vec<(ThreadId, ThreadId)>, ModelError> {
-        let bytes = params.buffer_lines * LINE;
-        let mut out = Vec::with_capacity(params.pairs);
-        for _ in 0..params.pairs {
-            let buf = engine.machine_mut().alloc(bytes, 8192);
-            let full = engine.sync_tables_mut().create_semaphore(0);
-            let empty = engine.sync_tables_mut().create_semaphore(0);
-            let p = engine.spawn(Box::new(Producer {
-                buf,
-                bytes,
-                full,
-                empty,
-                periods: params.periods,
-                phase: 0,
-            }));
-            let c = engine.spawn(Box::new(Consumer {
-                buf,
-                bytes,
-                full,
-                empty,
-                periods: params.periods,
-                phase: 0,
-            }));
-            if annotate {
-                engine.annotate(p, c, 1.0)?;
-                engine.annotate(c, p, 1.0)?;
-            }
-            out.push((p, c));
-        }
-        Ok(out)
-    }
-}
-
-/// §7 future work: the producer/consumer pipeline under LFF with hand
-/// annotations, with CML-driven runtime inference, and with neither.
-fn sharing_inference(args: &Args) {
-    use active_threads::InferenceConfig;
-    let params = match args.scale {
-        Scale::Paper => pipeline::Params { pairs: 128, buffer_lines: 100, periods: 40 },
-        Scale::Small => pipeline::Params { pairs: 32, buffer_lines: 100, periods: 10 },
-    };
-    let run = |policy: SchedPolicy, annotate: bool, infer: bool| {
-        let config = EngineConfig {
-            infer_sharing: infer.then(InferenceConfig::default),
-            ..EngineConfig::default()
-        };
-        let mut engine = Engine::new(MachineConfig::enterprise5000(8), policy, config);
-        pipeline::spawn(&mut engine, &params, annotate).expect("valid annotations");
-        engine.run().expect("pipeline completes")
-    };
-    let fcfs = run(SchedPolicy::Fcfs, false, false);
-    let annotated = run(SchedPolicy::Lff, true, false);
-    let inferred = run(SchedPolicy::Lff, false, true);
-    let bare = run(SchedPolicy::Lff, false, false);
-    let mut t = Table::new(
-        "Ablation 5 — runtime sharing inference (producer/consumer pipeline, 8 cpus; §7 future work)",
-        &["configuration", "l2 misses", "misses eliminated", "speedup"],
-    );
-    for (name, r) in [
-        ("fcfs", &fcfs),
-        ("lff + hand annotations", &annotated),
-        ("lff + CML inference, no annotations", &inferred),
-        ("lff, no annotations", &bare),
-    ] {
-        t.row(&[
-            name.to_string(),
-            r.total_l2_misses.to_string(),
-            format!("{:.0}%", r.misses_eliminated_vs(&fcfs) * 100.0),
-            format!("{:.2}", r.speedup_over(&fcfs)),
-        ]);
-    }
-    t.print();
-    let hand = annotated.misses_eliminated_vs(&fcfs);
-    let auto = inferred.misses_eliminated_vs(&fcfs);
-    if hand > 0.0 {
-        println!(
-            "CML-driven inference recovers {:.0}% of the hand-annotated miss elimination\n\
-             with zero programmer effort (the paper's §7 conjecture, demonstrated).\n",
-            100.0 * auto / hand
-        );
-    }
-    t.write_csv(&args.csv_path("ablation_inference.csv"));
-}
-
-/// Accumulates |model prediction − ground truth| footprint error over
-/// every context switch (the machine knows the true resident lines; the
-/// scheduler knows the model's expectation).
-#[derive(Debug, Default)]
-struct PredictionProbe {
-    sum_abs_err: f64,
-    sum_observed: f64,
-    samples: u64,
-}
-
-impl PredictionProbe {
-    /// Mean absolute prediction error in lines.
-    fn mean_abs_err(&self) -> f64 {
-        if self.samples == 0 {
-            0.0
-        } else {
-            self.sum_abs_err / self.samples as f64
-        }
-    }
-
-    /// Prediction error relative to the mean observed footprint.
-    fn relative_err(&self) -> f64 {
-        if self.sum_observed == 0.0 {
-            0.0
-        } else {
-            self.sum_abs_err / self.sum_observed
-        }
-    }
-}
-
-struct PredictionHook {
-    probe: Rc<RefCell<PredictionProbe>>,
-}
-
-impl EngineHook for PredictionHook {
-    fn on_context_switch(&mut self, event: &SwitchEvent, view: &EngineView<'_>) {
-        let Some(predicted) = view.sched.expected_footprint(event.cpu, event.tid) else {
-            return;
-        };
-        let observed = view.machine.l2_footprint_lines(event.cpu, event.tid) as f64;
-        let mut p = self.probe.borrow_mut();
-        p.sum_abs_err += (predicted - observed).abs();
-        p.sum_observed += observed;
-        p.samples += 1;
-    }
-}
-
-/// One fault-scenario run: the overlapped-tasks workload on 4 cpus.
-struct FaultCell {
-    report: active_threads::RunReport,
-    probe: PredictionProbe,
-    recovered: bool,
-}
-
-fn run_fault_cell(policy: SchedPolicy, scenario: FaultScenario, scale: Scale) -> FaultCell {
-    let params = match scale {
-        Scale::Paper => {
-            tasks::TasksParams { tasks: 256, footprint_lines: 100, periods: 30, overlap: 0.5 }
-        }
-        Scale::Small => {
-            tasks::TasksParams { tasks: 64, footprint_lines: 100, periods: 10, overlap: 0.5 }
-        }
-    };
-    let mut engine = Engine::new(MachineConfig::enterprise5000(4), policy, EngineConfig::default());
-    if let Some(config) = scenario.config(0xFA11) {
-        engine.machine_mut().install_fault(config);
-    }
-    let probe = Rc::new(RefCell::new(PredictionProbe::default()));
-    engine.add_hook(Box::new(PredictionHook { probe: probe.clone() }));
-    tasks::spawn_parallel(&mut engine, &params);
-    let report = engine.run().unwrap_or_else(|e| {
-        panic!("{} run must survive fault '{}': {e}", policy.name(), scenario.name())
-    });
-    let recovered = report.degraded_intervals > 0 && !engine.scheduler().is_degraded();
-    drop(engine);
-    let probe = Rc::try_unwrap(probe).expect("engine dropped its hook").into_inner();
-    FaultCell { report, probe, recovered }
-}
-
-/// Ablation 6: every requested fault scenario against the clean LFF and
-/// FCFS baselines.
-fn fault_ablation(args: &Args, scenarios: &[FaultScenario]) {
-    let mut t = Table::new(
-        "Ablation 6 — counter faults vs sanitizer + graceful degradation (tasks, 4 cpus, LFF)",
-        &[
-            "scenario",
-            "l2 misses",
-            "miss ratio",
-            "vs clean lff",
-            "vs fcfs",
-            "pred err (lines)",
-            "pred err (rel)",
-            "corrected",
-            "degraded ivals",
-            "recovered",
-        ],
-    );
-    let fcfs = run_fault_cell(SchedPolicy::Fcfs, FaultScenario::Clean, args.scale);
-    let clean = run_fault_cell(SchedPolicy::Lff, FaultScenario::Clean, args.scale);
-    let ratio = |misses: u64, base: u64| {
-        if base == 0 {
-            0.0
-        } else {
-            misses as f64 / base as f64
-        }
-    };
-    for &scenario in scenarios {
-        let cell = if scenario == FaultScenario::Clean {
-            run_fault_cell(SchedPolicy::Lff, FaultScenario::Clean, args.scale)
-        } else {
-            run_fault_cell(SchedPolicy::Lff, scenario, args.scale)
-        };
-        let r = &cell.report;
-        t.row(&[
-            scenario.name().to_string(),
-            r.total_l2_misses.to_string(),
-            format!("{:.4}", r.miss_ratio()),
-            format!("{:.2}x", ratio(r.total_l2_misses, clean.report.total_l2_misses)),
-            format!("{:.2}x", ratio(r.total_l2_misses, fcfs.report.total_l2_misses)),
-            format!("{:.1}", cell.probe.mean_abs_err()),
-            format!("{:.0}%", 100.0 * cell.probe.relative_err()),
-            r.corrected_intervals.to_string(),
-            r.degraded_intervals.to_string(),
-            if r.degraded_intervals == 0 {
-                "-".to_string()
-            } else if cell.recovered {
-                "yes".to_string()
-            } else {
-                "no".to_string()
-            },
-        ]);
-    }
-    t.row(&[
-        "fcfs (ref)".to_string(),
-        fcfs.report.total_l2_misses.to_string(),
-        format!("{:.4}", fcfs.report.miss_ratio()),
-        format!("{:.2}x", ratio(fcfs.report.total_l2_misses, clean.report.total_l2_misses)),
-        "1.00x".to_string(),
-        "-".to_string(),
-        "-".to_string(),
-        "0".to_string(),
-        "0".to_string(),
-        "-".to_string(),
-    ]);
-    t.print();
-    println!(
-        "the sanitizer bounds what the model sees, so faulted LFF degrades toward — never\n\
-         far past — the FCFS miss rate; the 'window' scenario shows the scheduler entering\n\
-         degraded mode under sustained traps and recovering once reads come back clean.\n"
-    );
-    t.write_csv(&args.csv_path("ablation_faults.csv"));
-}
+use locality_repro::suite::{main_for, Figure};
 
 fn main() {
-    let args = Args::from_env();
-    if let Some(value) = &args.fault {
-        match FaultScenario::parse(value) {
-            Ok(scenarios) => fault_ablation(&args, &scenarios),
-            Err(msg) => {
-                eprintln!("{msg}");
-                std::process::exit(2);
-            }
-        }
-        return;
-    }
-    annotation_ablation(&args);
-    threshold_sweep(&args);
-    page_placement(&args);
-    invalidation_effects(&args);
-    sharing_inference(&args);
+    main_for(Figure::Ablation);
 }

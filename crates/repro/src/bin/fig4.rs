@@ -1,113 +1,8 @@
 //! Figure 4: the random-memory-walk microbenchmark — observed vs
-//! predicted footprints for all four panels.
+//! predicted footprints for all five panels.
 
-use locality_repro::microbench::{max_rel_error, run, Monitored, WalkExperiment, WalkPoint};
-use locality_repro::{Args, Scale, Table};
-
-fn emit_panel(args: &Args, panel: &str, title: &str, curves: Vec<(String, Vec<WalkPoint>)>) {
-    let mut t = Table::new(title, &["curve", "misses", "observed", "predicted"]);
-    for (name, pts) in &curves {
-        for p in pts {
-            t.row(&[
-                name.clone(),
-                p.misses.to_string(),
-                format!("{:.0}", p.observed),
-                format!("{:.0}", p.predicted),
-            ]);
-        }
-    }
-    t.write_csv(&args.csv_path(&format!("fig4{panel}.csv")));
-
-    // Print a compact summary per curve instead of every point.
-    let mut s =
-        Table::new(title, &["curve", "start", "end observed", "end predicted", "max rel err"]);
-    for (name, pts) in &curves {
-        let first = pts.first().expect("curve has points");
-        let last = pts.last().expect("curve has points");
-        s.row(&[
-            name.clone(),
-            format!("{:.0}", first.observed),
-            format!("{:.0}", last.observed),
-            format!("{:.0}", last.predicted),
-            format!("{:.3}", max_rel_error(pts, 256.0)),
-        ]);
-    }
-    s.print();
-}
+use locality_repro::suite::{main_for, Figure};
 
 fn main() {
-    let args = Args::from_env();
-    let (total, every) = match args.scale {
-        Scale::Paper => (25_000u64, 1_000u64),
-        Scale::Small => (8_000, 1_000),
-    };
-
-    // Panel a: the executing thread, several initial footprints.
-    let curves = [0.0f64, 2048.0, 4096.0, 6144.0]
-        .into_iter()
-        .map(|s0| {
-            let pts = run(&WalkExperiment::direct(Monitored::Walker { s0 }, total, every, 11));
-            (format!("S_A={s0:.0}"), pts)
-        })
-        .collect();
-    emit_panel(&args, "a", "Figure 4a — executing thread footprint", curves);
-
-    // Panel b: sleeping independent threads decay.
-    let curves = [2048.0f64, 4096.0, 8192.0]
-        .into_iter()
-        .map(|s0| {
-            let pts = run(&WalkExperiment::direct(Monitored::Independent { s0 }, total, every, 12));
-            (format!("S_B={s0:.0}"), pts)
-        })
-        .collect();
-    emit_panel(&args, "b", "Figure 4b — sleeping independent threads", curves);
-
-    // Panel c: sleeping dependent thread, q = 0.5, several initial
-    // footprints (grows or decays toward qN = 4096).
-    let curves = [512.0f64, 2048.0, 6144.0, 8000.0]
-        .into_iter()
-        .map(|s0| {
-            let pts =
-                run(&WalkExperiment::direct(Monitored::Dependent { q: 0.5, s0 }, total, every, 13));
-            (format!("S_C={s0:.0}"), pts)
-        })
-        .collect();
-    emit_panel(&args, "c", "Figure 4c — sleeping dependent threads (q=0.5)", curves);
-
-    // Panel d: varying sharing coefficient, fixed initial footprint.
-    let curves = [0.1f64, 0.25, 0.5, 0.75, 1.0]
-        .into_iter()
-        .map(|q| {
-            let pts = run(&WalkExperiment::direct(
-                Monitored::Dependent { q, s0: 4096.0 },
-                total,
-                every,
-                14,
-            ));
-            (format!("q={q:.2}"), pts)
-        })
-        .collect();
-    emit_panel(&args, "d", "Figure 4d — sleeping dependent threads vs q (S_C=4096)", curves);
-
-    // Extension (paper §2.1): the same closed forms on LRU associative
-    // E-caches of equal capacity.
-    let curves = [1u64, 2, 4]
-        .into_iter()
-        .map(|assoc| {
-            let pts = run(&WalkExperiment {
-                monitored: Monitored::Walker { s0: 0.0 },
-                total_misses: total,
-                sample_every: every,
-                associativity: assoc,
-                seed: 15,
-            });
-            (format!("{assoc}-way"), pts)
-        })
-        .collect();
-    emit_panel(
-        &args,
-        "e",
-        "Figure 4e (extension) — executing thread footprint vs E-cache associativity",
-        curves,
-    );
+    main_for(Figure::Fig4);
 }

@@ -1,68 +1,8 @@
 //! Figure 5: observed vs model-predicted thread cache footprints for the
 //! six well-behaved applications (barnes, fmm, ocean, merge, photo, tsp).
 
-use locality_repro::monitor::{monitor_app, monitor_app_with_placement};
-use locality_repro::{Args, Table};
-use locality_sim::PagePlacement;
-use locality_workloads::App;
+use locality_repro::suite::{main_for, Figure};
 
 fn main() {
-    let args = Args::from_env();
-    let mut summary = Table::new(
-        "Figure 5 — observed footprints versus predictions (work thread, Ultra-1)",
-        &[
-            "app",
-            "samples",
-            "final misses",
-            "final observed",
-            "final predicted",
-            "mean rel err (bin-hop VM)",
-            "mean rel err (naive VM)",
-        ],
-    );
-    for app in App::FIG5 {
-        let trace = monitor_app(app);
-        let naive = monitor_app_with_placement(app, PagePlacement::arbitrary());
-        let mut t = Table::new("", &["misses", "instructions", "observed", "predicted"]);
-        for s in &trace.samples {
-            t.row(&[
-                s.misses.to_string(),
-                s.instructions.to_string(),
-                format!("{:.0}", s.observed),
-                format!("{:.0}", s.predicted),
-            ]);
-        }
-        t.write_csv(&args.csv_path(&format!("fig5_{}.csv", app.name())));
-
-        let last = trace.last().expect("trace has samples");
-        summary.row(&[
-            app.name().to_string(),
-            trace.samples.len().to_string(),
-            last.misses.to_string(),
-            format!("{:.0}", last.observed),
-            format!("{:.0}", last.predicted),
-            format!("{:+.1}%", trace.mean_rel_error() * 100.0),
-            format!("{:+.1}%", naive.mean_rel_error() * 100.0),
-        ]);
-
-        // Print a thinned view of the curve.
-        let mut view =
-            Table::new(&format!("fig5: {}", app.name()), &["misses", "observed", "predicted"]);
-        for s in trace.thin(10) {
-            view.row(&[
-                s.misses.to_string(),
-                format!("{:.0}", s.observed),
-                format!("{:.0}", s.predicted),
-            ]);
-        }
-        view.print();
-    }
-    summary.print();
-    println!(
-        "the model's only inputs are miss counts; on the idealized bin-hopping VM, a\n\
-         clustered (streaming) app claims a fresh set with every miss, so predictions\n\
-         run slightly LOW; on a naive VM, placements collide and repeated misses stop\n\
-         growing footprints, so predictions run HIGH (the paper's regime)."
-    );
-    summary.write_csv(&args.csv_path("fig5_summary.csv"));
+    main_for(Figure::Fig5);
 }

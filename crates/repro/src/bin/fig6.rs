@@ -2,44 +2,8 @@
 //! execution of each monitored work thread — the reload-transient burst
 //! followed by a steadier phase.
 
-use locality_repro::monitor::{monitor_app, mpi_series};
-use locality_repro::{Args, Table};
-use locality_workloads::App;
+use locality_repro::suite::{main_for, Figure};
 
 fn main() {
-    let args = Args::from_env();
-    let mut summary = Table::new(
-        "Figure 6 — E-cache misses per 1000 instructions (work thread, Ultra-1)",
-        &["app", "peak mpi", "final-quarter mpi", "burst ratio"],
-    );
-    for app in App::FIG5.iter().chain(App::FIG7.iter()) {
-        let trace = monitor_app(*app);
-        let series = mpi_series(&trace);
-        let mut t = Table::new("", &["instructions", "mpi"]);
-        for (instr, mpi) in &series {
-            t.row(&[instr.to_string(), format!("{mpi:.3}")]);
-        }
-        t.write_csv(&args.csv_path(&format!("fig6_{}.csv", app.name())));
-
-        let peak = series.iter().map(|p| p.1).fold(0.0f64, f64::max);
-        let tail_start = series.len() * 3 / 4;
-        let tail = &series[tail_start..];
-        let tail_mpi = if tail.is_empty() {
-            0.0
-        } else {
-            tail.iter().map(|p| p.1).sum::<f64>() / tail.len() as f64
-        };
-        summary.row(&[
-            app.name().to_string(),
-            format!("{peak:.2}"),
-            format!("{tail_mpi:.2}"),
-            format!("{:.1}x", if tail_mpi > 0.0 { peak / tail_mpi } else { f64::INFINITY }),
-        ]);
-    }
-    summary.print();
-    println!(
-        "unblocking threads show a burst of reload-transient misses followed by a\n\
-         steadier phase (burst ratio = peak / final-quarter MPI)."
-    );
-    summary.write_csv(&args.csv_path("fig6_summary.csv"));
+    main_for(Figure::Fig6);
 }

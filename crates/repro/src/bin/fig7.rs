@@ -3,59 +3,8 @@
 //! streaming over a large data set) and raytrace (conflict misses that do
 //! not grow the footprint).
 
-use locality_repro::monitor::{monitor_app, monitor_app_with_placement};
-use locality_repro::{Args, Table};
-use locality_sim::PagePlacement;
-use locality_workloads::App;
+use locality_repro::suite::{main_for, Figure};
 
 fn main() {
-    let args = Args::from_env();
-    let mut summary = Table::new(
-        "Figure 7 — overestimated footprints (Ultra-1)",
-        &[
-            "app",
-            "final misses",
-            "final observed",
-            "final predicted",
-            "overestimate",
-            "overestimate (naive VM)",
-        ],
-    );
-    for app in App::FIG7 {
-        let trace = monitor_app(app);
-        let naive = monitor_app_with_placement(app, PagePlacement::arbitrary());
-        let mut t = Table::new("", &["misses", "observed", "predicted"]);
-        for s in &trace.samples {
-            t.row(&[
-                s.misses.to_string(),
-                format!("{:.0}", s.observed),
-                format!("{:.0}", s.predicted),
-            ]);
-        }
-        t.write_csv(&args.csv_path(&format!("fig7_{}.csv", app.name())));
-
-        let mut view =
-            Table::new(&format!("fig7: {}", app.name()), &["misses", "observed", "predicted"]);
-        for s in trace.thin(10) {
-            view.row(&[
-                s.misses.to_string(),
-                format!("{:.0}", s.observed),
-                format!("{:.0}", s.predicted),
-            ]);
-        }
-        view.print();
-
-        let last = trace.last().expect("trace has samples");
-        let nlast = naive.last().expect("trace has samples");
-        summary.row(&[
-            app.name().to_string(),
-            last.misses.to_string(),
-            format!("{:.0}", last.observed),
-            format!("{:.0}", last.predicted),
-            format!("{:.1}x", last.predicted / last.observed.max(1.0)),
-            format!("{:.1}x", nlast.predicted / nlast.observed.max(1.0)),
-        ]);
-    }
-    summary.print();
-    summary.write_csv(&args.csv_path("fig7_summary.csv"));
+    main_for(Figure::Fig7);
 }

@@ -3,52 +3,8 @@
 //! and relative performance for tasks, merge, photo, tsp under
 //! FCFS / LFF / CRT.
 
-use locality_repro::perf::{PerfApp, PolicyComparison};
-use locality_repro::{Args, Table};
+use locality_repro::suite::{main_for, Figure};
 
 fn main() {
-    let args = Args::from_env();
-    let mut misses = Table::new(
-        "Figure 8 (left) — total E-cache misses, 1-cpu Ultra-1 (normalized to FCFS)",
-        &["app", "fcfs", "lff", "crt"],
-    );
-    let mut perf = Table::new(
-        "Figure 8 (right) — performance relative to FCFS, 1-cpu Ultra-1",
-        &["app", "fcfs", "lff", "crt"],
-    );
-    let mut raw =
-        Table::new("raw data", &["app", "policy", "l2 misses", "cycles", "switches", "threads"]);
-    for app in PerfApp::ALL {
-        let cmp = PolicyComparison::run(app, 1, args.scale);
-        let (m_lff, s_lff) = cmp.vs_fcfs(&cmp.lff);
-        let (m_crt, s_crt) = cmp.vs_fcfs(&cmp.crt);
-        misses.row(&[
-            app.name().to_string(),
-            "1.00".to_string(),
-            format!("{m_lff:.2}"),
-            format!("{m_crt:.2}"),
-        ]);
-        perf.row(&[
-            app.name().to_string(),
-            "1.00".to_string(),
-            format!("{s_lff:.2}"),
-            format!("{s_crt:.2}"),
-        ]);
-        for r in [&cmp.fcfs, &cmp.lff, &cmp.crt] {
-            raw.row(&[
-                app.name().to_string(),
-                r.policy.clone(),
-                r.total_l2_misses.to_string(),
-                r.total_cycles.to_string(),
-                r.context_switches.to_string(),
-                r.threads_completed.to_string(),
-            ]);
-        }
-    }
-    misses.print();
-    perf.print();
-    raw.print();
-    misses.write_csv(&args.csv_path("fig8_misses.csv"));
-    perf.write_csv(&args.csv_path("fig8_perf.csv"));
-    raw.write_csv(&args.csv_path("fig8_raw.csv"));
+    main_for(Figure::Fig8);
 }

@@ -1,0 +1,9 @@
+//! `repro-all`: the umbrella binary — regenerates every table and figure
+//! through one shared experiment runner, so descriptors shared between
+//! figures (monitored traces, FCFS/CRT policy cells) execute exactly
+//! once, in parallel across `--jobs` workers, with completed runs served
+//! from the on-disk cache under `<out>/.cache`.
+
+fn main() {
+    locality_repro::suite::main_all();
+}

@@ -1,56 +1,7 @@
 //! Table 1: the simulated UltraSPARC-1 memory hierarchy.
 
-use locality_repro::{Args, Table};
-use locality_sim::MachineConfig;
+use locality_repro::suite::{main_for, Figure};
 
 fn main() {
-    let args = Args::from_env();
-    let mut t = Table::new(
-        "Table 1 — simulated UltraSPARC-1 memory hierarchy",
-        &["level", "size", "assoc", "line", "policy", "latency (cycles)"],
-    );
-    let ultra = MachineConfig::ultra1();
-    let e5000 = MachineConfig::enterprise5000(8);
-    let h = ultra.hierarchy;
-    t.row(&[
-        "L1 I-cache".into(),
-        format!("{} KiB", h.l1i.size_bytes / 1024),
-        format!("{}-way", h.l1i.associativity),
-        format!("{} B", h.l1i.line_bytes),
-        "physically indexed/tagged".into(),
-        format!("hit {}", ultra.latencies.l1_hit),
-    ]);
-    t.row(&[
-        "L1 D-cache".into(),
-        format!("{} KiB", h.l1d.size_bytes / 1024),
-        "direct".into(),
-        format!("{} B", h.l1d.line_bytes),
-        "write-through, no-write-allocate".into(),
-        format!("hit {}", ultra.latencies.l1_hit),
-    ]);
-    t.row(&[
-        "unified E-cache (L2)".into(),
-        format!("{} KiB", h.l2.size_bytes / 1024),
-        "direct".into(),
-        format!("{} B", h.l2.line_bytes),
-        "write-back, inclusive of both L1s".into(),
-        format!(
-            "hit {}, miss {} (E5000: {} clean / {} cached elsewhere)",
-            ultra.latencies.l2_hit,
-            ultra.latencies.l2_miss,
-            e5000.latencies.l2_miss,
-            e5000.latencies.l2_miss_remote
-        ),
-    ]);
-    t.row(&[
-        "VM".into(),
-        format!("{} KiB pages", ultra.page_bytes / 1024),
-        "-".into(),
-        "-".into(),
-        format!("{} page placement (Kessler & Hill)", ultra.placement.name()),
-        "-".into(),
-    ]);
-    t.print();
-    println!("E-cache lines N = {}", ultra.l2_lines());
-    t.write_csv(&args.csv_path("table1.csv"));
+    main_for(Figure::Table1);
 }

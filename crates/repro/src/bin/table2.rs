@@ -1,50 +1,7 @@
 //! Table 2: the simulated workloads of the §3.3 model-accuracy study.
 
-use locality_repro::{Args, Table};
+use locality_repro::suite::{main_for, Figure};
 
 fn main() {
-    let args = Args::from_env();
-    let mut t = Table::new("Table 2 — simulated workloads", &["app", "suite", "description"]);
-    t.row_strs(&[
-        "barnes",
-        "SPLASH-2",
-        "Barnes-Hut hierarchical N-body; octree built over random bodies; θ-controlled traversal",
-    ]);
-    t.row_strs(&[
-        "fmm",
-        "SPLASH-2",
-        "adaptive fast multipole (2-D; p=4 expansions; P2M/M2M/M2L/L2L/P2P passes)",
-    ]);
-    t.row_strs(&[
-        "ocean",
-        "SPLASH-2-style",
-        "regular-grid red-black SOR solver; 5-point stencil sweeps over a large f64 grid",
-    ]);
-    t.row_strs(&[
-        "raytrace",
-        "SPLASH-2",
-        "uniform-grid ray tracer; rays march voxels with per-step scratch (conflict-heavy)",
-    ]);
-    t.row_strs(&[
-        "merge",
-        "Sather",
-        "parallel mergesort; split to cutoff-100 insertion-sort leaves, merge on join",
-    ]);
-    t.row_strs(&[
-        "photo",
-        "Sather",
-        "softening filter: each thread retouches one pixel row using its neighbour rows",
-    ]);
-    t.row_strs(&[
-        "tsp",
-        "Sather",
-        "branch-and-bound TSP over adjacency matrices; subspaces split per edge",
-    ]);
-    t.row_strs(&[
-        "typechecker",
-        "Sather",
-        "compiler typechecker: type-graph burst, then AST walked in creation order",
-    ]);
-    t.print();
-    t.write_csv(&args.csv_path("table2.csv"));
+    main_for(Figure::Table2);
 }

@@ -1,80 +1,10 @@
 //! Table 3: the costs of priority updates, in floating-point operations
 //! (and table lookups) per thread, for LFF and CRT across the three
-//! thread classes — plus measured wall-clock nanoseconds per update.
+//! thread classes. Measured wall-clock ns/update is printed only; the
+//! CSV keeps the deterministic operation counts.
 
-use locality_core::{FootprintEntry, ModelParams, PolicyKind, PrioritySchemes};
-use locality_repro::{Args, Table};
-use std::time::Instant;
-
-/// Measures `(flops, lookups, ns/op)` for one update case.
-fn measure(policy: PolicyKind, case: &str) -> (u64, u64, f64) {
-    let params = ModelParams::new(8192).unwrap();
-    let schemes = PrioritySchemes::new(policy, params);
-    let mut entry = FootprintEntry::cold();
-    schemes.on_dispatch(&mut entry, 0);
-    schemes.on_block_self(&mut entry, 100, 100);
-    schemes.flop_counter().take();
-
-    // Count one representative update.
-    let (flops, lookups) = match case {
-        "blocking" => {
-            schemes.on_block_self(&mut entry, 50, 150);
-            schemes.flop_counter().take()
-        }
-        "dependent" => {
-            schemes.on_dependent(&mut entry, 0.5, 50, 150);
-            schemes.flop_counter().take()
-        }
-        "independent" => {
-            schemes.on_independent();
-            schemes.flop_counter().take()
-        }
-        _ => unreachable!(),
-    };
-
-    // Time a batch of them.
-    let iters = 2_000_000u64;
-    let start = Instant::now();
-    let mut m = 200u64;
-    for _ in 0..iters {
-        match case {
-            "blocking" => {
-                schemes.on_block_self(&mut entry, 13, m);
-            }
-            "dependent" => {
-                schemes.on_dependent(&mut entry, 0.5, 13, m);
-            }
-            "independent" => schemes.on_independent(),
-            _ => unreachable!(),
-        }
-        m += 13;
-    }
-    let ns = start.elapsed().as_nanos() as f64 / iters as f64;
-    (flops, lookups, ns)
-}
+use locality_repro::suite::{main_for, Figure};
 
 fn main() {
-    let args = Args::from_env();
-    let mut t = Table::new(
-        "Table 3 — costs of priority updates (per thread, at a context switch)",
-        &["policy", "thread class", "fp ops", "table lookups", "measured ns/update"],
-    );
-    for policy in [PolicyKind::Lff, PolicyKind::Crt] {
-        for case in ["blocking", "dependent", "independent"] {
-            let (flops, lookups, ns) = measure(policy, case);
-            t.row(&[
-                policy.name().to_uppercase(),
-                case.to_string(),
-                flops.to_string(),
-                lookups.to_string(),
-                format!("{ns:.1}"),
-            ]);
-        }
-    }
-    t.print();
-    println!(
-        "independent threads cost zero operations by construction (the paper's key property);\n\
-         blocking-thread CRT updates need fewer fp ops than LFF (no log lookup), as in the paper."
-    );
-    t.write_csv(&args.csv_path("table3.csv"));
+    main_for(Figure::Table3);
 }

@@ -1,54 +1,7 @@
 //! Table 4: input parameters for the §5 application runs.
 
-use locality_repro::{Args, Scale, Table};
-use locality_workloads::{merge, photo, tasks, tsp};
+use locality_repro::suite::{main_for, Figure};
 
 fn main() {
-    let args = Args::from_env();
-    let mut t =
-        Table::new("Table 4 — input parameters for application runs", &["app", "parameters"]);
-    match args.scale {
-        Scale::Paper => {
-            let tk = tasks::TasksParams::default();
-            t.row(&[
-                "tasks".into(),
-                format!(
-                    "{} tasks, footprints {} lines each, {} scheduling periods per task",
-                    tk.tasks, tk.footprint_lines, tk.periods
-                ),
-            ]);
-            let mg = merge::MergeParams::default();
-            t.row(&[
-                "merge".into(),
-                format!(
-                    "{} uniformly distributed elements; insertion sort at tasks of {} or smaller",
-                    mg.elements, mg.cutoff
-                ),
-            ]);
-            let ph = photo::PhotoParams::default();
-            t.row(&[
-                "photo".into(),
-                format!(
-                    "softening filter over an rgb pixmap of {}x{}; one thread per row ({} threads)",
-                    ph.width, ph.height, ph.height
-                ),
-            ]);
-            let ts = tsp::TspParams::default();
-            t.row(&[
-                "tsp".into(),
-                format!(
-                    "suboptimal tour for {} cities; execution of {} threads measured",
-                    ts.cities, ts.thread_budget
-                ),
-            ]);
-        }
-        Scale::Small => {
-            t.row_strs(&["tasks", "96 tasks x 100 lines x 12 periods (smoke scale)"]);
-            t.row_strs(&["merge", "20,000 elements, cutoff 100 (smoke scale)"]);
-            t.row_strs(&["photo", "512x96 pixmap, 96 row threads (smoke scale)"]);
-            t.row_strs(&["tsp", "48 cities, 120 threads (smoke scale)"]);
-        }
-    }
-    t.print();
-    t.write_csv(&args.csv_path("table4.csv"));
+    main_for(Figure::Table4);
 }

@@ -1,36 +1,8 @@
 //! Table 5: CRT relative to FCFS — percentage of E-cache misses
 //! eliminated and relative performance, on both platforms.
 
-use locality_repro::perf::{PerfApp, PolicyComparison};
-use locality_repro::{Args, Table};
+use locality_repro::suite::{main_for, Figure};
 
 fn main() {
-    let args = Args::from_env();
-    let mut t = Table::new(
-        "Table 5 — CRT relative to FCFS",
-        &[
-            "app",
-            "E-misses eliminated, 1cpu",
-            "E-misses eliminated, 8cpu",
-            "relative perf, 1cpu",
-            "relative perf, 8cpu",
-        ],
-    );
-    for app in PerfApp::ALL {
-        let uni = PolicyComparison::run(app, 1, args.scale);
-        let smp = PolicyComparison::run(app, 8, args.scale);
-        let elim_uni = uni.crt.misses_eliminated_vs(&uni.fcfs);
-        let elim_smp = smp.crt.misses_eliminated_vs(&smp.fcfs);
-        let perf_uni = uni.crt.speedup_over(&uni.fcfs);
-        let perf_smp = smp.crt.speedup_over(&smp.fcfs);
-        t.row(&[
-            app.name().to_string(),
-            format!("{:.0}%", elim_uni * 100.0),
-            format!("{:.0}%", elim_smp * 100.0),
-            format!("{perf_uni:.2}"),
-            format!("{perf_smp:.2}"),
-        ]);
-    }
-    t.print();
-    t.write_csv(&args.csv_path("table5.csv"));
+    main_for(Figure::Table5);
 }

@@ -1,0 +1,428 @@
+//! The individual experiment cells behind the figures and ablations:
+//! each function performs exactly one isolated simulated run (its own
+//! [`Engine`]/[`Machine`], its own RNGs) and returns plain data. The
+//! [runner](crate::runner) dispatches these from worker threads, so
+//! nothing here may touch shared mutable state.
+
+use crate::args::Scale;
+use crate::error::ReproError;
+use crate::faults::FaultScenario;
+use active_threads::events::EngineView;
+use active_threads::sched::LocalityConfig;
+use active_threads::{
+    Engine, EngineConfig, EngineHook, InferenceConfig, RunReport, SchedPolicy, SwitchEvent,
+};
+use locality_core::{FootprintEntry, ModelParams, PolicyKind, PrioritySchemes, ThreadId};
+use locality_sim::{AccessKind, Machine, MachineConfig, PagePlacement};
+use locality_workloads::{tasks, App};
+use std::cell::RefCell;
+use std::rc::Rc;
+use std::time::Instant;
+
+/// One heap-eviction-threshold sweep cell (tasks, 1 cpu, LFF).
+///
+/// # Errors
+///
+/// Returns [`ReproError::Runtime`] if the run cannot complete.
+pub fn threshold_cell(threshold_lines: u64, scale: Scale) -> Result<RunReport, ReproError> {
+    let params = match scale {
+        Scale::Paper => {
+            tasks::TasksParams { tasks: 512, footprint_lines: 100, periods: 30, overlap: 0.0 }
+        }
+        Scale::Small => {
+            tasks::TasksParams { tasks: 96, footprint_lines: 100, periods: 10, overlap: 0.0 }
+        }
+    };
+    let config = LocalityConfig {
+        threshold_lines: threshold_lines as f64,
+        ..LocalityConfig::new(PolicyKind::Lff)
+    };
+    let mut engine =
+        Engine::new(MachineConfig::ultra1(), SchedPolicy::Custom(config), EngineConfig::default());
+    tasks::spawn_parallel(&mut engine, &params);
+    Ok(engine.run()?)
+}
+
+/// One page-placement cell: a single-threaded app under FCFS on the
+/// Ultra-1 with the given placement policy.
+///
+/// # Errors
+///
+/// Returns [`ReproError::Runtime`] if the run cannot complete.
+pub fn placement_cell(app: App, placement: PagePlacement) -> Result<RunReport, ReproError> {
+    let machine = MachineConfig::ultra1().with_placement(placement);
+    let mut engine = Engine::new(machine, SchedPolicy::Fcfs, EngineConfig::default());
+    app.spawn_single(&mut engine);
+    Ok(engine.run()?)
+}
+
+/// One invalidation-effects cell (§3.4): thread A builds a 4096-line
+/// footprint on cpu 0, a remote writer invalidates `written` of those
+/// lines from cpu 1. Returns `(observed, predicted)` footprints — the
+/// counter-driven model keeps predicting the pre-invalidation value.
+pub fn invalidation_cell(written: u64) -> (u64, u64) {
+    let mut machine = Machine::new(MachineConfig::enterprise5000(2));
+    let a = ThreadId(1);
+    let lines = 4096u64;
+    let region = machine.alloc(lines * 64, 64);
+    machine.register_region(a, region, lines * 64);
+    machine.set_running(0, Some(a));
+    for l in 0..lines {
+        machine.access(0, region.offset(l * 64), AccessKind::Read);
+    }
+    let predicted = machine.l2_footprint_lines(0, a); // model sees no further misses on cpu0
+    machine.set_running(1, Some(ThreadId(2)));
+    for l in 0..written {
+        machine.access(1, region.offset(l * 64), AccessKind::Write);
+    }
+    let observed = machine.l2_footprint_lines(0, a);
+    (observed, predicted)
+}
+
+/// A producer/consumer pipeline pair: the producer rewrites a shared
+/// buffer each period and posts; the consumer waits, reads it, and
+/// hands the turn back. Colocating the pair is the *only* available
+/// locality win — a thread's affinity to its own past state is useless
+/// because the producer rewrites (and thereby invalidates) the buffer
+/// every period. This isolates the annotation/inference channel.
+mod pipeline {
+    use active_threads::{BatchCtx, Control, Engine, Program, SemId, ThreadId};
+    use locality_core::ModelError;
+    use locality_sim::VAddr;
+
+    const LINE: u64 = 64;
+
+    pub struct Params {
+        pub pairs: usize,
+        pub buffer_lines: u64,
+        pub periods: u32,
+    }
+
+    struct Producer {
+        buf: VAddr,
+        bytes: u64,
+        full: SemId,
+        empty: SemId,
+        periods: u32,
+        phase: u8,
+    }
+    impl Program for Producer {
+        fn next_batch(&mut self, ctx: &mut BatchCtx<'_>) -> Control {
+            match self.phase {
+                0 => {
+                    ctx.register_region(self.buf, self.bytes);
+                    ctx.write_range(self.buf, self.bytes, LINE);
+                    ctx.compute(self.bytes / LINE * 4);
+                    self.phase = 1;
+                    Control::SemPost(self.full)
+                }
+                _ => {
+                    self.periods -= 1;
+                    if self.periods == 0 {
+                        return Control::Exit;
+                    }
+                    self.phase = 0;
+                    Control::SemWait(self.empty)
+                }
+            }
+        }
+        fn name(&self) -> &str {
+            "producer"
+        }
+    }
+
+    struct Consumer {
+        buf: VAddr,
+        bytes: u64,
+        full: SemId,
+        empty: SemId,
+        periods: u32,
+        phase: u8,
+    }
+    impl Program for Consumer {
+        fn next_batch(&mut self, ctx: &mut BatchCtx<'_>) -> Control {
+            match self.phase {
+                0 => {
+                    self.phase = 1;
+                    Control::SemWait(self.full)
+                }
+                _ => {
+                    ctx.register_region(self.buf, self.bytes);
+                    ctx.read_range(self.buf, self.bytes, LINE);
+                    ctx.compute(self.bytes / LINE * 4);
+                    self.periods -= 1;
+                    if self.periods == 0 {
+                        return Control::Exit;
+                    }
+                    self.phase = 0;
+                    Control::SemPost(self.empty)
+                }
+            }
+        }
+        fn name(&self) -> &str {
+            "consumer"
+        }
+    }
+
+    /// Spawns the pairs; returns `(producer, consumer)` ids per pair.
+    pub fn spawn(
+        engine: &mut Engine,
+        params: &Params,
+        annotate: bool,
+    ) -> Result<Vec<(ThreadId, ThreadId)>, ModelError> {
+        let bytes = params.buffer_lines * LINE;
+        let mut out = Vec::with_capacity(params.pairs);
+        for _ in 0..params.pairs {
+            let buf = engine.machine_mut().alloc(bytes, 8192);
+            let full = engine.sync_tables_mut().create_semaphore(0);
+            let empty = engine.sync_tables_mut().create_semaphore(0);
+            let p = engine.spawn(Box::new(Producer {
+                buf,
+                bytes,
+                full,
+                empty,
+                periods: params.periods,
+                phase: 0,
+            }));
+            let c = engine.spawn(Box::new(Consumer {
+                buf,
+                bytes,
+                full,
+                empty,
+                periods: params.periods,
+                phase: 0,
+            }));
+            if annotate {
+                engine.annotate(p, c, 1.0)?;
+                engine.annotate(c, p, 1.0)?;
+            }
+            out.push((p, c));
+        }
+        Ok(out)
+    }
+}
+
+/// One sharing-inference cell (§7 future work): the producer/consumer
+/// pipeline on 8 cpus under `policy`, optionally with hand annotations
+/// or CML-driven runtime inference.
+///
+/// # Errors
+///
+/// Returns [`ReproError::Model`] for invalid annotations and
+/// [`ReproError::Runtime`] if the run cannot complete.
+pub fn pipeline_cell(
+    policy: SchedPolicy,
+    annotate: bool,
+    infer: bool,
+    scale: Scale,
+) -> Result<RunReport, ReproError> {
+    let params = match scale {
+        Scale::Paper => pipeline::Params { pairs: 128, buffer_lines: 100, periods: 40 },
+        Scale::Small => pipeline::Params { pairs: 32, buffer_lines: 100, periods: 10 },
+    };
+    let config = EngineConfig {
+        infer_sharing: infer.then(InferenceConfig::default),
+        ..EngineConfig::default()
+    };
+    let mut engine = Engine::new(MachineConfig::enterprise5000(8), policy, config);
+    pipeline::spawn(&mut engine, &params, annotate)?;
+    Ok(engine.run()?)
+}
+
+/// Accumulates |model prediction − ground truth| footprint error over
+/// every context switch (the machine knows the true resident lines; the
+/// scheduler knows the model's expectation).
+#[derive(Debug, Default, Clone, Copy, PartialEq)]
+pub struct PredictionProbe {
+    /// Sum of absolute prediction errors, in lines.
+    pub sum_abs_err: f64,
+    /// Sum of observed footprints, in lines.
+    pub sum_observed: f64,
+    /// Context switches sampled.
+    pub samples: u64,
+}
+
+impl PredictionProbe {
+    /// Mean absolute prediction error in lines.
+    pub fn mean_abs_err(&self) -> f64 {
+        if self.samples == 0 {
+            0.0
+        } else {
+            self.sum_abs_err / self.samples as f64
+        }
+    }
+
+    /// Prediction error relative to the mean observed footprint.
+    pub fn relative_err(&self) -> f64 {
+        if self.sum_observed == 0.0 {
+            0.0
+        } else {
+            self.sum_abs_err / self.sum_observed
+        }
+    }
+}
+
+struct PredictionHook {
+    probe: Rc<RefCell<PredictionProbe>>,
+}
+
+impl EngineHook for PredictionHook {
+    fn on_context_switch(&mut self, event: &SwitchEvent, view: &EngineView<'_>) {
+        let Some(predicted) = view.sched.expected_footprint(event.cpu, event.tid) else {
+            return;
+        };
+        let observed = view.machine.l2_footprint_lines(event.cpu, event.tid) as f64;
+        let mut p = self.probe.borrow_mut();
+        p.sum_abs_err += (predicted - observed).abs();
+        p.sum_observed += observed;
+        p.samples += 1;
+    }
+}
+
+/// The result of one fault-scenario run.
+#[derive(Debug, Clone)]
+pub struct FaultCell {
+    /// The engine's run report.
+    pub report: RunReport,
+    /// Footprint-prediction error accumulated over the run.
+    pub probe: PredictionProbe,
+    /// Whether the scheduler entered degraded mode *and* left it again
+    /// before the run finished.
+    pub recovered: bool,
+}
+
+/// One fault-scenario run: the overlapped-tasks workload on 4 cpus
+/// under `policy` with `scenario`'s counter fault installed.
+///
+/// # Errors
+///
+/// Returns [`ReproError::Runtime`] if the run cannot survive the fault.
+pub fn fault_cell(
+    policy: SchedPolicy,
+    scenario: FaultScenario,
+    scale: Scale,
+) -> Result<FaultCell, ReproError> {
+    let params = match scale {
+        Scale::Paper => {
+            tasks::TasksParams { tasks: 256, footprint_lines: 100, periods: 30, overlap: 0.5 }
+        }
+        Scale::Small => {
+            tasks::TasksParams { tasks: 64, footprint_lines: 100, periods: 10, overlap: 0.5 }
+        }
+    };
+    let mut engine = Engine::new(MachineConfig::enterprise5000(4), policy, EngineConfig::default());
+    if let Some(config) = scenario.config(0xFA11) {
+        engine.machine_mut().install_fault(config);
+    }
+    let probe = Rc::new(RefCell::new(PredictionProbe::default()));
+    engine.add_hook(Box::new(PredictionHook { probe: probe.clone() }));
+    tasks::spawn_parallel(&mut engine, &params);
+    let report = engine.run()?;
+    let recovered = report.degraded_intervals > 0 && !engine.scheduler().is_degraded();
+    drop(engine);
+    let probe = Rc::try_unwrap(probe).expect("engine dropped its hook").into_inner();
+    Ok(FaultCell { report, probe, recovered })
+}
+
+/// The three thread classes of Table 3's priority-update cost model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CostCase {
+    /// The thread that just blocked (its own counters were read).
+    Blocking,
+    /// A sleeping thread sharing state with the blocking one.
+    Dependent,
+    /// A sleeping independent thread.
+    Independent,
+}
+
+impl CostCase {
+    /// All three classes, in the paper's order.
+    pub const ALL: [CostCase; 3] = [CostCase::Blocking, CostCase::Dependent, CostCase::Independent];
+
+    /// Lowercase label.
+    pub fn name(&self) -> &'static str {
+        match self {
+            CostCase::Blocking => "blocking",
+            CostCase::Dependent => "dependent",
+            CostCase::Independent => "independent",
+        }
+    }
+}
+
+/// One Table 3 cell: `(fp ops, table lookups, measured ns/update)` for
+/// one priority-update class under one policy. The operation counts are
+/// deterministic; the nanoseconds are a wall-clock measurement and are
+/// therefore reported on stdout only, never in CSV output.
+pub fn update_cost_cell(policy: PolicyKind, case: CostCase) -> (u64, u64, f64) {
+    let params = ModelParams::new(8192).expect("paper-size cache is a valid model");
+    let schemes = PrioritySchemes::new(policy, params);
+    let mut entry = FootprintEntry::cold();
+    schemes.on_dispatch(&mut entry, 0);
+    schemes.on_block_self(&mut entry, 100, 100);
+    schemes.flop_counter().take();
+
+    // Count one representative update.
+    let (flops, lookups) = match case {
+        CostCase::Blocking => {
+            schemes.on_block_self(&mut entry, 50, 150);
+            schemes.flop_counter().take()
+        }
+        CostCase::Dependent => {
+            schemes.on_dependent(&mut entry, 0.5, 50, 150);
+            schemes.flop_counter().take()
+        }
+        CostCase::Independent => {
+            schemes.on_independent();
+            schemes.flop_counter().take()
+        }
+    };
+
+    // Time a batch of them.
+    let iters = 2_000_000u64;
+    let start = Instant::now();
+    let mut m = 200u64;
+    for _ in 0..iters {
+        match case {
+            CostCase::Blocking => {
+                schemes.on_block_self(&mut entry, 13, m);
+            }
+            CostCase::Dependent => {
+                schemes.on_dependent(&mut entry, 0.5, 13, m);
+            }
+            CostCase::Independent => schemes.on_independent(),
+        }
+        m += 13;
+    }
+    let ns = start.elapsed().as_nanos() as f64 / iters as f64;
+    (flops, lookups, ns)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn invalidation_shrinks_observed_only() {
+        let (observed_0, predicted_0) = invalidation_cell(0);
+        assert_eq!(observed_0, predicted_0);
+        let (observed, predicted) = invalidation_cell(2048);
+        assert_eq!(predicted, predicted_0);
+        assert!(observed < predicted, "remote writes must shrink the true footprint");
+    }
+
+    #[test]
+    fn independent_updates_are_free() {
+        for policy in [PolicyKind::Lff, PolicyKind::Crt] {
+            let (flops, lookups, _) = update_cost_cell(policy, CostCase::Independent);
+            assert_eq!((flops, lookups), (0, 0), "{policy:?}");
+        }
+    }
+
+    #[test]
+    fn probe_statistics() {
+        let p = PredictionProbe { sum_abs_err: 10.0, sum_observed: 100.0, samples: 5 };
+        assert!((p.mean_abs_err() - 2.0).abs() < 1e-12);
+        assert!((p.relative_err() - 0.1).abs() < 1e-12);
+        assert_eq!(PredictionProbe::default().mean_abs_err(), 0.0);
+    }
+}

@@ -16,22 +16,35 @@
 //! | `fig8` | Figure 8 — locality scheduling on the 1-cpu Ultra-1 |
 //! | `fig9` | Figure 9 — locality scheduling on the 8-cpu Enterprise 5000 |
 //! | `ablation` | §5 extras: annotation ablation, threshold sweep, page placement, invalidation effects; `--fault <scenario>` runs the counter-fault robustness table instead |
+//! | `repro-all` | everything above through one shared runner (cross-figure runs execute once) |
 //!
 //! Every binary prints aligned text tables and writes CSV files under
 //! `results/` (change with `--out DIR`). `--scale small` runs scaled-down
 //! workloads for a quick smoke pass; the default `--scale paper` uses the
 //! paper's parameters.
+//!
+//! All binaries drive the shared [runner]: figures are lists of
+//! independent seeded run descriptors executed across `--jobs` worker
+//! threads and cached under `<out>/.cache` (disable with `--no-cache`).
+//! CSV artifacts are byte-identical for every `--jobs` value and across
+//! cache hits; only the printed wall-time stats vary.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod args;
+pub mod error;
+pub mod experiments;
 pub mod faults;
 pub mod microbench;
 pub mod monitor;
 pub mod perf;
+pub mod runner;
+pub mod suite;
 pub mod table;
 
 pub use args::{Args, Scale};
+pub use error::ReproError;
 pub use faults::FaultScenario;
+pub use runner::{RunKind, RunOutput, RunRequest, Runner};
 pub use table::Table;

@@ -50,8 +50,12 @@ pub enum Monitored {
     },
 }
 
-/// Parameters of one microbenchmark run (one curve).
-#[derive(Debug, Clone, Copy)]
+/// Parameters of one microbenchmark run (one curve). A run is fully
+/// described by this value — the walk owns its RNG (seeded from
+/// [`WalkExperiment::seed`]) and its machine, so independent runs share
+/// no mutable state and the experiment runner can execute and cache
+/// them freely.
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct WalkExperiment {
     /// Who is monitored and how the model predicts it.
     pub monitored: Monitored,

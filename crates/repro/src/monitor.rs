@@ -15,7 +15,9 @@
 //! * cumulative misses and instructions (for the MPI series of Fig. 6).
 
 use active_threads::events::EngineView;
-use active_threads::{Engine, EngineConfig, EngineHook, SchedPolicy, SwitchEvent, ThreadId};
+use active_threads::{
+    Engine, EngineConfig, EngineHook, RuntimeError, SchedPolicy, SwitchEvent, ThreadId,
+};
 use locality_sim::MachineConfig;
 use locality_workloads::App;
 use std::cell::RefCell;
@@ -108,23 +110,50 @@ impl EngineHook for MonitorHook {
 /// accuracy study bracket the VM's influence (a naive mapping makes
 /// clustered applications *collide*, flipping the model's deviation from
 /// slight under- to over-prediction — see EXPERIMENTS.md).
-pub fn monitor_app(app: App) -> MonitorTrace {
+///
+/// # Errors
+///
+/// Returns the engine's [`RuntimeError`] if the monitored run cannot
+/// complete.
+pub fn monitor_app(app: App) -> Result<MonitorTrace, RuntimeError> {
     monitor_app_with_placement(app, locality_sim::PagePlacement::bin_hopping())
 }
 
 /// [`monitor_app`] under an explicit page-placement policy.
+///
+/// # Errors
+///
+/// Returns the engine's [`RuntimeError`] if the monitored run cannot
+/// complete.
 pub fn monitor_app_with_placement(
     app: App,
     placement: locality_sim::PagePlacement,
-) -> MonitorTrace {
+) -> Result<MonitorTrace, RuntimeError> {
+    monitor_app_seeded(app, placement, app.default_seed())
+}
+
+/// [`monitor_app_with_placement`] with an explicit RNG seed for the
+/// monitored workload, so every run is fully described by its
+/// `(app, placement, seed)` descriptor and no two runs share state —
+/// the invariant the parallel experiment runner relies on.
+///
+/// # Errors
+///
+/// Returns the engine's [`RuntimeError`] if the monitored run cannot
+/// complete.
+pub fn monitor_app_seeded(
+    app: App,
+    placement: locality_sim::PagePlacement,
+    seed: u64,
+) -> Result<MonitorTrace, RuntimeError> {
     let config = MachineConfig::ultra1().with_placement(placement);
     let mut engine = Engine::new(config, SchedPolicy::Lff, EngineConfig::default());
-    let tid = app.spawn_single(&mut engine);
+    let tid = app.spawn_single_seeded(&mut engine, seed);
     let out = Rc::new(RefCell::new(Vec::new()));
     engine.add_hook(Box::new(MonitorHook { tid, out: out.clone(), cum_misses: 0 }));
-    engine.run().expect("monitored app must complete");
+    engine.run()?;
     let samples = out.borrow().clone();
-    MonitorTrace { app: app.name(), samples }
+    Ok(MonitorTrace { app: app.name(), samples })
 }
 
 /// MPI (misses per 1000 instructions) series derived from a trace, as

@@ -3,7 +3,7 @@
 //! (Figures 8 and 9, Table 5, and the ablations).
 
 use crate::args::Scale;
-use active_threads::{Engine, EngineConfig, RunReport, SchedPolicy};
+use active_threads::{Engine, EngineConfig, RunReport, RuntimeError, SchedPolicy};
 use locality_sim::MachineConfig;
 use locality_workloads::{merge, photo, tasks, tsp};
 
@@ -84,12 +84,22 @@ impl PerfApp {
 }
 
 /// Runs one `(app, policy, machine)` cell and returns the report.
-pub fn run_cell(app: PerfApp, policy: SchedPolicy, cpus: usize, scale: Scale) -> RunReport {
+///
+/// # Errors
+///
+/// Returns the engine's [`RuntimeError`] if the workload cannot
+/// complete.
+pub fn run_cell(
+    app: PerfApp,
+    policy: SchedPolicy,
+    cpus: usize,
+    scale: Scale,
+) -> Result<RunReport, RuntimeError> {
     let machine =
         if cpus == 1 { MachineConfig::ultra1() } else { MachineConfig::enterprise5000(cpus) };
     let mut engine = Engine::new(machine, policy, EngineConfig::default());
     app.spawn(&mut engine, scale);
-    engine.run().expect("perf workload must complete")
+    engine.run()
 }
 
 /// One application's results across the three policies.
@@ -109,14 +119,31 @@ pub struct PolicyComparison {
 
 impl PolicyComparison {
     /// Runs all three policies for one app/machine.
-    pub fn run(app: PerfApp, cpus: usize, scale: Scale) -> Self {
-        PolicyComparison {
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`RuntimeError`] of the three runs.
+    pub fn run(app: PerfApp, cpus: usize, scale: Scale) -> Result<Self, RuntimeError> {
+        Ok(PolicyComparison {
             app,
             cpus,
-            fcfs: run_cell(app, SchedPolicy::Fcfs, cpus, scale),
-            lff: run_cell(app, SchedPolicy::Lff, cpus, scale),
-            crt: run_cell(app, SchedPolicy::Crt, cpus, scale),
-        }
+            fcfs: run_cell(app, SchedPolicy::Fcfs, cpus, scale)?,
+            lff: run_cell(app, SchedPolicy::Lff, cpus, scale)?,
+            crt: run_cell(app, SchedPolicy::Crt, cpus, scale)?,
+        })
+    }
+
+    /// Assembles a comparison from three already-completed reports (the
+    /// experiment runner executes the cells independently and possibly
+    /// in parallel or from cache).
+    pub fn from_reports(
+        app: PerfApp,
+        cpus: usize,
+        fcfs: RunReport,
+        lff: RunReport,
+        crt: RunReport,
+    ) -> Self {
+        PolicyComparison { app, cpus, fcfs, lff, crt }
     }
 
     /// `(normalized misses, speedup)` for a policy report vs FCFS.
@@ -143,7 +170,7 @@ mod tests {
     #[test]
     fn small_cells_run_everywhere() {
         for app in PerfApp::ALL {
-            let r = run_cell(app, SchedPolicy::Fcfs, 2, Scale::Small);
+            let r = run_cell(app, SchedPolicy::Fcfs, 2, Scale::Small).unwrap();
             assert!(r.threads_completed > 0, "{app:?}");
             assert!(r.total_l2_misses > 0);
         }
@@ -153,7 +180,7 @@ mod tests {
     fn comparison_shape_tasks_smp() {
         // The headline effect at small scale: locality policies eliminate
         // misses for oversubscribed disjoint tasks.
-        let cmp = PolicyComparison::run(PerfApp::Tasks, 2, Scale::Small);
+        let cmp = PolicyComparison::run(PerfApp::Tasks, 2, Scale::Small).unwrap();
         let (norm_lff, speed_lff) = cmp.vs_fcfs(&cmp.lff);
         assert!(norm_lff < 0.9, "LFF should cut misses, got {norm_lff:.2}");
         assert!(speed_lff > 1.0, "LFF should speed up, got {speed_lff:.2}");

@@ -1,0 +1,850 @@
+//! The shared experiment runner: every figure and table is a list of
+//! independent, explicitly-seeded run descriptors ([`RunKind`]) that a
+//! pool of OS worker threads executes in parallel (`--jobs N`), with an
+//! on-disk result cache so re-invocations skip finished points.
+//!
+//! Determinism contract: a descriptor fully describes its run (machine,
+//! workload, seeds), each run builds all of its state privately, and
+//! callers format output only after `run_all` returns results in
+//! descriptor order — so CSV artifacts are **byte-identical** for every
+//! `--jobs` value. Wall-clock measurements (the per-run stats below and
+//! Table 3's ns/update column) are the only nondeterministic outputs
+//! and are confined to stdout.
+//!
+//! Cache entries are keyed by an FNV-1a hash of the canonical
+//! descriptor string, which embeds the crate version and wire-format
+//! revision — a rebuild with different semantics never reuses stale
+//! results. Entries are written via a temp-file rename, so concurrent
+//! invocations sharing a cache directory cannot observe torn files.
+
+use crate::args::{Args, Scale};
+use crate::error::ReproError;
+use crate::experiments::{self, CostCase, FaultCell, PredictionProbe};
+use crate::faults::FaultScenario;
+use crate::microbench::{self, WalkExperiment, WalkPoint};
+use crate::monitor::{self, MonitorTrace, Sample};
+use crate::perf::{self, PerfApp};
+use crate::table::{Table, TableError};
+use active_threads::{RunReport, SchedPolicy};
+use locality_core::PolicyKind;
+use locality_sim::PagePlacement;
+use locality_workloads::App;
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Bumped whenever the wire encoding of [`RunOutput`] changes, so stale
+/// cache entries miss instead of misparsing.
+const WIRE_FORMAT: u32 = 1;
+
+/// Serializable page-placement selector mirroring
+/// [`locality_sim::PagePlacement`] (descriptors avoid embedded seeds by
+/// using the default-seeded arbitrary policy, like the binaries always
+/// have).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Placement {
+    /// Kessler & Hill bin hopping (the paper's VM).
+    BinHopping,
+    /// Page coloring.
+    PageColoring,
+    /// Default-seeded pseudo-random placement.
+    Arbitrary,
+}
+
+impl Placement {
+    /// The simulator policy this selector denotes.
+    pub fn to_sim(self) -> PagePlacement {
+        match self {
+            Placement::BinHopping => PagePlacement::bin_hopping(),
+            Placement::PageColoring => PagePlacement::PageColoring,
+            Placement::Arbitrary => PagePlacement::arbitrary(),
+        }
+    }
+}
+
+/// Serializable scheduling-policy selector for descriptors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PolicyId {
+    /// First-come first-served.
+    Fcfs,
+    /// Largest Footprint First.
+    Lff,
+    /// Cache-reload ratio.
+    Crt,
+    /// LFF ignoring `at_share` annotations.
+    LffNoAnnotations,
+}
+
+impl PolicyId {
+    /// Lowercase label for run labels and stats.
+    pub fn name(self) -> &'static str {
+        match self {
+            PolicyId::Fcfs => "fcfs",
+            PolicyId::Lff => "lff",
+            PolicyId::Crt => "crt",
+            PolicyId::LffNoAnnotations => "lff-noann",
+        }
+    }
+
+    /// The engine policy this selector denotes.
+    pub fn to_sched(self) -> SchedPolicy {
+        match self {
+            PolicyId::Fcfs => SchedPolicy::Fcfs,
+            PolicyId::Lff => SchedPolicy::Lff,
+            PolicyId::Crt => SchedPolicy::Crt,
+            PolicyId::LffNoAnnotations => SchedPolicy::LffNoAnnotations,
+        }
+    }
+}
+
+/// One independent, explicitly-seeded simulation run. The variant value
+/// fully determines the run's result.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum RunKind {
+    /// A Figure 4 random-walk curve.
+    Walk(WalkExperiment),
+    /// A Figure 5/6/7 monitored-application trace.
+    Monitor {
+        /// The monitored application.
+        app: App,
+        /// Page-placement policy of the simulated VM.
+        placement: Placement,
+        /// The workload's RNG seed.
+        seed: u64,
+    },
+    /// A §5 policy-comparison cell (Figures 8/9, Table 5, ablation 1).
+    Policy {
+        /// The application.
+        app: PerfApp,
+        /// The scheduling policy.
+        policy: PolicyId,
+        /// Processor count (1 = Ultra-1, else Enterprise 5000).
+        cpus: usize,
+        /// Workload scale.
+        scale: Scale,
+    },
+    /// A heap-eviction-threshold sweep cell (ablation 2).
+    Threshold {
+        /// Threshold in lines.
+        threshold_lines: u64,
+        /// Workload scale.
+        scale: Scale,
+    },
+    /// A page-placement probe (ablation 3).
+    PlacementProbe {
+        /// The application.
+        app: App,
+        /// Page-placement policy.
+        placement: Placement,
+    },
+    /// An invalidation-effects cell (ablation 4).
+    Invalidation {
+        /// Lines written by the remote processor.
+        written_lines: u64,
+    },
+    /// A sharing-inference pipeline cell (ablation 5).
+    Pipeline {
+        /// The scheduling policy.
+        policy: PolicyId,
+        /// Hand `at_share` annotations on?
+        annotate: bool,
+        /// CML-driven runtime inference on?
+        infer: bool,
+        /// Workload scale.
+        scale: Scale,
+    },
+    /// A counter-fault robustness cell (ablation 6).
+    Fault {
+        /// The scheduling policy.
+        policy: PolicyId,
+        /// The injected fault scenario.
+        scenario: FaultScenario,
+        /// Workload scale.
+        scale: Scale,
+    },
+    /// A Table 3 priority-update cost cell.
+    UpdateCost {
+        /// The locality policy.
+        policy: PolicyKind,
+        /// The thread class.
+        case: CostCase,
+    },
+}
+
+/// A labelled run descriptor.
+#[derive(Debug, Clone)]
+pub struct RunRequest {
+    /// Human-readable label for the stats summary.
+    pub label: String,
+    /// The run itself.
+    pub kind: RunKind,
+}
+
+impl RunRequest {
+    /// Creates a labelled request.
+    pub fn new(label: impl Into<String>, kind: RunKind) -> Self {
+        RunRequest { label: label.into(), kind }
+    }
+}
+
+/// The canonical cache key of a descriptor: crate version, wire-format
+/// revision, and the descriptor's exhaustive debug form.
+pub fn cache_key(kind: &RunKind) -> String {
+    format!("locality-repro {} wire {WIRE_FORMAT} | {kind:?}", env!("CARGO_PKG_VERSION"))
+}
+
+/// The result of one run.
+#[derive(Debug, Clone)]
+pub enum RunOutput {
+    /// Points of one walk curve.
+    Points(Vec<WalkPoint>),
+    /// A monitored-application trace.
+    Trace(MonitorTrace),
+    /// An engine run report.
+    Report(RunReport),
+    /// A fault-robustness cell.
+    FaultCell(FaultCell),
+    /// `(observed, predicted)` footprints of an invalidation cell.
+    Invalidation {
+        /// Ground-truth resident lines after the remote writes.
+        observed: u64,
+        /// What the counter-driven model still predicts.
+        predicted: u64,
+    },
+    /// A priority-update cost measurement.
+    UpdateCost {
+        /// Floating-point operations per update.
+        flops: u64,
+        /// Table lookups per update.
+        lookups: u64,
+        /// Measured wall-clock nanoseconds per update (stdout only —
+        /// never written to CSV, to keep artifacts deterministic).
+        ns_per_op: f64,
+    },
+}
+
+/// Simulated E-cache misses a run performed (for the throughput stats).
+fn sim_misses(out: &RunOutput) -> u64 {
+    match out {
+        RunOutput::Points(points) => points.last().map_or(0, |p| p.misses),
+        RunOutput::Trace(trace) => trace.samples.last().map_or(0, |s| s.misses),
+        RunOutput::Report(report) => report.total_l2_misses,
+        RunOutput::FaultCell(cell) => cell.report.total_l2_misses,
+        RunOutput::Invalidation { .. } | RunOutput::UpdateCost { .. } => 0,
+    }
+}
+
+/// Executes one descriptor from scratch. Everything the run touches is
+/// built inside this call, so it is safe to dispatch from any thread.
+///
+/// # Errors
+///
+/// Propagates the underlying engine/model error.
+pub fn execute(kind: &RunKind) -> Result<RunOutput, ReproError> {
+    match *kind {
+        RunKind::Walk(exp) => Ok(RunOutput::Points(microbench::run(&exp))),
+        RunKind::Monitor { app, placement, seed } => {
+            Ok(RunOutput::Trace(monitor::monitor_app_seeded(app, placement.to_sim(), seed)?))
+        }
+        RunKind::Policy { app, policy, cpus, scale } => {
+            Ok(RunOutput::Report(perf::run_cell(app, policy.to_sched(), cpus, scale)?))
+        }
+        RunKind::Threshold { threshold_lines, scale } => {
+            Ok(RunOutput::Report(experiments::threshold_cell(threshold_lines, scale)?))
+        }
+        RunKind::PlacementProbe { app, placement } => {
+            Ok(RunOutput::Report(experiments::placement_cell(app, placement.to_sim())?))
+        }
+        RunKind::Invalidation { written_lines } => {
+            let (observed, predicted) = experiments::invalidation_cell(written_lines);
+            Ok(RunOutput::Invalidation { observed, predicted })
+        }
+        RunKind::Pipeline { policy, annotate, infer, scale } => Ok(RunOutput::Report(
+            experiments::pipeline_cell(policy.to_sched(), annotate, infer, scale)?,
+        )),
+        RunKind::Fault { policy, scenario, scale } => {
+            Ok(RunOutput::FaultCell(experiments::fault_cell(policy.to_sched(), scenario, scale)?))
+        }
+        RunKind::UpdateCost { policy, case } => {
+            let (flops, lookups, ns_per_op) = experiments::update_cost_cell(policy, case);
+            Ok(RunOutput::UpdateCost { flops, lookups, ns_per_op })
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Wire format: a plain-text encoding of RunOutput for the disk cache.
+// Floats travel as their IEEE-754 bit patterns in hex so every value
+// round-trips exactly — the byte-identical-CSV invariant depends on it.
+
+fn enc_f64(v: f64) -> String {
+    format!("{:016x}", v.to_bits())
+}
+
+fn dec_f64(s: &str) -> Option<f64> {
+    u64::from_str_radix(s, 16).ok().map(f64::from_bits)
+}
+
+fn encode_report(out: &mut String, r: &RunReport) {
+    out.push_str(&format!("report {}\n", r.policy));
+    out.push_str(&format!(
+        "{} {} {} {} {} {} {} {} {} {} {} {}\n",
+        r.cpus,
+        r.total_cycles,
+        r.total_l2_misses,
+        r.total_l2_refs,
+        r.total_instructions,
+        r.context_switches,
+        r.threads_completed,
+        r.steals,
+        r.priority_flops.0,
+        r.priority_flops.1,
+        r.degraded_intervals,
+        r.corrected_intervals
+    ));
+}
+
+fn decode_report<'a, I: Iterator<Item = &'a str>>(lines: &mut I) -> Option<RunReport> {
+    let policy = lines.next()?.strip_prefix("report ")?.to_string();
+    let nums: Vec<u64> = lines.next()?.split(' ').map(str::parse).collect::<Result<_, _>>().ok()?;
+    if nums.len() != 12 {
+        return None;
+    }
+    Some(RunReport {
+        policy,
+        cpus: usize::try_from(nums[0]).ok()?,
+        total_cycles: nums[1],
+        total_l2_misses: nums[2],
+        total_l2_refs: nums[3],
+        total_instructions: nums[4],
+        context_switches: nums[5],
+        threads_completed: nums[6],
+        steals: nums[7],
+        priority_flops: (nums[8], nums[9]),
+        degraded_intervals: nums[10],
+        corrected_intervals: nums[11],
+        // Per-processor breakdowns are not cached; no figure consumes
+        // them and they would dominate the entry size.
+        per_cpu: Vec::new(),
+    })
+}
+
+/// Serializes a run result for the disk cache.
+fn encode(out: &RunOutput) -> String {
+    let mut s = String::new();
+    match out {
+        RunOutput::Points(points) => {
+            s.push_str(&format!("points {}\n", points.len()));
+            for p in points {
+                s.push_str(&format!(
+                    "{} {} {}\n",
+                    p.misses,
+                    enc_f64(p.observed),
+                    enc_f64(p.predicted)
+                ));
+            }
+        }
+        RunOutput::Trace(trace) => {
+            s.push_str(&format!("trace {}\n", trace.samples.len()));
+            for p in &trace.samples {
+                s.push_str(&format!(
+                    "{} {} {} {}\n",
+                    p.misses,
+                    p.instructions,
+                    enc_f64(p.observed),
+                    enc_f64(p.predicted)
+                ));
+            }
+        }
+        RunOutput::Report(r) => encode_report(&mut s, r),
+        RunOutput::FaultCell(cell) => {
+            s.push_str(&format!(
+                "fault {} {} {} {}\n",
+                u8::from(cell.recovered),
+                enc_f64(cell.probe.sum_abs_err),
+                enc_f64(cell.probe.sum_observed),
+                cell.probe.samples
+            ));
+            encode_report(&mut s, &cell.report);
+        }
+        RunOutput::Invalidation { observed, predicted } => {
+            s.push_str(&format!("inval {observed} {predicted}\n"));
+        }
+        RunOutput::UpdateCost { flops, lookups, ns_per_op } => {
+            s.push_str(&format!("cost {flops} {lookups} {}\n", enc_f64(*ns_per_op)));
+        }
+    }
+    s
+}
+
+/// Deserializes a cached payload, using the descriptor for context
+/// (e.g. the static app name of a trace). `None` means the entry is
+/// unreadable and the run is simply repeated.
+fn decode(kind: &RunKind, payload: &str) -> Option<RunOutput> {
+    let mut lines = payload.lines();
+    match kind {
+        RunKind::Walk(_) => {
+            let n: usize = lines.next()?.strip_prefix("points ")?.parse().ok()?;
+            let mut points = Vec::with_capacity(n);
+            for _ in 0..n {
+                let mut it = lines.next()?.split(' ');
+                points.push(WalkPoint {
+                    misses: it.next()?.parse().ok()?,
+                    observed: dec_f64(it.next()?)?,
+                    predicted: dec_f64(it.next()?)?,
+                });
+            }
+            Some(RunOutput::Points(points))
+        }
+        RunKind::Monitor { app, .. } => {
+            let n: usize = lines.next()?.strip_prefix("trace ")?.parse().ok()?;
+            let mut samples = Vec::with_capacity(n);
+            for _ in 0..n {
+                let mut it = lines.next()?.split(' ');
+                samples.push(Sample {
+                    misses: it.next()?.parse().ok()?,
+                    instructions: it.next()?.parse().ok()?,
+                    observed: dec_f64(it.next()?)?,
+                    predicted: dec_f64(it.next()?)?,
+                });
+            }
+            Some(RunOutput::Trace(MonitorTrace { app: app.name(), samples }))
+        }
+        RunKind::Policy { .. }
+        | RunKind::Threshold { .. }
+        | RunKind::PlacementProbe { .. }
+        | RunKind::Pipeline { .. } => Some(RunOutput::Report(decode_report(&mut lines)?)),
+        RunKind::Fault { .. } => {
+            let mut it = lines.next()?.strip_prefix("fault ")?.split(' ');
+            let recovered = it.next()? == "1";
+            let probe = PredictionProbe {
+                sum_abs_err: dec_f64(it.next()?)?,
+                sum_observed: dec_f64(it.next()?)?,
+                samples: it.next()?.parse().ok()?,
+            };
+            let report = decode_report(&mut lines)?;
+            Some(RunOutput::FaultCell(FaultCell { report, probe, recovered }))
+        }
+        RunKind::Invalidation { .. } => {
+            let mut it = lines.next()?.strip_prefix("inval ")?.split(' ');
+            Some(RunOutput::Invalidation {
+                observed: it.next()?.parse().ok()?,
+                predicted: it.next()?.parse().ok()?,
+            })
+        }
+        RunKind::UpdateCost { .. } => {
+            let mut it = lines.next()?.strip_prefix("cost ")?.split(' ');
+            Some(RunOutput::UpdateCost {
+                flops: it.next()?.parse().ok()?,
+                lookups: it.next()?.parse().ok()?,
+                ns_per_op: dec_f64(it.next()?)?,
+            })
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Disk cache.
+
+fn fnv1a(s: &str) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for b in s.bytes() {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+struct DiskCache {
+    dir: PathBuf,
+}
+
+impl DiskCache {
+    fn entry_path(&self, key: &str) -> PathBuf {
+        self.dir.join(format!("{:016x}.run", fnv1a(key)))
+    }
+
+    /// Loads a cached result; any miss, mismatch (hash collision), or
+    /// parse failure just means the run is executed again.
+    fn load(&self, key: &str, kind: &RunKind) -> Option<RunOutput> {
+        let text = std::fs::read_to_string(self.entry_path(key)).ok()?;
+        let (first, payload) = text.split_once('\n')?;
+        if first != key {
+            return None;
+        }
+        decode(kind, payload)
+    }
+
+    /// Stores a result atomically (temp file + rename), so concurrent
+    /// invocations sharing this directory never read torn entries.
+    fn store(&self, key: &str, out: &RunOutput) -> std::io::Result<()> {
+        std::fs::create_dir_all(&self.dir)?;
+        let path = self.entry_path(key);
+        let tmp = path.with_extension(format!("tmp{}", std::process::id()));
+        std::fs::write(&tmp, format!("{key}\n{}", encode(out)))?;
+        std::fs::rename(&tmp, &path)
+    }
+}
+
+// ---------------------------------------------------------------------
+// The runner.
+
+/// Instrumentation for one completed run.
+#[derive(Debug, Clone)]
+pub struct RunStat {
+    /// The request's label.
+    pub label: String,
+    /// Wall-clock time of the run (zero when served from cache).
+    pub wall: Duration,
+    /// Simulated E-cache misses the run performed.
+    pub sim_misses: u64,
+    /// Whether the result came from the disk cache.
+    pub cached: bool,
+}
+
+/// Runner configuration, usually derived from [`Args`].
+#[derive(Debug, Clone)]
+pub struct RunnerConfig {
+    /// Worker threads.
+    pub jobs: usize,
+    /// Cache directory; `None` disables the cache.
+    pub cache_dir: Option<PathBuf>,
+}
+
+/// The parallel, cached experiment runner.
+pub struct Runner {
+    jobs: usize,
+    cache: Option<DiskCache>,
+    stats: Mutex<Vec<RunStat>>,
+}
+
+impl Runner {
+    /// Creates a runner.
+    pub fn new(config: RunnerConfig) -> Self {
+        Runner {
+            jobs: config.jobs.max(1),
+            cache: config.cache_dir.map(|dir| DiskCache { dir }),
+            stats: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// A runner honouring `--jobs` and `--no-cache`; the cache lives
+    /// under `<out>/.cache` next to the CSVs it accelerates.
+    pub fn from_args(args: &Args) -> Self {
+        Runner::new(RunnerConfig {
+            jobs: args.jobs,
+            cache_dir: (!args.no_cache).then(|| args.out.join(".cache")),
+        })
+    }
+
+    /// The worker-thread count.
+    pub fn jobs(&self) -> usize {
+        self.jobs
+    }
+
+    /// Executes every request (deduplicating identical descriptors) and
+    /// returns the results **in request order**, which is what keeps
+    /// output byte-identical across `--jobs` values.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first failing run's error (first in request order).
+    pub fn run_all(&self, reqs: &[RunRequest]) -> Result<Vec<RunOutput>, ReproError> {
+        let keys: Vec<String> = reqs.iter().map(|r| cache_key(&r.kind)).collect();
+        // One slot per distinct descriptor, first occurrence wins.
+        let mut first_of: HashMap<&str, usize> = HashMap::new();
+        let mut unique: Vec<usize> = Vec::new();
+        for (i, key) in keys.iter().enumerate() {
+            first_of.entry(key).or_insert_with(|| {
+                unique.push(i);
+                unique.len() - 1
+            });
+        }
+        let slots: Vec<Mutex<Option<Result<RunOutput, ReproError>>>> =
+            unique.iter().map(|_| Mutex::new(None)).collect();
+        let next = AtomicUsize::new(0);
+        let workers = self.jobs.min(unique.len()).max(1);
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let u = next.fetch_add(1, Ordering::Relaxed);
+                    if u >= unique.len() {
+                        break;
+                    }
+                    let i = unique[u];
+                    let res = self.run_one(&reqs[i], &keys[i]);
+                    *slots[u].lock().expect("runner slot lock") = Some(res);
+                });
+            }
+        });
+        // Reassemble in request order; surface the earliest error.
+        let mut done: Vec<Option<RunOutput>> = Vec::with_capacity(unique.len());
+        for (u, slot) in slots.into_iter().enumerate() {
+            let res = slot
+                .into_inner()
+                .expect("runner slot lock")
+                .ok_or_else(|| ReproError::MissingResult(keys[unique[u]].clone()))?;
+            done.push(Some(res?));
+        }
+        keys.iter()
+            .map(|key| {
+                let slot = first_of[key.as_str()];
+                done[slot].as_ref().cloned().ok_or_else(|| ReproError::MissingResult(key.clone()))
+            })
+            .collect()
+    }
+
+    fn run_one(&self, req: &RunRequest, key: &str) -> Result<RunOutput, ReproError> {
+        if let Some(cache) = &self.cache {
+            if let Some(out) = cache.load(key, &req.kind) {
+                self.push_stat(RunStat {
+                    label: req.label.clone(),
+                    wall: Duration::ZERO,
+                    sim_misses: sim_misses(&out),
+                    cached: true,
+                });
+                return Ok(out);
+            }
+        }
+        let start = Instant::now();
+        let out = execute(&req.kind)?;
+        let wall = start.elapsed();
+        if let Some(cache) = &self.cache {
+            // A failing cache write must not kill the suite; the result
+            // is in hand and only re-invocation speed is lost.
+            if let Err(e) = cache.store(key, &out) {
+                eprintln!("[cache] could not store {}: {e}", req.label);
+            }
+        }
+        self.push_stat(RunStat {
+            label: req.label.clone(),
+            wall,
+            sim_misses: sim_misses(&out),
+            cached: false,
+        });
+        Ok(out)
+    }
+
+    fn push_stat(&self, stat: RunStat) {
+        self.stats.lock().expect("runner stats lock").push(stat);
+    }
+
+    /// Runs executed fresh so far.
+    pub fn fresh_runs(&self) -> usize {
+        self.stats.lock().expect("runner stats lock").iter().filter(|s| !s.cached).count()
+    }
+
+    /// Runs served from the disk cache so far.
+    pub fn cached_runs(&self) -> usize {
+        self.stats.lock().expect("runner stats lock").iter().filter(|s| s.cached).count()
+    }
+
+    /// The per-run instrumentation table: wall time and simulated-miss
+    /// throughput per run, plus a totals row. Wall times are
+    /// nondeterministic, so this table is printed, never written to CSV.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`TableError`] if a row cannot be appended.
+    pub fn summary(&self) -> Result<Table, TableError> {
+        let mut stats = self.stats.lock().expect("runner stats lock").clone();
+        stats.sort_by(|a, b| a.label.cmp(&b.label));
+        let mut t = Table::new(
+            &format!(
+                "runner — {} jobs, {} fresh, {} cached",
+                self.jobs,
+                self.fresh_runs(),
+                self.cached_runs()
+            ),
+            &["run", "source", "wall ms", "sim misses", "sim misses/sec"],
+        );
+        let rate = |misses: u64, wall: Duration| -> String {
+            let secs = wall.as_secs_f64();
+            if secs > 0.0 {
+                format!("{:.0}", misses as f64 / secs)
+            } else {
+                "-".to_string()
+            }
+        };
+        for s in &stats {
+            t.row(&[
+                s.label.clone(),
+                if s.cached { "cache" } else { "run" }.to_string(),
+                format!("{:.1}", s.wall.as_secs_f64() * 1e3),
+                s.sim_misses.to_string(),
+                if s.cached { "-".to_string() } else { rate(s.sim_misses, s.wall) },
+            ])?;
+        }
+        let total_wall: Duration = stats.iter().map(|s| s.wall).sum();
+        let fresh_misses: u64 = stats.iter().filter(|s| !s.cached).map(|s| s.sim_misses).sum();
+        let total_misses: u64 = stats.iter().map(|s| s.sim_misses).sum();
+        t.row(&[
+            "total".to_string(),
+            format!("{} runs", stats.len()),
+            format!("{:.1}", total_wall.as_secs_f64() * 1e3),
+            total_misses.to_string(),
+            rate(fresh_misses, total_wall),
+        ])?;
+        Ok(t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::microbench::Monitored;
+
+    fn walk_req(seed: u64) -> RunRequest {
+        RunRequest::new(
+            format!("walk-{seed}"),
+            RunKind::Walk(WalkExperiment::direct(Monitored::Walker { s0: 0.0 }, 2_000, 500, seed)),
+        )
+    }
+
+    #[test]
+    fn fnv_is_stable_and_spreads() {
+        assert_eq!(fnv1a(""), 0xcbf29ce484222325);
+        assert_ne!(fnv1a("a"), fnv1a("b"));
+    }
+
+    #[test]
+    fn cache_keys_distinguish_descriptors() {
+        let a = cache_key(&walk_req(1).kind);
+        let b = cache_key(&walk_req(2).kind);
+        assert_ne!(a, b);
+        assert_eq!(a, cache_key(&walk_req(1).kind));
+        assert!(a.contains("wire"));
+    }
+
+    #[test]
+    fn wire_round_trips_every_variant() {
+        let outs: Vec<(RunKind, RunOutput)> = vec![
+            (
+                walk_req(1).kind,
+                RunOutput::Points(vec![
+                    WalkPoint { misses: 3, observed: 1.5, predicted: 0.1 },
+                    WalkPoint { misses: 9, observed: f64::MAX, predicted: -0.0 },
+                ]),
+            ),
+            (
+                RunKind::Monitor { app: App::Merge, placement: Placement::BinHopping, seed: 7 },
+                RunOutput::Trace(MonitorTrace {
+                    app: "merge",
+                    samples: vec![Sample {
+                        misses: 1,
+                        instructions: 2,
+                        observed: 3.25,
+                        predicted: 4.5,
+                    }],
+                }),
+            ),
+            (
+                RunKind::Invalidation { written_lines: 4 },
+                RunOutput::Invalidation { observed: 10, predicted: 12 },
+            ),
+            (
+                RunKind::UpdateCost { policy: PolicyKind::Lff, case: CostCase::Blocking },
+                RunOutput::UpdateCost { flops: 5, lookups: 1, ns_per_op: 12.75 },
+            ),
+        ];
+        for (kind, out) in &outs {
+            let wire = encode(out);
+            let back = decode(kind, &wire).expect("round trip");
+            assert_eq!(encode(&back), wire, "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn wire_round_trips_reports_and_fault_cells() {
+        let report = RunReport {
+            policy: "lff".to_string(),
+            cpus: 4,
+            total_cycles: 10,
+            total_l2_misses: 20,
+            total_l2_refs: 30,
+            total_instructions: 40,
+            context_switches: 50,
+            threads_completed: 60,
+            steals: 70,
+            priority_flops: (80, 90),
+            degraded_intervals: 1,
+            corrected_intervals: 2,
+            per_cpu: Vec::new(),
+        };
+        let kind = RunKind::Policy {
+            app: PerfApp::Tasks,
+            policy: PolicyId::Lff,
+            cpus: 4,
+            scale: Scale::Small,
+        };
+        let wire = encode(&RunOutput::Report(report.clone()));
+        let back = decode(&kind, &wire).expect("report round trip");
+        assert_eq!(encode(&back), wire);
+
+        let cell = FaultCell {
+            report,
+            probe: PredictionProbe { sum_abs_err: 1.25, sum_observed: 2.5, samples: 3 },
+            recovered: true,
+        };
+        let kind = RunKind::Fault {
+            policy: PolicyId::Lff,
+            scenario: FaultScenario::Window,
+            scale: Scale::Small,
+        };
+        let wire = encode(&RunOutput::FaultCell(cell));
+        let back = decode(&kind, &wire).expect("fault round trip");
+        assert_eq!(encode(&back), wire);
+    }
+
+    #[test]
+    fn corrupt_cache_entries_miss_instead_of_misparsing() {
+        let kind = walk_req(1).kind;
+        assert!(decode(&kind, "points zero\n").is_none());
+        assert!(decode(&kind, "trace 1\n1 2 0 0\n").is_none());
+        assert!(decode(&kind, "").is_none());
+    }
+
+    #[test]
+    fn run_all_dedupes_and_orders() {
+        let dir = std::env::temp_dir().join(format!("repro-runner-unit-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let runner = Runner::new(RunnerConfig { jobs: 4, cache_dir: Some(dir.join("cache")) });
+        // Two distinct walks, with the first repeated: 3 requests, 2 runs.
+        let reqs = vec![walk_req(1), walk_req(2), walk_req(1)];
+        let outs = runner.run_all(&reqs).expect("walks succeed");
+        assert_eq!(outs.len(), 3);
+        assert_eq!(runner.fresh_runs(), 2, "duplicate descriptor must not run twice");
+        let (first, third) = (&outs[0], &outs[2]);
+        let (RunOutput::Points(a), RunOutput::Points(b)) = (first, third) else {
+            panic!("walks return points");
+        };
+        assert_eq!(a.len(), b.len());
+        assert!(a.iter().zip(b.iter()).all(|(x, y)| x == y), "shared descriptor, same result");
+
+        // A second runner over the same cache dir does zero fresh runs
+        // and returns identical results.
+        let runner2 = Runner::new(RunnerConfig { jobs: 1, cache_dir: Some(dir.join("cache")) });
+        let outs2 = runner2.run_all(&reqs).expect("cached walks succeed");
+        assert_eq!(runner2.fresh_runs(), 0);
+        // Stats count unique executions (the duplicate request shares
+        // its twin's cache entry without a separate load).
+        assert_eq!(runner2.cached_runs(), 2);
+        let RunOutput::Points(a2) = &outs2[0] else { panic!("points") };
+        let RunOutput::Points(a1) = &outs[0] else { panic!("points") };
+        assert!(a1.iter().zip(a2.iter()).all(|(x, y)| x == y), "cache round trip is exact");
+        assert!(runner2.summary().unwrap().render().contains("cache"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn no_cache_runner_reruns() {
+        let runner = Runner::new(RunnerConfig { jobs: 2, cache_dir: None });
+        let reqs = vec![walk_req(3)];
+        runner.run_all(&reqs).expect("walk succeeds");
+        runner.run_all(&reqs).expect("walk succeeds");
+        assert_eq!(runner.fresh_runs(), 2);
+        assert_eq!(runner.cached_runs(), 0);
+    }
+}

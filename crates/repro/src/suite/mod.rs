@@ -1,0 +1,278 @@
+//! The figure/table suite on top of the [runner](crate::runner): each
+//! figure declares its run descriptors, the runner executes them
+//! (deduplicated, in parallel, through the cache), and the figure's
+//! emitter formats tables and CSVs from the completed results — strictly
+//! after all runs finish and strictly in descriptor order, so artifacts
+//! are byte-identical for any `--jobs` value.
+//!
+//! The umbrella `repro-all` binary runs every figure through one runner,
+//! so runs shared between figures (e.g. the monitored traces behind
+//! Figures 5, 6, and 7, or the FCFS/CRT cells behind Figures 8/9 and
+//! Table 5) execute exactly once.
+
+mod ablation;
+mod fig4;
+mod monitor_figs;
+mod perf_figs;
+mod static_tables;
+mod table3;
+
+use crate::args::Args;
+use crate::error::ReproError;
+use crate::experiments::FaultCell;
+use crate::microbench::WalkPoint;
+use crate::monitor::MonitorTrace;
+use crate::runner::{cache_key, RunKind, RunOutput, RunRequest, Runner};
+use active_threads::RunReport;
+use std::collections::HashMap;
+
+/// One reproducible figure or table of the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Figure {
+    /// Table 1 — simulated UltraSPARC-1 memory hierarchy.
+    Table1,
+    /// Table 2 — simulated workloads.
+    Table2,
+    /// Table 3 — costs of priority updates.
+    Table3,
+    /// Table 4 — input parameters for application runs.
+    Table4,
+    /// Figure 4 — random-memory-walk model validation.
+    Fig4,
+    /// Figure 5 — observed vs predicted footprints.
+    Fig5,
+    /// Figure 6 — E-cache misses per 1000 instructions.
+    Fig6,
+    /// Figure 7 — overestimated footprints.
+    Fig7,
+    /// Figure 8 — locality scheduling, 1-cpu Ultra-1.
+    Fig8,
+    /// Figure 9 — locality scheduling, 8-cpu Enterprise 5000.
+    Fig9,
+    /// Table 5 — CRT relative to FCFS.
+    Table5,
+    /// §5/§3 ablations (or the `--fault` robustness table).
+    Ablation,
+}
+
+impl Figure {
+    /// Every figure, in the order `repro-all` regenerates them.
+    pub const ALL: [Figure; 12] = [
+        Figure::Table1,
+        Figure::Table2,
+        Figure::Table3,
+        Figure::Table4,
+        Figure::Fig4,
+        Figure::Fig5,
+        Figure::Fig6,
+        Figure::Fig7,
+        Figure::Fig8,
+        Figure::Fig9,
+        Figure::Table5,
+        Figure::Ablation,
+    ];
+
+    /// The figure's run descriptors. Static tables need none.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ReproError::Usage`] for an invalid `--fault` value.
+    pub fn requests(&self, args: &Args) -> Result<Vec<RunRequest>, ReproError> {
+        Ok(match self {
+            Figure::Table1 | Figure::Table2 | Figure::Table4 => Vec::new(),
+            Figure::Table3 => table3::requests(),
+            Figure::Fig4 => fig4::requests(args.scale),
+            Figure::Fig5 => monitor_figs::fig5_requests(),
+            Figure::Fig6 => monitor_figs::fig6_requests(),
+            Figure::Fig7 => monitor_figs::fig7_requests(),
+            Figure::Fig8 => perf_figs::figure_requests(1, args.scale),
+            Figure::Fig9 => perf_figs::figure_requests(8, args.scale),
+            Figure::Table5 => perf_figs::table5_requests(args.scale),
+            Figure::Ablation => ablation::requests(args)?,
+        })
+    }
+
+    /// Formats the figure's tables and CSVs from completed results.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ReproError`] if a result is missing or an output file
+    /// cannot be written.
+    pub fn emit(&self, args: &Args, results: &ResultSet) -> Result<(), ReproError> {
+        match self {
+            Figure::Table1 => static_tables::emit_table1(args),
+            Figure::Table2 => static_tables::emit_table2(args),
+            Figure::Table3 => table3::emit(args, results),
+            Figure::Table4 => static_tables::emit_table4(args),
+            Figure::Fig4 => fig4::emit(args, results),
+            Figure::Fig5 => monitor_figs::fig5_emit(args, results),
+            Figure::Fig6 => monitor_figs::fig6_emit(args, results),
+            Figure::Fig7 => monitor_figs::fig7_emit(args, results),
+            Figure::Fig8 => perf_figs::figure_emit(args, results, 1),
+            Figure::Fig9 => perf_figs::figure_emit(args, results, 8),
+            Figure::Table5 => perf_figs::table5_emit(args, results),
+            Figure::Ablation => ablation::emit(args, results),
+        }
+    }
+}
+
+/// Completed run results keyed by descriptor, with typed accessors that
+/// surface descriptor bookkeeping bugs as [`ReproError::MissingResult`].
+#[derive(Default)]
+pub struct ResultSet {
+    map: HashMap<String, RunOutput>,
+}
+
+impl ResultSet {
+    fn insert(&mut self, kind: &RunKind, out: RunOutput) {
+        self.map.insert(cache_key(kind), out);
+    }
+
+    fn get(&self, kind: &RunKind) -> Result<&RunOutput, ReproError> {
+        self.map.get(&cache_key(kind)).ok_or_else(|| ReproError::MissingResult(format!("{kind:?}")))
+    }
+
+    fn mismatch(kind: &RunKind) -> ReproError {
+        ReproError::MissingResult(format!("wrong result variant for {kind:?}"))
+    }
+
+    /// The walk curve a [`RunKind::Walk`] descriptor produced.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ReproError::MissingResult`] if absent or mistyped.
+    pub fn points(&self, kind: &RunKind) -> Result<&[WalkPoint], ReproError> {
+        match self.get(kind)? {
+            RunOutput::Points(p) => Ok(p),
+            _ => Err(Self::mismatch(kind)),
+        }
+    }
+
+    /// The trace a [`RunKind::Monitor`] descriptor produced.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ReproError::MissingResult`] if absent or mistyped.
+    pub fn trace(&self, kind: &RunKind) -> Result<&MonitorTrace, ReproError> {
+        match self.get(kind)? {
+            RunOutput::Trace(t) => Ok(t),
+            _ => Err(Self::mismatch(kind)),
+        }
+    }
+
+    /// The report a policy/threshold/placement/pipeline descriptor
+    /// produced.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ReproError::MissingResult`] if absent or mistyped.
+    pub fn report(&self, kind: &RunKind) -> Result<&RunReport, ReproError> {
+        match self.get(kind)? {
+            RunOutput::Report(r) => Ok(r),
+            _ => Err(Self::mismatch(kind)),
+        }
+    }
+
+    /// The cell a [`RunKind::Fault`] descriptor produced.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ReproError::MissingResult`] if absent or mistyped.
+    pub fn fault_cell(&self, kind: &RunKind) -> Result<&FaultCell, ReproError> {
+        match self.get(kind)? {
+            RunOutput::FaultCell(c) => Ok(c),
+            _ => Err(Self::mismatch(kind)),
+        }
+    }
+
+    /// The `(observed, predicted)` footprints of a
+    /// [`RunKind::Invalidation`] descriptor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ReproError::MissingResult`] if absent or mistyped.
+    pub fn invalidation(&self, kind: &RunKind) -> Result<(u64, u64), ReproError> {
+        match self.get(kind)? {
+            RunOutput::Invalidation { observed, predicted } => Ok((*observed, *predicted)),
+            _ => Err(Self::mismatch(kind)),
+        }
+    }
+
+    /// The `(flops, lookups, ns/op)` of a [`RunKind::UpdateCost`]
+    /// descriptor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ReproError::MissingResult`] if absent or mistyped.
+    pub fn update_cost(&self, kind: &RunKind) -> Result<(u64, u64, f64), ReproError> {
+        match self.get(kind)? {
+            RunOutput::UpdateCost { flops, lookups, ns_per_op } => {
+                Ok((*flops, *lookups, *ns_per_op))
+            }
+            _ => Err(Self::mismatch(kind)),
+        }
+    }
+}
+
+/// What a suite invocation did, for tests and callers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SuiteReport {
+    /// Runs executed fresh.
+    pub fresh_runs: usize,
+    /// Runs served from the disk cache.
+    pub cached_runs: usize,
+}
+
+/// Runs the given figures through one shared runner (so descriptors
+/// shared between figures execute once), emits each figure's output in
+/// order, and prints the runner's wall-time/throughput summary.
+///
+/// # Errors
+///
+/// Returns the first run or output error.
+pub fn run_figures(args: &Args, figures: &[Figure]) -> Result<SuiteReport, ReproError> {
+    let mut reqs: Vec<RunRequest> = Vec::new();
+    for figure in figures {
+        reqs.extend(figure.requests(args)?);
+    }
+    let runner = Runner::from_args(args);
+    let outs = runner.run_all(&reqs)?;
+    let mut results = ResultSet::default();
+    for (req, out) in reqs.iter().zip(outs) {
+        results.insert(&req.kind, out);
+    }
+    for figure in figures {
+        figure.emit(args, &results)?;
+    }
+    if !reqs.is_empty() {
+        runner.summary()?.print();
+    }
+    Ok(SuiteReport { fresh_runs: runner.fresh_runs(), cached_runs: runner.cached_runs() })
+}
+
+/// A single-figure binary's `main`: parse args, run, exit nonzero with a
+/// message on failure (2 for usage errors, 1 otherwise).
+pub fn main_for(figure: Figure) {
+    let args = Args::from_env();
+    exit_on_error(run_figures(&args, &[figure]));
+}
+
+/// The `repro-all` umbrella `main`: every figure through one runner.
+pub fn main_all() {
+    let args = Args::from_env();
+    exit_on_error(run_figures(&args, &Figure::ALL));
+}
+
+fn exit_on_error(res: Result<SuiteReport, ReproError>) {
+    match res {
+        Ok(_) => {}
+        Err(ReproError::Usage(msg)) => {
+            eprintln!("{msg}");
+            std::process::exit(2);
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,7 +1,48 @@
 //! Aligned text tables and CSV output.
 
 use std::fmt::Write as _;
-use std::path::Path;
+use std::path::{Path, PathBuf};
+
+/// Errors from building or writing a [`Table`].
+#[derive(Debug)]
+pub enum TableError {
+    /// A row's cell count does not match the header.
+    WidthMismatch {
+        /// Columns in the header.
+        expected: usize,
+        /// Cells in the offending row.
+        got: usize,
+    },
+    /// Writing the CSV file failed.
+    Io {
+        /// The destination path.
+        path: PathBuf,
+        /// The underlying error.
+        source: std::io::Error,
+    },
+}
+
+impl std::fmt::Display for TableError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TableError::WidthMismatch { expected, got } => {
+                write!(f, "row width mismatch: table has {expected} columns, row has {got}")
+            }
+            TableError::Io { path, source } => {
+                write!(f, "writing {}: {source}", path.display())
+            }
+        }
+    }
+}
+
+impl std::error::Error for TableError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TableError::WidthMismatch { .. } => None,
+            TableError::Io { source, .. } => Some(source),
+        }
+    }
+}
 
 /// A simple column-aligned table that can also serialize itself as CSV.
 #[derive(Debug, Clone, Default)]
@@ -22,14 +63,29 @@ impl Table {
     }
 
     /// Appends a row (stringified cells).
-    pub fn row(&mut self, cells: &[String]) -> &mut Self {
-        assert_eq!(cells.len(), self.header.len(), "row width mismatch");
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TableError::WidthMismatch`] if the cell count differs
+    /// from the header's column count.
+    pub fn row(&mut self, cells: &[String]) -> Result<&mut Self, TableError> {
+        if cells.len() != self.header.len() {
+            return Err(TableError::WidthMismatch {
+                expected: self.header.len(),
+                got: cells.len(),
+            });
+        }
         self.rows.push(cells.to_vec());
-        self
+        Ok(self)
     }
 
     /// Convenience for string-slice rows.
-    pub fn row_strs(&mut self, cells: &[&str]) -> &mut Self {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TableError::WidthMismatch`] if the cell count differs
+    /// from the header's column count.
+    pub fn row_strs(&mut self, cells: &[&str]) -> Result<&mut Self, TableError> {
         let owned: Vec<String> = cells.iter().map(|s| s.to_string()).collect();
         self.row(&owned)
     }
@@ -67,7 +123,9 @@ impl Table {
             line.trim_end().to_string()
         };
         let _ = writeln!(out, "{}", fmt_row(&self.header));
-        let total: usize = widths.iter().sum::<usize>() + 2 * (widths.len() - 1);
+        // `saturating_sub` guards the zero-column table, which would
+        // otherwise underflow the separator width.
+        let total: usize = widths.iter().sum::<usize>() + 2 * widths.len().saturating_sub(1);
         let _ = writeln!(out, "{}", "-".repeat(total));
         for row in &self.rows {
             let _ = writeln!(out, "{}", fmt_row(row));
@@ -80,9 +138,17 @@ impl Table {
         println!("{}", self.render());
     }
 
-    /// CSV form (header + rows; commas in cells are replaced by `;`).
+    /// CSV form (header + rows), quoted per RFC 4180: fields containing
+    /// commas, quotes, or line breaks are wrapped in double quotes with
+    /// embedded quotes doubled. Cell contents are never altered.
     pub fn to_csv(&self) -> String {
-        let esc = |s: &String| s.replace(',', ";");
+        let esc = |s: &String| -> String {
+            if s.contains([',', '"', '\n', '\r']) {
+                format!("\"{}\"", s.replace('"', "\"\""))
+            } else {
+                s.clone()
+            }
+        };
         let mut out = String::new();
         let _ = writeln!(out, "{}", self.header.iter().map(esc).collect::<Vec<_>>().join(","));
         for row in &self.rows {
@@ -93,14 +159,14 @@ impl Table {
 
     /// Writes the CSV form to `path`.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the file cannot be written (repro binaries treat that as
-    /// fatal).
-    pub fn write_csv(&self, path: &Path) {
+    /// Returns [`TableError::Io`] if the file cannot be written.
+    pub fn write_csv(&self, path: &Path) -> Result<(), TableError> {
         std::fs::write(path, self.to_csv())
-            .unwrap_or_else(|e| panic!("writing {}: {e}", path.display()));
+            .map_err(|source| TableError::Io { path: path.to_path_buf(), source })?;
         println!("[csv] {}", path.display());
+        Ok(())
     }
 }
 
@@ -121,8 +187,8 @@ mod tests {
     #[test]
     fn renders_aligned() {
         let mut t = Table::new("demo", &["name", "value"]);
-        t.row_strs(&["a", "1"]);
-        t.row_strs(&["longer", "22"]);
+        t.row_strs(&["a", "1"]).unwrap();
+        t.row_strs(&["longer", "22"]).unwrap();
         let r = t.render();
         assert!(r.contains("## demo"));
         assert!(r.contains("name    value"));
@@ -132,16 +198,32 @@ mod tests {
     }
 
     #[test]
-    fn csv_escapes_commas() {
-        let mut t = Table::new("", &["a", "b"]);
-        t.row_strs(&["x,y", "2"]);
-        assert_eq!(t.to_csv(), "a,b\nx;y,2\n");
+    fn renders_empty_header_without_panicking() {
+        let t = Table::new("empty", &[]);
+        let r = t.render();
+        assert!(r.contains("## empty"));
     }
 
     #[test]
-    #[should_panic(expected = "row width mismatch")]
+    fn csv_escapes_commas() {
+        let mut t = Table::new("", &["a", "b"]);
+        t.row_strs(&["x,y", "2"]).unwrap();
+        // RFC 4180: the comma-bearing cell is quoted, not rewritten.
+        assert_eq!(t.to_csv(), "a,b\n\"x,y\",2\n");
+    }
+
+    #[test]
+    fn csv_escapes_quotes_and_newlines() {
+        let mut t = Table::new("", &["a", "b"]);
+        t.row_strs(&["say \"hi\"", "line1\nline2"]).unwrap();
+        assert_eq!(t.to_csv(), "a,b\n\"say \"\"hi\"\"\",\"line1\nline2\"\n");
+    }
+
+    #[test]
     fn row_width_checked() {
-        Table::new("", &["a", "b"]).row_strs(&["only-one"]);
+        let err = Table::new("", &["a", "b"]).row_strs(&["only-one"]).unwrap_err();
+        assert!(matches!(err, TableError::WidthMismatch { expected: 2, got: 1 }));
+        assert!(err.to_string().contains("row width mismatch"));
     }
 
     #[test]
@@ -153,11 +235,19 @@ mod tests {
     #[test]
     fn write_csv_roundtrip() {
         let mut t = Table::new("t", &["x"]);
-        t.row_strs(&["1"]);
+        t.row_strs(&["1"]).unwrap();
         let dir = std::env::temp_dir().join("locality-repro-test");
         std::fs::create_dir_all(&dir).unwrap();
         let p = dir.join("t.csv");
-        t.write_csv(&p);
+        t.write_csv(&p).unwrap();
         assert_eq!(std::fs::read_to_string(&p).unwrap(), "x\n1\n");
+    }
+
+    #[test]
+    fn write_csv_reports_the_path_on_error() {
+        let t = Table::new("t", &["x"]);
+        let p = Path::new("/nonexistent-dir/locality-repro/t.csv");
+        let err = t.write_csv(p).unwrap_err();
+        assert!(err.to_string().contains("/nonexistent-dir"));
     }
 }

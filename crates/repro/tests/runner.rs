@@ -1,0 +1,81 @@
+//! Integration tests for the experiment runner's two core guarantees:
+//!
+//! * **Determinism under parallelism** — CSV artifacts are byte-identical
+//!   whether runs execute on one worker or many;
+//! * **Caching** — a second invocation over the same output directory
+//!   performs zero fresh runs and reproduces the same artifacts exactly.
+
+use locality_repro::args::{Args, Scale};
+use locality_repro::suite::{run_figures, Figure};
+use std::path::{Path, PathBuf};
+
+fn test_args(out: PathBuf, jobs: usize, no_cache: bool) -> Args {
+    Args { scale: Scale::Small, out, fault: None, jobs, no_cache }
+}
+
+fn tmp_out(label: &str) -> PathBuf {
+    let dir =
+        std::env::temp_dir().join(format!("locality-repro-test-{}-{label}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Every CSV in `dir` (not recursing into `.cache`), sorted by name.
+fn csv_files(dir: &Path) -> Vec<(String, Vec<u8>)> {
+    let mut out: Vec<(String, Vec<u8>)> = std::fs::read_dir(dir)
+        .expect("output dir exists")
+        .map(|e| e.expect("readable entry"))
+        .filter(|e| e.file_name().to_string_lossy().ends_with(".csv"))
+        .map(|e| {
+            (e.file_name().to_string_lossy().into_owned(), std::fs::read(e.path()).expect("csv"))
+        })
+        .collect();
+    out.sort();
+    out
+}
+
+#[test]
+fn parallel_csvs_are_byte_identical_to_serial() {
+    let serial_out = tmp_out("serial");
+    let parallel_out = tmp_out("parallel");
+    run_figures(&test_args(serial_out.clone(), 1, true), &[Figure::Fig4])
+        .expect("serial fig4 succeeds");
+    run_figures(&test_args(parallel_out.clone(), 4, true), &[Figure::Fig4])
+        .expect("parallel fig4 succeeds");
+
+    let serial = csv_files(&serial_out);
+    let parallel = csv_files(&parallel_out);
+    assert_eq!(serial.len(), 5, "fig4 writes five panel CSVs");
+    assert_eq!(
+        serial.iter().map(|(n, _)| n.as_str()).collect::<Vec<_>>(),
+        parallel.iter().map(|(n, _)| n.as_str()).collect::<Vec<_>>()
+    );
+    for ((name, serial_bytes), (_, parallel_bytes)) in serial.iter().zip(parallel.iter()) {
+        assert_eq!(serial_bytes, parallel_bytes, "{name} must not depend on --jobs");
+    }
+    let _ = std::fs::remove_dir_all(&serial_out);
+    let _ = std::fs::remove_dir_all(&parallel_out);
+}
+
+#[test]
+fn second_invocation_is_fully_cached() {
+    let out = tmp_out("cached");
+    let first = run_figures(&test_args(out.clone(), 2, false), &[Figure::Fig4])
+        .expect("first fig4 succeeds");
+    assert!(first.fresh_runs > 0, "first invocation must execute runs");
+    assert_eq!(first.cached_runs, 0);
+    let first_csvs = csv_files(&out);
+
+    let second = run_figures(&test_args(out.clone(), 2, false), &[Figure::Fig4])
+        .expect("second fig4 succeeds");
+    assert_eq!(second.fresh_runs, 0, "second invocation must be served from cache");
+    assert_eq!(second.cached_runs, first.fresh_runs);
+    assert_eq!(first_csvs, csv_files(&out), "cached results reproduce artifacts exactly");
+
+    // --no-cache ignores the populated cache.
+    let third = run_figures(&test_args(out.clone(), 2, true), &[Figure::Fig4])
+        .expect("no-cache fig4 succeeds");
+    assert_eq!(third.cached_runs, 0);
+    assert_eq!(third.fresh_runs, first.fresh_runs);
+    let _ = std::fs::remove_dir_all(&out);
+}

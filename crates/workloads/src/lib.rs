@@ -87,20 +87,58 @@ impl App {
         }
     }
 
+    /// The app's default RNG seed (the one its `Params::default()`
+    /// carries). Explicitly seeded runs make each experiment descriptor
+    /// self-contained, so independent runs share no state.
+    pub fn default_seed(&self) -> u64 {
+        match self {
+            App::Barnes => barnes::BarnesParams::default().seed,
+            App::Fmm => fmm::FmmParams::default().seed,
+            App::Ocean => ocean::OceanParams::default().seed,
+            App::Merge => merge::MergeParams::default().seed,
+            App::Photo => photo::PhotoParams::default().seed,
+            App::Tsp => tsp::TspParams::default().seed,
+            App::Typechecker => typechecker::TypecheckerParams::default().seed,
+            App::Raytrace => raytrace::RaytraceParams::default().seed,
+        }
+    }
+
     /// Spawns the app's monitored single work thread into an engine,
     /// using scaled-down default parameters suitable for simulation.
     pub fn spawn_single(&self, engine: &mut active_threads::Engine) -> locality_core::ThreadId {
+        self.spawn_single_seeded(engine, self.default_seed())
+    }
+
+    /// [`App::spawn_single`] with an explicit RNG seed in place of the
+    /// default parameters' seed.
+    pub fn spawn_single_seeded(
+        &self,
+        engine: &mut active_threads::Engine,
+        seed: u64,
+    ) -> locality_core::ThreadId {
         match self {
-            App::Barnes => barnes::spawn_single(engine, &barnes::BarnesParams::default()),
-            App::Fmm => fmm::spawn_single(engine, &fmm::FmmParams::default()),
-            App::Ocean => ocean::spawn_single(engine, &ocean::OceanParams::default()),
-            App::Merge => merge::spawn_single(engine, &merge::MergeParams::default()),
-            App::Photo => photo::spawn_single(engine, &photo::PhotoParams::default()),
-            App::Tsp => tsp::spawn_single(engine, &tsp::TspParams::default()),
-            App::Typechecker => {
-                typechecker::spawn_single(engine, &typechecker::TypecheckerParams::default())
+            App::Barnes => {
+                barnes::spawn_single(engine, &barnes::BarnesParams { seed, ..Default::default() })
             }
-            App::Raytrace => raytrace::spawn_single(engine, &raytrace::RaytraceParams::default()),
+            App::Fmm => fmm::spawn_single(engine, &fmm::FmmParams { seed, ..Default::default() }),
+            App::Ocean => {
+                ocean::spawn_single(engine, &ocean::OceanParams { seed, ..Default::default() })
+            }
+            App::Merge => {
+                merge::spawn_single(engine, &merge::MergeParams { seed, ..Default::default() })
+            }
+            App::Photo => {
+                photo::spawn_single(engine, &photo::PhotoParams { seed, ..Default::default() })
+            }
+            App::Tsp => tsp::spawn_single(engine, &tsp::TspParams { seed, ..Default::default() }),
+            App::Typechecker => typechecker::spawn_single(
+                engine,
+                &typechecker::TypecheckerParams { seed, ..Default::default() },
+            ),
+            App::Raytrace => raytrace::spawn_single(
+                engine,
+                &raytrace::RaytraceParams { seed, ..Default::default() },
+            ),
         }
     }
 }
