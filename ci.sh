@@ -12,3 +12,24 @@ SMOKE_OUT=$(mktemp -d)
 cargo run --release -p locality-repro --bin repro-all -- \
     --scale small --jobs 2 --out "$SMOKE_OUT"
 rm -rf "$SMOKE_OUT"
+
+# Analyzer: the clean fixture must pass, the racy fixture must be flagged
+# (nonzero exit with a confirmed race).
+ANALYZE_OUT=$(mktemp -d)
+cargo run --release -p locality-repro --bin analyze -- \
+    --scale small --workload clean --out "$ANALYZE_OUT"
+if cargo run --release -p locality-repro --bin analyze -- \
+    --scale small --workload racy --out "$ANALYZE_OUT"; then
+    echo "analyze failed to flag the racy workload" >&2
+    exit 1
+fi
+rm -rf "$ANALYZE_OUT"
+
+# Differential scheduler invariant checks: build the feature once and run
+# it over the fig5 monitored traces (a fresh out dir defeats the cache so
+# the checked runs actually execute).
+INVARIANT_OUT=$(mktemp -d)
+cargo build --release -p locality-repro --features invariant-checks
+cargo run --release -p locality-repro --features invariant-checks --bin fig5 -- \
+    --scale small --jobs 2 --out "$INVARIANT_OUT"
+rm -rf "$INVARIANT_OUT"

@@ -1,0 +1,225 @@
+//! Deterministic racy/clean workload fixtures.
+//!
+//! Both workloads have the same shape — a parent initialises a shared
+//! buffer, spawns two workers that repeatedly write it plus a private
+//! buffer each, then joins them and reads the result — and differ only in
+//! synchronization and annotations:
+//!
+//! * [`clean_workload`] guards the shared buffer with a mutex and
+//!   annotates every sharing pair: race-free under **every** schedule,
+//!   no lint findings.
+//! * [`racy_workload`] has no inter-worker synchronization at all (only
+//!   the common spawn and the final joins) and omits the worker↔worker
+//!   annotations: the workers' writes are concurrent under every
+//!   schedule, so the race verdict cannot depend on scheduling, and the
+//!   missing annotation surfaces as `drift-missing`.
+
+use active_threads::{BatchCtx, Control, MutexId, Program};
+use locality_sim::VAddr;
+
+/// Bytes of the parent-owned buffer both workers write.
+pub const SHARED_BYTES: u64 = 8192;
+/// Bytes of each worker's private buffer.
+pub const PRIVATE_BYTES: u64 = 4096;
+const STRIDE: u64 = 64;
+/// Coefficient used for every annotation edge; chosen so each thread's
+/// out-weights sum to exactly 1 in the clean workload.
+const Q: f64 = 0.5;
+
+struct Worker {
+    shared: VAddr,
+    mutex: Option<MutexId>,
+    rounds: u32,
+    phase: u8,
+    private: Option<VAddr>,
+}
+
+impl Worker {
+    fn new(shared: VAddr, mutex: Option<MutexId>, rounds: u32) -> Self {
+        Worker { shared, mutex, rounds: rounds.max(1), phase: 0, private: None }
+    }
+
+    fn touch(&self, ctx: &mut BatchCtx<'_>) {
+        ctx.write_range(self.shared, SHARED_BYTES, STRIDE);
+        ctx.write_range(self.private.expect("private allocated in phase 0"), PRIVATE_BYTES, STRIDE);
+    }
+}
+
+impl Program for Worker {
+    fn next_batch(&mut self, ctx: &mut BatchCtx<'_>) -> Control {
+        match self.phase {
+            0 => {
+                ctx.register_region(self.shared, SHARED_BYTES);
+                let p = ctx.alloc(PRIVATE_BYTES, 64);
+                ctx.register_region(p, PRIVATE_BYTES);
+                self.private = Some(p);
+                self.phase = if self.mutex.is_some() { 1 } else { 4 };
+                Control::Yield
+            }
+            1 => {
+                self.phase = 2;
+                Control::Lock(self.mutex.expect("phase 1 only entered with a mutex"))
+            }
+            2 => {
+                self.touch(ctx);
+                self.phase = 3;
+                Control::Unlock(self.mutex.expect("phase 2 only entered with a mutex"))
+            }
+            3 => {
+                self.rounds -= 1;
+                if self.rounds == 0 {
+                    Control::Exit
+                } else {
+                    self.phase = 1;
+                    Control::Yield
+                }
+            }
+            _ => {
+                // Racy path: unsynchronized writes to the shared buffer.
+                self.touch(ctx);
+                self.rounds -= 1;
+                if self.rounds == 0 {
+                    Control::Exit
+                } else {
+                    Control::Yield
+                }
+            }
+        }
+    }
+
+    fn name(&self) -> &str {
+        if self.mutex.is_some() {
+            "clean-worker"
+        } else {
+            "racy-worker"
+        }
+    }
+}
+
+struct Parent {
+    clean: bool,
+    rounds: u32,
+    phase: u8,
+    buf: Option<VAddr>,
+    second_worker: Option<locality_core::ThreadId>,
+}
+
+impl Program for Parent {
+    fn next_batch(&mut self, ctx: &mut BatchCtx<'_>) -> Control {
+        match self.phase {
+            0 => {
+                let buf = ctx.alloc(SHARED_BYTES, 64);
+                ctx.register_region(buf, SHARED_BYTES);
+                ctx.write_range(buf, SHARED_BYTES, STRIDE);
+                let mutex = self.clean.then(|| ctx.create_mutex());
+                let w1 = ctx.spawn(Box::new(Worker::new(buf, mutex, self.rounds)));
+                let w2 = ctx.spawn(Box::new(Worker::new(buf, mutex, self.rounds)));
+                let me = ctx.self_id();
+                let _ = ctx.at_share(me, w1, Q);
+                let _ = ctx.at_share(me, w2, Q);
+                let _ = ctx.at_share(w1, me, Q);
+                let _ = ctx.at_share(w2, me, Q);
+                if self.clean {
+                    let _ = ctx.at_share(w1, w2, Q);
+                    let _ = ctx.at_share(w2, w1, Q);
+                }
+                self.buf = Some(buf);
+                self.second_worker = Some(w2);
+                self.phase = 1;
+                Control::Join(w1)
+            }
+            1 => {
+                self.phase = 2;
+                Control::Join(self.second_worker.expect("workers spawned in phase 0"))
+            }
+            _ => {
+                ctx.read_range(
+                    self.buf.expect("buffer allocated in phase 0"),
+                    SHARED_BYTES,
+                    STRIDE,
+                );
+                Control::Exit
+            }
+        }
+    }
+
+    fn name(&self) -> &str {
+        if self.clean {
+            "clean-parent"
+        } else {
+            "racy-parent"
+        }
+    }
+}
+
+/// The mutex-protected, fully annotated workload. Race-free.
+pub fn clean_workload(rounds: u32) -> Box<dyn Program> {
+    Box::new(Parent {
+        clean: true,
+        rounds: rounds.max(1),
+        phase: 0,
+        buf: None,
+        second_worker: None,
+    })
+}
+
+/// The unsynchronized, under-annotated workload. Races under every
+/// schedule.
+pub fn racy_workload(rounds: u32) -> Box<dyn Program> {
+    Box::new(Parent {
+        clean: false,
+        rounds: rounds.max(1),
+        phase: 0,
+        buf: None,
+        second_worker: None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{analyze_log, AnalysisConfig};
+    use active_threads::{Engine, EngineConfig, SchedPolicy};
+    use locality_sim::MachineConfig;
+
+    fn run(prog: Box<dyn Program>) -> crate::AnalysisReport {
+        let mut engine = Engine::new(
+            MachineConfig::enterprise5000(2),
+            SchedPolicy::Lff,
+            EngineConfig::default(),
+        );
+        engine.enable_observation();
+        engine.spawn(prog);
+        engine.run().expect("fixture run");
+        let log = engine.take_observation().expect("observation enabled");
+        analyze_log(&log, &AnalysisConfig::default())
+    }
+
+    #[test]
+    fn racy_workload_is_flagged() {
+        let report = run(racy_workload(3));
+        assert!(report.has_errors());
+        assert!(!report.races.is_empty());
+        let codes: Vec<_> = report.findings.iter().map(|f| f.code).collect();
+        assert!(codes.contains(&"drift-missing"), "{codes:?}");
+    }
+
+    #[test]
+    fn clean_workload_is_quiet() {
+        let report = run(clean_workload(3));
+        assert!(!report.has_errors(), "{:?}", report.findings);
+        assert!(report.races.is_empty());
+        // Fully annotated and mutex-protected: nothing at all to report.
+        assert!(report.findings.is_empty(), "{:?}", report.findings);
+    }
+
+    #[test]
+    fn verdicts_are_stable_across_reruns() {
+        for _ in 0..3 {
+            let racy = run(racy_workload(2));
+            let clean = run(clean_workload(2));
+            assert!(racy.has_errors());
+            assert!(!clean.has_errors());
+        }
+    }
+}

@@ -1,0 +1,370 @@
+//! Annotation-consistency lints: cross-check `at_share` annotations
+//! against the sharing the run actually exhibited.
+//!
+//! The lints consume the raw [`ObsEvent::AtShare`] stream (not the
+//! post-run [`SharingGraph`], which the engine prunes as threads exit)
+//! plus per-thread observed footprints reconstructed from access spans.
+//! "Observed sharing" between two threads is the byte overlap of their
+//! merged access-interval sets; "annotation drift" is a mismatch in either
+//! direction — substantial observed sharing with no annotation, or an
+//! annotation whose pair never shared a byte.
+//!
+//! [`ObsEvent::AtShare`]: active_threads::ObsEvent::AtShare
+//! [`SharingGraph`]: locality_core::SharingGraph
+
+use crate::report::{Finding, Severity};
+use active_threads::{ObsEvent, ObsLog};
+use locality_core::ThreadId;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Thresholds for the drift lints.
+#[derive(Debug, Clone, Copy)]
+pub struct LintConfig {
+    /// Minimum shared bytes before a missing annotation is reported.
+    pub drift_min_bytes: u64,
+    /// Minimum shared fraction of the smaller thread's state before a
+    /// missing annotation is reported.
+    pub drift_min_fraction: f64,
+}
+
+impl Default for LintConfig {
+    fn default() -> Self {
+        LintConfig { drift_min_bytes: 1024, drift_min_fraction: 0.25 }
+    }
+}
+
+/// Per-thread observed state: merged, disjoint, sorted access intervals.
+#[derive(Debug, Default)]
+struct Footprint {
+    /// Half-open `[start, end)` intervals, sorted and non-overlapping.
+    intervals: Vec<(u64, u64)>,
+}
+
+impl Footprint {
+    fn add(&mut self, start: u64, bytes: u64) {
+        if bytes == 0 {
+            return;
+        }
+        self.intervals.push((start, start + bytes));
+    }
+
+    fn normalize(&mut self) {
+        self.intervals.sort_unstable();
+        let mut merged: Vec<(u64, u64)> = Vec::with_capacity(self.intervals.len());
+        for &(s, e) in &self.intervals {
+            match merged.last_mut() {
+                Some((_, le)) if s <= *le => *le = (*le).max(e),
+                _ => merged.push((s, e)),
+            }
+        }
+        self.intervals = merged;
+    }
+
+    fn bytes(&self) -> u64 {
+        self.intervals.iter().map(|&(s, e)| e - s).sum()
+    }
+
+    fn shared_bytes(&self, other: &Footprint) -> u64 {
+        let mut total = 0;
+        let (mut i, mut j) = (0, 0);
+        while i < self.intervals.len() && j < other.intervals.len() {
+            let (a0, a1) = self.intervals[i];
+            let (b0, b1) = other.intervals[j];
+            let lo = a0.max(b0);
+            let hi = a1.min(b1);
+            if lo < hi {
+                total += hi - lo;
+            }
+            if a1 <= b1 {
+                i += 1;
+            } else {
+                j += 1;
+            }
+        }
+        total
+    }
+}
+
+/// Observed sharing reconstructed from a log: threads, footprints, and
+/// the effective (last-writer-wins) annotation set.
+#[derive(Debug, Default)]
+pub struct ObservedSharing {
+    threads: BTreeSet<ThreadId>,
+    footprints: BTreeMap<ThreadId, Footprint>,
+    /// Every raw annotation in log order: `(src, dst, q, accepted)`.
+    annotations: Vec<(ThreadId, ThreadId, f64, bool)>,
+}
+
+impl ObservedSharing {
+    /// Builds the observed-sharing view from a log.
+    pub fn from_log(log: &ObsLog) -> Self {
+        let mut obs = ObservedSharing::default();
+        for ev in log.events() {
+            match *ev {
+                ObsEvent::Spawn { child, .. } => {
+                    obs.threads.insert(child);
+                }
+                ObsEvent::Access { tid, start, bytes, .. } => {
+                    obs.footprints.entry(tid).or_default().add(start.0, bytes);
+                }
+                ObsEvent::AtShare { src, dst, q, accepted } => {
+                    obs.annotations.push((src, dst, q, accepted));
+                }
+                _ => {}
+            }
+        }
+        for fp in obs.footprints.values_mut() {
+            fp.normalize();
+        }
+        obs
+    }
+
+    /// Bytes two threads both touched.
+    pub fn shared_bytes(&self, a: ThreadId, b: ThreadId) -> u64 {
+        match (self.footprints.get(&a), self.footprints.get(&b)) {
+            (Some(fa), Some(fb)) => fa.shared_bytes(fb),
+            _ => 0,
+        }
+    }
+
+    /// Total bytes a thread touched.
+    pub fn state_bytes(&self, t: ThreadId) -> u64 {
+        self.footprints.get(&t).map_or(0, Footprint::bytes)
+    }
+
+    /// The effective annotation edges after replaying the log:
+    /// last valid annotation per `(src, dst)` wins; `q = 0` removes.
+    fn effective_edges(&self) -> BTreeMap<(ThreadId, ThreadId), f64> {
+        let mut edges = BTreeMap::new();
+        for &(src, dst, q, accepted) in &self.annotations {
+            if !accepted {
+                continue;
+            }
+            if q == 0.0 {
+                edges.remove(&(src, dst));
+            } else {
+                edges.insert((src, dst), q);
+            }
+        }
+        edges
+    }
+}
+
+/// Runs every annotation lint over a log. Findings are deterministic and
+/// sorted by lint code, then by the threads involved.
+pub fn lint_annotations(log: &ObsLog, cfg: &LintConfig) -> Vec<Finding> {
+    let obs = ObservedSharing::from_log(log);
+    let mut findings = Vec::new();
+
+    // Raw-coefficient lints run on every annotation, including rejected
+    // ones — the rejection is exactly what they report.
+    for &(src, dst, q, _) in &obs.annotations {
+        if src == dst {
+            findings.push(Finding::new(
+                Severity::Warning,
+                "self-edge",
+                format!("at_share({src}, {dst}, {q}) declares a thread sharing with itself"),
+            ));
+        }
+        if q.is_nan() || q.is_infinite() {
+            findings.push(Finding::new(
+                Severity::Warning,
+                "non-finite-q",
+                format!("at_share({src}, {dst}, {q}) has a non-finite coefficient"),
+            ));
+        } else if !(0.0..=1.0).contains(&q) {
+            findings.push(Finding::new(
+                Severity::Warning,
+                "q-out-of-range",
+                format!("at_share({src}, {dst}, {q}) has q outside [0, 1]"),
+            ));
+        }
+    }
+
+    let edges = obs.effective_edges();
+
+    // Dangling edges: an endpoint that never appeared as a thread.
+    for (&(src, dst), &q) in &edges {
+        for t in [src, dst] {
+            if !obs.threads.contains(&t) {
+                findings.push(Finding::new(
+                    Severity::Warning,
+                    "dangling-edge",
+                    format!("at_share({src}, {dst}, {q}) names {t}, which never ran"),
+                ));
+            }
+        }
+    }
+
+    // Per-source out-weight sums. The model caps total shared fraction at
+    // 1; a sum above it means the annotations are mutually inconsistent.
+    let mut out_sums: BTreeMap<ThreadId, f64> = BTreeMap::new();
+    for (&(src, _), &q) in &edges {
+        *out_sums.entry(src).or_insert(0.0) += q;
+    }
+    for (&src, &sum) in &out_sums {
+        if sum > 1.0 + 1e-9 {
+            findings.push(Finding::new(
+                Severity::Warning,
+                "out-weight-sum",
+                format!("{src}'s outgoing sharing coefficients sum to {sum:.3} > 1"),
+            ));
+        }
+    }
+
+    // Drift, direction 1: substantial observed sharing with no annotation.
+    let threads: Vec<ThreadId> = obs.threads.iter().copied().collect();
+    for (i, &a) in threads.iter().enumerate() {
+        for &b in &threads[i + 1..] {
+            let shared = obs.shared_bytes(a, b);
+            if shared < cfg.drift_min_bytes {
+                continue;
+            }
+            let smaller = obs.state_bytes(a).min(obs.state_bytes(b)).max(1);
+            if (shared as f64) / (smaller as f64) < cfg.drift_min_fraction {
+                continue;
+            }
+            let annotated = edges.contains_key(&(a, b)) || edges.contains_key(&(b, a));
+            if !annotated {
+                findings.push(Finding::new(
+                    Severity::Warning,
+                    "drift-missing",
+                    format!(
+                        "{a} and {b} shared {shared} bytes \
+                         ({:.0}% of the smaller state) with no at_share edge",
+                        100.0 * shared as f64 / smaller as f64
+                    ),
+                ));
+            }
+        }
+    }
+
+    // Drift, direction 2: an annotation whose pair never shared a byte
+    // even though both threads touched memory.
+    for (&(src, dst), &q) in &edges {
+        if src == dst {
+            continue;
+        }
+        if obs.state_bytes(src) > 0 && obs.state_bytes(dst) > 0 && obs.shared_bytes(src, dst) == 0 {
+            findings.push(Finding::new(
+                Severity::Warning,
+                "drift-stale",
+                format!("at_share({src}, {dst}, {q}) but the pair shared no bytes"),
+            ));
+        }
+    }
+
+    findings.sort();
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use locality_sim::VAddr;
+
+    fn t(i: u64) -> ThreadId {
+        ThreadId(i)
+    }
+
+    fn spawn(log: &mut ObsLog, parent: Option<u64>, child: u64) {
+        log.record(ObsEvent::Spawn { parent: parent.map(t), child: t(child) });
+    }
+
+    fn access(log: &mut ObsLog, tid: u64, start: u64, bytes: u64) {
+        log.record(ObsEvent::Access { tid: t(tid), start: VAddr(start), bytes, write: true });
+    }
+
+    fn share(log: &mut ObsLog, src: u64, dst: u64, q: f64, accepted: bool) {
+        log.record(ObsEvent::AtShare { src: t(src), dst: t(dst), q, accepted });
+    }
+
+    fn codes(findings: &[Finding]) -> Vec<&'static str> {
+        findings.iter().map(|f| f.code).collect()
+    }
+
+    /// The issue's synthetic fixture: one log exhibiting out-weight-sum,
+    /// dangling-edge, and both drift directions at once.
+    #[test]
+    fn synthetic_fixture_triggers_expected_lints() {
+        let mut log = ObsLog::new();
+        spawn(&mut log, None, 1);
+        spawn(&mut log, Some(1), 2);
+        spawn(&mut log, Some(1), 3);
+        // t1 and t2 share 4096 bytes with no annotation → drift-missing.
+        access(&mut log, 1, 0, 4096);
+        log.record(ObsEvent::Exit { tid: t(1) }); // break coalescing
+        access(&mut log, 2, 0, 4096);
+        access(&mut log, 3, 65536, 4096); // t3 is fully private
+                                          // t2's out-weights sum to 1.3 → out-weight-sum.
+                                          // t2 → t3 never actually share → drift-stale.
+        share(&mut log, 2, 3, 0.6, true);
+        // Edge naming a thread that never ran → dangling-edge.
+        share(&mut log, 2, 9, 0.7, true);
+
+        let findings = lint_annotations(&log, &LintConfig::default());
+        let cs = codes(&findings);
+        assert!(cs.contains(&"out-weight-sum"), "{cs:?}");
+        assert!(cs.contains(&"dangling-edge"), "{cs:?}");
+        assert!(cs.contains(&"drift-missing"), "{cs:?}");
+        assert!(cs.contains(&"drift-stale"), "{cs:?}");
+        // Exactly one stale edge (t2 → t3); the dangling t2 → t9 edge is
+        // not double-reported as stale because t9 has no state at all.
+        assert_eq!(cs.iter().filter(|c| **c == "drift-stale").count(), 1);
+    }
+
+    #[test]
+    fn clean_annotations_produce_no_findings() {
+        let mut log = ObsLog::new();
+        spawn(&mut log, None, 1);
+        spawn(&mut log, Some(1), 2);
+        access(&mut log, 1, 0, 4096);
+        log.record(ObsEvent::Exit { tid: t(1) });
+        access(&mut log, 2, 0, 4096);
+        share(&mut log, 1, 2, 0.9, true);
+        share(&mut log, 2, 1, 0.9, true);
+        let findings = lint_annotations(&log, &LintConfig::default());
+        assert!(findings.is_empty(), "{findings:?}");
+    }
+
+    #[test]
+    fn raw_coefficient_lints_fire_even_when_rejected() {
+        let mut log = ObsLog::new();
+        spawn(&mut log, None, 1);
+        share(&mut log, 1, 1, 0.5, false); // self edge
+        share(&mut log, 1, 2, f64::NAN, false);
+        share(&mut log, 1, 2, 1.5, false);
+        let cs = codes(&lint_annotations(&log, &LintConfig::default()));
+        assert!(cs.contains(&"self-edge"), "{cs:?}");
+        assert!(cs.contains(&"non-finite-q"), "{cs:?}");
+        assert!(cs.contains(&"q-out-of-range"), "{cs:?}");
+    }
+
+    #[test]
+    fn zero_q_annotation_removes_the_edge() {
+        let mut log = ObsLog::new();
+        spawn(&mut log, None, 1);
+        spawn(&mut log, Some(1), 2);
+        access(&mut log, 1, 0, 65536);
+        log.record(ObsEvent::Exit { tid: t(1) });
+        access(&mut log, 2, 1 << 20, 65536);
+        share(&mut log, 1, 2, 0.5, true); // would be stale...
+        share(&mut log, 1, 2, 0.0, true); // ...but is retracted
+        let cs = codes(&lint_annotations(&log, &LintConfig::default()));
+        assert!(!cs.contains(&"drift-stale"), "{cs:?}");
+    }
+
+    #[test]
+    fn small_sharing_stays_below_drift_thresholds() {
+        let mut log = ObsLog::new();
+        spawn(&mut log, None, 1);
+        spawn(&mut log, Some(1), 2);
+        access(&mut log, 1, 0, 65536);
+        log.record(ObsEvent::Exit { tid: t(1) });
+        // 512 bytes shared: below drift_min_bytes and the fraction floor.
+        access(&mut log, 2, 0, 512);
+        access(&mut log, 2, 1 << 20, 65536);
+        let cs = codes(&lint_annotations(&log, &LintConfig::default()));
+        assert!(!cs.contains(&"drift-missing"), "{cs:?}");
+    }
+}

@@ -1,0 +1,160 @@
+//! Lock-acquisition-order graph with cycle detection.
+//!
+//! Whenever a thread acquires mutex `b` while already holding mutex `a`,
+//! the directed edge `a → b` is added. A cycle in this graph means two
+//! executions could acquire the same locks in opposite orders — a
+//! potential deadlock even if this particular run completed.
+
+use active_threads::MutexId;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Directed graph over mutexes, edges meaning "acquired before".
+#[derive(Debug, Clone, Default)]
+pub struct LockOrderGraph {
+    edges: BTreeMap<MutexId, BTreeSet<MutexId>>,
+}
+
+impl LockOrderGraph {
+    /// An empty graph.
+    pub fn new() -> Self {
+        LockOrderGraph::default()
+    }
+
+    /// Records that some thread acquired `inner` while holding `outer`.
+    pub fn add_edge(&mut self, outer: MutexId, inner: MutexId) {
+        self.edges.entry(outer).or_default().insert(inner);
+    }
+
+    /// Number of distinct edges.
+    pub fn edge_count(&self) -> usize {
+        self.edges.values().map(BTreeSet::len).sum()
+    }
+
+    /// Strongly-connected components with more than one mutex (or a
+    /// self-loop): each is a set of locks that can be acquired in
+    /// conflicting orders. Components are returned sorted, deterministic.
+    pub fn cycles(&self) -> Vec<Vec<MutexId>> {
+        // Iterative Tarjan SCC over the (small) lock graph.
+        let nodes: Vec<MutexId> = self
+            .edges
+            .iter()
+            .flat_map(|(&a, bs)| std::iter::once(a).chain(bs.iter().copied()))
+            .collect::<BTreeSet<_>>()
+            .into_iter()
+            .collect();
+        let index_of: BTreeMap<MutexId, usize> =
+            nodes.iter().enumerate().map(|(i, &m)| (m, i)).collect();
+        let n = nodes.len();
+        let mut index = vec![usize::MAX; n];
+        let mut low = vec![0usize; n];
+        let mut on_stack = vec![false; n];
+        let mut stack: Vec<usize> = Vec::new();
+        let mut next_index = 0usize;
+        let mut sccs: Vec<Vec<usize>> = Vec::new();
+
+        // Explicit DFS stack of (node, next-neighbor position).
+        for root in 0..n {
+            if index[root] != usize::MAX {
+                continue;
+            }
+            let mut call: Vec<(usize, usize)> = vec![(root, 0)];
+            while let Some(&mut (v, ref mut ni)) = call.last_mut() {
+                if *ni == 0 {
+                    index[v] = next_index;
+                    low[v] = next_index;
+                    next_index += 1;
+                    stack.push(v);
+                    on_stack[v] = true;
+                }
+                let succs: Vec<usize> = self
+                    .edges
+                    .get(&nodes[v])
+                    .map(|s| s.iter().map(|m| index_of[m]).collect())
+                    .unwrap_or_default();
+                if *ni < succs.len() {
+                    let w = succs[*ni];
+                    *ni += 1;
+                    if index[w] == usize::MAX {
+                        call.push((w, 0));
+                    } else if on_stack[w] {
+                        low[v] = low[v].min(index[w]);
+                    }
+                } else {
+                    call.pop();
+                    if let Some(&mut (p, _)) = call.last_mut() {
+                        low[p] = low[p].min(low[v]);
+                    }
+                    if low[v] == index[v] {
+                        let mut comp = Vec::new();
+                        while let Some(w) = stack.pop() {
+                            on_stack[w] = false;
+                            comp.push(w);
+                            if w == v {
+                                break;
+                            }
+                        }
+                        sccs.push(comp);
+                    }
+                }
+            }
+        }
+
+        let mut cycles: Vec<Vec<MutexId>> = Vec::new();
+        for comp in sccs {
+            let self_loop = comp.len() == 1
+                && self.edges.get(&nodes[comp[0]]).is_some_and(|s| s.contains(&nodes[comp[0]]));
+            if comp.len() > 1 || self_loop {
+                let mut ms: Vec<MutexId> = comp.into_iter().map(|i| nodes[i]).collect();
+                ms.sort_unstable_by_key(|m| m.0);
+                cycles.push(ms);
+            }
+        }
+        cycles.sort();
+        cycles
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m(i: usize) -> MutexId {
+        MutexId(i)
+    }
+
+    #[test]
+    fn acyclic_graph_has_no_cycles() {
+        let mut g = LockOrderGraph::new();
+        g.add_edge(m(0), m(1));
+        g.add_edge(m(1), m(2));
+        g.add_edge(m(0), m(2));
+        assert!(g.cycles().is_empty());
+        assert_eq!(g.edge_count(), 3);
+    }
+
+    #[test]
+    fn ab_ba_cycle_detected() {
+        let mut g = LockOrderGraph::new();
+        g.add_edge(m(0), m(1));
+        g.add_edge(m(1), m(0));
+        assert_eq!(g.cycles(), vec![vec![m(0), m(1)]]);
+    }
+
+    #[test]
+    fn three_lock_ring_detected() {
+        let mut g = LockOrderGraph::new();
+        g.add_edge(m(0), m(1));
+        g.add_edge(m(1), m(2));
+        g.add_edge(m(2), m(0));
+        g.add_edge(m(5), m(6)); // unrelated acyclic part
+        assert_eq!(g.cycles(), vec![vec![m(0), m(1), m(2)]]);
+    }
+
+    #[test]
+    fn duplicate_edges_are_idempotent() {
+        let mut g = LockOrderGraph::new();
+        g.add_edge(m(0), m(1));
+        g.add_edge(m(0), m(1));
+        assert_eq!(g.edge_count(), 1);
+    }
+}

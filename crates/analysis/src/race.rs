@@ -1,0 +1,373 @@
+//! Vector-clock happens-before race detection over an [`ObsLog`].
+//!
+//! The detector replays the deterministic observation log, maintaining one
+//! [`VClock`] per thread plus one per synchronization object, and flags
+//! every pair of conflicting access spans (different threads, at least one
+//! write, overlapping byte ranges) whose clocks are concurrent. Because the
+//! engine only changes a thread's causal frontier at synchronization
+//! events — all of which appear in the log — accesses themselves need no
+//! tick: a historical access `r` by thread `t` happens-before the current
+//! access iff the current thread's clock already covers `r`'s own
+//! component, i.e. `cur.get(t) ≥ r.clock.get(t)`.
+//!
+//! As a byproduct the replay also builds the lock-acquisition-order graph
+//! (edge `a → b` when some thread acquires `b` while holding `a`), whose
+//! cycles indicate potential deadlocks.
+
+use crate::lockorder::LockOrderGraph;
+use crate::vclock::VClock;
+use active_threads::{MutexId, ObsEvent, ObsLog, SemId};
+use locality_core::ThreadId;
+use locality_sim::VAddr;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// One side of a race: an access span with the clock it executed under.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AccessInfo {
+    /// The accessing thread.
+    pub tid: ThreadId,
+    /// First byte of the span.
+    pub start: VAddr,
+    /// Length of the span in bytes.
+    pub bytes: u64,
+    /// True for stores.
+    pub write: bool,
+    /// The thread's vector clock at the access.
+    pub clock: VClock,
+}
+
+impl AccessInfo {
+    fn overlaps(&self, other: &AccessInfo) -> bool {
+        let (a0, a1) = (self.start.0, self.start.0 + self.bytes);
+        let (b0, b1) = (other.start.0, other.start.0 + other.bytes);
+        a0 < b1 && b0 < a1
+    }
+}
+
+/// A confirmed data race: two conflicting, concurrent accesses.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Race {
+    /// The earlier access (log order).
+    pub first: AccessInfo,
+    /// The later access (log order).
+    pub second: AccessInfo,
+}
+
+impl std::fmt::Display for Race {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let kind = |w: bool| if w { "write" } else { "read" };
+        write!(
+            f,
+            "{} {} of [{:#x}, {:#x}) @ {} is concurrent with {} {} of [{:#x}, {:#x}) @ {}",
+            self.first.tid,
+            kind(self.first.write),
+            self.first.start.0,
+            self.first.start.0 + self.first.bytes,
+            self.first.clock,
+            self.second.tid,
+            kind(self.second.write),
+            self.second.start.0,
+            self.second.start.0 + self.second.bytes,
+            self.second.clock,
+        )
+    }
+}
+
+/// Cap on reported races; racy loops would otherwise flood the report
+/// with one race per iteration.
+const MAX_RACES: usize = 64;
+
+/// The happens-before replay engine.
+#[derive(Debug, Default)]
+pub struct RaceDetector {
+    clocks: BTreeMap<ThreadId, VClock>,
+    mutex_clocks: BTreeMap<MutexId, VClock>,
+    sem_clocks: BTreeMap<SemId, VClock>,
+    history: Vec<AccessInfo>,
+    held: BTreeMap<ThreadId, Vec<MutexId>>,
+    lock_order: LockOrderGraph,
+    races: Vec<Race>,
+    /// Unordered racing thread pairs already reported (dedup).
+    reported_pairs: BTreeSet<(ThreadId, ThreadId)>,
+}
+
+impl RaceDetector {
+    /// Replays a full log and returns the populated detector.
+    pub fn run(log: &ObsLog) -> Self {
+        let mut d = RaceDetector::default();
+        for ev in log.events() {
+            d.step(ev);
+        }
+        d
+    }
+
+    /// Races found, in log order (capped and deduplicated per thread pair).
+    pub fn races(&self) -> &[Race] {
+        &self.races
+    }
+
+    /// The lock-acquisition-order graph built during the replay.
+    pub fn lock_order(&self) -> &LockOrderGraph {
+        &self.lock_order
+    }
+
+    fn clock_mut(&mut self, t: ThreadId) -> &mut VClock {
+        self.clocks.entry(t).or_default()
+    }
+
+    fn step(&mut self, ev: &ObsEvent) {
+        match *ev {
+            ObsEvent::Spawn { parent, child } => {
+                let inherited = match parent {
+                    Some(p) => {
+                        let pc = self.clock_mut(p);
+                        pc.tick(p);
+                        pc.clone()
+                    }
+                    None => VClock::new(),
+                };
+                let cc = self.clock_mut(child);
+                *cc = inherited;
+                cc.tick(child);
+            }
+            ObsEvent::Exit { tid } => {
+                self.clock_mut(tid).tick(tid);
+            }
+            ObsEvent::JoinWake { waiter, target } => {
+                let tc = self.clock_mut(target).clone();
+                let wc = self.clock_mut(waiter);
+                wc.join(&tc);
+                wc.tick(waiter);
+            }
+            ObsEvent::MutexAcquire { tid, mutex } => {
+                if let Some(mc) = self.mutex_clocks.get(&mutex) {
+                    let mc = mc.clone();
+                    self.clock_mut(tid).join(&mc);
+                }
+                self.clock_mut(tid).tick(tid);
+                let held = self.held.entry(tid).or_default();
+                for &outer in held.iter() {
+                    self.lock_order.add_edge(outer, mutex);
+                }
+                held.push(mutex);
+            }
+            ObsEvent::MutexRelease { tid, mutex } => {
+                let tc = self.clock_mut(tid);
+                tc.tick(tid);
+                let tc = tc.clone();
+                self.mutex_clocks.insert(mutex, tc);
+                if let Some(held) = self.held.get_mut(&tid) {
+                    if let Some(pos) = held.iter().rposition(|&m| m == mutex) {
+                        held.remove(pos);
+                    }
+                }
+            }
+            ObsEvent::SemPost { tid, sem } => {
+                let tc = self.clock_mut(tid);
+                tc.tick(tid);
+                let tc = tc.clone();
+                // Posts accumulate: a waiter may be released by any prior
+                // post, so the semaphore clock joins rather than replaces.
+                self.sem_clocks.entry(sem).or_default().join(&tc);
+            }
+            ObsEvent::SemAcquire { tid, sem } => {
+                if let Some(sc) = self.sem_clocks.get(&sem) {
+                    let sc = sc.clone();
+                    self.clock_mut(tid).join(&sc);
+                }
+                self.clock_mut(tid).tick(tid);
+            }
+            ObsEvent::BarrierCross { barrier: _, ref parties } => {
+                let mut merged = VClock::new();
+                for &p in parties {
+                    merged.join(self.clock_mut(p));
+                }
+                for &p in parties {
+                    let pc = self.clock_mut(p);
+                    *pc = merged.clone();
+                    pc.tick(p);
+                }
+            }
+            ObsEvent::CondWake { signaler, woken, cond: _ } => {
+                let sc = self.clock_mut(signaler);
+                sc.tick(signaler);
+                let sc = sc.clone();
+                let wc = self.clock_mut(woken);
+                wc.join(&sc);
+                wc.tick(woken);
+            }
+            ObsEvent::Access { tid, start, bytes, write } => {
+                let clock = self.clock_mut(tid).clone();
+                let cur = AccessInfo { tid, start, bytes, write, clock };
+                self.check_race(&cur);
+                self.history.push(cur);
+            }
+            ObsEvent::AtShare { .. } => {}
+        }
+    }
+
+    fn check_race(&mut self, cur: &AccessInfo) {
+        if self.races.len() >= MAX_RACES {
+            return;
+        }
+        for rec in &self.history {
+            if rec.tid == cur.tid || !(rec.write || cur.write) || !rec.overlaps(cur) {
+                continue;
+            }
+            // `rec` happened-before `cur` iff `cur`'s clock already covers
+            // `rec.tid`'s component at the time of `rec`.
+            if cur.clock.get(rec.tid) >= rec.clock.get(rec.tid) {
+                continue;
+            }
+            let pair = (rec.tid.min(cur.tid), rec.tid.max(cur.tid));
+            if self.reported_pairs.insert(pair) {
+                self.races.push(Race { first: rec.clone(), second: cur.clone() });
+                if self.races.len() >= MAX_RACES {
+                    return;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(i: u64) -> ThreadId {
+        ThreadId(i)
+    }
+
+    fn access(tid: u64, start: u64, bytes: u64, write: bool) -> ObsEvent {
+        ObsEvent::Access { tid: t(tid), start: VAddr(start), bytes, write }
+    }
+
+    #[test]
+    fn unsynchronized_write_write_is_a_race() {
+        let mut log = ObsLog::new();
+        log.record(ObsEvent::Spawn { parent: None, child: t(1) });
+        log.record(ObsEvent::Spawn { parent: Some(t(1)), child: t(2) });
+        log.record(ObsEvent::Spawn { parent: Some(t(1)), child: t(3) });
+        log.record(access(2, 0, 64, true));
+        log.record(access(3, 32, 64, true));
+        let d = RaceDetector::run(&log);
+        assert_eq!(d.races().len(), 1);
+        let r = &d.races()[0];
+        assert_eq!(r.first.tid, t(2));
+        assert_eq!(r.second.tid, t(3));
+        assert!(r.first.clock.concurrent_with(&r.second.clock));
+    }
+
+    #[test]
+    fn read_read_is_not_a_race() {
+        let mut log = ObsLog::new();
+        log.record(ObsEvent::Spawn { parent: None, child: t(1) });
+        log.record(ObsEvent::Spawn { parent: Some(t(1)), child: t(2) });
+        log.record(ObsEvent::Spawn { parent: Some(t(1)), child: t(3) });
+        log.record(access(2, 0, 64, false));
+        log.record(access(3, 0, 64, false));
+        assert!(RaceDetector::run(&log).races().is_empty());
+    }
+
+    #[test]
+    fn disjoint_ranges_do_not_race() {
+        let mut log = ObsLog::new();
+        log.record(ObsEvent::Spawn { parent: None, child: t(1) });
+        log.record(ObsEvent::Spawn { parent: Some(t(1)), child: t(2) });
+        log.record(ObsEvent::Spawn { parent: Some(t(1)), child: t(3) });
+        log.record(access(2, 0, 64, true));
+        log.record(access(3, 64, 64, true));
+        assert!(RaceDetector::run(&log).races().is_empty());
+    }
+
+    #[test]
+    fn mutex_orders_critical_sections() {
+        let m = MutexId(0);
+        let mut log = ObsLog::new();
+        log.record(ObsEvent::Spawn { parent: None, child: t(1) });
+        log.record(ObsEvent::Spawn { parent: Some(t(1)), child: t(2) });
+        log.record(ObsEvent::Spawn { parent: Some(t(1)), child: t(3) });
+        log.record(ObsEvent::MutexAcquire { tid: t(2), mutex: m });
+        log.record(access(2, 0, 64, true));
+        log.record(ObsEvent::MutexRelease { tid: t(2), mutex: m });
+        log.record(ObsEvent::MutexAcquire { tid: t(3), mutex: m });
+        log.record(access(3, 0, 64, true));
+        log.record(ObsEvent::MutexRelease { tid: t(3), mutex: m });
+        assert!(RaceDetector::run(&log).races().is_empty());
+    }
+
+    #[test]
+    fn spawn_and_join_order_parent_child_accesses() {
+        let mut log = ObsLog::new();
+        log.record(ObsEvent::Spawn { parent: None, child: t(1) });
+        log.record(access(1, 0, 128, true)); // parent init
+        log.record(ObsEvent::Spawn { parent: Some(t(1)), child: t(2) });
+        log.record(access(2, 0, 128, true)); // child sees init via spawn
+        log.record(ObsEvent::Exit { tid: t(2) });
+        log.record(ObsEvent::JoinWake { waiter: t(1), target: t(2) });
+        log.record(access(1, 0, 128, false)); // parent reads after join
+        assert!(RaceDetector::run(&log).races().is_empty());
+    }
+
+    #[test]
+    fn semaphore_post_wait_creates_edge() {
+        let s = SemId(0);
+        let mut log = ObsLog::new();
+        log.record(ObsEvent::Spawn { parent: None, child: t(1) });
+        log.record(ObsEvent::Spawn { parent: Some(t(1)), child: t(2) });
+        log.record(ObsEvent::Spawn { parent: Some(t(1)), child: t(3) });
+        log.record(access(2, 0, 64, true));
+        log.record(ObsEvent::SemPost { tid: t(2), sem: s });
+        log.record(ObsEvent::SemAcquire { tid: t(3), sem: s });
+        log.record(access(3, 0, 64, true));
+        assert!(RaceDetector::run(&log).races().is_empty());
+    }
+
+    #[test]
+    fn barrier_synchronizes_all_parties() {
+        let mut log = ObsLog::new();
+        log.record(ObsEvent::Spawn { parent: None, child: t(1) });
+        log.record(ObsEvent::Spawn { parent: Some(t(1)), child: t(2) });
+        log.record(ObsEvent::Spawn { parent: Some(t(1)), child: t(3) });
+        log.record(access(2, 0, 64, true));
+        log.record(ObsEvent::BarrierCross {
+            barrier: active_threads::BarrierId(0),
+            parties: vec![t(2), t(3)],
+        });
+        log.record(access(3, 0, 64, true));
+        assert!(RaceDetector::run(&log).races().is_empty());
+    }
+
+    #[test]
+    fn races_are_deduplicated_per_thread_pair() {
+        let mut log = ObsLog::new();
+        log.record(ObsEvent::Spawn { parent: None, child: t(1) });
+        log.record(ObsEvent::Spawn { parent: Some(t(1)), child: t(2) });
+        log.record(ObsEvent::Spawn { parent: Some(t(1)), child: t(3) });
+        for round in 0..10 {
+            log.record(access(2, 0, 64, true));
+            // A sync-free event between accesses prevents coalescing from
+            // hiding the repeats.
+            log.record(access(3, 0, 64, true));
+            log.record(access(2, 4096 + round * 128, 64, true));
+            log.record(access(3, 8192 + round * 128, 64, true));
+        }
+        let d = RaceDetector::run(&log);
+        assert_eq!(d.races().len(), 1);
+    }
+
+    #[test]
+    fn nested_locks_build_order_graph() {
+        let (a, b) = (MutexId(0), MutexId(1));
+        let mut log = ObsLog::new();
+        log.record(ObsEvent::Spawn { parent: None, child: t(1) });
+        log.record(ObsEvent::MutexAcquire { tid: t(1), mutex: a });
+        log.record(ObsEvent::MutexAcquire { tid: t(1), mutex: b });
+        log.record(ObsEvent::MutexRelease { tid: t(1), mutex: b });
+        log.record(ObsEvent::MutexRelease { tid: t(1), mutex: a });
+        log.record(ObsEvent::MutexAcquire { tid: t(1), mutex: b });
+        log.record(ObsEvent::MutexAcquire { tid: t(1), mutex: a });
+        let d = RaceDetector::run(&log);
+        assert_eq!(d.lock_order().cycles(), vec![vec![a, b]]);
+    }
+}

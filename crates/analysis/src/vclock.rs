@@ -1,0 +1,117 @@
+//! Vector clocks over [`ThreadId`]s.
+//!
+//! A vector clock maps each thread to the number of causally-significant
+//! events it has performed; component-wise comparison decides whether two
+//! events are ordered by happens-before or concurrent. Clocks are sparse
+//! (absent components are 0) and backed by an ordered map so rendering is
+//! deterministic.
+
+use locality_core::ThreadId;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A sparse vector clock.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct VClock(BTreeMap<ThreadId, u64>);
+
+impl VClock {
+    /// The zero clock.
+    pub fn new() -> Self {
+        VClock::default()
+    }
+
+    /// The component for `t` (0 when absent).
+    pub fn get(&self, t: ThreadId) -> u64 {
+        self.0.get(&t).copied().unwrap_or(0)
+    }
+
+    /// Increments `t`'s own component (the thread performed an event).
+    pub fn tick(&mut self, t: ThreadId) {
+        *self.0.entry(t).or_insert(0) += 1;
+    }
+
+    /// Point-wise maximum with `other` (a happens-before edge from the
+    /// clock's owner receiving knowledge of `other`).
+    pub fn join(&mut self, other: &VClock) {
+        for (&t, &v) in &other.0 {
+            let e = self.0.entry(t).or_insert(0);
+            *e = (*e).max(v);
+        }
+    }
+
+    /// Component-wise `self ≤ other`.
+    pub fn le(&self, other: &VClock) -> bool {
+        self.0.iter().all(|(&t, &v)| v <= other.get(t))
+    }
+
+    /// True if the two clocks are ordered in neither direction.
+    pub fn concurrent_with(&self, other: &VClock) -> bool {
+        !self.le(other) && !other.le(self)
+    }
+}
+
+impl fmt::Display for VClock {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, (t, v)) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{t}:{v}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(i: u64) -> ThreadId {
+        ThreadId(i)
+    }
+
+    #[test]
+    fn tick_and_get() {
+        let mut c = VClock::new();
+        assert_eq!(c.get(t(1)), 0);
+        c.tick(t(1));
+        c.tick(t(1));
+        assert_eq!(c.get(t(1)), 2);
+    }
+
+    #[test]
+    fn join_is_pointwise_max() {
+        let mut a = VClock::new();
+        a.tick(t(1));
+        let mut b = VClock::new();
+        b.tick(t(2));
+        b.tick(t(2));
+        a.join(&b);
+        assert_eq!(a.get(t(1)), 1);
+        assert_eq!(a.get(t(2)), 2);
+    }
+
+    #[test]
+    fn ordering_and_concurrency() {
+        let mut a = VClock::new();
+        a.tick(t(1));
+        let mut b = a.clone();
+        b.tick(t(2));
+        assert!(a.le(&b));
+        assert!(!b.le(&a));
+        assert!(!a.concurrent_with(&b));
+
+        let mut c = VClock::new();
+        c.tick(t(3));
+        assert!(b.concurrent_with(&c));
+    }
+
+    #[test]
+    fn display_is_deterministic() {
+        let mut c = VClock::new();
+        c.tick(t(2));
+        c.tick(t(1));
+        assert_eq!(c.to_string(), "{t1:1, t2:1}");
+    }
+}

@@ -11,8 +11,15 @@ pub enum ModelError {
         /// The rejected number of lines.
         lines: usize,
     },
-    /// A sharing coefficient was outside the `[0, 1]` interval or not finite.
+    /// A sharing coefficient was outside the `[0, 1]` interval.
     InvalidSharingCoefficient {
+        /// The rejected coefficient.
+        q: f64,
+    },
+    /// A sharing coefficient was NaN or infinite. Distinct from
+    /// [`ModelError::InvalidSharingCoefficient`] so callers (and lints)
+    /// can tell a bad-but-real value from a corrupted one.
+    NonFiniteSharingCoefficient {
         /// The rejected coefficient.
         q: f64,
     },
@@ -41,6 +48,9 @@ impl fmt::Display for ModelError {
             ModelError::InvalidSharingCoefficient { q } => {
                 write!(f, "sharing coefficient {q} is outside [0, 1]")
             }
+            ModelError::NonFiniteSharingCoefficient { q } => {
+                write!(f, "sharing coefficient {q} is not a finite number")
+            }
             ModelError::InvalidFootprint { footprint, lines } => {
                 write!(f, "footprint {footprint} is invalid for a cache of {lines} lines")
             }
@@ -63,6 +73,8 @@ mod tests {
         assert!(e.to_string().contains("1 lines"));
         let e = ModelError::InvalidSharingCoefficient { q: 1.5 };
         assert!(e.to_string().contains("1.5"));
+        let e = ModelError::NonFiniteSharingCoefficient { q: f64::NAN };
+        assert!(e.to_string().contains("not a finite"));
         let e = ModelError::InvalidFootprint { footprint: -3.0, lines: 8192 };
         assert!(e.to_string().contains("-3"));
         let e = ModelError::SelfSharing { thread: 4 };

@@ -40,6 +40,10 @@ struct CpuState {
     m: u64,
     /// Footprint entries for threads with (expected) state in this cache.
     entries: HashMap<ThreadId, FootprintEntry>,
+    /// Eagerly-recomputed footprints (naive `O(threads)` per switch),
+    /// maintained purely to cross-check the incremental path.
+    #[cfg(feature = "invariant-checks")]
+    shadow: HashMap<ThreadId, f64>,
 }
 
 /// Online estimator of every thread's expected footprint in every
@@ -65,6 +69,8 @@ struct CpuState {
 pub struct LocalityEstimator {
     schemes: PrioritySchemes,
     cpus: Vec<CpuState>,
+    #[cfg(feature = "invariant-checks")]
+    checks: u64,
 }
 
 impl LocalityEstimator {
@@ -76,7 +82,12 @@ impl LocalityEstimator {
         };
         let schemes = PrioritySchemes::with_tables(config.policy, tables);
         let cpus = (0..config.cpus).map(|_| CpuState::default()).collect();
-        LocalityEstimator { schemes, cpus }
+        LocalityEstimator {
+            schemes,
+            cpus,
+            #[cfg(feature = "invariant-checks")]
+            checks: 0,
+        }
     }
 
     /// The policy in use.
@@ -119,6 +130,8 @@ impl LocalityEstimator {
         let m_now = state.m;
         let entry = state.entries.entry(tid).or_insert_with(FootprintEntry::cold);
         self.schemes.on_dispatch(entry, m_now);
+        #[cfg(feature = "invariant-checks")]
+        state.shadow.entry(tid).or_insert(0.0);
     }
 
     /// Records the end of `tid`'s scheduling interval on `cpu` with `n`
@@ -141,6 +154,38 @@ impl LocalityEstimator {
         n: u64,
         graph: &SharingGraph,
     ) -> Vec<PriorityUpdate> {
+        // Differential check, step 1: the naive O(threads) recompute. Every
+        // tracked thread gets the exact case-1/2/3 formula applied eagerly;
+        // the incremental path below touches only the blocker and its
+        // dependents. `verify_invariants` compares the two afterwards.
+        #[cfg(feature = "invariant-checks")]
+        {
+            let nn = self.schemes.params().n();
+            let kn = self.schemes.tables().k_pow(n);
+            let state = &mut self.cpus[cpu.0];
+            state.shadow.entry(tid).or_insert(0.0);
+            let deps: Vec<ThreadId> = graph.dependents_of(tid).map(|(t, _)| t).collect();
+            for dep in deps {
+                state.shadow.entry(dep).or_insert(0.0);
+            }
+            for (&x, f) in state.shadow.iter_mut() {
+                if x == tid {
+                    // Case 1: the blocker grows toward N.
+                    *f = nn - (nn - *f) * kn;
+                } else {
+                    let q = graph.weight(tid, x);
+                    if q > 0.0 {
+                        // Case 3: dependents grow toward q·N.
+                        let target = q * nn;
+                        *f = target - (target - *f) * kn;
+                    } else {
+                        // Case 2: independent threads decay by kⁿ.
+                        *f *= kn;
+                    }
+                }
+            }
+        }
+
         let state = &mut self.cpus[cpu.0];
         let m_t0 = state.m;
         let m_new = m_t0 + n;
@@ -158,7 +203,80 @@ impl LocalityEstimator {
         self.schemes.on_independent(); // case 2: all other threads, zero work
 
         state.m = m_new;
+        #[cfg(feature = "invariant-checks")]
+        self.verify_invariants(cpu, tid);
         updates
+    }
+
+    /// Differential check, step 2: after the incremental updates, every
+    /// tracked entry's lazily-decayed footprint must match the naive eager
+    /// recompute, stay within `[0, N]`, and its stored log-space priority
+    /// must be reconstructible from the current footprint (the paper's
+    /// invariance-under-independent-decay property, §4.1).
+    ///
+    /// # Panics
+    ///
+    /// Panics with a diagnostic message on any divergence — the point of
+    /// the feature is to fail loudly in CI.
+    #[cfg(feature = "invariant-checks")]
+    fn verify_invariants(&mut self, cpu: CpuId, blocker: ThreadId) {
+        use crate::priority::PolicyKind;
+        let state = &self.cpus[cpu.0];
+        let nn = self.schemes.params().n();
+        let m_now = state.m;
+        let tables = self.schemes.tables();
+        for (&x, entry) in &state.entries {
+            let lazy = self.schemes.expected_footprint(entry, m_now);
+            let naive = *state.shadow.get(&x).unwrap_or_else(|| {
+                panic!("invariant-checks: {x} tracked on cpu{} but absent from shadow", cpu.0)
+            });
+            // The lazy path composes decays in one k^(Δm) jump (clamped to
+            // 0 past the table) while the shadow multiplies per-interval
+            // factors; allow only floating-point noise between them.
+            let tol = 1e-7 * nn + 1e-9 * lazy.abs().max(naive.abs());
+            assert!(
+                (lazy - naive).abs() <= tol,
+                "invariant-checks: cpu{} {x} after {blocker} blocked at m={m_now}: \
+                 incremental footprint {lazy} != naive recompute {naive} (tol {tol})",
+                cpu.0
+            );
+            assert!(
+                (-1e-9..=nn * (1.0 + 1e-9)).contains(&lazy),
+                "invariant-checks: cpu{} {x}: E[F] = {lazy} outside [0, N={nn}]",
+                cpu.0
+            );
+            // Log-space priority consistency: reconstruct the priority from
+            // the *current* footprint; it must equal the stored (possibly
+            // never-updated) priority up to the whole-line rounding of the
+            // log table (~1/F per lookup). Entries decayed below two lines
+            // hit the log-table clamp and are excluded.
+            if lazy >= 2.0 {
+                let reconstructed = match self.schemes.policy() {
+                    PolicyKind::Lff => tables.log_footprint(lazy) - m_now as f64 * tables.log_k(),
+                    PolicyKind::Crt => {
+                        tables.log_footprint(lazy)
+                            - tables.log_footprint(entry.e_f_last_run)
+                            - m_now as f64 * tables.log_k()
+                    }
+                };
+                let tol = 2.5 / lazy + 1e-6;
+                assert!(
+                    (entry.prio - reconstructed).abs() <= tol,
+                    "invariant-checks: cpu{} {x}: stored priority {} inconsistent with \
+                     footprint {lazy} at m={m_now} (reconstructed {reconstructed}, tol {tol})",
+                    cpu.0,
+                    entry.prio
+                );
+            }
+        }
+        self.checks += 1;
+    }
+
+    /// Number of context switches the differential invariant checker has
+    /// verified so far.
+    #[cfg(feature = "invariant-checks")]
+    pub fn invariant_checks(&self) -> u64 {
+        self.checks
     }
 
     /// Current priority of `tid` on `cpu` (the cold priority if the thread
@@ -192,12 +310,16 @@ impl LocalityEstimator {
     /// that processor's heap).
     pub fn remove_on_cpu(&mut self, cpu: CpuId, tid: ThreadId) {
         self.cpus[cpu.0].entries.remove(&tid);
+        #[cfg(feature = "invariant-checks")]
+        self.cpus[cpu.0].shadow.remove(&tid);
     }
 
     /// Drops `tid` everywhere (thread exit).
     pub fn remove_thread(&mut self, tid: ThreadId) {
         for cpu in &mut self.cpus {
             cpu.entries.remove(&tid);
+            #[cfg(feature = "invariant-checks")]
+            cpu.shadow.remove(&tid);
         }
     }
 
@@ -365,6 +487,30 @@ mod tests {
         let prio_order: Vec<_> = by_prio.iter().map(|x| x.1).collect();
         let foot_order: Vec<_> = by_foot.iter().map(|x| x.1).collect();
         assert_eq!(prio_order, foot_order);
+    }
+
+    #[cfg(feature = "invariant-checks")]
+    #[test]
+    fn differential_checker_runs_and_passes() {
+        // Mixed blockers, dependents, cpus, and interval sizes: the naive
+        // O(threads) recompute must agree with the incremental updates at
+        // every single interval end, for both policies.
+        for policy in [PolicyKind::Lff, PolicyKind::Crt] {
+            let params = ModelParams::new(1024).unwrap();
+            let mut est = LocalityEstimator::new(EstimatorConfig::new(policy, params, 2));
+            let mut g = SharingGraph::new();
+            g.set(t(1), t(2), 0.5).unwrap();
+            g.set(t(2), t(3), 0.25).unwrap();
+            let pattern = [(1u64, 400u64), (2, 150), (3, 900), (1, 10), (2, 0), (3, 2000)];
+            for round in 0..50usize {
+                for &(tid, n) in &pattern {
+                    let cpu = CpuId((round + tid as usize) % 2);
+                    est.on_dispatch(cpu, t(tid));
+                    est.on_interval_end(cpu, t(tid), n, &g);
+                }
+            }
+            assert!(est.invariant_checks() >= 300, "checker must run at every interval end");
+        }
     }
 
     #[test]

@@ -60,6 +60,8 @@ impl SharingGraph {
     ///
     /// # Errors
     ///
+    /// * [`ModelError::NonFiniteSharingCoefficient`] if `q` is NaN or
+    ///   infinite;
     /// * [`ModelError::InvalidSharingCoefficient`] if `q ∉ [0, 1]`;
     /// * [`ModelError::SelfSharing`] if `src == dst`.
     pub fn set(&mut self, src: ThreadId, dst: ThreadId, q: f64) -> Result<(), ModelError> {
@@ -195,6 +197,29 @@ mod tests {
         assert!(g.set(t(1), t(2), 1.5).is_err());
         assert!(g.set(t(1), t(2), -0.5).is_err());
         assert!(g.is_empty());
+    }
+
+    #[test]
+    fn rejects_non_finite_q_with_dedicated_variant() {
+        let mut g = SharingGraph::new();
+        assert!(matches!(
+            g.set(t(1), t(2), f64::NAN),
+            Err(ModelError::NonFiniteSharingCoefficient { q }) if q.is_nan()
+        ));
+        assert!(matches!(
+            g.set(t(1), t(2), f64::INFINITY),
+            Err(ModelError::NonFiniteSharingCoefficient { q }) if q == f64::INFINITY
+        ));
+        assert!(matches!(
+            g.set(t(1), t(2), f64::NEG_INFINITY),
+            Err(ModelError::NonFiniteSharingCoefficient { .. })
+        ));
+        // Out-of-range-but-finite keeps the original variant.
+        assert!(matches!(
+            g.set(t(1), t(2), 2.0),
+            Err(ModelError::InvalidSharingCoefficient { q }) if q == 2.0
+        ));
+        assert!(g.is_empty(), "rejected annotations must not touch the graph");
     }
 
     #[test]

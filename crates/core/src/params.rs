@@ -84,9 +84,14 @@ impl ModelParams {
 ///
 /// # Errors
 ///
-/// Returns [`ModelError::InvalidSharingCoefficient`] unless `0 ≤ q ≤ 1`.
+/// Returns [`ModelError::NonFiniteSharingCoefficient`] for NaN or
+/// infinite values, and [`ModelError::InvalidSharingCoefficient`] for
+/// finite values outside `[0, 1]`.
 pub fn check_coefficient(q: f64) -> Result<(), ModelError> {
-    if !q.is_finite() || !(0.0..=1.0).contains(&q) {
+    if !q.is_finite() {
+        return Err(ModelError::NonFiniteSharingCoefficient { q });
+    }
+    if !(0.0..=1.0).contains(&q) {
         return Err(ModelError::InvalidSharingCoefficient { q });
     }
     Ok(())
@@ -158,5 +163,33 @@ mod tests {
         assert!(check_coefficient(-0.01).is_err());
         assert!(check_coefficient(1.01).is_err());
         assert!(check_coefficient(f64::NAN).is_err());
+    }
+
+    #[test]
+    fn out_of_range_coefficients_are_typed_as_invalid() {
+        assert!(matches!(
+            check_coefficient(-0.5),
+            Err(ModelError::InvalidSharingCoefficient { q }) if q == -0.5
+        ));
+        assert!(matches!(
+            check_coefficient(2.0),
+            Err(ModelError::InvalidSharingCoefficient { q }) if q == 2.0
+        ));
+    }
+
+    #[test]
+    fn non_finite_coefficients_are_typed_distinctly() {
+        assert!(matches!(
+            check_coefficient(f64::NAN),
+            Err(ModelError::NonFiniteSharingCoefficient { q }) if q.is_nan()
+        ));
+        assert!(matches!(
+            check_coefficient(f64::INFINITY),
+            Err(ModelError::NonFiniteSharingCoefficient { q }) if q.is_infinite()
+        ));
+        assert!(matches!(
+            check_coefficient(f64::NEG_INFINITY),
+            Err(ModelError::NonFiniteSharingCoefficient { .. })
+        ));
     }
 }

@@ -1,0 +1,249 @@
+//! The `analyze` binary's driver: run the deterministic racy/clean
+//! workload fixtures with engine observation enabled, feed the logs to
+//! `locality-analyze`, and report the diagnostics.
+//!
+//! The verdict is schedule-independent by construction: the engine is a
+//! deterministic discrete-event simulation, and the fixtures are built so
+//! the racy pair has *no* inter-worker synchronization (racy under every
+//! schedule) while the clean pair is fully ordered by its mutex (race-free
+//! under every schedule). `--jobs` only parallelizes the independent
+//! workload runs; each run's log — and therefore the analysis — is
+//! identical at any job count.
+
+use crate::args::{Args, Scale};
+use crate::error::ReproError;
+use crate::table::Table;
+use active_threads::{Engine, EngineConfig, SchedPolicy};
+use locality_analyze::fixtures::{clean_workload, racy_workload};
+use locality_analyze::{analyze_log, AnalysisConfig, AnalysisReport, Severity};
+use locality_sim::MachineConfig;
+
+/// Which fixture workloads to analyze.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Workload {
+    /// The mutex-protected, fully annotated fixture.
+    Clean,
+    /// The unsynchronized, under-annotated fixture.
+    Racy,
+    /// Both, clean first.
+    All,
+}
+
+impl Workload {
+    /// Parses the `--workload` keyword (default `all`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ReproError::Usage`] for anything but
+    /// `clean`/`racy`/`all`.
+    pub fn from_args(args: &Args) -> Result<Self, ReproError> {
+        match args.workload.as_deref() {
+            None | Some("all") => Ok(Workload::All),
+            Some("clean") => Ok(Workload::Clean),
+            Some("racy") => Ok(Workload::Racy),
+            Some(other) => Err(ReproError::Usage(format!(
+                "unknown workload '{other}' (expected clean, racy, or all)"
+            ))),
+        }
+    }
+
+    fn names(self) -> &'static [&'static str] {
+        match self {
+            Workload::Clean => &["clean"],
+            Workload::Racy => &["racy"],
+            Workload::All => &["clean", "racy"],
+        }
+    }
+}
+
+/// The analysis of one fixture workload.
+#[derive(Debug)]
+pub struct WorkloadAnalysis {
+    /// `"clean"` or `"racy"`.
+    pub name: &'static str,
+    /// Everything the analyzer concluded.
+    pub report: AnalysisReport,
+}
+
+fn rounds_for(scale: Scale) -> u32 {
+    match scale {
+        Scale::Paper => 6,
+        Scale::Small => 2,
+    }
+}
+
+/// Runs one named fixture under observation and analyzes its log.
+fn analyze_one(name: &'static str, rounds: u32) -> Result<WorkloadAnalysis, ReproError> {
+    let program = match name {
+        "clean" => clean_workload(rounds),
+        _ => racy_workload(rounds),
+    };
+    let mut engine =
+        Engine::new(MachineConfig::enterprise5000(2), SchedPolicy::Lff, EngineConfig::default());
+    engine.enable_observation();
+    engine.spawn(program);
+    engine.run()?;
+    let log = engine.take_observation().expect("observation was enabled");
+    Ok(WorkloadAnalysis { name, report: analyze_log(&log, &AnalysisConfig::default()) })
+}
+
+/// Runs the selected workloads (in parallel when `--jobs > 1` and both
+/// are requested) and returns their analyses in a fixed order: clean
+/// before racy, independent of completion order.
+pub fn run_workloads(args: &Args, which: Workload) -> Result<Vec<WorkloadAnalysis>, ReproError> {
+    let rounds = rounds_for(args.scale);
+    let names = which.names();
+    if names.len() == 2 && args.jobs > 1 {
+        // Engines (and the boxed programs inside) are not Send, so each
+        // worker constructs its own engine; only the plain analysis data
+        // crosses the thread boundary.
+        let mut results = std::thread::scope(|s| {
+            let handles: Vec<_> =
+                names.iter().map(|&n| s.spawn(move || analyze_one(n, rounds))).collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("analyze worker panicked"))
+                .collect::<Vec<_>>()
+        });
+        let second = results.pop().expect("two workloads")?;
+        let first = results.pop().expect("two workloads")?;
+        Ok(vec![first, second])
+    } else {
+        names.iter().map(|&n| analyze_one(n, rounds)).collect()
+    }
+}
+
+/// Renders the findings of every workload into one table.
+///
+/// # Errors
+///
+/// Returns a [`crate::table::TableError`] if a row is malformed.
+pub fn findings_table(analyses: &[WorkloadAnalysis]) -> Result<Table, ReproError> {
+    let mut table = Table::new(
+        "Analysis findings (races, lock order, annotation lints)",
+        &["workload", "severity", "code", "detail"],
+    );
+    let mut empty = true;
+    for wa in analyses {
+        for f in &wa.report.findings {
+            empty = false;
+            table.row(&[
+                wa.name.to_string(),
+                f.severity.to_string(),
+                f.code.to_string(),
+                f.message.clone(),
+            ])?;
+        }
+    }
+    if empty {
+        table.row_strs(&["-", "info", "no-findings", "no diagnostics in any workload"])?;
+    }
+    Ok(table)
+}
+
+/// The full `analyze` driver: run, print, write CSV.
+///
+/// Returns `true` when any confirmed race was found (the process should
+/// exit nonzero).
+///
+/// # Errors
+///
+/// Returns [`ReproError::Usage`] for a bad `--workload` value, or the
+/// first run/output error.
+pub fn run_analyze(args: &Args) -> Result<bool, ReproError> {
+    let which = Workload::from_args(args)?;
+    let analyses = run_workloads(args, which)?;
+
+    let table = findings_table(&analyses)?;
+    table.print();
+    table.write_csv(&args.csv_path("analyze.csv")?)?;
+
+    let mut any_races = false;
+    for wa in &analyses {
+        let races = wa.report.races.len();
+        let warnings = wa.report.at_severity(Severity::Warning).count();
+        println!(
+            "{}: {} race(s), {} warning(s) -> {}",
+            wa.name,
+            races,
+            warnings,
+            if races > 0 { "FAIL" } else { "ok" }
+        );
+        any_races |= races > 0;
+    }
+    Ok(any_races)
+}
+
+/// The analyze binary's `main`: exit 0 when no races, 1 when races were
+/// confirmed, 2 on usage errors.
+pub fn main_analyze() {
+    let args = Args::from_env();
+    match run_analyze(&args) {
+        Ok(false) => {}
+        Ok(true) => std::process::exit(1),
+        Err(ReproError::Usage(msg)) => {
+            eprintln!("{msg}");
+            std::process::exit(2);
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args_for(workload: Option<&str>, jobs: usize) -> Args {
+        Args {
+            scale: Scale::Small,
+            workload: workload.map(str::to_string),
+            jobs,
+            ..Args::default()
+        }
+    }
+
+    #[test]
+    fn workload_keyword_parses_and_rejects() {
+        assert_eq!(Workload::from_args(&args_for(None, 1)).unwrap(), Workload::All);
+        assert_eq!(Workload::from_args(&args_for(Some("clean"), 1)).unwrap(), Workload::Clean);
+        assert_eq!(Workload::from_args(&args_for(Some("racy"), 1)).unwrap(), Workload::Racy);
+        let err = Workload::from_args(&args_for(Some("bogus"), 1)).unwrap_err();
+        assert!(matches!(err, ReproError::Usage(_)), "{err:?}");
+    }
+
+    #[test]
+    fn racy_fails_and_clean_passes() {
+        let racy = run_workloads(&args_for(Some("racy"), 1), Workload::Racy).unwrap();
+        assert!(racy[0].report.has_errors());
+        let clean = run_workloads(&args_for(Some("clean"), 1), Workload::Clean).unwrap();
+        assert!(!clean[0].report.has_errors());
+    }
+
+    #[test]
+    fn parallel_and_serial_analyses_agree() {
+        let serial = run_workloads(&args_for(None, 1), Workload::All).unwrap();
+        let parallel = run_workloads(&args_for(None, 4), Workload::All).unwrap();
+        assert_eq!(serial.len(), 2);
+        assert_eq!(parallel.len(), 2);
+        for (s, p) in serial.iter().zip(&parallel) {
+            assert_eq!(s.name, p.name);
+            assert_eq!(s.report.findings, p.report.findings);
+            assert_eq!(s.report.races, p.report.races);
+        }
+    }
+
+    #[test]
+    fn findings_table_is_deterministic() {
+        let a = findings_table(&run_workloads(&args_for(None, 1), Workload::All).unwrap())
+            .unwrap()
+            .to_csv();
+        let b = findings_table(&run_workloads(&args_for(None, 2), Workload::All).unwrap())
+            .unwrap()
+            .to_csv();
+        assert_eq!(a, b);
+        assert!(a.contains("data-race"));
+    }
+}

@@ -4,7 +4,7 @@ use std::path::PathBuf;
 
 /// Usage text printed for `--help` and on argument errors.
 pub const USAGE: &str = "usage: [--scale paper|small] [--out DIR] [--jobs N] [--no-cache] \
-     [--fault SCENARIO|all]
+     [--fault SCENARIO|all] [--workload clean|racy|all]
 
 options:
   --scale paper|small  workload scale (default: paper)
@@ -14,6 +14,8 @@ options:
   --no-cache           ignore and do not write the on-disk result cache
   --fault SCENARIO     ablation only: run the counter-fault robustness
                        table for one scenario, or 'all'
+  --workload NAME      analyze only: which fixture workload to analyze
+                       (clean, racy, or all; default: all)
   --help, -h           print this help";
 
 /// Workload scale selector.
@@ -35,6 +37,10 @@ pub struct Args {
     /// Counter-fault scenario keyword (`--fault <scenario>|all`), used
     /// by the ablation binary's robustness runs.
     pub fault: Option<String>,
+    /// Analyzer workload keyword (`--workload clean|racy|all`), used by
+    /// the analyze binary; validated there so bad values surface as
+    /// usage errors through [`ReproError::Usage`](crate::ReproError).
+    pub workload: Option<String>,
     /// Worker threads used by the experiment runner (`--jobs N`).
     pub jobs: usize,
     /// Disable the on-disk result cache (`--no-cache`).
@@ -62,6 +68,7 @@ impl Default for Args {
             scale: Scale::Paper,
             out: PathBuf::from("results"),
             fault: None,
+            workload: None,
             jobs: default_jobs(),
             no_cache: false,
         }
@@ -106,6 +113,10 @@ impl Args {
                 "--fault" => {
                     let v = it.next().ok_or("--fault needs a scenario name (or 'all')")?;
                     out.fault = Some(v);
+                }
+                "--workload" => {
+                    let v = it.next().ok_or("--workload needs a name (clean|racy|all)")?;
+                    out.workload = Some(v);
                 }
                 "--help" | "-h" => return Ok(Parsed::Help),
                 other => return Err(format!("unknown argument '{other}'")),
@@ -186,6 +197,14 @@ mod tests {
         let a = parse(&["--fault", "wraparound"]).unwrap();
         assert_eq!(a.fault.as_deref(), Some("wraparound"));
         assert!(parse(&["--fault"]).is_err());
+    }
+
+    #[test]
+    fn workload_keyword() {
+        assert_eq!(parse(&[]).unwrap().workload, None);
+        let a = parse(&["--workload", "racy"]).unwrap();
+        assert_eq!(a.workload.as_deref(), Some("racy"));
+        assert!(parse(&["--workload"]).is_err());
     }
 
     #[test]

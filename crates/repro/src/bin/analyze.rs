@@ -1,0 +1,11 @@
+//! Static & dynamic analysis over the deterministic fixture workloads:
+//! vector-clock race detection, lock-order cycle detection, and
+//! annotation-consistency lints (see `locality-analyze`).
+//!
+//! Exit status: 0 when no data race was confirmed, 1 when the analyzed
+//! workload races, 2 on usage errors. Warnings (lints, lock-order
+//! cycles) never affect the exit status.
+
+fn main() {
+    locality_repro::analyze::main_analyze();
+}

@@ -17,6 +17,7 @@
 //! | `fig9` | Figure 9 — locality scheduling on the 8-cpu Enterprise 5000 |
 //! | `ablation` | §5 extras: annotation ablation, threshold sweep, page placement, invalidation effects; `--fault <scenario>` runs the counter-fault robustness table instead |
 //! | `repro-all` | everything above through one shared runner (cross-figure runs execute once) |
+//! | `analyze` | race detection, lock-order cycles, and annotation lints over the deterministic racy/clean fixture pair (exit 1 on confirmed races; `--workload clean\|racy\|all`) |
 //!
 //! Every binary prints aligned text tables and writes CSV files under
 //! `results/` (change with `--out DIR`). `--scale small` runs scaled-down
@@ -32,6 +33,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod analyze;
 pub mod args;
 pub mod error;
 pub mod experiments;

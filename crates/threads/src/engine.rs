@@ -18,6 +18,7 @@
 use crate::error::RuntimeError;
 use crate::events::{EngineHook, EngineView, SwitchEvent, SwitchReason};
 use crate::inference::{InferenceConfig, SharingInference};
+use crate::observe::{ObsEvent, ObsLog};
 use crate::program::{BatchCtx, Control, PendingSpawn, Program};
 use crate::report::RunReport;
 use crate::sched::{self, SchedPolicy, Scheduler};
@@ -77,6 +78,7 @@ pub struct Engine {
     sleepers: BinaryHeap<Reverse<(u64, ThreadId)>>,
     inference: Option<SharingInference>,
     sanitizer: CounterSanitizer,
+    obs: Option<ObsLog>,
     hooks: Vec<Box<dyn EngineHook>>,
     next_tid: u64,
     live: u64,
@@ -120,6 +122,7 @@ impl Engine {
             run_start: vec![0; cpus],
             sleepers: BinaryHeap::new(),
             sanitizer: CounterSanitizer::new(SanitizerConfig::default()),
+            obs: None,
             hooks: Vec::new(),
             next_tid: 1,
             live: 0,
@@ -184,6 +187,25 @@ impl Engine {
         &mut self.sync
     }
 
+    /// Starts recording an [`ObsLog`] of sync operations, access spans,
+    /// spawns/joins/exits, and annotations for offline analysis. Cheap
+    /// no-ops everywhere when not enabled.
+    pub fn enable_observation(&mut self) {
+        self.obs = Some(ObsLog::new());
+    }
+
+    /// Takes the recorded observation log, if observation was enabled
+    /// (typically after [`run`](Self::run)). Recording stops.
+    pub fn take_observation(&mut self) -> Option<ObsLog> {
+        self.obs.take()
+    }
+
+    fn note(&mut self, ev: ObsEvent) {
+        if let Some(log) = &mut self.obs {
+            log.record(ev);
+        }
+    }
+
     /// Registers an observer hook.
     pub fn add_hook(&mut self, hook: Box<dyn EngineHook>) {
         self.hooks.push(hook);
@@ -208,6 +230,7 @@ impl Engine {
     pub fn spawn(&mut self, program: Box<dyn Program>) -> ThreadId {
         let tid = ThreadId(self.next_tid);
         self.next_tid += 1;
+        self.note(ObsEvent::Spawn { parent: None, child: tid });
         self.admit(PendingSpawn { tid, program });
         tid
     }
@@ -369,6 +392,7 @@ impl Engine {
             cycles: 0,
             next_tid: &mut self.next_tid,
             spawns: Vec::new(),
+            obs: self.obs.as_mut(),
         };
         let control = program.next_batch(&mut ctx);
         let cycles = ctx.cycles;
@@ -411,10 +435,12 @@ impl Engine {
                 let mx = self.sync.mutex(m)?;
                 if mx.owner.is_none() {
                     mx.owner = Some(tid);
+                    self.note(ObsEvent::MutexAcquire { tid, mutex: m });
                     self.continue_running(cpu);
                 } else {
                     // Note: re-locking a held mutex self-deadlocks, like
-                    // a non-recursive pthread mutex.
+                    // a non-recursive pthread mutex. The acquire event is
+                    // recorded when the unlock hands the mutex over.
                     mx.waiters.push_back(tid);
                     self.block(cpu, tid)?;
                 }
@@ -427,6 +453,7 @@ impl Engine {
                 let sem = self.sync.sem(s)?;
                 if sem.count > 0 {
                     sem.count -= 1;
+                    self.note(ObsEvent::SemAcquire { tid, sem: s });
                     self.continue_running(cpu);
                 } else {
                     sem.waiters.push_back(tid);
@@ -435,10 +462,17 @@ impl Engine {
             }
             Control::SemPost(s) => {
                 let sem = self.sync.sem(s)?;
-                if let Some(w) = sem.waiters.pop_front() {
+                let woken = match sem.waiters.pop_front() {
+                    Some(w) => Some(w),
+                    None => {
+                        sem.count += 1;
+                        None
+                    }
+                };
+                self.note(ObsEvent::SemPost { tid, sem: s });
+                if let Some(w) = woken {
+                    self.note(ObsEvent::SemAcquire { tid: w, sem: s });
                     self.make_ready(w)?;
-                } else {
-                    sem.count += 1;
                 }
                 self.continue_running(cpu);
             }
@@ -446,8 +480,10 @@ impl Engine {
                 let bar = self.sync.barrier(b)?;
                 bar.waiting.push(tid);
                 if bar.waiting.len() == bar.parties {
+                    let parties: Vec<ThreadId> = bar.waiting.clone();
                     let woken: Vec<ThreadId> =
                         bar.waiting.drain(..).filter(|&w| w != tid).collect();
+                    self.note(ObsEvent::BarrierCross { barrier: b, parties });
                     for w in woken {
                         self.make_ready(w)?;
                     }
@@ -463,6 +499,7 @@ impl Engine {
             }
             Control::CondSignal(c) => {
                 if let Some((w, m)) = self.sync.cond(c)?.waiters.pop_front() {
+                    self.note(ObsEvent::CondWake { signaler: tid, woken: w, cond: c });
                     self.grant_or_enqueue_mutex(m, w)?;
                 }
                 self.continue_running(cpu);
@@ -471,18 +508,27 @@ impl Engine {
                 let woken: Vec<(ThreadId, MutexId)> =
                     self.sync.cond(c)?.waiters.drain(..).collect();
                 for (w, m) in woken {
+                    self.note(ObsEvent::CondWake { signaler: tid, woken: w, cond: c });
                     self.grant_or_enqueue_mutex(m, w)?;
                 }
                 self.continue_running(cpu);
             }
             Control::Join(target) => {
-                let Some(t) = self.threads.get_mut(&target) else {
-                    return Err(RuntimeError::UnknownThread { thread: target });
+                let exited = {
+                    let Some(t) = self.threads.get_mut(&target) else {
+                        return Err(RuntimeError::UnknownThread { thread: target });
+                    };
+                    if t.exited() {
+                        true
+                    } else {
+                        t.join_waiters.push(tid);
+                        false
+                    }
                 };
-                if t.exited() {
+                if exited {
+                    self.note(ObsEvent::JoinWake { waiter: tid, target });
                     self.continue_running(cpu);
                 } else {
-                    t.join_waiters.push(tid);
                     self.block(cpu, tid)?;
                 }
             }
@@ -496,8 +542,13 @@ impl Engine {
             return Err(RuntimeError::NotOwner { thread: tid, mutex: m.0 });
         }
         mx.owner = None;
-        if let Some(w) = mx.waiters.pop_front() {
+        let handoff = mx.waiters.pop_front();
+        if let Some(w) = handoff {
             mx.owner = Some(w);
+        }
+        self.note(ObsEvent::MutexRelease { tid, mutex: m });
+        if let Some(w) = handoff {
+            self.note(ObsEvent::MutexAcquire { tid: w, mutex: m });
             self.make_ready(w)?;
         }
         Ok(())
@@ -508,6 +559,7 @@ impl Engine {
         let mx = self.sync.mutex(m)?;
         if mx.owner.is_none() {
             mx.owner = Some(w);
+            self.note(ObsEvent::MutexAcquire { tid: w, mutex: m });
             self.make_ready(w)?;
         } else {
             mx.waiters.push_back(w);
@@ -601,11 +653,13 @@ impl Engine {
     fn finish_thread(&mut self, tid: ThreadId) -> Result<(), RuntimeError> {
         self.live -= 1;
         self.completed += 1;
+        self.note(ObsEvent::Exit { tid });
         let waiters = {
             let tcb = self.tcb_mut(tid)?;
             std::mem::take(&mut tcb.join_waiters)
         };
         for w in waiters {
+            self.note(ObsEvent::JoinWake { waiter: w, target: tid });
             self.make_ready(w)?;
         }
         self.graph.remove_thread(tid);

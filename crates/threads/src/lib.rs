@@ -66,6 +66,7 @@ pub mod engine;
 pub mod events;
 pub mod heap;
 pub mod inference;
+pub mod observe;
 pub mod program;
 pub mod report;
 pub mod sched;
@@ -76,6 +77,7 @@ pub use engine::{Engine, EngineConfig};
 pub use error::RuntimeError;
 pub use events::{EngineHook, SwitchEvent, SwitchReason};
 pub use inference::{InferenceConfig, SharingInference};
+pub use observe::{ObsEvent, ObsLog};
 pub use program::{BatchCtx, Control, Program};
 pub use report::RunReport;
 pub use sched::SchedPolicy;

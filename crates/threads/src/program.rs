@@ -8,6 +8,7 @@
 //! thread continue with its next batch without a context switch, exactly
 //! like a fast user-level thread library.
 
+use crate::observe::{ObsEvent, ObsLog};
 use crate::sync::{BarrierId, CondId, MutexId, SemId, SyncTables};
 use locality_core::{ModelError, SharingGraph, ThreadId};
 use locality_sim::{AccessKind, Machine, VAddr};
@@ -102,6 +103,7 @@ pub struct BatchCtx<'a> {
     pub(crate) cycles: u64,
     pub(crate) next_tid: &'a mut u64,
     pub(crate) spawns: Vec<PendingSpawn>,
+    pub(crate) obs: Option<&'a mut ObsLog>,
 }
 
 impl<'a> BatchCtx<'a> {
@@ -120,13 +122,24 @@ impl<'a> BatchCtx<'a> {
         self.cycles
     }
 
+    /// Records a data-access span in the observation log, if enabled.
+    /// Single accesses are 1-byte spans; range accesses record their
+    /// covering span once (not one event per probe).
+    fn note_access(&mut self, start: VAddr, bytes: u64, write: bool) {
+        if let Some(log) = self.obs.as_deref_mut() {
+            log.record(ObsEvent::Access { tid: self.tid, start, bytes, write });
+        }
+    }
+
     /// Loads one word at `va`.
     pub fn read(&mut self, va: VAddr) {
+        self.note_access(va, 1, false);
         self.cycles += self.machine.access(self.cpu, va, AccessKind::Read);
     }
 
     /// Stores one word at `va`.
     pub fn write(&mut self, va: VAddr) {
+        self.note_access(va, 1, true);
         self.cycles += self.machine.access(self.cpu, va, AccessKind::Write);
     }
 
@@ -137,20 +150,22 @@ impl<'a> BatchCtx<'a> {
 
     /// Loads every `stride`-th byte of `[start, start+bytes)`.
     pub fn read_range(&mut self, start: VAddr, bytes: u64, stride: u64) {
+        self.note_access(start, bytes, false);
         let stride = stride.max(1);
         let mut off = 0;
         while off < bytes {
-            self.read(start.offset(off));
+            self.cycles += self.machine.access(self.cpu, start.offset(off), AccessKind::Read);
             off += stride;
         }
     }
 
     /// Stores every `stride`-th byte of `[start, start+bytes)`.
     pub fn write_range(&mut self, start: VAddr, bytes: u64, stride: u64) {
+        self.note_access(start, bytes, true);
         let stride = stride.max(1);
         let mut off = 0;
         while off < bytes {
-            self.write(start.offset(off));
+            self.cycles += self.machine.access(self.cpu, start.offset(off), AccessKind::Write);
             off += stride;
         }
     }
@@ -192,7 +207,11 @@ impl<'a> BatchCtx<'a> {
     /// Returns [`ModelError`] for `q ∉ [0, 1]` or self-sharing; callers
     /// may ignore the error exactly because annotations are hints.
     pub fn at_share(&mut self, src: ThreadId, dst: ThreadId, q: f64) -> Result<(), ModelError> {
-        self.graph.set(src, dst, q)
+        let res = self.graph.set(src, dst, q);
+        if let Some(log) = self.obs.as_deref_mut() {
+            log.record(ObsEvent::AtShare { src, dst, q, accepted: res.is_ok() });
+        }
+        res
     }
 
     /// Spawns a child thread; it becomes ready when this batch ends.
@@ -201,6 +220,9 @@ impl<'a> BatchCtx<'a> {
     pub fn spawn(&mut self, program: Box<dyn Program>) -> ThreadId {
         let tid = ThreadId(*self.next_tid);
         *self.next_tid += 1;
+        if let Some(log) = self.obs.as_deref_mut() {
+            log.record(ObsEvent::Spawn { parent: Some(self.tid), child: tid });
+        }
         self.spawns.push(PendingSpawn { tid, program });
         tid
     }

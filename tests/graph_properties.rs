@@ -1,0 +1,126 @@
+//! Property-based tests of [`SharingGraph`] structural invariants
+//! (proptest): random operation sequences against a flat-map mirror, with
+//! forward/reverse adjacency checked after every sequence.
+
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+use thread_locality::core::{SharingGraph, ThreadId};
+
+/// One random graph operation over a small thread-id universe.
+#[derive(Debug, Clone)]
+enum Op {
+    Set { src: u64, dst: u64, q: f64 },
+    RemoveEdge { src: u64, dst: u64 },
+    RemoveThread { t: u64 },
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    let tid = 0u64..8;
+    prop_oneof![
+        // Mostly valid coefficients, occasionally invalid or zero, so the
+        // sequences exercise rejection and edge removal too.
+        4 => (tid.clone(), 0u64..8, prop_oneof![
+            5 => 0.0f64..=1.0,
+            1 => Just(0.0f64),
+            1 => Just(1.5f64),
+            1 => Just(f64::NAN),
+        ])
+            .prop_map(|(src, dst, q)| Op::Set { src, dst, q }),
+        1 => (tid.clone(), 0u64..8).prop_map(|(src, dst)| Op::RemoveEdge { src, dst }),
+        1 => tid.prop_map(|t| Op::RemoveThread { t }),
+    ]
+}
+
+/// Applies ops to both the graph and a plain `(src, dst) → q` mirror.
+fn apply(ops: &[Op]) -> (SharingGraph, BTreeMap<(u64, u64), f64>) {
+    let mut g = SharingGraph::new();
+    let mut mirror = BTreeMap::new();
+    for op in ops {
+        match *op {
+            Op::Set { src, dst, q } => {
+                let accepted = g.set(ThreadId(src), ThreadId(dst), q).is_ok();
+                let valid = q.is_finite() && (0.0..=1.0).contains(&q) && src != dst;
+                assert_eq!(accepted, valid, "set({src}, {dst}, {q})");
+                if valid {
+                    if q == 0.0 {
+                        mirror.remove(&(src, dst));
+                    } else {
+                        mirror.insert((src, dst), q);
+                    }
+                }
+            }
+            Op::RemoveEdge { src, dst } => {
+                let prev = g.remove_edge(ThreadId(src), ThreadId(dst));
+                assert_eq!(prev, mirror.remove(&(src, dst)));
+            }
+            Op::RemoveThread { t } => {
+                g.remove_thread(ThreadId(t));
+                mirror.retain(|&(s, d), _| s != t && d != t);
+            }
+        }
+    }
+    (g, mirror)
+}
+
+proptest! {
+    /// After any operation sequence the graph matches the mirror exactly:
+    /// same edge set via `edges()`, same weights via `weight()`, and the
+    /// forward and reverse adjacency views agree edge by edge.
+    #[test]
+    fn graph_matches_mirror(ops in proptest::collection::vec(op_strategy(), 0..64)) {
+        let (g, mirror) = apply(&ops);
+
+        // edges() round-trips through weight() and matches the mirror.
+        let listed: BTreeMap<(u64, u64), f64> =
+            g.edges().map(|(s, d, q)| ((s.0, d.0), q)).collect();
+        prop_assert_eq!(&listed, &mirror);
+        for (&(s, d), &q) in &mirror {
+            prop_assert_eq!(g.weight(ThreadId(s), ThreadId(d)), q);
+        }
+        prop_assert_eq!(g.edge_count(), mirror.len());
+        prop_assert_eq!(g.is_empty(), mirror.is_empty());
+
+        // Forward and reverse adjacency are consistent.
+        for t in 0..8u64 {
+            let tid = ThreadId(t);
+            let outs: Vec<_> = g.dependents_of(tid).collect();
+            prop_assert_eq!(outs.len(), g.out_degree(tid));
+            for (dst, q) in outs {
+                prop_assert!(
+                    g.dependencies_of(dst).any(|(s, qq)| s == tid && qq == q),
+                    "out-edge {tid:?}→{dst:?} missing from reverse adjacency"
+                );
+            }
+            for (src, q) in g.dependencies_of(tid) {
+                prop_assert!(
+                    g.dependents_of(src).any(|(d, qq)| d == tid && qq == q),
+                    "in-edge {src:?}→{tid:?} missing from forward adjacency"
+                );
+            }
+        }
+    }
+
+    /// `remove_thread` leaves no incident edges in either direction, and
+    /// never disturbs edges between other threads.
+    #[test]
+    fn remove_thread_removes_all_incident_edges(
+        ops in proptest::collection::vec(op_strategy(), 0..48),
+        victim in 0u64..8,
+    ) {
+        let (mut g, mirror) = apply(&ops);
+        g.remove_thread(ThreadId(victim));
+
+        let v = ThreadId(victim);
+        prop_assert_eq!(g.out_degree(v), 0);
+        prop_assert_eq!(g.dependencies_of(v).count(), 0);
+        prop_assert!(g.edges().all(|(s, d, _)| s != v && d != v));
+
+        let expected: BTreeMap<(u64, u64), f64> = mirror
+            .into_iter()
+            .filter(|&((s, d), _)| s != victim && d != victim)
+            .collect();
+        let listed: BTreeMap<(u64, u64), f64> =
+            g.edges().map(|(s, d, q)| ((s.0, d.0), q)).collect();
+        prop_assert_eq!(listed, expected);
+    }
+}

@@ -64,6 +64,106 @@ pub trait Strategy {
 
     /// Generates one value.
     fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// `proptest`'s `prop_map`: applies `f` to every generated value.
+    fn prop_map<T, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        T: std::fmt::Debug,
+        F: Fn(Self::Value) -> T,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// A strategy that always yields a clone of one value (`proptest::prelude::Just`).
+#[derive(Debug, Clone)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone + std::fmt::Debug> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// The strategy returned by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, T, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    T: std::fmt::Debug,
+    F: Fn(S::Value) -> T,
+{
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Weighted choice among strategies sharing a value type; built by
+/// [`prop_oneof!`]. Arms are type-erased so heterogeneous strategy types
+/// can mix, exactly like `proptest`'s `Union`.
+pub struct Union<T> {
+    arms: Vec<(u32, ErasedStrategy<T>)>,
+}
+
+/// A type-erased strategy arm.
+type ErasedStrategy<T> = Box<dyn Fn(&mut TestRng) -> T>;
+
+impl<T> Union<T> {
+    /// An empty union; generation panics until an arm is added.
+    pub fn new() -> Self {
+        Union { arms: Vec::new() }
+    }
+
+    /// Adds a weighted arm.
+    pub fn arm<S>(mut self, weight: u32, strat: S) -> Self
+    where
+        S: Strategy<Value = T> + 'static,
+    {
+        assert!(weight > 0, "prop_oneof arm weight must be positive");
+        self.arms.push((weight, Box::new(move |rng| strat.generate(rng))));
+        self
+    }
+}
+
+impl<T> Default for Union<T> {
+    fn default() -> Self {
+        Union::new()
+    }
+}
+
+impl<T: std::fmt::Debug> Strategy for Union<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let total: u64 = self.arms.iter().map(|&(w, _)| w as u64).sum();
+        assert!(total > 0, "prop_oneof with no arms");
+        let mut pick = rng.next_u64() % total;
+        for (w, f) in &self.arms {
+            if pick < *w as u64 {
+                return f(rng);
+            }
+            pick -= *w as u64;
+        }
+        unreachable!("weighted pick exceeded total weight")
+    }
+}
+
+/// `proptest`'s `prop_oneof!`: chooses among strategies, optionally
+/// weighted (`weight => strategy`).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::Union::new()$(.arm(($weight) as u32, $strat))+
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::Union::new()$(.arm(1u32, $strat))+
+    };
 }
 
 macro_rules! impl_strategy_int {
@@ -186,7 +286,9 @@ pub mod collection {
 
 /// The usual glob-import surface.
 pub mod prelude {
-    pub use crate::{prop_assert, prop_assert_eq, proptest, Strategy, TestRng};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_oneof, proptest, Just, Strategy, TestRng, Union,
+    };
 }
 
 /// Declares property tests; see the crate docs for the supported subset.
@@ -285,6 +387,28 @@ mod tests {
             for (a, b) in pairs {
                 prop_assert!(a < 4);
                 prop_assert_eq!((10..1000).contains(&b), true, "b = {}", b);
+            }
+        }
+    }
+
+    proptest! {
+        /// `Just`, `prop_map`, and `prop_oneof!` compose into enums.
+        #[test]
+        fn combinators_hold(
+            vals in crate::collection::vec(
+                prop_oneof![
+                    3 => (0u8..4).prop_map(|x| (x, false)),
+                    1 => Just((9u8, true)),
+                ],
+                1..20,
+            )
+        ) {
+            for (x, tagged) in vals {
+                if tagged {
+                    prop_assert_eq!(x, 9);
+                } else {
+                    prop_assert!(x < 4);
+                }
             }
         }
     }
