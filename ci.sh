@@ -33,3 +33,19 @@ cargo build --release -p locality-repro --features invariant-checks
 cargo run --release -p locality-repro --features invariant-checks --bin fig5 -- \
     --scale small --jobs 2 --out "$INVARIANT_OUT"
 rm -rf "$INVARIANT_OUT"
+
+# Observability layer (locality-trace): the workspace must stay green
+# with the trace feature on, a small traced run must export cleanly, and
+# the overhead bench must pass in both build modes (zero recorded events
+# when the feature is off, < 5% overhead when on).
+cargo test -q --workspace --features trace
+cargo clippy --workspace --all-targets --features trace -- -D warnings
+TRACE_OUT=$(mktemp -d)
+cargo run --release -p locality-repro --features trace --bin trace -- \
+    --scale small --jobs 2 --out "$TRACE_OUT"
+test -s "$TRACE_OUT/trace_merge.chrome.json"
+test -s "$TRACE_OUT/trace_merge.jsonl"
+test -s "$TRACE_OUT/trace_metrics.csv"
+rm -rf "$TRACE_OUT"
+cargo run --release -p locality-repro --features trace --bin trace-bench
+cargo run --release -p locality-repro --bin trace-bench

@@ -187,7 +187,8 @@ mod tests {
             MachineConfig::enterprise5000(2),
             SchedPolicy::Lff,
             EngineConfig::default(),
-        );
+        )
+        .unwrap();
         engine.enable_observation();
         engine.spawn(prog);
         engine.run().expect("fixture run");

@@ -22,7 +22,8 @@ fn bench_engine(c: &mut Criterion) {
                         MachineConfig::ultra1(),
                         policy,
                         EngineConfig::default(),
-                    );
+                    )
+                    .unwrap();
                     spawn_parallel(&mut e, &params);
                     e
                 },

@@ -30,6 +30,15 @@ pub enum ModelError {
         /// The cache size in lines.
         lines: usize,
     },
+    /// A fill fraction passed to
+    /// [`FootprintModel::misses_to_fill`](crate::FootprintModel::misses_to_fill)
+    /// was NaN. `ceil() as u64` on a NaN quietly produces 0, so the old
+    /// code turned a corrupted input into "already full" — reject it
+    /// instead.
+    NonFiniteFillFraction {
+        /// The rejected fraction.
+        frac: f64,
+    },
     /// A self-edge `at_share(t, t, q)` was requested; a thread trivially
     /// shares all of its state with itself and such edges are rejected to
     /// keep the dependency graph meaningful.
@@ -54,6 +63,9 @@ impl fmt::Display for ModelError {
             ModelError::InvalidFootprint { footprint, lines } => {
                 write!(f, "footprint {footprint} is invalid for a cache of {lines} lines")
             }
+            ModelError::NonFiniteFillFraction { frac } => {
+                write!(f, "fill fraction {frac} is not a number")
+            }
             ModelError::SelfSharing { thread } => {
                 write!(f, "thread t{thread} cannot share state with itself")
             }
@@ -77,6 +89,8 @@ mod tests {
         assert!(e.to_string().contains("not a finite"));
         let e = ModelError::InvalidFootprint { footprint: -3.0, lines: 8192 };
         assert!(e.to_string().contains("-3"));
+        let e = ModelError::NonFiniteFillFraction { frac: f64::NAN };
+        assert!(e.to_string().contains("not a number"));
         let e = ModelError::SelfSharing { thread: 4 };
         assert!(e.to_string().contains("t4"));
     }

@@ -205,6 +205,10 @@ impl LocalityEstimator {
         state.m = m_new;
         #[cfg(feature = "invariant-checks")]
         self.verify_invariants(cpu, tid);
+        locality_trace::emit_with(|| locality_trace::TraceEvent::PriorityUpdates {
+            tid: tid.0,
+            fanout: updates.len() as u32,
+        });
         updates
     }
 

@@ -103,15 +103,26 @@ impl FootprintModel {
     ///
     /// Useful for sizing experiments (e.g. how long a reload transient
     /// lasts). Saturates at `u64::MAX` for `frac ≥ 1`.
-    pub fn misses_to_fill(&self, frac: f64) -> u64 {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::NonFiniteFillFraction`] when `frac` is NaN.
+    /// (The previous unchecked version computed `NaN.ceil() as u64`,
+    /// which silently saturates to 0 — a corrupted fraction looked like
+    /// an instantly-full cache.)
+    pub fn misses_to_fill(&self, frac: f64) -> Result<u64, ModelError> {
+        if frac.is_nan() {
+            return Err(ModelError::NonFiniteFillFraction { frac });
+        }
         if frac >= 1.0 {
-            return u64::MAX;
+            return Ok(u64::MAX);
         }
         if frac <= 0.0 {
-            return 0;
+            return Ok(0);
         }
         // N - N k^n = frac*N  =>  k^n = 1-frac  =>  n = ln(1-frac)/ln k
-        ((1.0 - frac).ln() / self.params.log_k()).ceil() as u64
+        // frac in (0, 1) here, so the quotient is finite and non-negative.
+        Ok(((1.0 - frac).ln() / self.params.log_k()).ceil() as u64)
     }
 }
 
@@ -219,15 +230,27 @@ mod tests {
     fn misses_to_fill_inverse_of_blocking() {
         let m = model(8192);
         for frac in [0.1, 0.5, 0.9, 0.99] {
-            let n = m.misses_to_fill(frac);
+            let n = m.misses_to_fill(frac).unwrap();
             let f = m.expected_blocking(0.0, n);
             assert!(f >= frac * 8192.0, "n={n} f={f}");
             // One miss fewer should not reach the target.
             let f_prev = m.expected_blocking(0.0, n.saturating_sub(1));
             assert!(f_prev <= frac * 8192.0 + 1.0);
         }
-        assert_eq!(m.misses_to_fill(0.0), 0);
-        assert_eq!(m.misses_to_fill(1.0), u64::MAX);
+        assert_eq!(m.misses_to_fill(0.0), Ok(0));
+        assert_eq!(m.misses_to_fill(1.0), Ok(u64::MAX));
+    }
+
+    #[test]
+    fn misses_to_fill_rejects_nan() {
+        let m = model(8192);
+        assert!(matches!(
+            m.misses_to_fill(f64::NAN),
+            Err(ModelError::NonFiniteFillFraction { frac }) if frac.is_nan()
+        ));
+        // Infinities have a well-defined answer under the saturation rules.
+        assert_eq!(m.misses_to_fill(f64::INFINITY), Ok(u64::MAX));
+        assert_eq!(m.misses_to_fill(f64::NEG_INFINITY), Ok(0));
     }
 
     #[test]
@@ -235,7 +258,7 @@ mod tests {
         // Sanity: filling half a direct-mapped cache takes about N*ln(2)
         // misses, a classic coupon-collector-style result.
         let m = model(8192);
-        let n = m.misses_to_fill(0.5);
+        let n = m.misses_to_fill(0.5).unwrap();
         let expect = (8192.0 * std::f64::consts::LN_2) as i64;
         assert!((n as i64 - expect).abs() < 8, "got {n}, expected ~{expect}");
     }

@@ -133,7 +133,13 @@ impl CounterSanitizer {
         let alpha = self.config.confidence_alpha;
         let st = self.threads.entry(tid).or_default();
         st.confidence += alpha * (0.0 - st.confidence);
-        st.confidence
+        let confidence = st.confidence;
+        locality_trace::emit_with(|| locality_trace::TraceEvent::SanitizerVerdict {
+            tid: tid.0,
+            confidence,
+            corrected: true,
+        });
+        confidence
     }
 
     /// Sanitizes one raw interval delta attributed to `tid`.
@@ -205,7 +211,13 @@ impl CounterSanitizer {
         let score = if corrected { 0.0 } else { 1.0 };
         st.confidence += cfg.confidence_alpha * (score - st.confidence);
 
-        SanitizedInterval { refs, hits, misses: out_misses, confidence: st.confidence, corrected }
+        let confidence = st.confidence;
+        locality_trace::emit_with(|| locality_trace::TraceEvent::SanitizerVerdict {
+            tid: tid.0,
+            confidence,
+            corrected,
+        });
+        SanitizedInterval { refs, hits, misses: out_misses, confidence, corrected }
     }
 }
 

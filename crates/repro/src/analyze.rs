@@ -79,7 +79,7 @@ fn analyze_one(name: &'static str, rounds: u32) -> Result<WorkloadAnalysis, Repr
         _ => racy_workload(rounds),
     };
     let mut engine =
-        Engine::new(MachineConfig::enterprise5000(2), SchedPolicy::Lff, EngineConfig::default());
+        Engine::new(MachineConfig::enterprise5000(2), SchedPolicy::Lff, EngineConfig::default())?;
     engine.enable_observation();
     engine.spawn(program);
     engine.run()?;

@@ -4,7 +4,7 @@ use std::path::PathBuf;
 
 /// Usage text printed for `--help` and on argument errors.
 pub const USAGE: &str = "usage: [--scale paper|small] [--out DIR] [--jobs N] [--no-cache] \
-     [--fault SCENARIO|all] [--workload clean|racy|all]
+     [--fault SCENARIO|all] [--workload NAME|all] [--policy fcfs|lff|crt]
 
 options:
   --scale paper|small  workload scale (default: paper)
@@ -14,8 +14,13 @@ options:
   --no-cache           ignore and do not write the on-disk result cache
   --fault SCENARIO     ablation only: run the counter-fault robustness
                        table for one scenario, or 'all'
-  --workload NAME      analyze only: which fixture workload to analyze
+  --workload NAME      analyze: which fixture workload to analyze
                        (clean, racy, or all; default: all)
+                       trace: which monitored app to trace
+                       (barnes, fmm, ocean, merge, photo, tsp,
+                       typechecker, raytrace, or all)
+  --policy NAME        trace only: scheduling policy of the traced run
+                       (fcfs, lff, or crt; default: lff)
   --help, -h           print this help";
 
 /// Workload scale selector.
@@ -37,10 +42,15 @@ pub struct Args {
     /// Counter-fault scenario keyword (`--fault <scenario>|all`), used
     /// by the ablation binary's robustness runs.
     pub fault: Option<String>,
-    /// Analyzer workload keyword (`--workload clean|racy|all`), used by
-    /// the analyze binary; validated there so bad values surface as
-    /// usage errors through [`ReproError::Usage`](crate::ReproError).
+    /// Workload keyword (`--workload NAME|all`), used by the analyze
+    /// binary (clean/racy fixtures) and the trace binary (monitored
+    /// app); validated there so bad values surface as usage errors
+    /// through [`ReproError::Usage`](crate::ReproError).
     pub workload: Option<String>,
+    /// Scheduling-policy keyword (`--policy fcfs|lff|crt`), used by the
+    /// trace binary; validated there so bad values surface as usage
+    /// errors through [`ReproError::Usage`](crate::ReproError).
+    pub policy: Option<String>,
     /// Worker threads used by the experiment runner (`--jobs N`).
     pub jobs: usize,
     /// Disable the on-disk result cache (`--no-cache`).
@@ -69,6 +79,7 @@ impl Default for Args {
             out: PathBuf::from("results"),
             fault: None,
             workload: None,
+            policy: None,
             jobs: default_jobs(),
             no_cache: false,
         }
@@ -115,8 +126,12 @@ impl Args {
                     out.fault = Some(v);
                 }
                 "--workload" => {
-                    let v = it.next().ok_or("--workload needs a name (clean|racy|all)")?;
+                    let v = it.next().ok_or("--workload needs a name (or 'all')")?;
                     out.workload = Some(v);
+                }
+                "--policy" => {
+                    let v = it.next().ok_or("--policy needs a name (fcfs|lff|crt)")?;
+                    out.policy = Some(v);
                 }
                 "--help" | "-h" => return Ok(Parsed::Help),
                 other => return Err(format!("unknown argument '{other}'")),
@@ -205,6 +220,14 @@ mod tests {
         let a = parse(&["--workload", "racy"]).unwrap();
         assert_eq!(a.workload.as_deref(), Some("racy"));
         assert!(parse(&["--workload"]).is_err());
+    }
+
+    #[test]
+    fn policy_keyword() {
+        assert_eq!(parse(&[]).unwrap().policy, None);
+        let a = parse(&["--policy", "crt"]).unwrap();
+        assert_eq!(a.policy.as_deref(), Some("crt"));
+        assert!(parse(&["--policy"]).is_err());
     }
 
     #[test]

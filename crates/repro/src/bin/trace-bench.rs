@@ -1,0 +1,8 @@
+//! Tracing-overhead bench: in instrumented builds, measures the sink's
+//! overhead against the same build without a sink and fails above the
+//! budget; in default builds, proves the emission points are compiled
+//! out (an installed sink records zero events).
+
+fn main() {
+    locality_repro::trace::main_bench();
+}

@@ -1,0 +1,7 @@
+//! Locality-trace observability: exports a monitored application's
+//! event stream (JSONL + Chrome `trace_event`) and its aggregated trace
+//! metrics. Requires a build with the `trace` cargo feature.
+
+fn main() {
+    locality_repro::trace::main_trace();
+}

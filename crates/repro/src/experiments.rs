@@ -38,7 +38,7 @@ pub fn threshold_cell(threshold_lines: u64, scale: Scale) -> Result<RunReport, R
         ..LocalityConfig::new(PolicyKind::Lff)
     };
     let mut engine =
-        Engine::new(MachineConfig::ultra1(), SchedPolicy::Custom(config), EngineConfig::default());
+        Engine::new(MachineConfig::ultra1(), SchedPolicy::Custom(config), EngineConfig::default())?;
     tasks::spawn_parallel(&mut engine, &params);
     Ok(engine.run()?)
 }
@@ -51,7 +51,7 @@ pub fn threshold_cell(threshold_lines: u64, scale: Scale) -> Result<RunReport, R
 /// Returns [`ReproError::Runtime`] if the run cannot complete.
 pub fn placement_cell(app: App, placement: PagePlacement) -> Result<RunReport, ReproError> {
     let machine = MachineConfig::ultra1().with_placement(placement);
-    let mut engine = Engine::new(machine, SchedPolicy::Fcfs, EngineConfig::default());
+    let mut engine = Engine::new(machine, SchedPolicy::Fcfs, EngineConfig::default())?;
     app.spawn_single(&mut engine);
     Ok(engine.run()?)
 }
@@ -224,7 +224,7 @@ pub fn pipeline_cell(
         infer_sharing: infer.then(InferenceConfig::default),
         ..EngineConfig::default()
     };
-    let mut engine = Engine::new(MachineConfig::enterprise5000(8), policy, config);
+    let mut engine = Engine::new(MachineConfig::enterprise5000(8), policy, config)?;
     pipeline::spawn(&mut engine, &params, annotate)?;
     Ok(engine.run()?)
 }
@@ -310,7 +310,8 @@ pub fn fault_cell(
             tasks::TasksParams { tasks: 64, footprint_lines: 100, periods: 10, overlap: 0.5 }
         }
     };
-    let mut engine = Engine::new(MachineConfig::enterprise5000(4), policy, EngineConfig::default());
+    let mut engine =
+        Engine::new(MachineConfig::enterprise5000(4), policy, EngineConfig::default())?;
     if let Some(config) = scenario.config(0xFA11) {
         engine.machine_mut().install_fault(config);
     }

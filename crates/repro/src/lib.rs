@@ -18,6 +18,8 @@
 //! | `ablation` | §5 extras: annotation ablation, threshold sweep, page placement, invalidation effects; `--fault <scenario>` runs the counter-fault robustness table instead |
 //! | `repro-all` | everything above through one shared runner (cross-figure runs execute once) |
 //! | `analyze` | race detection, lock-order cycles, and annotation lints over the deterministic racy/clean fixture pair (exit 1 on confirmed races; `--workload clean\|racy\|all`) |
+//! | `trace` | locality-trace observability: JSONL + Chrome `trace_event` exports and aggregated trace-metrics CSVs for a monitored app (`--workload APP\|all`, `--policy fcfs\|lff\|crt`; needs the `trace` feature) |
+//! | `trace-bench` | tracing-overhead bench: asserts the sink stays under its overhead budget (instrumented builds) or that instrumentation is fully compiled out (default builds) |
 //!
 //! Every binary prints aligned text tables and writes CSV files under
 //! `results/` (change with `--out DIR`). `--scale small` runs scaled-down
@@ -44,6 +46,7 @@ pub mod perf;
 pub mod runner;
 pub mod suite;
 pub mod table;
+pub mod trace;
 
 pub use args::{Args, Scale};
 pub use error::ReproError;

@@ -147,7 +147,7 @@ pub fn monitor_app_seeded(
     seed: u64,
 ) -> Result<MonitorTrace, RuntimeError> {
     let config = MachineConfig::ultra1().with_placement(placement);
-    let mut engine = Engine::new(config, SchedPolicy::Lff, EngineConfig::default());
+    let mut engine = Engine::new(config, SchedPolicy::Lff, EngineConfig::default())?;
     let tid = app.spawn_single_seeded(&mut engine, seed);
     let out = Rc::new(RefCell::new(Vec::new()));
     engine.add_hook(Box::new(MonitorHook { tid, out: out.clone(), cum_misses: 0 }));
@@ -212,7 +212,8 @@ mod tests {
         use active_threads::{Engine, EngineConfig, SchedPolicy};
         use locality_sim::MachineConfig;
         let mut engine =
-            Engine::new(MachineConfig::ultra1(), SchedPolicy::Lff, EngineConfig::default());
+            Engine::new(MachineConfig::ultra1(), SchedPolicy::Lff, EngineConfig::default())
+                .unwrap();
         let tid = locality_workloads::merge::spawn_single(
             &mut engine,
             &locality_workloads::merge::MergeParams::small(),

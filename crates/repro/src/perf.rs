@@ -97,7 +97,7 @@ pub fn run_cell(
 ) -> Result<RunReport, RuntimeError> {
     let machine =
         if cpus == 1 { MachineConfig::ultra1() } else { MachineConfig::enterprise5000(cpus) };
-    let mut engine = Engine::new(machine, policy, EngineConfig::default());
+    let mut engine = Engine::new(machine, policy, EngineConfig::default())?;
     app.spawn(&mut engine, scale);
     engine.run()
 }

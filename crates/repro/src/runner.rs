@@ -171,6 +171,17 @@ pub enum RunKind {
         /// The thread class.
         case: CostCase,
     },
+    /// A traced monitored-application run's aggregated metrics (the
+    /// `trace` binary). Only executable in builds with the `trace`
+    /// feature; see [`crate::trace::trace_metrics_cell`].
+    TraceMetrics {
+        /// The monitored application.
+        app: App,
+        /// The scheduling policy of the traced run.
+        policy: PolicyId,
+        /// The workload's RNG seed.
+        seed: u64,
+    },
 }
 
 /// A labelled run descriptor.
@@ -223,6 +234,9 @@ pub enum RunOutput {
         /// never written to CSV, to keep artifacts deterministic).
         ns_per_op: f64,
     },
+    /// A traced run's aggregated trace metrics (boxed: the histograms
+    /// make it by far the largest payload).
+    TraceSummary(Box<locality_trace::TraceSummary>),
 }
 
 /// Simulated E-cache misses a run performed (for the throughput stats).
@@ -232,7 +246,9 @@ fn sim_misses(out: &RunOutput) -> u64 {
         RunOutput::Trace(trace) => trace.samples.last().map_or(0, |s| s.misses),
         RunOutput::Report(report) => report.total_l2_misses,
         RunOutput::FaultCell(cell) => cell.report.total_l2_misses,
-        RunOutput::Invalidation { .. } | RunOutput::UpdateCost { .. } => 0,
+        RunOutput::Invalidation { .. }
+        | RunOutput::UpdateCost { .. }
+        | RunOutput::TraceSummary(_) => 0,
     }
 }
 
@@ -270,6 +286,9 @@ pub fn execute(kind: &RunKind) -> Result<RunOutput, ReproError> {
         RunKind::UpdateCost { policy, case } => {
             let (flops, lookups, ns_per_op) = experiments::update_cost_cell(policy, case);
             Ok(RunOutput::UpdateCost { flops, lookups, ns_per_op })
+        }
+        RunKind::TraceMetrics { app, policy, seed } => {
+            Ok(RunOutput::TraceSummary(Box::new(crate::trace::trace_metrics_cell(app, policy, seed)?)))
         }
     }
 }
@@ -375,8 +394,33 @@ fn encode(out: &RunOutput) -> String {
         RunOutput::UpdateCost { flops, lookups, ns_per_op } => {
             s.push_str(&format!("cost {flops} {lookups} {}\n", enc_f64(*ns_per_op)));
         }
+        RunOutput::TraceSummary(t) => {
+            s.push_str(&format!(
+                "tsum {} {} {} {} {} {} {} {}\n",
+                t.events,
+                t.intervals,
+                t.dropped,
+                t.mode_transitions,
+                enc_f64(t.abs_err_mean),
+                t.abs_err_samples,
+                enc_f64(t.rel_err_mean),
+                t.rel_err_samples
+            ));
+            for hist in [&t.miss_hist, &t.depth_hist, &t.fanout_hist, &t.abs_err_hist] {
+                let cells: Vec<String> = hist.iter().map(u64::to_string).collect();
+                s.push_str(&cells.join(" "));
+                s.push('\n');
+            }
+        }
     }
     s
+}
+
+fn decode_hist<'a, I: Iterator<Item = &'a str>>(
+    lines: &mut I,
+) -> Option<[u64; locality_trace::HIST_BUCKETS]> {
+    let nums: Vec<u64> = lines.next()?.split(' ').map(str::parse).collect::<Result<_, _>>().ok()?;
+    nums.try_into().ok()
 }
 
 /// Deserializes a cached payload, using the descriptor for context
@@ -441,6 +485,31 @@ fn decode(kind: &RunKind, payload: &str) -> Option<RunOutput> {
                 lookups: it.next()?.parse().ok()?,
                 ns_per_op: dec_f64(it.next()?)?,
             })
+        }
+        RunKind::TraceMetrics { .. } => {
+            let mut it = lines.next()?.strip_prefix("tsum ")?.split(' ');
+            let events = it.next()?.parse().ok()?;
+            let intervals = it.next()?.parse().ok()?;
+            let dropped = it.next()?.parse().ok()?;
+            let mode_transitions = it.next()?.parse().ok()?;
+            let abs_err_mean = dec_f64(it.next()?)?;
+            let abs_err_samples = it.next()?.parse().ok()?;
+            let rel_err_mean = dec_f64(it.next()?)?;
+            let rel_err_samples = it.next()?.parse().ok()?;
+            Some(RunOutput::TraceSummary(Box::new(locality_trace::TraceSummary {
+                events,
+                intervals,
+                dropped,
+                mode_transitions,
+                miss_hist: decode_hist(&mut lines)?,
+                depth_hist: decode_hist(&mut lines)?,
+                fanout_hist: decode_hist(&mut lines)?,
+                abs_err_hist: decode_hist(&mut lines)?,
+                abs_err_mean,
+                abs_err_samples,
+                rel_err_mean,
+                rel_err_samples,
+            })))
         }
     }
 }
@@ -747,6 +816,27 @@ mod tests {
             (
                 RunKind::UpdateCost { policy: PolicyKind::Lff, case: CostCase::Blocking },
                 RunOutput::UpdateCost { flops: 5, lookups: 1, ns_per_op: 12.75 },
+            ),
+            (
+                RunKind::TraceMetrics { app: App::Merge, policy: PolicyId::Lff, seed: 12 },
+                RunOutput::TraceSummary(Box::new({
+                    let mut miss_hist = [0u64; locality_trace::HIST_BUCKETS];
+                    miss_hist[3] = 17;
+                    locality_trace::TraceSummary {
+                        events: 100,
+                        intervals: 20,
+                        dropped: 2,
+                        mode_transitions: 1,
+                        miss_hist,
+                        depth_hist: [1; locality_trace::HIST_BUCKETS],
+                        fanout_hist: [0; locality_trace::HIST_BUCKETS],
+                        abs_err_hist: [2; locality_trace::HIST_BUCKETS],
+                        abs_err_mean: 3.5,
+                        abs_err_samples: 20,
+                        rel_err_mean: -0.0625,
+                        rel_err_samples: 18,
+                    }
+                })),
             ),
         ];
         for (kind, out) in &outs {

@@ -1,0 +1,569 @@
+//! The `trace` binary's driver: run a monitored application with the
+//! locality-trace sink installed, export the event stream (JSONL and
+//! Chrome `trace_event`), and write the aggregated trace metrics as CSV
+//! through the shared runner cache.
+//!
+//! The protocol is the Figure 5/6/7 monitor protocol (`--workload` picks
+//! the app, Ultra-1, bin-hopping VM) with the scheduling policy opened
+//! up via `--policy` — so the per-thread prediction-error statistic the
+//! trace aggregates matches the existing fig5 summary for the same
+//! `(app, seed)` under LFF.
+//!
+//! Artifacts per traced app, all pure functions of the seeded run:
+//!
+//! * `trace_<app>.jsonl` — one JSON object per retained event;
+//! * `trace_<app>.chrome.json` — Chrome `trace_event` document (opens in
+//!   Perfetto / `chrome://tracing`), one track per CPU and per thread;
+//! * a row in `trace_metrics.csv` plus per-app histogram CSVs
+//!   (`trace_hist_<app>.csv`), both served from the runner cache.
+//!
+//! Requires a build with the `trace` cargo feature; without it the
+//! driver exits with a usage error *before* touching the runner, so a
+//! feature-less build can never poison the cache with empty summaries.
+//! The `trace-bench` binary measures the sink's overhead (enabled
+//! builds) and proves the instrumentation is compiled out (disabled
+//! builds).
+
+use crate::args::{Args, Scale};
+use crate::error::ReproError;
+use crate::runner::{PolicyId, RunKind, RunOutput, RunRequest, Runner};
+use crate::table::Table;
+use active_threads::events::EngineView;
+use active_threads::{Engine, EngineConfig, EngineHook, SwitchEvent, ThreadId};
+use locality_sim::MachineConfig;
+use locality_trace::{Histogram, Record, TraceSummary, HIST_BUCKETS};
+use locality_workloads::App;
+
+/// Parses the `--policy` keyword (default `lff`, the paper's monitored
+/// configuration).
+///
+/// # Errors
+///
+/// Returns [`ReproError::Usage`] for anything but `fcfs`/`lff`/`crt`.
+pub fn policy_from_args(args: &Args) -> Result<PolicyId, ReproError> {
+    match args.policy.as_deref() {
+        None | Some("lff") => Ok(PolicyId::Lff),
+        Some("fcfs") => Ok(PolicyId::Fcfs),
+        Some("crt") => Ok(PolicyId::Crt),
+        Some(other) => {
+            Err(ReproError::Usage(format!("unknown policy '{other}' (expected fcfs, lff, or crt)")))
+        }
+    }
+}
+
+/// Parses the `--workload` keyword into the list of apps to trace. The
+/// default depends on scale: `--scale small` traces only the quick
+/// mergesort worker (the CI smoke configuration); `--scale paper`
+/// traces every monitored application (Figures 5 and 7).
+///
+/// # Errors
+///
+/// Returns [`ReproError::Usage`] for an unknown app name.
+pub fn apps_from_args(args: &Args) -> Result<Vec<App>, ReproError> {
+    let all: Vec<App> = App::FIG5.iter().chain(App::FIG7.iter()).copied().collect();
+    match args.workload.as_deref() {
+        None => match args.scale {
+            Scale::Paper => Ok(all),
+            Scale::Small => Ok(vec![App::Merge]),
+        },
+        Some("all") => Ok(all),
+        Some(name) => {
+            all.iter().find(|app| app.name() == name).map(|&app| vec![app]).ok_or_else(|| {
+                ReproError::Usage(format!(
+                    "unknown workload '{name}' (expected a monitored app name or 'all')"
+                ))
+            })
+        }
+    }
+}
+
+/// One completed traced run: the retained event records plus the online
+/// aggregate, summarized for the monitored work thread.
+#[derive(Debug)]
+pub struct TracedRun {
+    /// The traced application.
+    pub app: App,
+    /// Retained event records, oldest first.
+    pub records: Vec<Record>,
+    /// The aggregated metrics (exact even if `records` wrapped).
+    pub summary: TraceSummary,
+}
+
+fn feature_gate() -> Result<(), ReproError> {
+    if locality_trace::ENABLED {
+        Ok(())
+    } else {
+        Err(ReproError::Usage(
+            "this build carries no trace instrumentation; \
+             rebuild with `cargo build --release --features trace`"
+                .to_string(),
+        ))
+    }
+}
+
+/// A scheduling-event hook that emits [`PredictionSample`] trace events
+/// for the monitored thread: observed (ground-truth E-cache scan) vs
+/// predicted (the estimator's expected footprint) at every context
+/// switch, exactly the fig5 `MonitorHook` measurement. The scan is far
+/// too expensive for the engine's unconditional hot path, so it is an
+/// opt-in hook here — trace runs pay the same monitoring cost fig5
+/// already does, while plainly-traced engine runs stay cheap.
+///
+/// [`PredictionSample`]: locality_trace::TraceEvent::PredictionSample
+struct PredictionSampler {
+    tid: ThreadId,
+}
+
+impl EngineHook for PredictionSampler {
+    fn on_context_switch(&mut self, ev: &SwitchEvent, view: &EngineView<'_>) {
+        if ev.tid != self.tid {
+            return;
+        }
+        locality_trace::emit_with(|| locality_trace::TraceEvent::PredictionSample {
+            cpu: ev.cpu as u32,
+            tid: self.tid.0,
+            observed: view.machine.l2_footprint_lines(ev.cpu, self.tid) as f64,
+            predicted: view.sched.expected_footprint(ev.cpu, self.tid).unwrap_or(0.0),
+        });
+    }
+}
+
+/// Runs `app`'s monitored work thread (Ultra-1, bin-hopping VM, the
+/// fig5 protocol) with a trace sink installed and returns the records
+/// and aggregated summary.
+///
+/// # Errors
+///
+/// Returns [`ReproError::Usage`] when the build lacks the `trace`
+/// feature, or the engine's error if the run cannot complete.
+pub fn traced_run(app: App, policy: PolicyId, seed: u64) -> Result<TracedRun, ReproError> {
+    feature_gate()?;
+    let config = MachineConfig::ultra1().with_placement(locality_sim::PagePlacement::bin_hopping());
+    let mut engine = Engine::new(config, policy.to_sched(), EngineConfig::default())?;
+    let tid = app.spawn_single_seeded(&mut engine, seed);
+    engine.add_hook(Box::new(PredictionSampler { tid }));
+    locality_trace::install(locality_trace::sink::DEFAULT_CAPACITY);
+    let run = engine.run();
+    let sink = locality_trace::take().expect("sink installed above");
+    run?;
+    Ok(TracedRun { app, records: sink.records(), summary: sink.summary(Some(tid.0)) })
+}
+
+/// Executes one [`RunKind::TraceMetrics`] cell: a traced run reduced to
+/// its aggregated summary (what the runner caches — the full event
+/// stream is re-recorded per invocation, never cached).
+///
+/// # Errors
+///
+/// Returns [`ReproError::Usage`] when the build lacks the `trace`
+/// feature — raised *before* any run so a feature-less build cannot
+/// write empty summaries into a cache shared with instrumented builds.
+pub fn trace_metrics_cell(
+    app: App,
+    policy: PolicyId,
+    seed: u64,
+) -> Result<TraceSummary, ReproError> {
+    traced_run(app, policy, seed).map(|run| run.summary)
+}
+
+fn metrics_requests(apps: &[App], policy: PolicyId) -> Vec<RunRequest> {
+    apps.iter()
+        .map(|&app| {
+            RunRequest::new(
+                format!("trace:{}/{}", app.name(), policy.name()),
+                RunKind::TraceMetrics { app, policy, seed: app.default_seed() },
+            )
+        })
+        .collect()
+}
+
+fn summary_of(out: &RunOutput) -> Result<TraceSummary, ReproError> {
+    match out {
+        RunOutput::TraceSummary(s) => Ok(**s),
+        other => Err(ReproError::MissingResult(format!("expected trace summary, got {other:?}"))),
+    }
+}
+
+/// The metrics table: one row per traced app.
+fn metrics_table(
+    apps: &[App],
+    policy: PolicyId,
+    summaries: &[TraceSummary],
+) -> Result<Table, ReproError> {
+    let mut t = Table::new(
+        "trace metrics — monitored work thread, Ultra-1, bin-hopping VM",
+        &[
+            "app",
+            "policy",
+            "events",
+            "intervals",
+            "dropped",
+            "mode transitions",
+            "mean abs err (lines)",
+            "abs err samples",
+            "mean rel err",
+            "rel err samples",
+        ],
+    );
+    for (app, s) in apps.iter().zip(summaries) {
+        t.row(&[
+            app.name().to_string(),
+            policy.name().to_string(),
+            s.events.to_string(),
+            s.intervals.to_string(),
+            s.dropped.to_string(),
+            s.mode_transitions.to_string(),
+            format!("{:.3}", s.abs_err_mean),
+            s.abs_err_samples.to_string(),
+            format!("{:+.6}", s.rel_err_mean),
+            s.rel_err_samples.to_string(),
+        ])?;
+    }
+    Ok(t)
+}
+
+/// One app's histogram table: bucket lower bounds against the four
+/// aggregated distributions.
+fn hist_table(app: App, s: &TraceSummary) -> Result<Table, ReproError> {
+    let mut t = Table::new(
+        &format!("trace histograms: {}", app.name()),
+        &["bucket floor", "interval misses", "ready depth", "update fanout", "abs err (lines)"],
+    );
+    for i in 0..HIST_BUCKETS {
+        let row = [s.miss_hist[i], s.depth_hist[i], s.fanout_hist[i], s.abs_err_hist[i]];
+        if row.iter().all(|&c| c == 0) {
+            continue;
+        }
+        t.row(&[
+            Histogram::bucket_floor(i).to_string(),
+            row[0].to_string(),
+            row[1].to_string(),
+            row[2].to_string(),
+            row[3].to_string(),
+        ])?;
+    }
+    Ok(t)
+}
+
+/// Records the traced runs for the export files, in app order,
+/// parallelized across `jobs` threads (each run's sink is thread-local,
+/// so runs never share trace state).
+fn export_runs(apps: &[App], policy: PolicyId, jobs: usize) -> Result<Vec<TracedRun>, ReproError> {
+    if jobs > 1 && apps.len() > 1 {
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = apps
+                .iter()
+                .map(|&app| scope.spawn(move || traced_run(app, policy, app.default_seed())))
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("trace worker panicked")).collect()
+        })
+    } else {
+        apps.iter().map(|&app| traced_run(app, policy, app.default_seed())).collect()
+    }
+}
+
+/// The full `trace` driver: run, export, write CSVs.
+///
+/// # Errors
+///
+/// Returns [`ReproError::Usage`] for a bad `--policy`/`--workload`
+/// value or a build without the `trace` feature, or the first
+/// run/output error.
+pub fn run_trace(args: &Args) -> Result<(), ReproError> {
+    let policy = policy_from_args(args)?;
+    let apps = apps_from_args(args)?;
+    feature_gate()?;
+
+    // Aggregated metrics through the shared runner (cached, ordered).
+    let runner = Runner::from_args(args);
+    let outs = runner.run_all(&metrics_requests(&apps, policy))?;
+    let summaries: Vec<TraceSummary> = outs.iter().map(summary_of).collect::<Result<_, _>>()?;
+
+    let metrics = metrics_table(&apps, policy, &summaries)?;
+    metrics.print();
+    metrics.write_csv(&args.csv_path("trace_metrics.csv")?)?;
+    for (app, s) in apps.iter().zip(&summaries) {
+        hist_table(*app, s)?
+            .write_csv(&args.csv_path(&format!("trace_hist_{}.csv", app.name()))?)?;
+    }
+
+    // Event-stream exports: always recorded fresh (too large to cache),
+    // byte-identical across invocations and `--jobs` values.
+    let runs = export_runs(&apps, policy, args.jobs)?;
+    for run in &runs {
+        let name = run.app.name();
+        std::fs::write(
+            args.csv_path(&format!("trace_{name}.jsonl"))?,
+            locality_trace::export::to_jsonl(&run.records),
+        )?;
+        std::fs::write(
+            args.csv_path(&format!("trace_{name}.chrome.json"))?,
+            locality_trace::export::to_chrome(&run.records),
+        )?;
+        println!(
+            "{name}: {} events recorded ({} retained, {} dropped) -> trace_{name}.jsonl, \
+             trace_{name}.chrome.json",
+            run.summary.events,
+            run.records.len(),
+            run.summary.dropped
+        );
+    }
+    runner.summary()?.print();
+    Ok(())
+}
+
+/// The trace binary's `main`: exit 0 on success, 1 on run errors, 2 on
+/// usage errors (including a build without the `trace` feature).
+pub fn main_trace() {
+    let args = Args::from_env();
+    match run_trace(&args) {
+        Ok(()) => {}
+        Err(ReproError::Usage(msg)) => {
+            eprintln!("{msg}");
+            std::process::exit(2);
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// The overhead bench (the `trace-bench` binary).
+
+/// What the overhead bench concluded.
+#[derive(Debug, Clone, Copy)]
+pub enum BenchVerdict {
+    /// Feature-less build: instrumentation is compiled out; an installed
+    /// sink recorded exactly zero events.
+    DisabledZeroEvents,
+    /// Instrumented build: tracing overhead vs the same build without a
+    /// sink, as a fraction (median of interleaved pairs).
+    Enabled {
+        /// Median run time without a sink installed, seconds.
+        baseline_secs: f64,
+        /// Median run time with a sink installed, seconds.
+        traced_secs: f64,
+        /// `(traced - baseline) / baseline`.
+        overhead: f64,
+        /// Events recorded by the final traced run.
+        events: u64,
+    },
+}
+
+/// Tracing overhead above this fraction fails the bench.
+pub const OVERHEAD_BUDGET: f64 = 0.05;
+
+fn bench_once(app: App, with_sink: bool) -> Result<(f64, u64), ReproError> {
+    let config = MachineConfig::ultra1().with_placement(locality_sim::PagePlacement::bin_hopping());
+    let mut engine = Engine::new(config, PolicyId::Lff.to_sched(), EngineConfig::default())?;
+    app.spawn_single_seeded(&mut engine, app.default_seed());
+    if with_sink {
+        locality_trace::install(locality_trace::sink::DEFAULT_CAPACITY);
+    }
+    let start = std::time::Instant::now();
+    let run = engine.run();
+    let secs = start.elapsed().as_secs_f64();
+    let events = locality_trace::take().map_or(0, |s| s.events_emitted());
+    run?;
+    Ok((secs, events))
+}
+
+fn median(mut xs: Vec<f64>) -> f64 {
+    xs.sort_by(f64::total_cmp);
+    xs[xs.len() / 2]
+}
+
+/// Runs the overhead bench on the mergesort worker.
+///
+/// In a feature-less build this proves the zero-cost claim directly: a
+/// sink is installed, a run executes, and the sink must come back with
+/// zero events (the emission points are compiled out, so the run is the
+/// un-instrumented hot path — its regression vs an untraced binary is
+/// zero by construction). In an instrumented build, five interleaved
+/// A/B pairs (no sink installed vs sink installed) are timed and the
+/// medians compared against [`OVERHEAD_BUDGET`]. The bench measures the
+/// engine/scheduler/simulator emission points themselves; the optional
+/// [`PredictionSampler`] ground-truth hook is not installed, since its
+/// E-cache scan is the same cost the fig5 monitor protocol already pays
+/// with or without tracing.
+///
+/// # Errors
+///
+/// Returns the engine's error if a bench run cannot complete.
+pub fn run_bench() -> Result<BenchVerdict, ReproError> {
+    let app = App::Merge;
+    if !locality_trace::ENABLED {
+        let (_, events) = bench_once(app, true)?;
+        assert_eq!(events, 0, "disabled build recorded events — emission points are live");
+        return Ok(BenchVerdict::DisabledZeroEvents);
+    }
+    // Warm-up pair, then five interleaved measured pairs.
+    bench_once(app, false)?;
+    bench_once(app, true)?;
+    let mut baseline = Vec::new();
+    let mut traced = Vec::new();
+    let mut events = 0;
+    for _ in 0..5 {
+        baseline.push(bench_once(app, false)?.0);
+        let (secs, n) = bench_once(app, true)?;
+        traced.push(secs);
+        events = n;
+    }
+    let baseline_secs = median(baseline);
+    let traced_secs = median(traced);
+    let overhead = (traced_secs - baseline_secs) / baseline_secs;
+    Ok(BenchVerdict::Enabled { baseline_secs, traced_secs, overhead, events })
+}
+
+/// The trace-bench binary's `main`: exit 0 when the overhead budget
+/// holds (or the build is feature-less and recorded zero events), 1
+/// otherwise.
+pub fn main_bench() {
+    match run_bench() {
+        Ok(BenchVerdict::DisabledZeroEvents) => {
+            println!(
+                "trace feature disabled: emission points compiled out, \
+                 0 events recorded (zero overhead by construction)"
+            );
+        }
+        Ok(BenchVerdict::Enabled { baseline_secs, traced_secs, overhead, events }) => {
+            println!(
+                "trace feature enabled: baseline {:.1} ms, traced {:.1} ms, \
+                 overhead {:+.2}% ({events} events)",
+                baseline_secs * 1e3,
+                traced_secs * 1e3,
+                overhead * 100.0
+            );
+            assert!(events > 0, "instrumented run recorded no events");
+            if overhead >= OVERHEAD_BUDGET {
+                eprintln!(
+                    "tracing overhead {:.2}% exceeds the {:.0}% budget",
+                    overhead * 100.0,
+                    OVERHEAD_BUDGET * 100.0
+                );
+                std::process::exit(1);
+            }
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args_with(workload: Option<&str>, policy: Option<&str>, scale: Scale) -> Args {
+        Args {
+            scale,
+            workload: workload.map(str::to_string),
+            policy: policy.map(str::to_string),
+            ..Args::default()
+        }
+    }
+
+    #[test]
+    fn policy_keyword_parses_and_rejects() {
+        let parse = |p| policy_from_args(&args_with(None, p, Scale::Small));
+        assert_eq!(parse(None).unwrap(), PolicyId::Lff);
+        assert_eq!(parse(Some("fcfs")).unwrap(), PolicyId::Fcfs);
+        assert_eq!(parse(Some("crt")).unwrap(), PolicyId::Crt);
+        assert!(matches!(parse(Some("lifo")), Err(ReproError::Usage(_))));
+    }
+
+    #[test]
+    fn workload_keyword_selects_apps() {
+        let apps = |w, s| apps_from_args(&args_with(w, None, s));
+        assert_eq!(apps(None, Scale::Small).unwrap(), vec![App::Merge]);
+        assert_eq!(apps(None, Scale::Paper).unwrap().len(), 8);
+        assert_eq!(apps(Some("all"), Scale::Small).unwrap().len(), 8);
+        assert_eq!(apps(Some("barnes"), Scale::Paper).unwrap(), vec![App::Barnes]);
+        assert!(matches!(apps(Some("doom"), Scale::Paper), Err(ReproError::Usage(_))));
+    }
+
+    #[test]
+    fn median_is_robust_to_one_outlier() {
+        assert_eq!(median(vec![1.0, 100.0, 2.0, 3.0, 2.5]), 2.5);
+    }
+
+    #[cfg(not(feature = "trace"))]
+    #[test]
+    fn featureless_build_refuses_to_run() {
+        let err = trace_metrics_cell(App::Merge, PolicyId::Lff, 1).unwrap_err();
+        assert!(matches!(err, ReproError::Usage(_)), "{err:?}");
+        let err = run_trace(&args_with(None, None, Scale::Small)).unwrap_err();
+        assert!(matches!(err, ReproError::Usage(_)), "{err:?}");
+    }
+
+    #[cfg(feature = "trace")]
+    mod traced {
+        use super::*;
+        use locality_trace::export::{to_chrome, to_jsonl};
+
+        #[test]
+        fn seeded_runs_export_byte_identical_traces() {
+            let seed = App::Merge.default_seed();
+            let a = traced_run(App::Merge, PolicyId::Lff, seed).unwrap();
+            let b = traced_run(App::Merge, PolicyId::Lff, seed).unwrap();
+            assert!(a.summary.events > 0);
+            assert_eq!(a.summary, b.summary);
+            assert_eq!(to_jsonl(&a.records), to_jsonl(&b.records));
+            assert_eq!(to_chrome(&a.records), to_chrome(&b.records));
+        }
+
+        #[test]
+        fn trace_rel_error_matches_fig5_statistic() {
+            // The aggregate's relative-error statistic must agree with
+            // the MonitorTrace statistic the fig5 summary reports, for
+            // the same (app, placement, seed) under LFF.
+            let seed = App::Merge.default_seed();
+            let run = traced_run(App::Merge, PolicyId::Lff, seed).unwrap();
+            let monitor = crate::monitor::monitor_app_seeded(
+                App::Merge,
+                locality_sim::PagePlacement::bin_hopping(),
+                seed,
+            )
+            .unwrap();
+            assert!(run.summary.rel_err_samples > 0, "no qualifying prediction samples");
+            assert!(
+                (run.summary.rel_err_mean - monitor.mean_rel_error()).abs() < 1e-9,
+                "trace {} vs fig5 {}",
+                run.summary.rel_err_mean,
+                monitor.mean_rel_error()
+            );
+        }
+
+        #[test]
+        fn traced_run_records_the_full_event_palette() {
+            let run = traced_run(App::Merge, PolicyId::Lff, App::Merge.default_seed()).unwrap();
+            let kinds: std::collections::BTreeSet<&str> =
+                run.records.iter().map(|r| r.event.kind()).collect();
+            for kind in
+                ["interval-begin", "interval-end", "dispatch", "pic-read", "prediction-sample"]
+            {
+                assert!(kinds.contains(kind), "missing {kind} in {kinds:?}");
+            }
+            // Clocks are monotone per record order up to same-cycle
+            // batches on one CPU (single-cpu protocol).
+            let mut prev = 0;
+            for r in &run.records {
+                assert!(r.clock >= prev, "clock went backwards");
+                prev = r.clock;
+            }
+        }
+
+        #[test]
+        fn chrome_export_is_valid_enough_for_viewers() {
+            let run = traced_run(App::Merge, PolicyId::Lff, App::Merge.default_seed()).unwrap();
+            let text = to_chrome(&run.records);
+            assert!(text.starts_with("{\"traceEvents\":["));
+            assert!(text.trim_end().ends_with("]}"));
+            assert_eq!(text.matches('{').count(), text.matches('}').count());
+            assert!(text.contains("\"ph\":\"X\""));
+        }
+    }
+}

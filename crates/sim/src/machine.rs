@@ -122,7 +122,14 @@ impl Machine {
     /// Drains `cpu`'s CML (empty if no device is attached).
     pub fn cml_drain(&mut self, cpu: usize) -> Vec<CmlEntry> {
         match &mut self.cml {
-            Some(devices) => devices[cpu].drain(),
+            Some(devices) => {
+                let drained = devices[cpu].drain();
+                locality_trace::emit_with(|| locality_trace::TraceEvent::CmlDrain {
+                    cpu: cpu as u32,
+                    entries: drained.len() as u32,
+                });
+                drained
+            }
             None => Vec::new(),
         }
     }
@@ -333,6 +340,33 @@ impl Machine {
         if cpu >= self.cpu_count() {
             return Err(SimError::BadCpu { cpu, cpus: self.cpu_count() });
         }
+        let result = self.pic_take_interval_inner(cpu);
+        match &result {
+            Ok(delta) => {
+                let (refs, hits, misses) = (delta.refs, delta.hits, delta.misses);
+                locality_trace::emit_with(|| locality_trace::TraceEvent::PicRead {
+                    cpu: cpu as u32,
+                    refs,
+                    hits,
+                    misses,
+                    trapped: false,
+                });
+            }
+            Err(SimError::CounterTrap { .. }) => {
+                locality_trace::emit_with(|| locality_trace::TraceEvent::PicRead {
+                    cpu: cpu as u32,
+                    refs: 0,
+                    hits: 0,
+                    misses: 0,
+                    trapped: true,
+                });
+            }
+            Err(_) => {}
+        }
+        result
+    }
+
+    fn pic_take_interval_inner(&mut self, cpu: usize) -> Result<PicDelta, SimError> {
         if !self.cpus[cpu].pic().user_access() {
             return Err(SimError::CounterTrap { cpu });
         }

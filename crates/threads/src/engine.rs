@@ -26,6 +26,7 @@ use crate::sync::{MutexId, SyncTables};
 use crate::thread::{Tcb, ThreadState};
 use locality_core::{CounterSanitizer, SanitizedInterval, SanitizerConfig, SharingGraph, ThreadId};
 use locality_sim::{Machine, MachineConfig, SimError};
+use locality_trace::{emit_with, set_clock, TraceEvent};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap};
 
@@ -101,15 +102,25 @@ impl std::fmt::Debug for Engine {
 
 impl Engine {
     /// Builds an engine over a fresh machine.
-    pub fn new(machine: MachineConfig, policy: SchedPolicy, config: EngineConfig) -> Self {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::InvalidMachine`] when the machine cannot
+    /// host the requested scheduler (E-cache too small for the model,
+    /// zero or more than 64 processors).
+    pub fn new(
+        machine: MachineConfig,
+        policy: SchedPolicy,
+        config: EngineConfig,
+    ) -> Result<Self, RuntimeError> {
         let mut machine = Machine::new(machine);
         let cpus = machine.cpu_count();
-        let sched = sched::build(policy, machine.l2_lines(), cpus);
+        let sched = sched::build(policy, machine.l2_lines(), cpus)?;
         let inference = config.infer_sharing.map(|cfg| {
             machine.enable_cml(cfg.cml_entries);
             SharingInference::new(cfg)
         });
-        Engine {
+        Ok(Engine {
             inference,
             machine,
             config,
@@ -130,7 +141,7 @@ impl Engine {
             switches: 0,
             corrected_intervals: 0,
             steps: 0,
-        }
+        })
     }
 
     /// The simulated machine (ground truth, allocation, regions).
@@ -324,6 +335,9 @@ impl Engine {
     }
 
     fn dispatch(&mut self, cpu: usize) -> Result<bool, RuntimeError> {
+        // Stamp trace records emitted during the pick (scheduler dispatch
+        // decisions) with this processor's clock.
+        set_clock(self.clocks[cpu]);
         let Some(tid) = self.sched.pick(cpu) else { return Ok(false) };
         let tcb = self.tcb_mut(tid)?;
         debug_assert_eq!(tcb.state, ThreadState::Ready);
@@ -332,6 +346,12 @@ impl Engine {
         self.run_start[cpu] = self.clocks[cpu];
         self.machine.set_running(cpu, Some(tid));
         self.sched.on_dispatch(cpu, tid);
+        emit_with(|| TraceEvent::IntervalBegin {
+            cpu: cpu as u32,
+            tid: tid.0,
+            ready_depth: self.sched.ready_count() as u32,
+            expected_footprint: self.sched.expected_footprint(cpu, tid).unwrap_or(f64::NAN),
+        });
         // Start the counter interval cleanly at dispatch. A trapping read
         // cannot reset the PICs; the stale span is absorbed by the
         // sanitizer when the interval ends.
@@ -585,6 +605,7 @@ impl Engine {
         tid: ThreadId,
         reason: SwitchReason,
     ) -> Result<(), RuntimeError> {
+        set_clock(self.clocks[cpu]);
         // Read and reset the counters, then sanitize the raw deltas: the
         // scheduler's model never sees wrapped, inconsistent, or absurd
         // values. A trapped read (user access disabled, or an injected
@@ -623,6 +644,21 @@ impl Engine {
         }
         // Model updates: case 1 for the blocker, case 3 for dependents.
         self.sched.on_interval_end(cpu, tid, delta, &self.graph);
+        // Trace the finished interval *after* the model updates — the
+        // same post-update state the hooks (and the Figure 5/7 monitors)
+        // observe. Prediction-vs-ground-truth sampling is NOT done here:
+        // the observed footprint is a full E-cache scan, far too
+        // expensive for the unconditional hot path, so drivers that want
+        // `PredictionSample` events install a scheduling-event hook that
+        // emits them (hooks run below, under the same trace clock).
+        set_clock(self.clocks[cpu]);
+        emit_with(|| TraceEvent::IntervalEnd {
+            cpu: cpu as u32,
+            tid: tid.0,
+            reason: reason.as_str(),
+            refs: delta.refs,
+            misses: delta.misses,
+        });
         // Scheduling-event hooks observe the post-update state.
         if !self.hooks.is_empty() {
             let mut hooks = std::mem::take(&mut self.hooks);
@@ -688,11 +724,11 @@ mod tests {
     use std::rc::Rc;
 
     fn engine(policy: SchedPolicy) -> Engine {
-        Engine::new(MachineConfig::ultra1(), policy, EngineConfig::default())
+        Engine::new(MachineConfig::ultra1(), policy, EngineConfig::default()).unwrap()
     }
 
     fn engine_smp(cpus: usize, policy: SchedPolicy) -> Engine {
-        Engine::new(MachineConfig::enterprise5000(cpus), policy, EngineConfig::default())
+        Engine::new(MachineConfig::enterprise5000(cpus), policy, EngineConfig::default()).unwrap()
     }
 
     /// Touches a buffer `rounds` times, yielding in between.
@@ -1134,7 +1170,7 @@ mod tests {
         }
 
         let config = EngineConfig { time_slice: Some(2500), ..EngineConfig::default() };
-        let mut e = Engine::new(MachineConfig::ultra1(), SchedPolicy::Fcfs, config);
+        let mut e = Engine::new(MachineConfig::ultra1(), SchedPolicy::Fcfs, config).unwrap();
         let s = e.sync_tables_mut().create_semaphore(0);
         e.spawn(Box::new(Hog2 { s, batches: 10 }));
         let report = e.run().unwrap();

@@ -29,6 +29,14 @@ pub enum RuntimeError {
         /// The mutex index.
         mutex: usize,
     },
+    /// The machine description cannot host a scheduler (cache too small
+    /// for the model, zero or too many processors). Previously this
+    /// panicked inside scheduler construction; it now surfaces as a
+    /// typed error from [`crate::Engine::new`].
+    InvalidMachine {
+        /// What was wrong with the description.
+        what: String,
+    },
     /// The engine exceeded its configured step budget (runaway program).
     StepBudgetExceeded {
         /// The configured budget.
@@ -53,6 +61,9 @@ impl fmt::Display for RuntimeError {
             RuntimeError::NotOwner { thread, mutex } => {
                 write!(f, "{thread} unlocked mutex {mutex} it does not own")
             }
+            RuntimeError::InvalidMachine { what } => {
+                write!(f, "invalid machine description: {what}")
+            }
             RuntimeError::StepBudgetExceeded { budget } => {
                 write!(f, "engine exceeded its step budget of {budget}")
             }
@@ -76,6 +87,8 @@ mod tests {
             .to_string()
             .contains("mutex 3"));
         assert!(RuntimeError::StepBudgetExceeded { budget: 10 }.to_string().contains("10"));
+        let e = RuntimeError::InvalidMachine { what: "0 cpus".into() };
+        assert!(e.to_string().contains("0 cpus"));
         let e = RuntimeError::UnknownSyncObject { what: "semaphore 9".into() };
         assert!(e.to_string().contains("semaphore 9"));
         let e = RuntimeError::Internal { what: "tcb missing".into() };

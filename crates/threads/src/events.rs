@@ -25,6 +25,19 @@ pub enum SwitchReason {
     Preempted,
 }
 
+impl SwitchReason {
+    /// Stable lowercase tag (trace exports, reports).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            SwitchReason::Yield => "yield",
+            SwitchReason::Blocked => "blocked",
+            SwitchReason::Sleeping => "sleeping",
+            SwitchReason::Exited => "exited",
+            SwitchReason::Preempted => "preempted",
+        }
+    }
+}
+
 /// A context-switch observation.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct SwitchEvent {

@@ -50,7 +50,8 @@
 //!     MachineConfig::ultra1(),
 //!     SchedPolicy::Fcfs,
 //!     EngineConfig::default(),
-//! );
+//! )
+//! .expect("valid machine");
 //! engine.spawn(Box::new(Toucher { buf: None, rounds: 3 }));
 //! let report = engine.run().unwrap();
 //! assert_eq!(report.threads_completed, 1);

@@ -38,11 +38,12 @@
 
 use super::Scheduler;
 use crate::heap::PrioHeap;
+use crate::RuntimeError;
 use locality_core::{
     CpuId, EstimatorConfig, LocalityEstimator, ModelParams, PolicyKind, SanitizedInterval,
     SharingGraph, ThreadId,
 };
-use std::cmp::Ordering;
+use locality_trace::{emit_with, TraceEvent};
 use std::collections::{HashMap, HashSet, VecDeque};
 
 /// Smoothing factor of the machine-wide confidence EWMA.
@@ -128,14 +129,22 @@ impl LocalityScheduler {
     /// Creates the scheduler for a machine with `cpus` processors whose
     /// E-caches have `l2_lines` lines.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `l2_lines < 2` or `cpus == 0` or `cpus > 64`.
-    pub fn new(config: LocalityConfig, l2_lines: usize, cpus: usize) -> Self {
-        assert!(cpus > 0 && cpus <= 64, "cpus must be in 1..=64");
-        let params = ModelParams::new(l2_lines).expect("valid cache size");
+    /// Returns [`RuntimeError::InvalidMachine`] if `l2_lines < 2`,
+    /// `cpus == 0`, or `cpus > 64` (the heap-membership bitmask is a
+    /// `u64`). These used to be an `assert!` and an `.expect()`; a bad
+    /// machine description now reaches the caller as a typed error.
+    pub fn new(config: LocalityConfig, l2_lines: usize, cpus: usize) -> Result<Self, RuntimeError> {
+        if cpus == 0 || cpus > 64 {
+            return Err(RuntimeError::InvalidMachine {
+                what: format!("cpus must be in 1..=64, got {cpus}"),
+            });
+        }
+        let params = ModelParams::new(l2_lines)
+            .map_err(|e| RuntimeError::InvalidMachine { what: e.to_string() })?;
         let est = LocalityEstimator::new(EstimatorConfig::new(config.policy, params, cpus));
-        LocalityScheduler {
+        Ok(LocalityScheduler {
             config,
             est,
             heaps: (0..cpus).map(|_| PrioHeap::new()).collect(),
@@ -152,7 +161,7 @@ impl LocalityScheduler {
             degraded_intervals: 0,
             interval_ends: 0,
             steals: 0,
-        }
+        })
     }
 
     /// The configuration in use.
@@ -266,8 +275,9 @@ impl LocalityScheduler {
     }
 
     /// Folds one confidence sample into the EWMA and runs the streak
-    /// hysteresis that flips the dispatch mode.
-    fn note_confidence(&mut self, sample: f64) {
+    /// hysteresis that flips the dispatch mode. `cpu` is the processor
+    /// whose interval end carried the sample (trace attribution only).
+    fn note_confidence(&mut self, cpu: usize, sample: f64) {
         let sample = if sample.is_finite() { sample.clamp(0.0, 1.0) } else { 0.0 };
         self.conf += CONF_ALPHA * (sample - self.conf);
         match self.mode {
@@ -278,6 +288,11 @@ impl LocalityScheduler {
                     if self.low_streak >= self.config.hysteresis_intervals {
                         self.mode = SchedMode::Degraded;
                         self.low_streak = 0;
+                        emit_with(|| TraceEvent::ModeTransition {
+                            cpu: cpu as u32,
+                            degraded: true,
+                            confidence: self.conf,
+                        });
                     }
                 } else {
                     self.low_streak = 0;
@@ -293,6 +308,11 @@ impl LocalityScheduler {
                         for p in &mut self.preferred {
                             p.clear();
                         }
+                        emit_with(|| TraceEvent::ModeTransition {
+                            cpu: cpu as u32,
+                            degraded: false,
+                            confidence: self.conf,
+                        });
                     }
                 } else {
                     self.high_streak = 0;
@@ -307,18 +327,31 @@ impl LocalityScheduler {
         while let Some(tid) = self.preferred[cpu].pop_front() {
             if self.is_ready(tid) {
                 self.remove_everywhere(tid);
+                self.trace_dispatch(cpu, tid, f64::NAN, f64::NAN);
                 return Some(tid);
             }
         }
         while let Some(&tid) = self.arrival.front() {
             if self.is_ready(tid) {
                 self.remove_everywhere(tid);
+                self.trace_dispatch(cpu, tid, f64::NAN, f64::NAN);
                 return Some(tid);
             }
             // Defensive: drop any entry that fell out of the ready set.
             self.arrival.pop_front();
         }
         None
+    }
+
+    /// Emits the dispatch trace point (compiled out without `trace`).
+    fn trace_dispatch(&self, cpu: usize, tid: ThreadId, priority: f64, margin: f64) {
+        emit_with(|| TraceEvent::Dispatch {
+            cpu: cpu as u32,
+            tid: tid.0,
+            priority,
+            margin,
+            degraded: self.mode == SchedMode::Degraded,
+        });
     }
 }
 
@@ -369,16 +402,17 @@ impl Scheduler for LocalityScheduler {
         {
             self.sweep(cpu);
         }
-        self.note_confidence(interval.confidence);
+        self.note_confidence(cpu, interval.confidence);
         if self.mode == SchedMode::Degraded {
             self.degraded_intervals += 1;
             if self.config.use_annotations {
                 // Cache the blocker's annotation dependents for the
                 // annotations-only picks (pick() has no graph access).
                 let mut deps: Vec<(ThreadId, f64)> = graph.dependents_of(tid).collect();
-                deps.sort_by(|a, b| {
-                    b.1.partial_cmp(&a.1).unwrap_or(Ordering::Equal).then(a.0.cmp(&b.0))
-                });
+                // total_cmp keeps the order deterministic even for NaN
+                // weights (partial_cmp would silently leave them wherever
+                // the sort happened to visit them).
+                deps.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
                 self.preferred[cpu] = deps.into_iter().map(|(dep, _)| dep).collect();
             }
         }
@@ -390,7 +424,7 @@ impl Scheduler for LocalityScheduler {
         }
         // Local heap first, lazily demoting entries that decayed below the
         // threshold since they were queued.
-        while let Some((tid, _)) = self.heaps[cpu].pop_max() {
+        while let Some((tid, prio)) = self.heaps[cpu].pop_max() {
             if let Some(mask) = self.heap_mask.get_mut(&tid) {
                 *mask &= !(1 << cpu);
             }
@@ -405,6 +439,10 @@ impl Scheduler for LocalityScheduler {
                 continue;
             }
             self.remove_everywhere(tid);
+            // Margin over the runner-up still queued on this cpu (NaN
+            // when the heap emptied).
+            let margin = self.heaps[cpu].peek_max().map_or(f64::NAN, |(_, p)| prio - p);
+            self.trace_dispatch(cpu, tid, prio, margin);
             return Some(tid);
         }
         // Global queue of footprint-less threads.
@@ -412,15 +450,17 @@ impl Scheduler for LocalityScheduler {
             self.in_global.remove(&tid);
             self.heap_mask.remove(&tid);
             self.arrival.retain(|&x| x != tid);
+            self.trace_dispatch(cpu, tid, self.est.priority(CpuId(cpu), tid), f64::NAN);
             return Some(tid);
         }
         // Steal the lowest-priority thread from the fullest neighbour.
         let victim_cpu = (0..self.heaps.len())
             .filter(|&c| c != cpu && !self.heaps[c].is_empty())
             .max_by_key(|&c| (self.heaps[c].len(), usize::MAX - c))?;
-        let (tid, _) = self.heaps[victim_cpu].min_entry()?;
+        let (tid, prio) = self.heaps[victim_cpu].min_entry()?;
         self.remove_everywhere(tid);
         self.steals += 1;
+        self.trace_dispatch(cpu, tid, prio, f64::NAN);
         Some(tid)
     }
 
@@ -473,7 +513,7 @@ mod tests {
     }
 
     fn sched(cpus: usize) -> LocalityScheduler {
-        LocalityScheduler::new(LocalityConfig::new(PolicyKind::Lff), 1024, cpus)
+        LocalityScheduler::new(LocalityConfig::new(PolicyKind::Lff), 1024, cpus).unwrap()
     }
 
     fn interval(misses: u64, confidence: f64) -> SanitizedInterval {
@@ -545,7 +585,8 @@ mod tests {
             LocalityConfig { threshold_lines: 50.0, ..LocalityConfig::new(PolicyKind::Lff) },
             1024,
             1,
-        );
+        )
+        .unwrap();
         s.on_spawn(t(1));
         s.pick(0);
         run_interval(&mut s, 0, t(1), 100); // ~91 lines expected
@@ -619,7 +660,8 @@ mod tests {
             LocalityConfig { use_annotations: false, ..LocalityConfig::new(PolicyKind::Lff) },
             1024,
             1,
-        );
+        )
+        .unwrap();
         let mut graph = SharingGraph::new();
         graph.set(t(1), t(2), 1.0).unwrap();
         s.on_spawn(t(2));
@@ -654,7 +696,8 @@ mod tests {
             },
             1024,
             1,
-        );
+        )
+        .unwrap();
         // Ten warm-ish threads in the heap.
         for i in 0..10u64 {
             let tid = t(i);
@@ -677,7 +720,7 @@ mod tests {
 
     #[test]
     fn crt_prefers_smallest_reload_ratio() {
-        let mut s = LocalityScheduler::new(LocalityConfig::new(PolicyKind::Crt), 1024, 1);
+        let mut s = LocalityScheduler::new(LocalityConfig::new(PolicyKind::Crt), 1024, 1).unwrap();
         // t1 blocks with a large footprint, then t2 blocks; t2 just ran
         // (ratio 0) so it must be picked before t1 (which decayed).
         for (tid, misses) in [(t(1), 700u64), (t(2), 300)] {
@@ -700,6 +743,7 @@ mod tests {
             1024,
             cpus,
         )
+        .unwrap()
     }
 
     /// Drive `tid` through low-confidence intervals until the scheduler

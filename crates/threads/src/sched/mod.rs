@@ -124,27 +124,37 @@ pub trait Scheduler {
 }
 
 /// Builds the scheduler for a policy.
-pub(crate) fn build(policy: SchedPolicy, l2_lines: usize, cpus: usize) -> Box<dyn Scheduler> {
-    match policy {
+///
+/// # Errors
+///
+/// Returns [`crate::RuntimeError::InvalidMachine`] when the machine
+/// description cannot host a locality scheduler (see
+/// [`LocalityScheduler::new`]).
+pub(crate) fn build(
+    policy: SchedPolicy,
+    l2_lines: usize,
+    cpus: usize,
+) -> Result<Box<dyn Scheduler>, crate::RuntimeError> {
+    Ok(match policy {
         SchedPolicy::Fcfs => Box::new(FcfsScheduler::new()),
         SchedPolicy::Lff => {
-            Box::new(LocalityScheduler::new(LocalityConfig::new(PolicyKind::Lff), l2_lines, cpus))
+            Box::new(LocalityScheduler::new(LocalityConfig::new(PolicyKind::Lff), l2_lines, cpus)?)
         }
         SchedPolicy::Crt => {
-            Box::new(LocalityScheduler::new(LocalityConfig::new(PolicyKind::Crt), l2_lines, cpus))
+            Box::new(LocalityScheduler::new(LocalityConfig::new(PolicyKind::Crt), l2_lines, cpus)?)
         }
         SchedPolicy::LffNoAnnotations => Box::new(LocalityScheduler::new(
             LocalityConfig { use_annotations: false, ..LocalityConfig::new(PolicyKind::Lff) },
             l2_lines,
             cpus,
-        )),
+        )?),
         SchedPolicy::CrtNoAnnotations => Box::new(LocalityScheduler::new(
             LocalityConfig { use_annotations: false, ..LocalityConfig::new(PolicyKind::Crt) },
             l2_lines,
             cpus,
-        )),
-        SchedPolicy::Custom(config) => Box::new(LocalityScheduler::new(config, l2_lines, cpus)),
-    }
+        )?),
+        SchedPolicy::Custom(config) => Box::new(LocalityScheduler::new(config, l2_lines, cpus)?),
+    })
 }
 
 #[cfg(test)]
@@ -164,9 +174,27 @@ mod tests {
 
     #[test]
     fn build_produces_right_kinds() {
-        assert_eq!(build(SchedPolicy::Fcfs, 8192, 2).name(), "fcfs");
-        assert_eq!(build(SchedPolicy::Lff, 8192, 2).name(), "lff");
-        assert_eq!(build(SchedPolicy::Crt, 8192, 2).name(), "crt");
-        assert_eq!(build(SchedPolicy::LffNoAnnotations, 8192, 2).name(), "lff-noann");
+        assert_eq!(build(SchedPolicy::Fcfs, 8192, 2).unwrap().name(), "fcfs");
+        assert_eq!(build(SchedPolicy::Lff, 8192, 2).unwrap().name(), "lff");
+        assert_eq!(build(SchedPolicy::Crt, 8192, 2).unwrap().name(), "crt");
+        assert_eq!(build(SchedPolicy::LffNoAnnotations, 8192, 2).unwrap().name(), "lff-noann");
+    }
+
+    #[test]
+    fn build_rejects_bad_machines() {
+        assert!(matches!(
+            build(SchedPolicy::Lff, 1, 2),
+            Err(crate::RuntimeError::InvalidMachine { .. })
+        ));
+        assert!(matches!(
+            build(SchedPolicy::Crt, 8192, 0),
+            Err(crate::RuntimeError::InvalidMachine { .. })
+        ));
+        assert!(matches!(
+            build(SchedPolicy::Lff, 8192, 65),
+            Err(crate::RuntimeError::InvalidMachine { .. })
+        ));
+        // FCFS has no model: any machine is fine.
+        assert!(build(SchedPolicy::Fcfs, 1, 2).is_ok());
     }
 }

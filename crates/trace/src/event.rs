@@ -1,0 +1,156 @@
+//! The trace event vocabulary.
+//!
+//! Payloads are plain scalars (`u64`/`u32`/`f64`/`bool`), not the typed
+//! ids of the instrumented crates: `locality-trace` sits *below* every
+//! other crate in the dependency graph so the model, simulator, and
+//! runtime can all emit into one sink.
+
+/// One instrumentation event. Each variant maps to a fixed point in the
+/// paper's runtime sequence (see DESIGN.md §8 for the schema and how the
+/// variants map onto the quantities of Figures 5–7).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum TraceEvent {
+    /// A thread was dispatched and its counter interval began
+    /// (engine `dispatch`).
+    IntervalBegin {
+        /// Processor index.
+        cpu: u32,
+        /// Dispatched thread.
+        tid: u64,
+        /// Ready threads still queued after this dispatch.
+        ready_depth: u32,
+        /// The model's expected footprint of the thread in lines.
+        expected_footprint: f64,
+    },
+    /// A thread's scheduling interval ended (engine `switch_out`, after
+    /// the model updates were applied).
+    IntervalEnd {
+        /// Processor index.
+        cpu: u32,
+        /// The thread that ran.
+        tid: u64,
+        /// Why it left the processor (`"yield"`, `"blocked"`, ...).
+        reason: &'static str,
+        /// Sanitized E-cache references of the interval.
+        refs: u64,
+        /// Sanitized E-cache misses of the interval.
+        misses: u64,
+    },
+    /// A raw performance-counter read (simulator `pic_take_interval`).
+    PicRead {
+        /// Processor index.
+        cpu: u32,
+        /// Raw reference count (0 when the read trapped).
+        refs: u64,
+        /// Raw hit count.
+        hits: u64,
+        /// Raw miss count.
+        misses: u64,
+        /// Whether the read trapped (the PICs kept accumulating).
+        trapped: bool,
+    },
+    /// The sanitizer's verdict on one raw interval
+    /// (`CounterSanitizer::sanitize` / `note_trap`).
+    SanitizerVerdict {
+        /// The thread whose interval was judged.
+        tid: u64,
+        /// Per-thread confidence after this interval, in `[0, 1]`.
+        confidence: f64,
+        /// Whether the raw values had to be corrected.
+        corrected: bool,
+    },
+    /// The estimator finished one interval's `O(out-degree)` priority
+    /// updates (`LocalityEstimator::on_interval_end`).
+    PriorityUpdates {
+        /// The blocking thread.
+        tid: u64,
+        /// Updates produced: the blocker plus its annotation dependents.
+        fanout: u32,
+    },
+    /// A locality scheduler chose a thread (`LocalityScheduler::pick`).
+    Dispatch {
+        /// Processor index.
+        cpu: u32,
+        /// Chosen thread.
+        tid: u64,
+        /// The chosen thread's policy priority (log-space).
+        priority: f64,
+        /// Priority margin over the runner-up still in the heap (NaN
+        /// when there was no runner-up or the pick bypassed the heap).
+        margin: f64,
+        /// Whether the pick was made in degraded (annotations-only) mode.
+        degraded: bool,
+    },
+    /// The scheduler crossed a degradation hysteresis threshold
+    /// (`SchedMode` flip).
+    ModeTransition {
+        /// Processor whose interval end triggered the flip.
+        cpu: u32,
+        /// `true` when entering degraded mode, `false` on recovery.
+        degraded: bool,
+        /// The machine-wide confidence EWMA at the flip.
+        confidence: f64,
+    },
+    /// A Cache Miss Lookaside buffer was drained (simulator `cml_drain`).
+    CmlDrain {
+        /// Processor index.
+        cpu: u32,
+        /// Entries handed to the sharing inference.
+        entries: u32,
+    },
+    /// Ground truth vs model at a context switch (engine `switch_out`,
+    /// sampled after the model updates — the Figure 5/7 quantities).
+    PredictionSample {
+        /// Processor index.
+        cpu: u32,
+        /// The thread that ran.
+        tid: u64,
+        /// Simulator ground-truth resident lines.
+        observed: f64,
+        /// Model-predicted expected footprint in lines.
+        predicted: f64,
+    },
+}
+
+impl TraceEvent {
+    /// Stable lowercase kind tag used by the exporters.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            TraceEvent::IntervalBegin { .. } => "interval-begin",
+            TraceEvent::IntervalEnd { .. } => "interval-end",
+            TraceEvent::PicRead { .. } => "pic-read",
+            TraceEvent::SanitizerVerdict { .. } => "sanitizer-verdict",
+            TraceEvent::PriorityUpdates { .. } => "priority-updates",
+            TraceEvent::Dispatch { .. } => "dispatch",
+            TraceEvent::ModeTransition { .. } => "mode-transition",
+            TraceEvent::CmlDrain { .. } => "cml-drain",
+            TraceEvent::PredictionSample { .. } => "prediction-sample",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kinds_are_unique() {
+        let kinds = [
+            TraceEvent::IntervalBegin { cpu: 0, tid: 0, ready_depth: 0, expected_footprint: 0.0 }
+                .kind(),
+            TraceEvent::IntervalEnd { cpu: 0, tid: 0, reason: "yield", refs: 0, misses: 0 }.kind(),
+            TraceEvent::PicRead { cpu: 0, refs: 0, hits: 0, misses: 0, trapped: false }.kind(),
+            TraceEvent::SanitizerVerdict { tid: 0, confidence: 1.0, corrected: false }.kind(),
+            TraceEvent::PriorityUpdates { tid: 0, fanout: 1 }.kind(),
+            TraceEvent::Dispatch { cpu: 0, tid: 0, priority: 0.0, margin: 0.0, degraded: false }
+                .kind(),
+            TraceEvent::ModeTransition { cpu: 0, degraded: true, confidence: 0.2 }.kind(),
+            TraceEvent::CmlDrain { cpu: 0, entries: 3 }.kind(),
+            TraceEvent::PredictionSample { cpu: 0, tid: 0, observed: 0.0, predicted: 0.0 }.kind(),
+        ];
+        let mut sorted = kinds.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), kinds.len());
+    }
+}

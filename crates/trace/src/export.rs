@@ -1,0 +1,253 @@
+//! Exporters: JSONL (one event object per line) and the Chrome
+//! `trace_event` format (loads in Perfetto / `chrome://tracing`).
+//!
+//! Both outputs are pure functions of the recorded events — no wall
+//! time, no environment — so two identically-seeded runs export
+//! byte-identical files.
+
+use crate::event::TraceEvent;
+use crate::sink::Record;
+use std::collections::BTreeSet;
+use std::fmt::Write as _;
+
+/// Formats a float as a JSON value (`null` for NaN/infinities, which
+/// JSON cannot represent).
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// Serializes records as JSON Lines: one self-contained object per
+/// event, oldest first.
+pub fn to_jsonl(records: &[Record]) -> String {
+    let mut out = String::new();
+    for r in records {
+        let head =
+            format!("{{\"seq\":{},\"clock\":{},\"type\":\"{}\"", r.seq, r.clock, r.event.kind());
+        let body = match r.event {
+            TraceEvent::IntervalBegin { cpu, tid, ready_depth, expected_footprint } => format!(
+                ",\"cpu\":{cpu},\"tid\":{tid},\"ready_depth\":{ready_depth},\"expected_footprint\":{}",
+                json_f64(expected_footprint)
+            ),
+            TraceEvent::IntervalEnd { cpu, tid, reason, refs, misses } => format!(
+                ",\"cpu\":{cpu},\"tid\":{tid},\"reason\":\"{reason}\",\"refs\":{refs},\"misses\":{misses}"
+            ),
+            TraceEvent::PicRead { cpu, refs, hits, misses, trapped } => format!(
+                ",\"cpu\":{cpu},\"refs\":{refs},\"hits\":{hits},\"misses\":{misses},\"trapped\":{trapped}"
+            ),
+            TraceEvent::SanitizerVerdict { tid, confidence, corrected } => format!(
+                ",\"tid\":{tid},\"confidence\":{},\"corrected\":{corrected}",
+                json_f64(confidence)
+            ),
+            TraceEvent::PriorityUpdates { tid, fanout } => {
+                format!(",\"tid\":{tid},\"fanout\":{fanout}")
+            }
+            TraceEvent::Dispatch { cpu, tid, priority, margin, degraded } => format!(
+                ",\"cpu\":{cpu},\"tid\":{tid},\"priority\":{},\"margin\":{},\"degraded\":{degraded}",
+                json_f64(priority),
+                json_f64(margin)
+            ),
+            TraceEvent::ModeTransition { cpu, degraded, confidence } => format!(
+                ",\"cpu\":{cpu},\"degraded\":{degraded},\"confidence\":{}",
+                json_f64(confidence)
+            ),
+            TraceEvent::CmlDrain { cpu, entries } => format!(",\"cpu\":{cpu},\"entries\":{entries}"),
+            TraceEvent::PredictionSample { cpu, tid, observed, predicted } => format!(
+                ",\"cpu\":{cpu},\"tid\":{tid},\"observed\":{},\"predicted\":{}",
+                json_f64(observed),
+                json_f64(predicted)
+            ),
+        };
+        let _ = writeln!(out, "{head}{body}}}");
+    }
+    out
+}
+
+/// Process id of the per-CPU tracks in the Chrome export.
+const PID_CPUS: u32 = 1;
+/// Process id of the per-thread tracks.
+const PID_THREADS: u32 = 2;
+
+/// Serializes records as a Chrome `trace_event` JSON document with one
+/// track per CPU (`pid` 1) and one per thread (`pid` 2). Scheduling
+/// intervals become complete (`"X"`) slices on both tracks; ready-queue
+/// depth and the confidence EWMA become counter (`"C"`) series. The
+/// timestamp unit is the simulated cycle.
+pub fn to_chrome(records: &[Record]) -> String {
+    let mut events: Vec<String> = Vec::new();
+
+    // Name the tracks first so viewers group them sensibly.
+    let mut cpus: BTreeSet<u32> = BTreeSet::new();
+    let mut tids: BTreeSet<u64> = BTreeSet::new();
+    for r in records {
+        match r.event {
+            TraceEvent::IntervalBegin { cpu, tid, .. }
+            | TraceEvent::IntervalEnd { cpu, tid, .. } => {
+                cpus.insert(cpu);
+                tids.insert(tid);
+            }
+            _ => {}
+        }
+    }
+    for (pid, name) in [(PID_CPUS, "cpus"), (PID_THREADS, "threads")] {
+        events.push(format!(
+            "{{\"ph\":\"M\",\"pid\":{pid},\"name\":\"process_name\",\"args\":{{\"name\":\"{name}\"}}}}"
+        ));
+    }
+    for &cpu in &cpus {
+        events.push(format!(
+            "{{\"ph\":\"M\",\"pid\":{PID_CPUS},\"tid\":{cpu},\"name\":\"thread_name\",\"args\":{{\"name\":\"cpu{cpu}\"}}}}"
+        ));
+    }
+    for &tid in &tids {
+        events.push(format!(
+            "{{\"ph\":\"M\",\"pid\":{PID_THREADS},\"tid\":{tid},\"name\":\"thread_name\",\"args\":{{\"name\":\"t{tid}\"}}}}"
+        ));
+    }
+
+    // Pair IntervalBegin/IntervalEnd into complete slices per CPU.
+    fn slice(events: &mut Vec<String>, cpu: u32, tid: u64, ts: u64, end: u64, misses: Option<u64>) {
+        let dur = end.saturating_sub(ts);
+        let args = match misses {
+            Some(m) => format!(",\"args\":{{\"misses\":{m}}}"),
+            None => String::new(),
+        };
+        for (pid, track) in [(PID_CPUS, u64::from(cpu)), (PID_THREADS, tid)] {
+            events.push(format!(
+                "{{\"ph\":\"X\",\"pid\":{pid},\"tid\":{track},\"name\":\"t{tid}\",\"ts\":{ts},\"dur\":{dur}{args}}}"
+            ));
+        }
+    }
+    let max_cpu = cpus.iter().next_back().map_or(0, |&c| c as usize);
+    let mut open: Vec<Option<(u64, u64)>> = vec![None; max_cpu + 1];
+    let mut last_clock = 0u64;
+    for r in records {
+        last_clock = last_clock.max(r.clock);
+        match r.event {
+            TraceEvent::IntervalBegin { cpu, tid, ready_depth, .. } => {
+                open[cpu as usize] = Some((tid, r.clock));
+                events.push(format!(
+                    "{{\"ph\":\"C\",\"pid\":{PID_CPUS},\"tid\":{cpu},\"name\":\"ready\",\"ts\":{},\"args\":{{\"depth\":{ready_depth}}}}}",
+                    r.clock
+                ));
+            }
+            TraceEvent::IntervalEnd { cpu, tid, misses, .. } => {
+                // Tolerate an end without a begin (the begin may have
+                // been overwritten by ring wrap-around).
+                let ts = match open[cpu as usize].take() {
+                    Some((open_tid, ts)) if open_tid == tid => ts,
+                    _ => r.clock,
+                };
+                slice(&mut events, cpu, tid, ts, r.clock, Some(misses));
+            }
+            TraceEvent::ModeTransition { cpu, confidence, .. } => {
+                events.push(format!(
+                    "{{\"ph\":\"C\",\"pid\":{PID_CPUS},\"tid\":{cpu},\"name\":\"confidence\",\"ts\":{},\"args\":{{\"ewma\":{}}}}}",
+                    r.clock,
+                    json_f64(confidence)
+                ));
+            }
+            _ => {}
+        }
+    }
+    // Close any interval still running when collection stopped.
+    for (cpu, slot) in open.iter().enumerate() {
+        if let Some((tid, ts)) = *slot {
+            slice(&mut events, cpu as u32, tid, ts, last_clock.max(ts), None);
+        }
+    }
+
+    format!("{{\"traceEvents\":[\n{}\n]}}\n", events.join(",\n"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(seq: u64, clock: u64, event: TraceEvent) -> Record {
+        Record { seq, clock, event }
+    }
+
+    fn sample_records() -> Vec<Record> {
+        vec![
+            rec(
+                1,
+                100,
+                TraceEvent::IntervalBegin {
+                    cpu: 0,
+                    tid: 3,
+                    ready_depth: 2,
+                    expected_footprint: 12.5,
+                },
+            ),
+            rec(
+                2,
+                250,
+                TraceEvent::IntervalEnd { cpu: 0, tid: 3, reason: "yield", refs: 40, misses: 7 },
+            ),
+            rec(3, 250, TraceEvent::SanitizerVerdict { tid: 3, confidence: 0.9, corrected: false }),
+            rec(4, 250, TraceEvent::PriorityUpdates { tid: 3, fanout: 1 }),
+            rec(
+                5,
+                260,
+                TraceEvent::Dispatch {
+                    cpu: 0,
+                    tid: 3,
+                    priority: -0.5,
+                    margin: f64::NAN,
+                    degraded: false,
+                },
+            ),
+        ]
+    }
+
+    #[test]
+    fn jsonl_one_line_per_event_and_nan_is_null() {
+        let text = to_jsonl(&sample_records());
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 5);
+        assert!(lines[0].starts_with("{\"seq\":1,\"clock\":100,\"type\":\"interval-begin\""));
+        assert!(lines[1].contains("\"misses\":7"));
+        assert!(lines[4].contains("\"margin\":null"), "NaN must become null: {}", lines[4]);
+        for line in lines {
+            assert!(line.starts_with('{') && line.ends_with('}'));
+            assert_eq!(line.matches('{').count(), line.matches('}').count());
+        }
+    }
+
+    #[test]
+    fn chrome_pairs_intervals_and_names_tracks() {
+        let text = to_chrome(&sample_records());
+        assert!(text.starts_with("{\"traceEvents\":["));
+        assert!(text.contains("\"name\":\"cpu0\""));
+        assert!(text.contains("\"name\":\"t3\""));
+        // The paired slice: ts 100, dur 150, on both the cpu and the
+        // thread track.
+        assert_eq!(text.matches("\"ph\":\"X\"").count(), 2);
+        assert!(text.contains("\"ts\":100,\"dur\":150"));
+        assert!(text.contains("\"ph\":\"C\""));
+        assert!(text.trim_end().ends_with("]}"));
+    }
+
+    #[test]
+    fn chrome_closes_dangling_intervals() {
+        let recs = vec![rec(
+            1,
+            50,
+            TraceEvent::IntervalBegin { cpu: 1, tid: 9, ready_depth: 0, expected_footprint: 0.0 },
+        )];
+        let text = to_chrome(&recs);
+        assert!(text.contains("\"ph\":\"X\""), "unclosed interval must still render");
+        assert!(text.contains("\"ts\":50,\"dur\":0"));
+    }
+
+    #[test]
+    fn exports_are_deterministic() {
+        let a = sample_records();
+        assert_eq!(to_jsonl(&a), to_jsonl(&a));
+        assert_eq!(to_chrome(&a), to_chrome(&a));
+    }
+}

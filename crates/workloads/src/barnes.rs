@@ -335,7 +335,8 @@ mod tests {
             MachineConfig::ultra1(),
             SchedPolicy::Fcfs,
             EngineConfig::default(),
-        );
+        )
+        .unwrap();
         let params = BarnesParams::small();
         spawn_single(&mut e, &params);
         let report = e.run().unwrap();
@@ -352,7 +353,8 @@ mod tests {
                 MachineConfig::ultra1(),
                 SchedPolicy::Fcfs,
                 EngineConfig::default(),
-            );
+            )
+            .unwrap();
             let params = BarnesParams { theta, ..BarnesParams::small() };
             spawn_single(&mut e, &params);
             e.run().unwrap().total_instructions
@@ -367,7 +369,8 @@ mod tests {
                 MachineConfig::ultra1(),
                 SchedPolicy::Fcfs,
                 EngineConfig::default(),
-            );
+            )
+            .unwrap();
             spawn_single(&mut e, &BarnesParams::small());
             e.run().unwrap()
         };

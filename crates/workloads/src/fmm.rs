@@ -471,7 +471,8 @@ mod tests {
             MachineConfig::ultra1(),
             SchedPolicy::Fcfs,
             EngineConfig::default(),
-        );
+        )
+        .unwrap();
         let params = FmmParams::small();
         let parts_base = e.machine_mut().alloc(params.particles as u64 * LINE, LINE);
         let cells = level_start(params.depth + 1) as u64;
@@ -497,7 +498,8 @@ mod tests {
                 MachineConfig::ultra1(),
                 SchedPolicy::Fcfs,
                 EngineConfig::default(),
-            );
+            )
+            .unwrap();
             spawn_single(&mut e, &FmmParams::small());
             e.run().unwrap()
         };

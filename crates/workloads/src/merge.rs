@@ -353,7 +353,8 @@ mod tests {
 
     fn run(policy: SchedPolicy, params: &MergeParams) -> (active_threads::RunReport, bool) {
         let mut e =
-            active_threads::Engine::new(MachineConfig::ultra1(), policy, EngineConfig::default());
+            active_threads::Engine::new(MachineConfig::ultra1(), policy, EngineConfig::default())
+                .unwrap();
         let (shared, _root) = spawn_parallel(&mut e, params);
         let report = e.run().unwrap();
         (report, shared.is_sorted())
@@ -399,7 +400,8 @@ mod tests {
             MachineConfig::ultra1(),
             SchedPolicy::Fcfs,
             EngineConfig::default(),
-        );
+        )
+        .unwrap();
         let tid = spawn_single(&mut e, &MergeParams::small());
         let report = e.run().unwrap();
         assert_eq!(report.threads_completed, 1);
@@ -413,7 +415,8 @@ mod tests {
             MachineConfig::ultra1(),
             SchedPolicy::Lff,
             EngineConfig::default(),
-        );
+        )
+        .unwrap();
         let params = MergeParams::small();
         let (_, root) = spawn_parallel(&mut e, &params);
         // Run a few steps... simplest: run to completion, then the graph

@@ -168,7 +168,8 @@ mod tests {
             MachineConfig::ultra1(),
             SchedPolicy::Fcfs,
             EngineConfig::default(),
-        );
+        )
+        .unwrap();
         e.spawn(Box::new(OceanWorker { grid: grid.clone(), params, sweep: 0, color: 0, row: 1 }));
         e.run().unwrap();
         let after = grid.residual();
@@ -181,7 +182,8 @@ mod tests {
             MachineConfig::ultra1(),
             SchedPolicy::Fcfs,
             EngineConfig::default(),
-        );
+        )
+        .unwrap();
         let params = OceanParams::small();
         spawn_single(&mut e, &params);
         let report = e.run().unwrap();
@@ -199,7 +201,8 @@ mod tests {
                 MachineConfig::ultra1(),
                 SchedPolicy::Fcfs,
                 EngineConfig::default(),
-            );
+            )
+            .unwrap();
             spawn_single(&mut e, &OceanParams::small());
             e.run().unwrap()
         };

@@ -379,7 +379,7 @@ mod tests {
     ) -> (active_threads::RunReport, u64) {
         let config =
             if cpus == 1 { MachineConfig::ultra1() } else { MachineConfig::enterprise5000(cpus) };
-        let mut e = active_threads::Engine::new(config, policy, EngineConfig::default());
+        let mut e = active_threads::Engine::new(config, policy, EngineConfig::default()).unwrap();
         let (shared, _) = spawn_parallel(&mut e, params);
         let report = e.run().unwrap();
         (report, shared.output_checksum())
@@ -441,7 +441,8 @@ mod tests {
             MachineConfig::ultra1(),
             SchedPolicy::Lff,
             EngineConfig::default(),
-        );
+        )
+        .unwrap();
         let (_, tids) = spawn_parallel(&mut e, &PhotoParams::small());
         let g = e.graph();
         let q1 = g.weight(tids[10], tids[11]);
@@ -489,7 +490,8 @@ mod tests {
             MachineConfig::ultra1(),
             SchedPolicy::Fcfs,
             EngineConfig::default(),
-        );
+        )
+        .unwrap();
         spawn_single(&mut e, &PhotoParams::small());
         let report = e.run().unwrap();
         assert_eq!(report.threads_completed, 1);

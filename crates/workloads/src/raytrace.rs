@@ -253,7 +253,8 @@ mod tests {
             MachineConfig::ultra1(),
             SchedPolicy::Fcfs,
             EngineConfig::default(),
-        );
+        )
+        .unwrap();
         let scene = build_scene(&mut e, params);
         e.spawn(Box::new(RayWorker {
             scene: scene.clone(),
@@ -279,7 +280,8 @@ mod tests {
             MachineConfig::ultra1(),
             SchedPolicy::Fcfs,
             EngineConfig::default(),
-        );
+        )
+        .unwrap();
         let scene = build_scene(&mut e, &RaytraceParams::small());
         let populated = scene.voxels.iter().filter(|v| !v.is_empty()).count();
         assert!(populated > 0);

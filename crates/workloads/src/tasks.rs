@@ -122,7 +122,8 @@ mod tests {
 
     fn run(policy: SchedPolicy, params: &TasksParams) -> active_threads::RunReport {
         let mut e =
-            active_threads::Engine::new(MachineConfig::ultra1(), policy, EngineConfig::default());
+            active_threads::Engine::new(MachineConfig::ultra1(), policy, EngineConfig::default())
+                .unwrap();
         spawn_parallel(&mut e, params);
         e.run().unwrap()
     }
@@ -159,7 +160,8 @@ mod tests {
             MachineConfig::ultra1(),
             SchedPolicy::Lff,
             EngineConfig::default(),
-        );
+        )
+        .unwrap();
         let tids = spawn_parallel(&mut e, &params);
         let q = e.graph().weight(tids[0], tids[1]);
         assert!((q - 0.5).abs() < 0.05, "expected ~0.5 overlap, got {q}");

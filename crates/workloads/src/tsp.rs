@@ -474,7 +474,7 @@ mod tests {
     ) -> (active_threads::RunReport, u64, u64) {
         let config =
             if cpus == 1 { MachineConfig::ultra1() } else { MachineConfig::enterprise5000(cpus) };
-        let mut e = active_threads::Engine::new(config, policy, EngineConfig::default());
+        let mut e = active_threads::Engine::new(config, policy, EngineConfig::default()).unwrap();
         let (shared, _) = spawn_parallel(&mut e, params);
         let report = e.run().unwrap();
         (report, shared.best.get(), shared.tours.get())
@@ -527,7 +527,8 @@ mod tests {
             MachineConfig::ultra1(),
             SchedPolicy::Fcfs,
             EngineConfig::default(),
-        );
+        )
+        .unwrap();
         spawn_single(&mut e, &TspParams::small());
         let report = e.run().unwrap();
         assert_eq!(report.threads_completed, 1);

@@ -228,7 +228,8 @@ mod tests {
             MachineConfig::ultra1(),
             SchedPolicy::Fcfs,
             EngineConfig::default(),
-        );
+        )
+        .unwrap();
         let types_base = e.machine_mut().alloc(params.types as u64 * LINE, LINE);
         let ast_base = e.machine_mut().alloc(params.ast_nodes as u64 * LINE, LINE);
         let data = TypecheckerData::new(types_base, ast_base, params);

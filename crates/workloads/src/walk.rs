@@ -138,7 +138,8 @@ mod tests {
     #[test]
     fn walker_fills_cache_toward_model_prediction() {
         let mut e =
-            Engine::new(MachineConfig::ultra1(), SchedPolicy::Fcfs, EngineConfig::default());
+            Engine::new(MachineConfig::ultra1(), SchedPolicy::Fcfs, EngineConfig::default())
+                .unwrap();
         let params = WalkParams { total_accesses: 60_000, ..WalkParams::default() };
         let tid = spawn_single(&mut e, &params);
         let report = e.run().unwrap();
@@ -155,7 +156,8 @@ mod tests {
         // Drive a shorter walk and compare the observed footprint with the
         // model at the end (single interval => closed form applies).
         let mut e =
-            Engine::new(MachineConfig::ultra1(), SchedPolicy::Fcfs, EngineConfig::default());
+            Engine::new(MachineConfig::ultra1(), SchedPolicy::Fcfs, EngineConfig::default())
+                .unwrap();
         struct OneShot(RandomWalk);
         impl Program for OneShot {
             fn next_batch(&mut self, ctx: &mut BatchCtx<'_>) -> Control {
@@ -208,7 +210,8 @@ mod tests {
     #[test]
     fn sleeper_prefills_then_sleeps() {
         let mut e =
-            Engine::new(MachineConfig::ultra1(), SchedPolicy::Fcfs, EngineConfig::default());
+            Engine::new(MachineConfig::ultra1(), SchedPolicy::Fcfs, EngineConfig::default())
+                .unwrap();
         let region = e.machine_mut().alloc(64 * 100, LINE);
         e.spawn(Box::new(Sleeper::new(region, 64 * 100, 64 * 100, 1_000_000)));
         let report = e.run().unwrap();

@@ -15,13 +15,15 @@ fn main() {
 
     // Peek at the annotation graph right after the root splits.
     let mut engine =
-        Engine::new(MachineConfig::ultra1(), SchedPolicy::Lff, EngineConfig::default());
+        Engine::new(MachineConfig::ultra1(), SchedPolicy::Lff, EngineConfig::default())
+            .expect("valid machine");
     let (_, root) = spawn_parallel(&mut engine, &params);
     println!("mergesort of {} elements, insertion-sort cutoff {}", params.elements, params.cutoff);
 
     let mut results = Vec::new();
     for policy in [SchedPolicy::Fcfs, SchedPolicy::Lff, SchedPolicy::Crt] {
-        let mut engine = Engine::new(MachineConfig::ultra1(), policy, EngineConfig::default());
+        let mut engine = Engine::new(MachineConfig::ultra1(), policy, EngineConfig::default())
+            .expect("valid machine");
         let (shared, _) = spawn_parallel(&mut engine, &params);
         let report = engine.run().expect("sort completes");
         assert!(shared.is_sorted(), "the sort is real: the data must end up ordered");

@@ -23,7 +23,8 @@ fn main() {
         [SchedPolicy::Fcfs, SchedPolicy::Lff, SchedPolicy::Crt, SchedPolicy::LffNoAnnotations]
     {
         let mut engine =
-            Engine::new(MachineConfig::enterprise5000(8), policy, EngineConfig::default());
+            Engine::new(MachineConfig::enterprise5000(8), policy, EngineConfig::default())
+                .expect("valid machine");
         let (shared, tids) = spawn_parallel(&mut engine, &params);
         if policy == SchedPolicy::Fcfs {
             // The annotations the builder derived from the exact overlaps.

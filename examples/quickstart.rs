@@ -39,7 +39,8 @@ impl Program for PeriodicTask {
 }
 
 fn run(policy: SchedPolicy) -> thread_locality::threads::RunReport {
-    let mut engine = Engine::new(MachineConfig::enterprise5000(8), policy, EngineConfig::default());
+    let mut engine = Engine::new(MachineConfig::enterprise5000(8), policy, EngineConfig::default())
+        .expect("valid machine");
     for _ in 0..512 {
         engine.spawn(Box::new(PeriodicTask { region: None, periods: 25 }));
     }
@@ -52,7 +53,7 @@ fn main() {
     let model = FootprintModel::new(ModelParams::new(8192).expect("valid cache"));
     println!(
         "a cold thread reaches half the cache after {} misses (model)",
-        model.misses_to_fill(0.5)
+        model.misses_to_fill(0.5).expect("0.5 is a valid fraction")
     );
 
     // The full runtime: FCFS vs Largest-Footprint-First.

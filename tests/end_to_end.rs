@@ -70,7 +70,7 @@ fn estimator_tracks_ground_truth_through_the_runtime() {
         }
     }
     let mut engine =
-        Engine::new(MachineConfig::ultra1(), SchedPolicy::Lff, EngineConfig::default());
+        Engine::new(MachineConfig::ultra1(), SchedPolicy::Lff, EngineConfig::default()).unwrap();
     let params = walk::WalkParams { total_accesses: 30_000, ..walk::WalkParams::default() };
     let tid = walk::spawn_single(&mut engine, &params);
     let worst = Rc::new(RefCell::new(0.0f64));
@@ -88,7 +88,7 @@ fn policies_preserve_program_semantics() {
     let mut outcomes = Vec::new();
     for policy in [SchedPolicy::Fcfs, SchedPolicy::Lff, SchedPolicy::Crt] {
         let mut engine =
-            Engine::new(MachineConfig::enterprise5000(4), policy, EngineConfig::default());
+            Engine::new(MachineConfig::enterprise5000(4), policy, EngineConfig::default()).unwrap();
         let (shared, _) = merge::spawn_parallel(&mut engine, &params);
         let report = engine.run().unwrap();
         assert!(shared.is_sorted());
@@ -103,7 +103,7 @@ fn oversubscribed_tasks_shape_holds_end_to_end() {
     let params = tasks::TasksParams { tasks: 200, footprint_lines: 100, periods: 10, overlap: 0.0 };
     let run = |policy| {
         let mut engine =
-            Engine::new(MachineConfig::enterprise5000(2), policy, EngineConfig::default());
+            Engine::new(MachineConfig::enterprise5000(2), policy, EngineConfig::default()).unwrap();
         tasks::spawn_parallel(&mut engine, &params);
         engine.run().unwrap()
     };
@@ -138,7 +138,8 @@ fn counters_are_the_only_model_input() {
         }
     }
     let run = |policy| {
-        let mut engine = Engine::new(MachineConfig::ultra1(), policy, EngineConfig::default());
+        let mut engine =
+            Engine::new(MachineConfig::ultra1(), policy, EngineConfig::default()).unwrap();
         for _ in 0..200 {
             engine.spawn(Box::new(Toucher { region: None, rounds: 8 }));
         }
@@ -216,7 +217,8 @@ fn runtime_inference_discovers_sharing() {
             infer_sharing: infer.then(InferenceConfig::default),
             ..EngineConfig::default()
         };
-        let mut engine = Engine::new(MachineConfig::enterprise5000(2), SchedPolicy::Lff, config);
+        let mut engine =
+            Engine::new(MachineConfig::enterprise5000(2), SchedPolicy::Lff, config).unwrap();
         // Many pairs sharing buffers, interleaved so FIFO separates them.
         for _ in 0..24 {
             let buf = engine.machine_mut().alloc(6400, 8192);
