@@ -7,10 +7,18 @@ cargo test -q --workspace
 cargo fmt --check
 cargo clippy --workspace --all-targets -- -D warnings
 
-# Smoke the full repro suite through the parallel cached runner.
+# The bench targets must keep compiling (they are not timed in CI).
+cargo bench --no-run --workspace
+
+# Smoke the full repro suite through the parallel cached runner, then
+# hold every artifact to the committed golden hashes: the small-scale
+# CSVs are byte-identical across machines, --jobs values, and the
+# dense-slot refactors (results/golden_small.sha256).
 SMOKE_OUT=$(mktemp -d)
 cargo run --release -p locality-repro --bin repro-all -- \
     --scale small --jobs 2 --out "$SMOKE_OUT"
+GOLDEN="$PWD/results/golden_small.sha256"
+(cd "$SMOKE_OUT" && sha256sum -c "$GOLDEN")
 rm -rf "$SMOKE_OUT"
 
 # Analyzer: the clean fixture must pass, the racy fixture must be flagged

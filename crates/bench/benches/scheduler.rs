@@ -6,7 +6,7 @@
 use active_threads::heap::PrioHeap;
 use active_threads::{Engine, EngineConfig, SchedPolicy};
 use criterion::{black_box, criterion_group, criterion_main, BatchSize, Criterion};
-use locality_core::ThreadId;
+use locality_core::{ThreadId, ThreadSlots};
 use locality_sim::MachineConfig;
 use locality_workloads::tasks::{spawn_parallel, TasksParams};
 
@@ -37,11 +37,13 @@ fn bench_engine(c: &mut Criterion) {
 
 fn bench_heap(c: &mut Criterion) {
     let mut group = c.benchmark_group("prio_heap");
+    let mut slots = ThreadSlots::new();
+    let handles: Vec<_> = (0..1024u64).map(|i| slots.bind(ThreadId(i))).collect();
     group.bench_function("push_pop_1024", |b| {
         b.iter(|| {
             let mut h = PrioHeap::new();
             for i in 0..1024u64 {
-                h.push(ThreadId(i), ((i * 2654435761) % 10_000) as f64);
+                h.push(ThreadId(i), handles[i as usize], ((i * 2654435761) % 10_000) as f64);
             }
             while let Some(x) = h.pop_max() {
                 black_box(x);
@@ -51,12 +53,12 @@ fn bench_heap(c: &mut Criterion) {
     group.bench_function("update_key", |b| {
         let mut h = PrioHeap::new();
         for i in 0..1024u64 {
-            h.push(ThreadId(i), ((i * 2654435761) % 10_000) as f64);
+            h.push(ThreadId(i), handles[i as usize], ((i * 2654435761) % 10_000) as f64);
         }
         let mut i = 0u64;
         b.iter(|| {
             i = (i * 16807 + 7) % 1024;
-            h.update(ThreadId(i), ((i * 31) % 5000) as f64);
+            h.update(handles[i as usize], ((i * 31) % 5000) as f64);
             black_box(h.peek_max())
         })
     });

@@ -21,8 +21,14 @@ use std::collections::BTreeMap;
 /// A directed, weighted state-sharing graph `G = (V, E)` with coefficients
 /// `q ∈ [0, 1]` on each edge.
 ///
-/// Backed by ordered maps so iteration order (and therefore every simulated
-/// schedule that consults the graph) is deterministic.
+/// The mutation/build side is backed by ordered maps so iteration order
+/// (and therefore every simulated schedule that consults the graph) is
+/// deterministic. The read side used by the per-switch `O(out-degree)`
+/// priority update is a CSR-style adjacency — sorted sources with
+/// contiguous `(dst, q)` rows — rebuilt by [`compact`](Self::compact)
+/// after mutations; [`dependents_of`](Self::dependents_of) walks the
+/// contiguous row when the graph is compact and falls back to the maps
+/// (same order, same items) when it is not.
 ///
 /// ```
 /// use locality_core::{SharingGraph, ThreadId};
@@ -36,7 +42,7 @@ use std::collections::BTreeMap;
 /// assert_eq!(g.out_degree(left), 1);
 /// # Ok::<(), locality_core::ModelError>(())
 /// ```
-#[derive(Debug, Clone, Default, PartialEq)]
+#[derive(Debug, Clone, Default)]
 pub struct SharingGraph {
     /// Out-edges: for each source, destinations and coefficients.
     out: BTreeMap<ThreadId, BTreeMap<ThreadId, f64>>,
@@ -44,6 +50,38 @@ pub struct SharingGraph {
     /// removed in O(degree) when it exits.
     into: BTreeMap<ThreadId, BTreeMap<ThreadId, f64>>,
     edges: usize,
+    /// CSR read cache over `out`; valid while `dirty` is false.
+    csr: Csr,
+    /// Whether `csr` lags behind the maps.
+    dirty: bool,
+}
+
+/// Compressed sparse rows over the out-edges: `srcs` is sorted, row `i`
+/// of `edges` spans `offsets[i] .. offsets[i + 1]` with destinations in
+/// thread-id order — the same order the `BTreeMap` side yields.
+#[derive(Debug, Clone, Default)]
+struct Csr {
+    srcs: Vec<ThreadId>,
+    offsets: Vec<u32>,
+    edges: Vec<(ThreadId, f64)>,
+}
+
+impl Csr {
+    fn row(&self, src: ThreadId) -> &[(ThreadId, f64)] {
+        match self.srcs.binary_search(&src) {
+            Ok(i) => &self.edges[self.offsets[i] as usize..self.offsets[i + 1] as usize],
+            Err(_) => &[],
+        }
+    }
+}
+
+/// Equality is defined over the logical edge set only; the CSR cache is
+/// a rebuildable view and two graphs differing only in compaction state
+/// are equal.
+impl PartialEq for SharingGraph {
+    fn eq(&self, other: &Self) -> bool {
+        self.out == other.out && self.into == other.into && self.edges == other.edges
+    }
 }
 
 impl SharingGraph {
@@ -78,6 +116,9 @@ impl SharingGraph {
         if prev.is_none() {
             self.edges += 1;
         }
+        if prev != Some(q) {
+            self.dirty = true;
+        }
         Ok(())
     }
 
@@ -89,6 +130,7 @@ impl SharingGraph {
                 m.remove(&src);
             }
             self.edges -= 1;
+            self.dirty = true;
         }
         w
     }
@@ -104,8 +146,42 @@ impl SharingGraph {
     /// Threads whose cached state depends on `src` — the destinations of
     /// edges starting at `src` — with their coefficients, in thread-id
     /// order.
+    ///
+    /// When the graph [`is_compact`](Self::is_compact) this walks one
+    /// contiguous CSR row (the hot `O(out-degree)` path); otherwise it
+    /// falls back to the ordered map, yielding the identical sequence.
     pub fn dependents_of(&self, src: ThreadId) -> impl Iterator<Item = (ThreadId, f64)> + '_ {
-        self.out.get(&src).into_iter().flatten().map(|(&t, &q)| (t, q))
+        let (row, sparse): (&[(ThreadId, f64)], _) =
+            if self.dirty { (&[], self.out.get(&src)) } else { (self.csr.row(src), None) };
+        row.iter().copied().chain(sparse.into_iter().flatten().map(|(&t, &q)| (t, q)))
+    }
+
+    /// Rebuilds the CSR read cache if mutations invalidated it. Called
+    /// by the runtime before entering the per-switch priority updates;
+    /// a no-op when already compact.
+    pub fn compact(&mut self) {
+        if !self.dirty {
+            return;
+        }
+        self.csr.srcs.clear();
+        self.csr.offsets.clear();
+        self.csr.edges.clear();
+        self.csr.offsets.push(0);
+        for (&src, dsts) in &self.out {
+            if dsts.is_empty() {
+                continue;
+            }
+            self.csr.srcs.push(src);
+            self.csr.edges.extend(dsts.iter().map(|(&t, &q)| (t, q)));
+            let end = u32::try_from(self.csr.edges.len()).expect("more than u32::MAX edges");
+            self.csr.offsets.push(end);
+        }
+        self.dirty = false;
+    }
+
+    /// Whether the CSR read cache is in sync with the maps.
+    pub fn is_compact(&self) -> bool {
+        !self.dirty
     }
 
     /// Threads `src` depends on — the sources of edges ending at `src`.
@@ -133,6 +209,7 @@ impl SharingGraph {
     pub fn remove_thread(&mut self, t: ThreadId) {
         if let Some(dsts) = self.out.remove(&t) {
             self.edges -= dsts.len();
+            self.dirty |= !dsts.is_empty();
             for dst in dsts.keys() {
                 if let Some(m) = self.into.get_mut(dst) {
                     m.remove(&t);
@@ -141,6 +218,7 @@ impl SharingGraph {
         }
         if let Some(srcs) = self.into.remove(&t) {
             self.edges -= srcs.len();
+            self.dirty |= !srcs.is_empty();
             for src in srcs.keys() {
                 if let Some(m) = self.out.get_mut(src) {
                     m.remove(&t);
@@ -276,6 +354,60 @@ mod tests {
         g.set(t(1), t(3), 0.3).unwrap();
         let all: Vec<_> = g.edges().collect();
         assert_eq!(all, vec![(t(1), t(2), 0.1), (t(1), t(3), 0.3), (t(2), t(1), 0.2)]);
+    }
+
+    #[test]
+    fn compact_and_sparse_reads_agree() {
+        let mut g = SharingGraph::new();
+        g.set(t(5), t(9), 0.1).unwrap();
+        g.set(t(5), t(2), 0.2).unwrap();
+        g.set(t(6), t(2), 0.4).unwrap();
+        assert!(!g.is_compact(), "mutations invalidate the CSR cache");
+        let sparse: Vec<_> = g.dependents_of(t(5)).collect();
+        g.compact();
+        assert!(g.is_compact());
+        let compact: Vec<_> = g.dependents_of(t(5)).collect();
+        assert_eq!(sparse, compact);
+        assert_eq!(compact, vec![(t(2), 0.2), (t(9), 0.1)]);
+        assert_eq!(g.dependents_of(t(42)).count(), 0);
+    }
+
+    #[test]
+    fn compaction_tracks_every_mutation() {
+        let mut g = SharingGraph::new();
+        g.compact();
+        assert!(g.is_compact(), "empty graph compacts trivially");
+        g.set(t(1), t(2), 0.5).unwrap();
+        assert!(!g.is_compact());
+        g.compact();
+        // Re-setting the same weight changes nothing: still compact.
+        g.set(t(1), t(2), 0.5).unwrap();
+        assert!(g.is_compact());
+        g.set(t(1), t(2), 0.9).unwrap();
+        assert!(!g.is_compact());
+        g.compact();
+        g.remove_edge(t(1), t(2));
+        assert!(!g.is_compact());
+        g.compact();
+        assert_eq!(g.dependents_of(t(1)).count(), 0);
+        g.set(t(1), t(2), 0.5).unwrap();
+        g.compact();
+        g.remove_thread(t(2));
+        assert!(!g.is_compact());
+        g.compact();
+        assert_eq!(g.dependents_of(t(1)).count(), 0);
+    }
+
+    #[test]
+    fn equality_ignores_compaction_state() {
+        let mut a = SharingGraph::new();
+        let mut b = SharingGraph::new();
+        a.set(t(1), t(2), 0.5).unwrap();
+        b.set(t(1), t(2), 0.5).unwrap();
+        a.compact();
+        assert_eq!(a, b);
+        let cloned = a.clone();
+        assert_eq!(cloned, a);
     }
 
     #[test]

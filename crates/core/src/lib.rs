@@ -75,6 +75,7 @@ pub mod graph;
 pub mod markov;
 pub mod priority;
 pub mod sanitizer;
+pub mod slots;
 pub mod tables;
 
 pub use error::ModelError;
@@ -84,6 +85,7 @@ pub use graph::SharingGraph;
 pub use params::ModelParams;
 pub use priority::{FootprintEntry, PolicyKind, PrioritySchemes, PriorityUpdate};
 pub use sanitizer::{CounterSanitizer, SanitizedInterval, SanitizerConfig};
+pub use slots::{SlotId, ThreadSlots};
 
 use std::fmt;
 

@@ -32,8 +32,8 @@
 //! plain integers, so it would sit unchanged in front of real
 //! `rd %pic` reads.
 
+use crate::slots::ThreadSlots;
 use crate::ThreadId;
-use std::collections::HashMap;
 
 /// Register deltas at or above this are treated as wrap/reset artifacts
 /// (2³¹: half the 32-bit register range, far above any real quantum).
@@ -100,16 +100,22 @@ impl Default for ThreadState {
 }
 
 /// Stateful per-thread counter sanitizer; see the module docs.
+///
+/// Per-thread state lives in a dense `Vec` indexed by a
+/// [`ThreadSlots`]-assigned slot; slots recycled after
+/// [`forget`](Self::forget) are reset on rebinding, so a new thread
+/// never inherits a dead thread's EWMAs or confidence.
 #[derive(Debug, Clone, Default)]
 pub struct CounterSanitizer {
     config: SanitizerConfig,
-    threads: HashMap<ThreadId, ThreadState>,
+    slots: ThreadSlots,
+    states: Vec<ThreadState>,
 }
 
 impl CounterSanitizer {
     /// Creates a sanitizer with the given tuning.
     pub fn new(config: SanitizerConfig) -> Self {
-        CounterSanitizer { config, threads: HashMap::new() }
+        CounterSanitizer { config, slots: ThreadSlots::new(), states: Vec::new() }
     }
 
     /// The tuning in effect.
@@ -117,21 +123,41 @@ impl CounterSanitizer {
         &self.config
     }
 
-    /// The current confidence of `tid` (1.0 for unknown threads).
-    pub fn confidence(&self, tid: ThreadId) -> f64 {
-        self.threads.get(&tid).map_or(1.0, |s| s.confidence)
+    /// The dense state index for `tid`, binding (and zeroing) a slot on
+    /// first sight.
+    fn state_index(&mut self, tid: ThreadId) -> usize {
+        if let Some(slot) = self.slots.lookup(tid) {
+            return slot.index();
+        }
+        let index = self.slots.bind(tid).index();
+        if index == self.states.len() {
+            self.states.push(ThreadState::default());
+        } else {
+            // Recycled slot: erase the previous thread's history.
+            self.states[index] = ThreadState::default();
+        }
+        index
     }
 
-    /// Drops all state for `tid` (thread exit; ids are never reused).
+    /// The current confidence of `tid` (1.0 for unknown threads).
+    pub fn confidence(&self, tid: ThreadId) -> f64 {
+        self.slots.lookup(tid).map_or(1.0, |s| self.states[s.index()].confidence)
+    }
+
+    /// Drops all state for `tid` (thread exit); the slot is recycled
+    /// for future threads.
     pub fn forget(&mut self, tid: ThreadId) {
-        self.threads.remove(&tid);
+        if let Some(slot) = self.slots.release(tid) {
+            self.states[slot.index()] = ThreadState::default();
+        }
     }
 
     /// Records that reading `tid`'s interval trapped (no data at all)
     /// and returns the updated confidence.
     pub fn note_trap(&mut self, tid: ThreadId) -> f64 {
         let alpha = self.config.confidence_alpha;
-        let st = self.threads.entry(tid).or_default();
+        let index = self.state_index(tid);
+        let st = &mut self.states[index];
         st.confidence += alpha * (0.0 - st.confidence);
         let confidence = st.confidence;
         locality_trace::emit_with(|| locality_trace::TraceEvent::SanitizerVerdict {
@@ -156,7 +182,8 @@ impl CounterSanitizer {
         misses: u64,
     ) -> SanitizedInterval {
         let cfg = self.config;
-        let st = self.threads.entry(tid).or_default();
+        let index = self.state_index(tid);
+        let st = &mut self.states[index];
         let mut corrected = false;
 
         // Wrap/reset artifact: a register went backwards between
@@ -304,6 +331,29 @@ mod tests {
         assert!(s.confidence(t(1)) < 0.2);
         s.forget(t(1));
         assert_eq!(s.confidence(t(1)), 1.0);
+    }
+
+    #[test]
+    fn recycled_slot_starts_fresh() {
+        let mut s = CounterSanitizer::default();
+        // t1 builds a big-miss EWMA and low confidence, then exits.
+        for _ in 0..6 {
+            s.sanitize(t(1), 100_000, 10_000, 90_000);
+        }
+        for _ in 0..6 {
+            s.note_trap(t(1));
+        }
+        s.forget(t(1));
+        // t2 reuses t1's slot: no inherited EWMA (an interval that would
+        // have been within t1's envelope must be judged cold-start) and
+        // full starting confidence.
+        let out = s.sanitize(t(2), 1000, 900, 100);
+        assert!(!out.corrected);
+        assert_eq!(out.confidence, 1.0, "recycled slot leaked confidence");
+        // Outlier clamping needs warmup again: a huge second interval
+        // passes, proving the warmup counter was reset too.
+        let big = s.sanitize(t(2), 500_000, 100_000, 400_000);
+        assert!(!big.corrected, "warmup counter leaked across recycling");
     }
 
     proptest! {

@@ -1,0 +1,10 @@
+//! `cargo bench -p locality-repro`: the offline hot-path harness as a
+//! real bench target, so `cargo bench --no-run` gates its compilation
+//! in CI. Runs the same groups as the `bench` binary in quick mode.
+
+fn main() {
+    let mut h = locality_repro::bench::Harness::new(true, None);
+    h.verbose = true;
+    locality_repro::bench::run_all(&mut h);
+    print!("{}", locality_repro::bench::to_json(h.results()));
+}

@@ -1,0 +1,102 @@
+//! `bench`: offline hot-path microbenchmarks (see
+//! [`locality_repro::bench`]).
+//!
+//! ```text
+//! bench [--full] [--filter SUBSTR] [--save FILE]
+//! bench --merge BEFORE AFTER --out FILE
+//! ```
+//!
+//! The first form runs the groups (quick mode unless `--full`) and
+//! prints — or `--save`s — the flat `{"group/name": median_ns}` JSON.
+//! The second form merges two such files into the before/after/speedup
+//! document committed as `BENCH_hotpath.json`.
+
+use locality_repro::bench;
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: bench [--full] [--filter SUBSTR] [--save FILE]\n       \
+         bench --merge BEFORE AFTER --out FILE"
+    );
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut quick = true;
+    let mut filter = None;
+    let mut save = None;
+    let mut merge: Option<(String, String)> = None;
+    let mut out = None;
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--full" => quick = false,
+            "--filter" => match it.next() {
+                Some(f) => filter = Some(f),
+                None => return usage(),
+            },
+            "--save" => match it.next() {
+                Some(f) => save = Some(f),
+                None => return usage(),
+            },
+            "--merge" => match (it.next(), it.next()) {
+                (Some(b), Some(a)) => merge = Some((b, a)),
+                _ => return usage(),
+            },
+            "--out" => match it.next() {
+                Some(f) => out = Some(f),
+                None => return usage(),
+            },
+            "--help" | "-h" => {
+                usage();
+                return ExitCode::SUCCESS;
+            }
+            _ => return usage(),
+        }
+    }
+
+    if let Some((before_path, after_path)) = merge {
+        let Some(out) = out else { return usage() };
+        let load = |path: &str| {
+            std::fs::read_to_string(path)
+                .map_err(|e| format!("{path}: {e}"))
+                .and_then(|t| bench::parse_flat_json(&t).map_err(|e| format!("{path}: {e}")))
+        };
+        match (load(&before_path), load(&after_path)) {
+            (Ok(before), Ok(after)) => {
+                let doc = bench::merge_report(&before, &after);
+                if let Err(e) = std::fs::write(&out, doc) {
+                    eprintln!("bench: write {out}: {e}");
+                    return ExitCode::FAILURE;
+                }
+                println!("wrote {out}");
+                ExitCode::SUCCESS
+            }
+            (Err(e), _) | (_, Err(e)) => {
+                eprintln!("bench: {e}");
+                ExitCode::FAILURE
+            }
+        }
+    } else {
+        let mut h = bench::Harness::new(quick, filter);
+        h.verbose = true;
+        bench::run_all(&mut h);
+        let doc = bench::to_json(h.results());
+        match save {
+            Some(path) => {
+                if let Err(e) = std::fs::write(&path, doc) {
+                    eprintln!("bench: write {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+                println!("wrote {path}");
+                ExitCode::SUCCESS
+            }
+            None => {
+                print!("{doc}");
+                ExitCode::SUCCESS
+            }
+        }
+    }
+}

@@ -264,6 +264,9 @@ impl PredictionProbe {
 
 struct PredictionHook {
     probe: Rc<RefCell<PredictionProbe>>,
+    /// Reused across samples so the per-switch E-cache scan stays
+    /// allocation-free once warmed up.
+    scratch: locality_sim::FootprintScratch,
 }
 
 impl EngineHook for PredictionHook {
@@ -271,7 +274,8 @@ impl EngineHook for PredictionHook {
         let Some(predicted) = view.sched.expected_footprint(event.cpu, event.tid) else {
             return;
         };
-        let observed = view.machine.l2_footprint_lines(event.cpu, event.tid) as f64;
+        view.machine.l2_footprints_into(event.cpu, &mut self.scratch);
+        let observed = self.scratch.lines(event.tid) as f64;
         let mut p = self.probe.borrow_mut();
         p.sum_abs_err += (predicted - observed).abs();
         p.sum_observed += observed;
@@ -316,7 +320,7 @@ pub fn fault_cell(
         engine.machine_mut().install_fault(config);
     }
     let probe = Rc::new(RefCell::new(PredictionProbe::default()));
-    engine.add_hook(Box::new(PredictionHook { probe: probe.clone() }));
+    engine.add_hook(Box::new(PredictionHook { probe: probe.clone(), scratch: Default::default() }));
     tasks::spawn_parallel(&mut engine, &params);
     let report = engine.run()?;
     let recovered = report.degraded_intervals > 0 && !engine.scheduler().is_degraded();

@@ -20,6 +20,7 @@
 //! | `analyze` | race detection, lock-order cycles, and annotation lints over the deterministic racy/clean fixture pair (exit 1 on confirmed races; `--workload clean\|racy\|all`) |
 //! | `trace` | locality-trace observability: JSONL + Chrome `trace_event` exports and aggregated trace-metrics CSVs for a monitored app (`--workload APP\|all`, `--policy fcfs\|lff\|crt`; needs the `trace` feature) |
 //! | `trace-bench` | tracing-overhead bench: asserts the sink stays under its overhead budget (instrumented builds) or that instrumentation is fully compiled out (default builds) |
+//! | `bench` | offline hot-path microbenchmarks mirroring the criterion groups (`--save FILE` for flat medians, `--merge BEFORE AFTER` to assemble `BENCH_hotpath.json`) |
 //!
 //! Every binary prints aligned text tables and writes CSV files under
 //! `results/` (change with `--out DIR`). `--scale small` runs scaled-down
@@ -37,6 +38,7 @@
 
 pub mod analyze;
 pub mod args;
+pub mod bench;
 pub mod error;
 pub mod experiments;
 pub mod faults;

@@ -81,6 +81,9 @@ struct MonitorHook {
     tid: ThreadId,
     out: Rc<RefCell<Vec<Sample>>>,
     cum_misses: u64,
+    /// Reused across samples so the per-switch E-cache scan stays
+    /// allocation-free once warmed up.
+    scratch: locality_sim::FootprintScratch,
 }
 
 impl EngineHook for MonitorHook {
@@ -89,7 +92,8 @@ impl EngineHook for MonitorHook {
             return;
         }
         self.cum_misses += ev.delta.misses;
-        let observed = view.machine.l2_footprint_lines(ev.cpu, self.tid) as f64;
+        view.machine.l2_footprints_into(ev.cpu, &mut self.scratch);
+        let observed = self.scratch.lines(self.tid) as f64;
         let predicted = view.sched.expected_footprint(ev.cpu, self.tid).unwrap_or(0.0);
         let instructions = view.machine.cpu_stats(ev.cpu).instructions;
         self.out.borrow_mut().push(Sample {
@@ -150,7 +154,12 @@ pub fn monitor_app_seeded(
     let mut engine = Engine::new(config, SchedPolicy::Lff, EngineConfig::default())?;
     let tid = app.spawn_single_seeded(&mut engine, seed);
     let out = Rc::new(RefCell::new(Vec::new()));
-    engine.add_hook(Box::new(MonitorHook { tid, out: out.clone(), cum_misses: 0 }));
+    engine.add_hook(Box::new(MonitorHook {
+        tid,
+        out: out.clone(),
+        cum_misses: 0,
+        scratch: Default::default(),
+    }));
     engine.run()?;
     let samples = out.borrow().clone();
     Ok(MonitorTrace { app: app.name(), samples })
@@ -219,7 +228,12 @@ mod tests {
             &locality_workloads::merge::MergeParams::small(),
         );
         let out = Rc::new(RefCell::new(Vec::new()));
-        engine.add_hook(Box::new(MonitorHook { tid, out: out.clone(), cum_misses: 0 }));
+        engine.add_hook(Box::new(MonitorHook {
+            tid,
+            out: out.clone(),
+            cum_misses: 0,
+            scratch: Default::default(),
+        }));
         engine.run().unwrap();
         let samples = out.borrow();
         assert!(samples.len() > 3);

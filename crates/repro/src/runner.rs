@@ -287,9 +287,9 @@ pub fn execute(kind: &RunKind) -> Result<RunOutput, ReproError> {
             let (flops, lookups, ns_per_op) = experiments::update_cost_cell(policy, case);
             Ok(RunOutput::UpdateCost { flops, lookups, ns_per_op })
         }
-        RunKind::TraceMetrics { app, policy, seed } => {
-            Ok(RunOutput::TraceSummary(Box::new(crate::trace::trace_metrics_cell(app, policy, seed)?)))
-        }
+        RunKind::TraceMetrics { app, policy, seed } => Ok(RunOutput::TraceSummary(Box::new(
+            crate::trace::trace_metrics_cell(app, policy, seed)?,
+        ))),
     }
 }
 

@@ -112,6 +112,9 @@ fn feature_gate() -> Result<(), ReproError> {
 /// [`PredictionSample`]: locality_trace::TraceEvent::PredictionSample
 struct PredictionSampler {
     tid: ThreadId,
+    /// Reused across samples so the per-switch E-cache scan stays
+    /// allocation-free once warmed up.
+    scratch: locality_sim::FootprintScratch,
 }
 
 impl EngineHook for PredictionSampler {
@@ -119,11 +122,15 @@ impl EngineHook for PredictionSampler {
         if ev.tid != self.tid {
             return;
         }
-        locality_trace::emit_with(|| locality_trace::TraceEvent::PredictionSample {
-            cpu: ev.cpu as u32,
-            tid: self.tid.0,
-            observed: view.machine.l2_footprint_lines(ev.cpu, self.tid) as f64,
-            predicted: view.sched.expected_footprint(ev.cpu, self.tid).unwrap_or(0.0),
+        let scratch = &mut self.scratch;
+        locality_trace::emit_with(|| {
+            view.machine.l2_footprints_into(ev.cpu, scratch);
+            locality_trace::TraceEvent::PredictionSample {
+                cpu: ev.cpu as u32,
+                tid: self.tid.0,
+                observed: scratch.lines(self.tid) as f64,
+                predicted: view.sched.expected_footprint(ev.cpu, self.tid).unwrap_or(0.0),
+            }
         });
     }
 }
@@ -141,7 +148,10 @@ pub fn traced_run(app: App, policy: PolicyId, seed: u64) -> Result<TracedRun, Re
     let config = MachineConfig::ultra1().with_placement(locality_sim::PagePlacement::bin_hopping());
     let mut engine = Engine::new(config, policy.to_sched(), EngineConfig::default())?;
     let tid = app.spawn_single_seeded(&mut engine, seed);
-    engine.add_hook(Box::new(PredictionSampler { tid }));
+    engine.add_hook(Box::new(PredictionSampler {
+        tid,
+        scratch: locality_sim::FootprintScratch::new(),
+    }));
     locality_trace::install(locality_trace::sink::DEFAULT_CAPACITY);
     let run = engine.run();
     let sink = locality_trace::take().expect("sink installed above");

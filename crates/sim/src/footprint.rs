@@ -1,0 +1,161 @@
+//! Reusable, slot-indexed scratch for ground-truth footprint scans.
+//!
+//! [`Machine::l2_footprints`](crate::machine::Machine::l2_footprints)
+//! returns a fresh `BTreeMap` and allocates an owner list per resident
+//! line — fine for tests, too heavy for monitoring hooks that scan the
+//! E-cache at **every context switch**. [`FootprintScratch`] is the
+//! steady-state-allocation-free alternative: owner thread ids are
+//! interned into dense slots (a scratch-local
+//! [`ThreadSlots`](locality_core::ThreadSlots) registry), counts live in
+//! a slot-indexed `Vec`, and every buffer is reused across scans.
+//!
+//! ```
+//! use locality_sim::{FootprintScratch, Machine, MachineConfig};
+//! use locality_sim::machine::AccessKind;
+//! use locality_core::ThreadId;
+//!
+//! let mut m = Machine::new(MachineConfig::ultra1());
+//! let a = m.alloc(4096, 64);
+//! m.register_region(ThreadId(1), a, 4096);
+//! for i in (0..4096u64).step_by(64) {
+//!     m.access(0, a.offset(i), AccessKind::Read);
+//! }
+//! let mut scratch = FootprintScratch::new();
+//! m.l2_footprints_into(0, &mut scratch);
+//! assert_eq!(scratch.lines(ThreadId(1)), 64);
+//! ```
+
+use locality_core::{ThreadId, ThreadSlots};
+
+/// Reusable output buffer for [`Machine::l2_footprints_into`].
+///
+/// Holds the per-thread resident-line counts of the most recent scan.
+/// Thread ids seen across scans are interned once; subsequent scans
+/// reuse the slot, so a scratch that has warmed up performs no
+/// allocation at all.
+///
+/// [`Machine::l2_footprints_into`]: crate::machine::Machine::l2_footprints_into
+#[derive(Debug, Clone, Default)]
+pub struct FootprintScratch {
+    /// Scratch-local interning of owner ids (never released: a stale
+    /// thread simply keeps a zero count).
+    slots: ThreadSlots,
+    /// Slot-indexed resident-line counts of the current scan.
+    counts: Vec<u64>,
+    /// Slots with a non-zero count this scan, in first-touch order.
+    touched: Vec<(u32, ThreadId)>,
+    /// Per-line owner list, loaned to the scan via
+    /// [`take_owner_buf`](Self::take_owner_buf).
+    owners: Vec<ThreadId>,
+}
+
+impl FootprintScratch {
+    /// Creates an empty scratch.
+    pub fn new() -> Self {
+        FootprintScratch::default()
+    }
+
+    /// Resident lines of `tid` in the most recent scan (zero if the
+    /// thread owned nothing).
+    pub fn lines(&self, tid: ThreadId) -> u64 {
+        match self.slots.lookup(tid) {
+            Some(slot) => self.counts.get(slot.index()).copied().unwrap_or(0),
+            None => 0,
+        }
+    }
+
+    /// Number of threads with at least one resident line in the most
+    /// recent scan.
+    pub fn thread_count(&self) -> usize {
+        self.touched.len()
+    }
+
+    /// The `(thread, lines)` pairs of the most recent scan, sorted by
+    /// thread id (control path: collects and sorts).
+    pub fn to_sorted(&self) -> Vec<(ThreadId, u64)> {
+        let mut out: Vec<(ThreadId, u64)> =
+            self.touched.iter().map(|&(i, tid)| (tid, self.counts[i as usize])).collect();
+        out.sort_unstable_by_key(|&(tid, _)| tid);
+        out
+    }
+
+    /// Resets the counts of the previous scan (sparse reset: only slots
+    /// that were touched are zeroed).
+    pub(crate) fn begin(&mut self) {
+        for &(i, _) in &self.touched {
+            self.counts[i as usize] = 0;
+        }
+        self.touched.clear();
+    }
+
+    /// Loans out the per-line owner buffer (return it with
+    /// [`restore_owner_buf`](Self::restore_owner_buf)).
+    pub(crate) fn take_owner_buf(&mut self) -> Vec<ThreadId> {
+        std::mem::take(&mut self.owners)
+    }
+
+    /// Returns the loaned owner buffer for reuse by the next scan.
+    pub(crate) fn restore_owner_buf(&mut self, buf: Vec<ThreadId>) {
+        self.owners = buf;
+    }
+
+    /// Credits one resident line to every owner in `owners`.
+    pub(crate) fn tally(&mut self, owners: &[ThreadId]) {
+        for &tid in owners {
+            let slot = self.slots.bind(tid);
+            let i = slot.index();
+            if i >= self.counts.len() {
+                self.counts.resize(i + 1, 0);
+            }
+            if self.counts[i] == 0 {
+                self.touched.push((i as u32, tid));
+            }
+            self.counts[i] += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(i: u64) -> ThreadId {
+        ThreadId(i)
+    }
+
+    #[test]
+    fn tally_counts_and_resets() {
+        let mut s = FootprintScratch::new();
+        s.begin();
+        s.tally(&[t(1), t(2)]);
+        s.tally(&[t(1)]);
+        assert_eq!(s.lines(t(1)), 2);
+        assert_eq!(s.lines(t(2)), 1);
+        assert_eq!(s.lines(t(3)), 0);
+        assert_eq!(s.thread_count(), 2);
+        // A new scan fully forgets the previous one.
+        s.begin();
+        s.tally(&[t(3)]);
+        assert_eq!(s.lines(t(1)), 0);
+        assert_eq!(s.lines(t(3)), 1);
+        assert_eq!(s.thread_count(), 1);
+    }
+
+    #[test]
+    fn to_sorted_orders_by_thread_id() {
+        let mut s = FootprintScratch::new();
+        s.begin();
+        s.tally(&[t(9)]);
+        s.tally(&[t(2), t(9)]);
+        assert_eq!(s.to_sorted(), vec![(t(2), 1), (t(9), 2)]);
+    }
+
+    #[test]
+    fn owner_buf_round_trips() {
+        let mut s = FootprintScratch::new();
+        let mut buf = s.take_owner_buf();
+        buf.push(t(5));
+        s.restore_owner_buf(buf);
+        assert_eq!(s.take_owner_buf(), vec![t(5)]);
+    }
+}

@@ -55,6 +55,7 @@ pub mod cml;
 pub mod config;
 pub mod counters;
 pub mod faults;
+pub mod footprint;
 pub mod hierarchy;
 pub mod machine;
 pub mod paging;
@@ -69,6 +70,7 @@ pub use config::{CacheLatencies, HierarchyConfig, MachineConfig};
 pub use counters::Pic;
 pub use error::SimError;
 pub use faults::{FaultConfig, FaultInjector, FaultKind, FaultWindow};
+pub use footprint::FootprintScratch;
 pub use machine::{AccessKind, Machine};
 pub use paging::PagePlacement;
 pub use regions::RegionTable;

@@ -8,13 +8,17 @@ use crate::config::MachineConfig;
 use crate::counters::{Pic, PicDelta};
 use crate::error::SimError;
 use crate::faults::{FaultConfig, FaultInjector};
+use crate::footprint::FootprintScratch;
 use crate::hierarchy::{CpuCache, HierAccess};
 use crate::paging::PageTable;
 use crate::regions::RegionTable;
 use crate::stats::{CpuStats, ThreadStats};
 use crate::trace::Trace;
-use locality_core::ThreadId;
+use locality_core::{ThreadId, ThreadSlots};
 use std::collections::{BTreeMap, HashMap};
+
+/// `running_slot` sentinel: no thread attributed on this processor.
+const IDLE_SLOT: u32 = u32::MAX;
 
 /// The kind of a memory access issued by a thread.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -50,11 +54,22 @@ pub struct Machine {
     page_table: PageTable,
     allocator: SimAllocator,
     regions: RegionTable,
-    /// Coherence directory: physical L2 line → bitmask of holders.
-    directory: HashMap<u64, u64>,
-    running: Vec<Option<ThreadId>>,
+    /// Coherence directory: flat `physical L2 line → bitmask of holders`.
+    /// Physical line numbers are dense (frames are allocated `bin +
+    /// bins·fill`), so the access path indexes instead of hashing; the
+    /// vector grows on fill, and an absent entry means "no holders".
+    directory: Vec<u64>,
+    /// Per-cpu slot index of the attributed thread ([`IDLE_SLOT`] while
+    /// idle), resolved once in [`set_running`](Self::set_running) so the
+    /// access path never touches the slot registry's map.
+    running_slot: Vec<u32>,
+    /// Dense slot registry over threads with live statistics.
+    slots: ThreadSlots,
     cpu_stats: Vec<CpuStats>,
-    thread_stats: HashMap<ThreadId, ThreadStats>,
+    /// Slot-indexed statistics of live threads.
+    thread_stats: Vec<ThreadStats>,
+    /// Cold storage for retired threads' statistics (slot recycled).
+    retired_stats: HashMap<ThreadId, ThreadStats>,
     tracer: Option<Trace>,
     cml: Option<Vec<Cml>>,
     /// Installed counter-fault injector (see [`crate::faults`]).
@@ -86,13 +101,17 @@ impl Machine {
             PageTable::new(config.page_bytes, config.l2_page_bins(), config.placement.clone());
         Ok(Machine {
             cpu_stats: vec![CpuStats::default(); config.cpus],
-            thread_stats: HashMap::new(),
-            running: vec![None; config.cpus],
+            thread_stats: Vec::new(),
+            retired_stats: HashMap::new(),
+            slots: ThreadSlots::new(),
+            running_slot: vec![IDLE_SLOT; config.cpus],
             cpus,
             page_table,
             allocator: SimAllocator::new(),
             regions: RegionTable::new(),
-            directory: HashMap::new(),
+            // One cache's worth of lines up front; fills past that grow
+            // the vector amortized.
+            directory: vec![0; config.l2_lines()],
             tracer: None,
             cml: None,
             faults: None,
@@ -175,10 +194,46 @@ impl Machine {
         self.regions.remove_thread(tid);
     }
 
+    /// Retires `tid` from every hot-path table: regions are dropped,
+    /// the statistics slot is recycled (the accumulated numbers move to
+    /// cold storage and stay visible through
+    /// [`thread_stats`](Self::thread_stats)), and any processor still
+    /// attributing to the slot goes idle.
+    pub fn retire_thread(&mut self, tid: ThreadId) {
+        self.remove_thread_regions(tid);
+        if let Some(slot) = self.slots.release(tid) {
+            let index = slot.index();
+            let stats = std::mem::take(&mut self.thread_stats[index]);
+            self.retired_stats.insert(tid, stats);
+            for rs in &mut self.running_slot {
+                if *rs == index as u32 {
+                    *rs = IDLE_SLOT;
+                }
+            }
+        }
+    }
+
+    /// Binds `tid` to a statistics slot, zeroing a recycled slot's
+    /// entry (and restoring cold stats if the thread was retired).
+    fn stats_slot(&mut self, tid: ThreadId) -> usize {
+        let fresh = self.slots.lookup(tid).is_none();
+        let index = self.slots.bind(tid).index();
+        if fresh {
+            if index >= self.thread_stats.len() {
+                self.thread_stats.resize(index + 1, ThreadStats::default());
+            }
+            self.thread_stats[index] = self.retired_stats.remove(&tid).unwrap_or_default();
+        }
+        index
+    }
+
     /// Declares which thread is running on `cpu` (attribution for
     /// per-thread statistics; `None` while idle).
     pub fn set_running(&mut self, cpu: usize, tid: Option<ThreadId>) {
-        self.running[cpu] = tid;
+        self.running_slot[cpu] = match tid {
+            Some(tid) => self.stats_slot(tid) as u32,
+            None => IDLE_SLOT,
+        };
     }
 
     /// Performs one memory access on `cpu` and returns its cost in cycles.
@@ -197,7 +252,7 @@ impl Machine {
         // Check for remote holders before the local fill updates the
         // directory (this decides the E5000's 50-vs-80-cycle split).
         let me = 1u64 << cpu;
-        let holders_before = self.directory.get(&pline2).copied().unwrap_or(0);
+        let holders_before = self.directory_mask(pline2);
         let outcome = self.cpus[cpu].access(pa.0, kind.into());
         let remote = outcome.l2_ref && !outcome.l2_hit && (holders_before & !me) != 0;
 
@@ -206,12 +261,12 @@ impl Machine {
             self.directory_clear(ev.pline, cpu);
         }
         if let Some(fill) = outcome.change.filled {
-            *self.directory.entry(fill).or_insert(0) |= me;
+            self.directory_set(fill, me);
         }
 
         // Write-invalidate coherence: a store purges every other copy.
         if kind == AccessKind::Write {
-            let holders = self.directory.get(&pline2).copied().unwrap_or(0) & !me;
+            let holders = self.directory_mask(pline2) & !me;
             if holders != 0 {
                 for other in 0..self.cpu_count() {
                     if holders & (1 << other) != 0 {
@@ -264,8 +319,9 @@ impl Machine {
                 }
             }
         }
-        if let Some(tid) = self.running[cpu] {
-            let ts = self.thread_stats.entry(tid).or_default();
+        let slot = self.running_slot[cpu];
+        if slot != IDLE_SLOT {
+            let ts = &mut self.thread_stats[slot as usize];
             ts.accesses += 1;
             ts.instructions += 1;
             ts.mem_cycles += cycles;
@@ -284,12 +340,25 @@ impl Machine {
         cycles
     }
 
+    /// Holder mask of a physical line (0 = not cached anywhere).
+    #[inline]
+    fn directory_mask(&self, pline: u64) -> u64 {
+        self.directory.get(pline as usize).copied().unwrap_or(0)
+    }
+
+    /// ORs `bits` into a line's holder mask, growing the table on the
+    /// first fill past its end.
+    fn directory_set(&mut self, pline: u64, bits: u64) {
+        let index = pline as usize;
+        if index >= self.directory.len() {
+            self.directory.resize(index + 1, 0);
+        }
+        self.directory[index] |= bits;
+    }
+
     fn directory_clear(&mut self, pline: u64, cpu: usize) {
-        if let Some(mask) = self.directory.get_mut(&pline) {
+        if let Some(mask) = self.directory.get_mut(pline as usize) {
             *mask &= !(1u64 << cpu);
-            if *mask == 0 {
-                self.directory.remove(&pline);
-            }
         }
     }
 
@@ -297,8 +366,9 @@ impl Machine {
     /// to the running thread.
     pub fn note_instructions(&mut self, cpu: usize, n: u64) {
         self.cpu_stats[cpu].instructions += n;
-        if let Some(tid) = self.running[cpu] {
-            self.thread_stats.entry(tid).or_default().instructions += n;
+        let slot = self.running_slot[cpu];
+        if slot != IDLE_SLOT {
+            self.thread_stats[slot as usize].instructions += n;
         }
     }
 
@@ -388,9 +458,14 @@ impl Machine {
         self.cpu_stats[cpu]
     }
 
-    /// Cumulative statistics of `tid` (zero if it never ran).
+    /// Cumulative statistics of `tid` (zero if it never ran). Retired
+    /// threads (see [`retire_thread`](Self::retire_thread)) keep
+    /// reporting their final numbers from cold storage.
     pub fn thread_stats(&self, tid: ThreadId) -> ThreadStats {
-        self.thread_stats.get(&tid).copied().unwrap_or_default()
+        match self.slots.lookup(tid) {
+            Some(slot) => self.thread_stats[slot.index()],
+            None => self.retired_stats.get(&tid).copied().unwrap_or_default(),
+        }
     }
 
     /// Total E-cache misses over all processors.
@@ -421,16 +496,26 @@ impl Machine {
     /// Ground-truth footprints of *all* threads with state in `cpu`'s
     /// E-cache (a resident line shared by several threads counts for each).
     pub fn l2_footprints(&self, cpu: usize) -> BTreeMap<ThreadId, u64> {
+        let mut scratch = FootprintScratch::new();
+        self.l2_footprints_into(cpu, &mut scratch);
+        scratch.to_sorted().into_iter().collect()
+    }
+
+    /// [`l2_footprints`](Self::l2_footprints) into a reusable
+    /// [`FootprintScratch`]: the same full E-cache scan, but slot-indexed
+    /// and allocation-free once the scratch has warmed up — cheap enough
+    /// for monitoring hooks that sample at every context switch.
+    pub fn l2_footprints_into(&self, cpu: usize, out: &mut FootprintScratch) {
         let line = self.config.hierarchy.l2.line_bytes;
-        let mut out = BTreeMap::new();
+        out.begin();
+        let mut owners = out.take_owner_buf();
         for pl in self.cpus[cpu].l2().iter_resident() {
             if let Some(va) = self.page_table.reverse(PAddr(pl * line)) {
-                for tid in self.regions.owners_in_range(va, line) {
-                    *out.entry(tid).or_insert(0) += 1;
-                }
+                self.regions.owners_in_range_into(va, line, &mut owners);
+                out.tally(&owners);
             }
         }
-        out
+        out.restore_owner_buf(owners);
     }
 
     /// Resident L2 lines on `cpu` (all threads plus unattributed lines).
@@ -711,6 +796,61 @@ mod tests {
         assert_eq!(m.pic_take_interval(0).unwrap_err(), SimError::CounterTrap { cpu: 0 });
         // Third read succeeds and reports the *whole* accumulated span.
         assert_eq!(m.pic_take_interval(0).unwrap().refs, 8, "no counts lost across traps");
+    }
+
+    #[test]
+    fn retired_stats_survive_slot_recycling() {
+        let mut m = Machine::new(MachineConfig::ultra1());
+        m.set_running(0, Some(t(1)));
+        let a = m.alloc(64 * 8, 64);
+        for i in 0..8u64 {
+            m.access(0, a.offset(i * 64), AccessKind::Read);
+        }
+        m.set_running(0, None);
+        m.retire_thread(t(1));
+        assert_eq!(m.thread_stats(t(1)).l2_misses, 8, "cold storage keeps the numbers");
+        // A younger thread recycling the slot must start from zero.
+        m.set_running(0, Some(t(2)));
+        assert_eq!(m.thread_stats(t(2)), ThreadStats::default());
+        m.access(0, a, AccessKind::Read);
+        assert_eq!(m.thread_stats(t(2)).accesses, 1);
+        assert_eq!(m.thread_stats(t(1)).l2_misses, 8, "retired numbers unchanged");
+    }
+
+    #[test]
+    fn retire_while_running_goes_idle() {
+        let mut m = Machine::new(MachineConfig::ultra1());
+        m.set_running(0, Some(t(1)));
+        let a = m.alloc(64, 64);
+        m.access(0, a, AccessKind::Read);
+        m.retire_thread(t(1));
+        // The access after retirement is attributed to nobody.
+        m.access(0, a.offset(0), AccessKind::Read);
+        assert_eq!(m.thread_stats(t(1)).accesses, 1);
+    }
+
+    #[test]
+    fn footprint_scratch_agrees_with_map_variant() {
+        use crate::footprint::FootprintScratch;
+        let mut m = Machine::new(MachineConfig::ultra1());
+        m.set_running(0, Some(t(1)));
+        let a = m.alloc(4096, 64);
+        m.register_region(t(1), a, 4096);
+        m.register_region(t(2), a.offset(2048), 2048);
+        for i in (0..4096u64).step_by(64) {
+            m.access(0, a.offset(i), AccessKind::Read);
+        }
+        let map = m.l2_footprints(0);
+        let mut scratch = FootprintScratch::new();
+        m.l2_footprints_into(0, &mut scratch);
+        assert_eq!(scratch.to_sorted(), map.into_iter().collect::<Vec<_>>());
+        assert_eq!(scratch.lines(t(1)), m.l2_footprint_lines(0, t(1)));
+        assert_eq!(scratch.lines(t(2)), m.l2_footprint_lines(0, t(2)));
+        // Reusing the scratch after evictions reports the new truth.
+        m.flush_cpu(0);
+        m.l2_footprints_into(0, &mut scratch);
+        assert_eq!(scratch.thread_count(), 0);
+        assert_eq!(scratch.lines(t(1)), 0);
     }
 
     #[test]

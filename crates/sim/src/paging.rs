@@ -15,7 +15,9 @@
 //!   land in different bins.
 
 use crate::addr::{PAddr, VAddr};
-use std::collections::HashMap;
+
+/// Sentinel for "no mapping" in the flat translation tables.
+const UNMAPPED: u64 = u64::MAX;
 
 /// A page-placement policy (chooses the cache bin of each new frame).
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -62,8 +64,13 @@ pub struct PageTable {
     /// Number of page-sized bins in the (physically indexed) L2.
     bins: u64,
     policy: PagePlacement,
-    vpn_to_frame: HashMap<u64, u64>,
-    frame_to_vpn: HashMap<u64, u64>,
+    /// Flat `vpn -> frame` table ([`UNMAPPED`] = never touched). The
+    /// simulated allocator hands out dense low virtual addresses, so a
+    /// plain `Vec` keeps translation — which sits on the per-access hot
+    /// path — a single bounds-checked load instead of a hash probe.
+    vpn_to_frame: Vec<u64>,
+    /// Flat inverse table, same representation.
+    frame_to_vpn: Vec<u64>,
     /// Next frame index within each bin (frames are `bin + bins * i`).
     bin_fill: Vec<u64>,
     /// Bin-hopping cursor.
@@ -92,8 +99,8 @@ impl PageTable {
             page_bytes,
             bins,
             policy,
-            vpn_to_frame: HashMap::new(),
-            frame_to_vpn: HashMap::new(),
+            vpn_to_frame: Vec::new(),
+            frame_to_vpn: Vec::new(),
             bin_fill: vec![0; bins as usize],
             next_bin: 0,
             rng,
@@ -140,33 +147,46 @@ impl PageTable {
     /// Translates a virtual address, faulting a frame in if needed.
     pub fn translate(&mut self, va: VAddr) -> PAddr {
         let vpn = va.page(self.page_bytes);
-        let frame = match self.vpn_to_frame.get(&vpn) {
-            Some(&f) => f,
-            None => {
+        let frame = match self.vpn_to_frame.get(vpn as usize) {
+            Some(&f) if f != UNMAPPED => f,
+            _ => {
                 let f = self.allocate_frame(vpn);
-                self.vpn_to_frame.insert(vpn, f);
-                self.frame_to_vpn.insert(f, vpn);
+                Self::set(&mut self.vpn_to_frame, vpn, f);
+                Self::set(&mut self.frame_to_vpn, f, vpn);
                 f
             }
         };
         PAddr(frame * self.page_bytes + va.page_offset(self.page_bytes))
     }
 
+    fn set(table: &mut Vec<u64>, key: u64, value: u64) {
+        let key = key as usize;
+        if key >= table.len() {
+            table.resize(key + 1, UNMAPPED);
+        }
+        table[key] = value;
+    }
+
+    fn get(table: &[u64], key: u64) -> Option<u64> {
+        match table.get(usize::try_from(key).ok()?) {
+            Some(&v) if v != UNMAPPED => Some(v),
+            _ => None,
+        }
+    }
+
     /// Translates without faulting; `None` if the page was never touched.
     pub fn translate_existing(&self, va: VAddr) -> Option<PAddr> {
         let vpn = va.page(self.page_bytes);
-        self.vpn_to_frame
-            .get(&vpn)
-            .map(|&f| PAddr(f * self.page_bytes + va.page_offset(self.page_bytes)))
+        Self::get(&self.vpn_to_frame, vpn)
+            .map(|f| PAddr(f * self.page_bytes + va.page_offset(self.page_bytes)))
     }
 
     /// Inverse translation of a physical address (for footprint ground
     /// truth); `None` for frames the table never allocated.
     pub fn reverse(&self, pa: PAddr) -> Option<VAddr> {
         let frame = pa.0 / self.page_bytes;
-        self.frame_to_vpn
-            .get(&frame)
-            .map(|&vpn| VAddr(vpn * self.page_bytes + pa.0 % self.page_bytes))
+        Self::get(&self.frame_to_vpn, frame)
+            .map(|vpn| VAddr(vpn * self.page_bytes + pa.0 % self.page_bytes))
     }
 }
 

@@ -118,8 +118,16 @@ impl RegionTable {
     /// The union of owners over `[start, start+bytes)`, sorted.
     pub fn owners_in_range(&self, start: VAddr, bytes: u64) -> Vec<ThreadId> {
         let mut owners = Vec::new();
+        self.owners_in_range_into(start, bytes, &mut owners);
+        owners
+    }
+
+    /// [`owners_in_range`](Self::owners_in_range) into a caller-owned
+    /// buffer (cleared first), so per-line scans reuse one allocation.
+    pub fn owners_in_range_into(&self, start: VAddr, bytes: u64, owners: &mut Vec<ThreadId>) {
+        owners.clear();
         if bytes == 0 {
-            return owners;
+            return;
         }
         let (s, e) = (start.0, start.0 + bytes);
         let mut merge = |seg: &Segment| {
@@ -137,7 +145,6 @@ impl RegionTable {
         for (_, seg) in self.segments.range(s..e) {
             merge(seg);
         }
-        owners
     }
 
     /// Total registered state of `tid`, in bytes.

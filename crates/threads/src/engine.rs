@@ -24,7 +24,9 @@ use crate::report::RunReport;
 use crate::sched::{self, SchedPolicy, Scheduler};
 use crate::sync::{MutexId, SyncTables};
 use crate::thread::{Tcb, ThreadState};
-use locality_core::{CounterSanitizer, SanitizedInterval, SanitizerConfig, SharingGraph, ThreadId};
+use locality_core::{
+    CounterSanitizer, SanitizedInterval, SanitizerConfig, SharingGraph, ThreadId, ThreadSlots,
+};
 use locality_sim::{Machine, MachineConfig, SimError};
 use locality_trace::{emit_with, set_clock, TraceEvent};
 use std::cmp::Reverse;
@@ -66,11 +68,22 @@ impl Default for EngineConfig {
 }
 
 /// The Active Threads runtime over the simulated machine.
-pub struct Engine {
+///
+/// Generic over the scheduler so hot workloads monomorphize the
+/// dispatch loop over a concrete policy type; the default
+/// `Engine<Box<dyn Scheduler>>` (built by [`Engine::new`]) keeps
+/// runtime `--policy` selection working at the binary/CLI boundary.
+pub struct Engine<S: Scheduler = Box<dyn Scheduler>> {
     machine: Machine,
     config: EngineConfig,
-    sched: Box<dyn Scheduler>,
-    threads: HashMap<ThreadId, Tcb>,
+    sched: S,
+    /// Dense slot registry over live threads (slots recycle at exit).
+    slots: ThreadSlots,
+    /// The thread table: a slot-indexed TCB slab arena.
+    tcbs: Vec<Option<Tcb>>,
+    /// Exited threads, moved out of the slab so their slot can recycle
+    /// while joins and post-run counter queries keep working.
+    retired: HashMap<ThreadId, Tcb>,
     sync: SyncTables,
     graph: SharingGraph,
     clocks: Vec<u64>,
@@ -89,7 +102,7 @@ pub struct Engine {
     steps: u64,
 }
 
-impl std::fmt::Debug for Engine {
+impl<S: Scheduler> std::fmt::Debug for Engine<S> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Engine")
             .field("policy", &self.sched.name())
@@ -101,7 +114,8 @@ impl std::fmt::Debug for Engine {
 }
 
 impl Engine {
-    /// Builds an engine over a fresh machine.
+    /// Builds an engine over a fresh machine, with the scheduler chosen
+    /// at runtime (the `dyn` boundary used by the CLI's `--policy`).
     ///
     /// # Errors
     ///
@@ -113,19 +127,32 @@ impl Engine {
         policy: SchedPolicy,
         config: EngineConfig,
     ) -> Result<Self, RuntimeError> {
+        let sched = sched::build(policy, machine.l2_lines(), machine.cpus)?;
+        Ok(Engine::with_scheduler(machine, sched, config))
+    }
+}
+
+impl<S: Scheduler> Engine<S> {
+    /// Builds an engine over a fresh machine with a caller-constructed
+    /// scheduler. Monomorphizes the engine over `S`, eliding the virtual
+    /// dispatch of the default `Box<dyn Scheduler>` engine — the fast
+    /// path for benchmarks and embedded uses that know their policy at
+    /// compile time.
+    pub fn with_scheduler(machine: MachineConfig, sched: S, config: EngineConfig) -> Self {
         let mut machine = Machine::new(machine);
         let cpus = machine.cpu_count();
-        let sched = sched::build(policy, machine.l2_lines(), cpus)?;
         let inference = config.infer_sharing.map(|cfg| {
             machine.enable_cml(cfg.cml_entries);
             SharingInference::new(cfg)
         });
-        Ok(Engine {
+        Engine {
             inference,
             machine,
             config,
             sched,
-            threads: HashMap::new(),
+            slots: ThreadSlots::new(),
+            tcbs: Vec::new(),
+            retired: HashMap::new(),
             sync: SyncTables::new(),
             graph: SharingGraph::new(),
             clocks: vec![0; cpus],
@@ -141,7 +168,7 @@ impl Engine {
             switches: 0,
             corrected_intervals: 0,
             steps: 0,
-        })
+        }
     }
 
     /// The simulated machine (ground truth, allocation, regions).
@@ -177,8 +204,8 @@ impl Engine {
     }
 
     /// The scheduler (e.g. for expected footprints in experiments).
-    pub fn scheduler(&self) -> &dyn Scheduler {
-        self.sched.as_ref()
+    pub fn scheduler(&self) -> &S {
+        &self.sched
     }
 
     /// Counter intervals the sanitizer had to correct so far (plus read
@@ -187,10 +214,13 @@ impl Engine {
         self.corrected_intervals
     }
 
-    /// Looks up a thread's TCB, surfacing a typed error instead of
-    /// panicking when the runtime's tables are inconsistent.
+    /// Looks up a live thread's TCB in the slab, surfacing a typed error
+    /// instead of panicking when the runtime's tables are inconsistent.
     fn tcb_mut(&mut self, tid: ThreadId) -> Result<&mut Tcb, RuntimeError> {
-        self.threads.get_mut(&tid).ok_or(RuntimeError::UnknownThread { thread: tid })
+        self.slots
+            .lookup(tid)
+            .and_then(|slot| self.tcbs[slot.index()].as_mut())
+            .ok_or(RuntimeError::UnknownThread { thread: tid })
     }
 
     /// The synchronization tables (pre-creating objects before a run).
@@ -248,7 +278,13 @@ impl Engine {
 
     fn admit(&mut self, spawn: PendingSpawn) {
         let tcb = Tcb::new(spawn.tid, spawn.program);
-        self.threads.insert(spawn.tid, tcb);
+        let slot = self.slots.bind(spawn.tid);
+        let i = slot.index();
+        if i >= self.tcbs.len() {
+            self.tcbs.resize_with(i + 1, || None);
+        }
+        debug_assert!(self.tcbs[i].is_none(), "slot {i} recycled with a live TCB");
+        self.tcbs[i] = Some(tcb);
         self.live += 1;
         self.sched.on_spawn(spawn.tid);
     }
@@ -377,8 +413,9 @@ impl Engine {
                 // either, the remaining threads are deadlocked.
                 if self.sched.ready_count() == 0 {
                     let mut blocked: Vec<ThreadId> = self
-                        .threads
-                        .values()
+                        .tcbs
+                        .iter()
+                        .flatten()
                         .filter(|t| t.state == ThreadState::Blocked)
                         .map(|t| t.id)
                         .collect();
@@ -535,14 +572,18 @@ impl Engine {
             }
             Control::Join(target) => {
                 let exited = {
-                    let Some(t) = self.threads.get_mut(&target) else {
-                        return Err(RuntimeError::UnknownThread { thread: target });
-                    };
-                    if t.exited() {
-                        true
-                    } else {
-                        t.join_waiters.push(tid);
-                        false
+                    let live =
+                        self.slots.lookup(target).and_then(|slot| self.tcbs[slot.index()].as_mut());
+                    match live {
+                        Some(t) if t.exited() => true,
+                        Some(t) => {
+                            t.join_waiters.push(tid);
+                            false
+                        }
+                        // Exited threads leave the slab so their slot can
+                        // recycle; joins on them complete immediately.
+                        None if self.retired.contains_key(&target) => true,
+                        None => return Err(RuntimeError::UnknownThread { thread: target }),
                     }
                 };
                 if exited {
@@ -643,6 +684,9 @@ impl Engine {
             }
         }
         // Model updates: case 1 for the blocker, case 3 for dependents.
+        // Compact the annotation graph first so the scheduler's dependent
+        // walks hit the CSR fast path instead of the edit overlay.
+        self.graph.compact();
         self.sched.on_interval_end(cpu, tid, delta, &self.graph);
         // Trace the finished interval *after* the model updates — the
         // same post-update state the hooks (and the Figure 5/7 monitors)
@@ -670,7 +714,7 @@ impl Engine {
                 clock: self.clocks[cpu],
                 switch_index: self.switches,
             };
-            let view = EngineView { machine: &self.machine, sched: self.sched.as_ref() };
+            let view = EngineView { machine: &self.machine, sched: &self.sched };
             for h in &mut hooks {
                 h.on_context_switch(&event, &view);
             }
@@ -700,17 +744,29 @@ impl Engine {
         }
         self.graph.remove_thread(tid);
         self.sched.on_exit(tid);
-        self.machine.remove_thread_regions(tid);
+        self.machine.retire_thread(tid);
         self.sanitizer.forget(tid);
         if let Some(inference) = &mut self.inference {
             inference.forget(tid);
+        }
+        // Release the slot so it can recycle, moving the TCB to the
+        // retired table: joins on an exited thread and post-run counter
+        // queries keep working without pinning slab capacity.
+        if let Some(slot) = self.slots.release(tid) {
+            if let Some(tcb) = self.tcbs[slot.index()].take() {
+                self.retired.insert(tid, tcb);
+            }
         }
         Ok(())
     }
 
     /// Per-thread runtime counters `(switches, batches)`.
     pub fn thread_counters(&self, tid: ThreadId) -> Option<(u64, u64)> {
-        self.threads.get(&tid).map(|t| (t.switches, t.batches))
+        self.slots
+            .lookup(tid)
+            .and_then(|slot| self.tcbs[slot.index()].as_ref())
+            .or_else(|| self.retired.get(&tid))
+            .map(|t| (t.switches, t.batches))
     }
 }
 

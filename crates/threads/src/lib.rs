@@ -81,7 +81,7 @@ pub use inference::{InferenceConfig, SharingInference};
 pub use observe::{ObsEvent, ObsLog};
 pub use program::{BatchCtx, Control, Program};
 pub use report::RunReport;
-pub use sched::SchedPolicy;
+pub use sched::{SchedPolicy, Scheduler};
 pub use sync::{BarrierId, CondId, MutexId, SemId};
 
 pub use locality_core::{CpuId, PolicyKind, ThreadId};

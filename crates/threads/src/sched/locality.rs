@@ -2,7 +2,7 @@
 //!
 //! Structure per the paper's implementation notes:
 //!
-//! * one **binary heap per processor** keyed by the policy priority
+//! * one **priority heap per processor** keyed by the policy priority
 //!   (equivalently: expected footprint for LFF, reload ratio for CRT);
 //! * threads whose expected footprint on a processor drops below a
 //!   **threshold** are removed from that heap to bound heap sizes; a
@@ -14,6 +14,22 @@
 //!   priority updates (blocker + annotation dependents); ready dependents
 //!   whose footprint just crossed the threshold are *promoted* from the
 //!   global queue into the processor's heap.
+//!
+//! ## Data layout
+//!
+//! The scheduler interns every spawned thread into a dense slot via its
+//! own [`ThreadSlots`] registry (released at exit, recycled with a fresh
+//! generation). All per-thread dispatch state — ready flag, heap
+//! membership bitmask, queue epochs — lives in one slot-indexed
+//! `Vec<Option<SlotState>>`, and the per-processor heaps are
+//! slot-indexed too, so everything past the single `ThreadId → slot`
+//! lookup at each entry point is plain vector indexing. The global and
+//! arrival FIFOs use **lazy deletion**: dequeuing from the middle just
+//! flips the slot's flag (bumping an epoch on re-enqueue defeats ABA),
+//! and stale entries are skipped at pop time or swept out when a queue
+//! grows past twice its live population. Ties and orderings are always
+//! [`ThreadId`]-based — never slot-based, which is recycling-dependent —
+//! so the dispatch sequence is identical to an eagerly-maintained queue.
 //!
 //! ## Graceful degradation
 //!
@@ -41,13 +57,17 @@ use crate::heap::PrioHeap;
 use crate::RuntimeError;
 use locality_core::{
     CpuId, EstimatorConfig, LocalityEstimator, ModelParams, PolicyKind, SanitizedInterval,
-    SharingGraph, ThreadId,
+    SharingGraph, SlotId, ThreadId, ThreadSlots,
 };
 use locality_trace::{emit_with, TraceEvent};
-use std::collections::{HashMap, HashSet, VecDeque};
+use std::collections::VecDeque;
 
 /// Smoothing factor of the machine-wide confidence EWMA.
 const CONF_ALPHA: f64 = 0.25;
+
+/// A lazily-deleted FIFO is swept when it grows past
+/// `2 * ready_members + COMPACT_SLACK` entries.
+const COMPACT_SLACK: usize = 32;
 
 /// Whether the scheduler currently trusts counter-derived priorities.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -100,23 +120,47 @@ impl LocalityConfig {
     }
 }
 
+/// Per-slot dispatch state. A ready thread is in exactly one of two
+/// places: at least one per-processor heap (`heap_mask != 0`) or the
+/// global FIFO (`in_global`). The epochs validate lazily-deleted FIFO
+/// entries: an entry is live only while the slot's flag is set *and* the
+/// epoch recorded at enqueue time still matches (a re-enqueue bumps it).
+#[derive(Debug, Clone, Copy)]
+struct SlotState {
+    slot: SlotId,
+    ready: bool,
+    in_global: bool,
+    /// Bitmask of per-processor heaps holding this thread.
+    heap_mask: u64,
+    global_epoch: u64,
+    arrival_epoch: u64,
+}
+
 /// LFF/CRT scheduler over per-processor priority heaps.
 #[derive(Debug)]
 pub struct LocalityScheduler {
     config: LocalityConfig,
     est: LocalityEstimator,
+    /// Dense thread-slot registry (scheduler-internal interning).
+    slots: ThreadSlots,
+    /// Slot-indexed dispatch state (`None` = slot free or never used).
+    states: Vec<Option<SlotState>>,
     heaps: Vec<PrioHeap>,
-    global: VecDeque<ThreadId>,
-    in_global: HashSet<ThreadId>,
-    /// For each ready thread, the bitmask of heaps containing it.
-    heap_mask: HashMap<ThreadId, u64>,
-    /// All ready threads in arrival order (the degraded-mode FIFO).
-    arrival: VecDeque<ThreadId>,
+    /// Footprint-less ready threads, FIFO with lazy deletion:
+    /// `(tid, slot index, global_epoch at enqueue)`.
+    global: VecDeque<(ThreadId, u32, u64)>,
+    /// All ready threads in arrival order (the degraded-mode FIFO), with
+    /// the same lazy-deletion scheme keyed on `arrival_epoch`.
+    arrival: VecDeque<(ThreadId, u32, u64)>,
     /// Per-cpu annotation dependents of the cpu's last blocker, by
     /// descending share weight (degraded-mode preference list).
     preferred: Vec<VecDeque<ThreadId>>,
     empty_graph: SharingGraph,
     mode: SchedMode,
+    /// Monotonic enqueue counter feeding both FIFO epochs.
+    epoch: u64,
+    /// Number of ready threads (each is in heaps XOR the global FIFO).
+    ready_members: usize,
     conf: f64,
     low_streak: u64,
     high_streak: u64,
@@ -147,14 +191,16 @@ impl LocalityScheduler {
         Ok(LocalityScheduler {
             config,
             est,
+            slots: ThreadSlots::new(),
+            states: Vec::new(),
             heaps: (0..cpus).map(|_| PrioHeap::new()).collect(),
             global: VecDeque::new(),
-            in_global: HashSet::new(),
-            heap_mask: HashMap::new(),
             arrival: VecDeque::new(),
             preferred: (0..cpus).map(|_| VecDeque::new()).collect(),
             empty_graph: SharingGraph::new(),
             mode: SchedMode::Normal,
+            epoch: 0,
+            ready_members: 0,
             conf: 1.0,
             low_streak: 0,
             high_streak: 0,
@@ -189,88 +235,172 @@ impl LocalityScheduler {
         self.heaps[cpu].len()
     }
 
-    fn is_ready(&self, tid: ThreadId) -> bool {
-        self.in_global.contains(&tid) || self.heap_mask.contains_key(&tid)
+    /// Interns `tid` into a dense slot, resetting the slot's state on a
+    /// fresh binding (a recycled slot inherits nothing).
+    fn bind(&mut self, tid: ThreadId) -> SlotId {
+        if let Some(slot) = self.slots.lookup(tid) {
+            return slot;
+        }
+        let slot = self.slots.bind(tid);
+        let i = slot.index();
+        if i >= self.states.len() {
+            self.states.resize(i + 1, None);
+        }
+        self.states[i] = Some(SlotState {
+            slot,
+            ready: false,
+            in_global: false,
+            heap_mask: 0,
+            global_epoch: 0,
+            arrival_epoch: 0,
+        });
+        slot
     }
 
-    fn enqueue_ready(&mut self, tid: ThreadId) {
+    fn is_ready(&self, tid: ThreadId) -> bool {
+        self.slots
+            .lookup(tid)
+            .and_then(|slot| self.states[slot.index()].as_ref())
+            .is_some_and(|st| st.ready)
+    }
+
+    fn enqueue_ready(&mut self, tid: ThreadId, slot: SlotId) {
         debug_assert!(!self.is_ready(tid), "{tid} enqueued twice");
-        self.arrival.push_back(tid);
         let mut mask = 0u64;
         for cpu in 0..self.heaps.len() {
             if self.est.expected_footprint(CpuId(cpu), tid) >= self.config.threshold_lines {
-                self.heaps[cpu].push(tid, self.est.priority(CpuId(cpu), tid));
+                self.heaps[cpu].push(tid, slot, self.est.priority(CpuId(cpu), tid));
                 mask |= 1 << cpu;
             }
         }
-        if mask == 0 {
-            self.global.push_back(tid);
-            self.in_global.insert(tid);
+        let i = slot.index();
+        self.epoch += 1;
+        let arrival_epoch = self.epoch;
+        self.arrival.push_back((tid, i as u32, arrival_epoch));
+        let in_global = mask == 0;
+        let global_epoch = if in_global {
+            self.epoch += 1;
+            self.global.push_back((tid, i as u32, self.epoch));
+            self.epoch
         } else {
-            self.heap_mask.insert(tid, mask);
-        }
+            0
+        };
+        let st = self.states[i].as_mut().expect("bound slot has state");
+        st.ready = true;
+        st.heap_mask = mask;
+        st.in_global = in_global;
+        st.arrival_epoch = arrival_epoch;
+        st.global_epoch = global_epoch;
+        self.ready_members += 1;
+        self.maybe_compact();
     }
 
     /// Removes `tid` from every ready structure.
     fn remove_everywhere(&mut self, tid: ThreadId) {
-        if let Some(mask) = self.heap_mask.remove(&tid) {
+        if let Some(slot) = self.slots.lookup(tid) {
+            self.remove_slot(slot);
+        }
+    }
+
+    /// Removes a slot's thread from every ready structure: heaps
+    /// eagerly, the FIFOs lazily (their entries die with the flags).
+    fn remove_slot(&mut self, slot: SlotId) {
+        let i = slot.index();
+        let mask;
+        {
+            let Some(st) = self.states[i].as_mut() else { return };
+            mask = st.heap_mask;
+            st.heap_mask = 0;
+            st.in_global = false;
+            if st.ready {
+                st.ready = false;
+                self.ready_members -= 1;
+            }
+        }
+        if mask != 0 {
             for cpu in 0..self.heaps.len() {
                 if mask & (1 << cpu) != 0 {
-                    self.heaps[cpu].remove(tid);
+                    self.heaps[cpu].remove(slot);
                 }
             }
         }
-        if self.in_global.remove(&tid) {
-            self.global.retain(|&x| x != tid);
+    }
+
+    /// Sweeps stale lazily-deleted entries out of a FIFO once it grows
+    /// past twice its live population (amortized O(1) per enqueue; order
+    /// of live entries is preserved).
+    fn maybe_compact(&mut self) {
+        let cap = 2 * self.ready_members + COMPACT_SLACK;
+        if self.arrival.len() > cap {
+            let states = &self.states;
+            self.arrival.retain(|&(_, idx, ep)| {
+                matches!(states.get(idx as usize), Some(Some(st)) if st.ready && st.arrival_epoch == ep)
+            });
         }
-        self.arrival.retain(|&x| x != tid);
+        if self.global.len() > cap {
+            let states = &self.states;
+            self.global.retain(|&(_, idx, ep)| {
+                matches!(states.get(idx as usize), Some(Some(st)) if st.in_global && st.global_epoch == ep)
+            });
+        }
+    }
+
+    /// Moves a slot's thread to the global FIFO (it is in no heap).
+    fn push_global(&mut self, tid: ThreadId, i: usize) {
+        self.epoch += 1;
+        let ep = self.epoch;
+        if let Some(st) = self.states[i].as_mut() {
+            st.in_global = true;
+            st.global_epoch = ep;
+        }
+        self.global.push_back((tid, i as u32, ep));
     }
 
     /// Demotes a ready thread out of `cpu`'s heap; if it is then in no
     /// heap, it joins the global queue.
-    fn demote(&mut self, cpu: usize, tid: ThreadId) {
-        let Some(mask) = self.heap_mask.get_mut(&tid) else { return };
-        if *mask & (1 << cpu) == 0 {
+    fn demote(&mut self, cpu: usize, tid: ThreadId, slot: SlotId) {
+        let i = slot.index();
+        let Some(st) = self.states[i].as_mut() else { return };
+        if st.heap_mask & (1 << cpu) == 0 {
             return;
         }
-        self.heaps[cpu].remove(tid);
-        *mask &= !(1 << cpu);
-        if *mask == 0 {
-            self.heap_mask.remove(&tid);
-            self.global.push_back(tid);
-            self.in_global.insert(tid);
+        st.heap_mask &= !(1 << cpu);
+        let now_heapless = st.heap_mask == 0;
+        self.heaps[cpu].remove(slot);
+        if now_heapless {
+            self.push_global(tid, i);
+            self.maybe_compact();
         }
     }
 
     /// Promotes a ready thread into `cpu`'s heap with the given priority.
-    fn promote(&mut self, cpu: usize, tid: ThreadId, prio: f64) {
-        if !self.is_ready(tid) {
+    fn promote(&mut self, cpu: usize, tid: ThreadId, slot: SlotId, prio: f64) {
+        let i = slot.index();
+        let Some(st) = self.states[i].as_mut() else { return };
+        if !st.ready {
             return;
         }
-        if self.in_global.remove(&tid) {
-            self.global.retain(|&x| x != tid);
-            self.heap_mask.insert(tid, 0);
-        }
-        let mask = self.heap_mask.entry(tid).or_insert(0);
-        if *mask & (1 << cpu) == 0 {
-            self.heaps[cpu].push(tid, prio);
-            *mask |= 1 << cpu;
+        // Leaving the global FIFO is lazy: the entry dies with the flag.
+        st.in_global = false;
+        if st.heap_mask & (1 << cpu) == 0 {
+            st.heap_mask |= 1 << cpu;
+            self.heaps[cpu].push(tid, slot, prio);
         } else {
-            self.heaps[cpu].update(tid, prio);
+            self.heaps[cpu].update(slot, prio);
         }
     }
 
     fn sweep(&mut self, cpu: usize) {
-        let mut demote: Vec<ThreadId> = self.heaps[cpu]
+        let mut demote: Vec<(ThreadId, SlotId)> = self.heaps[cpu]
             .iter()
-            .filter(|&(tid, _)| {
+            .filter(|&(tid, _, _)| {
                 self.est.expected_footprint(CpuId(cpu), tid) < self.config.threshold_lines
             })
-            .map(|(tid, _)| tid)
+            .map(|(tid, slot, _)| (tid, slot))
             .collect();
-        demote.sort_unstable();
-        for tid in demote {
-            self.demote(cpu, tid);
+        demote.sort_unstable_by_key(|&(tid, _)| tid);
+        for (tid, slot) in demote {
+            self.demote(cpu, tid, slot);
         }
     }
 
@@ -331,13 +461,17 @@ impl LocalityScheduler {
                 return Some(tid);
             }
         }
-        while let Some(&tid) = self.arrival.front() {
-            if self.is_ready(tid) {
-                self.remove_everywhere(tid);
+        while let Some(&(tid, idx, ep)) = self.arrival.front() {
+            let i = idx as usize;
+            let live = matches!(&self.states[i], Some(st) if st.ready && st.arrival_epoch == ep);
+            if live {
+                let slot = self.states[i].as_ref().expect("live entry has state").slot;
+                self.arrival.pop_front();
+                self.remove_slot(slot);
                 self.trace_dispatch(cpu, tid, f64::NAN, f64::NAN);
                 return Some(tid);
             }
-            // Defensive: drop any entry that fell out of the ready set.
+            // Lazily-deleted entry: discard and keep looking.
             self.arrival.pop_front();
         }
         None
@@ -357,11 +491,13 @@ impl LocalityScheduler {
 
 impl Scheduler for LocalityScheduler {
     fn on_spawn(&mut self, tid: ThreadId) {
-        self.enqueue_ready(tid);
+        let slot = self.bind(tid);
+        self.enqueue_ready(tid, slot);
     }
 
     fn on_ready(&mut self, tid: ThreadId) {
-        self.enqueue_ready(tid);
+        let slot = self.bind(tid);
+        self.enqueue_ready(tid, slot);
     }
 
     fn on_dispatch(&mut self, cpu: usize, tid: ThreadId) {
@@ -387,13 +523,14 @@ impl Scheduler for LocalityScheduler {
                 // of view; the engine re-enqueues it (or not) afterwards.
                 continue;
             }
-            if !self.is_ready(u.thread) {
+            let Some(slot) = self.slots.lookup(u.thread) else { continue };
+            if !self.states[slot.index()].as_ref().is_some_and(|st| st.ready) {
                 continue;
             }
             if self.est.expected_footprint(CpuId(cpu), u.thread) >= self.config.threshold_lines {
-                self.promote(cpu, u.thread, u.prio);
+                self.promote(cpu, u.thread, slot, u.prio);
             } else {
-                self.demote(cpu, u.thread);
+                self.demote(cpu, u.thread, slot);
             }
         }
         self.interval_ends += 1;
@@ -424,32 +561,36 @@ impl Scheduler for LocalityScheduler {
         }
         // Local heap first, lazily demoting entries that decayed below the
         // threshold since they were queued.
-        while let Some((tid, prio)) = self.heaps[cpu].pop_max() {
-            if let Some(mask) = self.heap_mask.get_mut(&tid) {
-                *mask &= !(1 << cpu);
+        while let Some((tid, slot, prio)) = self.heaps[cpu].pop_max() {
+            let i = slot.index();
+            if let Some(st) = self.states[i].as_mut() {
+                st.heap_mask &= !(1 << cpu);
             }
             if self.est.expected_footprint(CpuId(cpu), tid) < self.config.threshold_lines {
                 // Decayed: push to wherever it still belongs.
-                let mask = self.heap_mask.get(&tid).copied().unwrap_or(0);
+                let mask = self.states[i].as_ref().map_or(0, |st| st.heap_mask);
                 if mask == 0 {
-                    self.heap_mask.remove(&tid);
-                    self.global.push_back(tid);
-                    self.in_global.insert(tid);
+                    self.push_global(tid, i);
                 }
                 continue;
             }
-            self.remove_everywhere(tid);
+            self.remove_slot(slot);
             // Margin over the runner-up still queued on this cpu (NaN
             // when the heap emptied).
-            let margin = self.heaps[cpu].peek_max().map_or(f64::NAN, |(_, p)| prio - p);
+            let margin = self.heaps[cpu].peek_max().map_or(f64::NAN, |(_, _, p)| prio - p);
             self.trace_dispatch(cpu, tid, prio, margin);
             return Some(tid);
         }
-        // Global queue of footprint-less threads.
-        if let Some(tid) = self.global.pop_front() {
-            self.in_global.remove(&tid);
-            self.heap_mask.remove(&tid);
-            self.arrival.retain(|&x| x != tid);
+        // Global queue of footprint-less threads, skipping (and thereby
+        // reclaiming) lazily-deleted entries.
+        while let Some((tid, idx, ep)) = self.global.pop_front() {
+            let i = idx as usize;
+            let live = matches!(&self.states[i], Some(st) if st.in_global && st.global_epoch == ep);
+            if !live {
+                continue;
+            }
+            let slot = self.states[i].as_ref().expect("live entry has state").slot;
+            self.remove_slot(slot);
             self.trace_dispatch(cpu, tid, self.est.priority(CpuId(cpu), tid), f64::NAN);
             return Some(tid);
         }
@@ -457,8 +598,8 @@ impl Scheduler for LocalityScheduler {
         let victim_cpu = (0..self.heaps.len())
             .filter(|&c| c != cpu && !self.heaps[c].is_empty())
             .max_by_key(|&c| (self.heaps[c].len(), usize::MAX - c))?;
-        let (tid, prio) = self.heaps[victim_cpu].min_entry()?;
-        self.remove_everywhere(tid);
+        let (tid, slot, prio) = self.heaps[victim_cpu].min_entry()?;
+        self.remove_slot(slot);
         self.steals += 1;
         self.trace_dispatch(cpu, tid, prio, f64::NAN);
         Some(tid)
@@ -467,6 +608,9 @@ impl Scheduler for LocalityScheduler {
     fn on_exit(&mut self, tid: ThreadId) {
         self.remove_everywhere(tid);
         self.est.remove_thread(tid);
+        if let Some(slot) = self.slots.release(tid) {
+            self.states[slot.index()] = None;
+        }
     }
 
     fn expected_footprint(&self, cpu: usize, tid: ThreadId) -> Option<f64> {
@@ -474,7 +618,7 @@ impl Scheduler for LocalityScheduler {
     }
 
     fn ready_count(&self) -> usize {
-        self.heap_mask.len() + self.global.len()
+        self.ready_members
     }
 
     fn steals(&self) -> u64 {
@@ -849,5 +993,42 @@ mod tests {
         s.on_spawn(t(2));
         assert_eq!(s.pick(0), Some(t(1)), "heap priority wins again after recovery");
         assert_eq!(s.degraded_intervals(), final_count, "counting stops after recovery");
+    }
+
+    #[test]
+    fn slot_recycling_keeps_queues_clean() {
+        // Spawn→exit→spawn reusing the slot: the recycled slot must not
+        // inherit ready state or resurrect lazily-deleted FIFO entries.
+        let mut s = sched(1);
+        s.on_spawn(t(1));
+        s.on_exit(t(1));
+        assert_eq!(s.ready_count(), 0);
+        s.on_spawn(t(2)); // reuses t1's slot
+        assert_eq!(s.ready_count(), 1);
+        assert_eq!(s.pick(0), Some(t(2)), "only the new binding is dispatchable");
+        assert_eq!(s.pick(0), None, "the stale t1 entry must stay dead");
+    }
+
+    #[test]
+    fn lazy_queues_stay_bounded() {
+        // Repeated ready/dispatch cycles leave stale FIFO entries behind;
+        // compaction must keep the queues proportional to the live set.
+        let mut s = sched(1);
+        s.on_spawn(t(1));
+        assert_eq!(s.pick(0), Some(t(1)));
+        for _ in 0..10_000 {
+            s.on_ready(t(1));
+            assert_eq!(s.pick(0), Some(t(1)));
+        }
+        assert!(
+            s.arrival.len() <= 2 * s.ready_members + COMPACT_SLACK + 1,
+            "arrival FIFO grew unboundedly: {}",
+            s.arrival.len()
+        );
+        assert!(
+            s.global.len() <= 2 * s.ready_members + COMPACT_SLACK + 1,
+            "global FIFO grew unboundedly: {}",
+            s.global.len()
+        );
     }
 }

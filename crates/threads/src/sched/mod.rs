@@ -123,6 +123,74 @@ pub trait Scheduler {
     fn name(&self) -> &'static str;
 }
 
+/// Boxed schedulers forward to the inner policy, so the generic
+/// [`crate::Engine<S>`] monomorphizes over concrete scheduler types
+/// while `Engine<Box<dyn Scheduler>>` (the default) keeps the runtime
+/// `--policy` selection working at the binary/CLI boundary.
+///
+/// Every method delegates explicitly — including the ones with default
+/// bodies, which would otherwise silently drop the inner scheduler's
+/// statistics.
+impl Scheduler for Box<dyn Scheduler> {
+    fn on_spawn(&mut self, tid: ThreadId) {
+        (**self).on_spawn(tid);
+    }
+
+    fn on_ready(&mut self, tid: ThreadId) {
+        (**self).on_ready(tid);
+    }
+
+    fn on_dispatch(&mut self, cpu: usize, tid: ThreadId) {
+        (**self).on_dispatch(cpu, tid);
+    }
+
+    fn on_interval_end(
+        &mut self,
+        cpu: usize,
+        tid: ThreadId,
+        interval: SanitizedInterval,
+        graph: &SharingGraph,
+    ) {
+        (**self).on_interval_end(cpu, tid, interval, graph);
+    }
+
+    fn pick(&mut self, cpu: usize) -> Option<ThreadId> {
+        (**self).pick(cpu)
+    }
+
+    fn on_exit(&mut self, tid: ThreadId) {
+        (**self).on_exit(tid);
+    }
+
+    fn expected_footprint(&self, cpu: usize, tid: ThreadId) -> Option<f64> {
+        (**self).expected_footprint(cpu, tid)
+    }
+
+    fn ready_count(&self) -> usize {
+        (**self).ready_count()
+    }
+
+    fn steals(&self) -> u64 {
+        (**self).steals()
+    }
+
+    fn priority_flops(&self) -> (u64, u64) {
+        (**self).priority_flops()
+    }
+
+    fn degraded_intervals(&self) -> u64 {
+        (**self).degraded_intervals()
+    }
+
+    fn is_degraded(&self) -> bool {
+        (**self).is_degraded()
+    }
+
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+}
+
 /// Builds the scheduler for a policy.
 ///
 /// # Errors

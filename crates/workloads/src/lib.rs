@@ -105,15 +105,18 @@ impl App {
 
     /// Spawns the app's monitored single work thread into an engine,
     /// using scaled-down default parameters suitable for simulation.
-    pub fn spawn_single(&self, engine: &mut active_threads::Engine) -> locality_core::ThreadId {
+    pub fn spawn_single<S: active_threads::Scheduler>(
+        &self,
+        engine: &mut active_threads::Engine<S>,
+    ) -> locality_core::ThreadId {
         self.spawn_single_seeded(engine, self.default_seed())
     }
 
     /// [`App::spawn_single`] with an explicit RNG seed in place of the
     /// default parameters' seed.
-    pub fn spawn_single_seeded(
+    pub fn spawn_single_seeded<S: active_threads::Scheduler>(
         &self,
-        engine: &mut active_threads::Engine,
+        engine: &mut active_threads::Engine<S>,
         seed: u64,
     ) -> locality_core::ThreadId {
         match self {

@@ -8,7 +8,7 @@
 //! locality benefit comes from the counter-driven footprint model alone.
 
 use crate::common::LINE;
-use active_threads::{BatchCtx, Control, Engine, Program, ThreadId};
+use active_threads::{BatchCtx, Control, Engine, Program, Scheduler, ThreadId};
 use locality_sim::VAddr;
 
 /// Parameters of a `tasks` run.
@@ -71,15 +71,15 @@ impl Program for Task {
 /// Allocates per-task state (disjoint, or overlapped per
 /// [`TasksParams::overlap`]) and spawns all tasks. Returns the thread
 /// ids in creation order.
-pub fn spawn_parallel(engine: &mut Engine, params: &TasksParams) -> Vec<ThreadId> {
+pub fn spawn_parallel<S: Scheduler>(engine: &mut Engine<S>, params: &TasksParams) -> Vec<ThreadId> {
     spawn_parallel_with(engine, params, true)
 }
 
 /// [`spawn_parallel`] with optional `at_share` annotations (only
 /// meaningful when `overlap > 0`; disjoint tasks have nothing to
 /// annotate, as in the paper).
-pub fn spawn_parallel_with(
-    engine: &mut Engine,
+pub fn spawn_parallel_with<S: Scheduler>(
+    engine: &mut Engine<S>,
     params: &TasksParams,
     annotate: bool,
 ) -> Vec<ThreadId> {

@@ -3,7 +3,7 @@
 //! the priority heap against a sorted list.
 
 use proptest::prelude::*;
-use thread_locality::core::ThreadId;
+use thread_locality::core::{ThreadId, ThreadSlots};
 use thread_locality::sim::{Cache, CacheGeometry, RegionTable, VAddr};
 use thread_locality::threads::heap::PrioHeap;
 
@@ -118,29 +118,32 @@ proptest! {
         }
     }
 
-    /// The handle-based heap pops in exactly sorted order after any mix
+    /// The slot-indexed heap pops in exactly sorted order after any mix
     /// of pushes, updates, and removals.
     #[test]
     fn heap_matches_sorted_reference(
         ops in proptest::collection::vec((0u8..4, 0u64..24, 0u32..1000), 1..250)
     ) {
+        let mut slots = ThreadSlots::new();
+        let handles: Vec<_> = (0..24).map(|tid| slots.bind(ThreadId(tid))).collect();
         let mut heap = PrioHeap::new();
         let mut reference: std::collections::BTreeMap<u64, f64> = Default::default();
         for &(op, tid, prio) in &ops {
             let t = ThreadId(tid);
+            let slot = handles[tid as usize];
             let p = prio as f64;
             match op {
                 0 | 1 => {
-                    heap.push(t, p);
+                    heap.push(t, slot, p);
                     reference.insert(tid, p);
                 }
                 2 => {
-                    let got = heap.remove(t);
+                    let got = heap.remove(slot);
                     let expected = reference.remove(&tid);
                     prop_assert_eq!(got, expected);
                 }
                 _ => {
-                    let got = heap.pop_max();
+                    let got = heap.pop_max().map(|(t2, _, p2)| (t2, p2));
                     let expected = reference
                         .iter()
                         .map(|(&t2, &p2)| (p2, t2))

@@ -1,0 +1,174 @@
+//! Property tests of slot recycling: a thread spawned into a recycled
+//! dense slot must never inherit the previous occupant's state — not the
+//! sanitizer's EWMAs or confidence, not the machine's per-thread counter
+//! deltas or cache-line ownership, and not sharing-graph edges. Each
+//! property drives random spawn/exit sequences against one slot-indexed
+//! consumer and asserts the fresh-on-rebind invariant.
+
+use proptest::prelude::*;
+use thread_locality::core::{
+    CounterSanitizer, SanitizerConfig, SharingGraph, SlotId, ThreadId, ThreadSlots,
+};
+use thread_locality::sim::{AccessKind, Machine, MachineConfig};
+
+/// One step of a random lifecycle schedule over a small tid universe.
+/// `op == 1` binds (idempotent), `op == 0` releases.
+fn ops() -> impl Strategy<Value = Vec<(u8, u64)>> {
+    proptest::collection::vec((0u8..2, 0u64..10), 1..200)
+}
+
+proptest! {
+    /// The registry itself: recycled indices always carry a fresh
+    /// generation, live lookups are exact, and a released handle is
+    /// dead even though its index lives on under a new tenant.
+    #[test]
+    fn registry_never_aliases(ops in ops()) {
+        let mut slots = ThreadSlots::new();
+        let mut live: std::collections::BTreeMap<u64, SlotId> = Default::default();
+        let mut dead: Vec<SlotId> = Vec::new();
+        for &(op, t) in &ops {
+            if op == 1 {
+                let s = slots.bind(ThreadId(t));
+                if let Some(&prev) = live.get(&t) {
+                    prop_assert_eq!(s, prev, "re-bind of a live tid must be idempotent");
+                } else {
+                    for &old in &dead {
+                        if old.index() == s.index() {
+                            prop_assert!(
+                                old.generation() != s.generation(),
+                                "recycled index {} reissued with a stale generation",
+                                s.index()
+                            );
+                        }
+                    }
+                    live.insert(t, s);
+                }
+            } else if let Some(s) = live.remove(&t) {
+                prop_assert_eq!(slots.release(ThreadId(t)), Some(s));
+                dead.push(s);
+            } else {
+                prop_assert_eq!(slots.release(ThreadId(t)), None);
+            }
+            prop_assert_eq!(slots.live(), live.len());
+            for (&t2, &s2) in &live {
+                prop_assert_eq!(slots.lookup(ThreadId(t2)), Some(s2));
+                prop_assert_eq!(slots.tid_of(s2), Some(ThreadId(t2)));
+                prop_assert!(slots.is_live(s2));
+            }
+            for &s2 in &dead {
+                prop_assert!(!slots.is_live(s2), "released handle still resolves");
+                prop_assert_eq!(slots.tid_of(s2), None);
+            }
+        }
+    }
+
+    /// Sanitizer: after a thread with established (low-miss) history
+    /// exits, a successor in its recycled slot starts at warmup — its
+    /// first interval is taken verbatim, never clamped against the dead
+    /// thread's EWMA, and its confidence starts back at 1.
+    #[test]
+    fn sanitizer_state_dies_with_the_thread(
+        ops in ops(),
+        probe_misses in 500u64..50_000,
+    ) {
+        let mut san = CounterSanitizer::new(SanitizerConfig::default());
+        let mut live: std::collections::BTreeSet<u64> = Default::default();
+        for &(op, t) in &ops {
+            if op == 1 && live.insert(t) {
+                // Establish history: enough clean tiny-miss intervals to
+                // pass warmup, plus a trap to depress confidence.
+                for _ in 0..8 {
+                    let out = san.sanitize(ThreadId(t), 100, 99, 1);
+                    prop_assert!(!out.corrected);
+                }
+                san.note_trap(ThreadId(t));
+                prop_assert!(san.confidence(ThreadId(t)) < 1.0);
+            } else if op == 0 && live.remove(&t) {
+                san.forget(ThreadId(t));
+                // A successor reusing the slot (same tid is the sharpest
+                // case) sees fresh state: full confidence, and a first
+                // interval far above the dead EWMA passes uncorrected
+                // where inherited history would have clamped it.
+                prop_assert_eq!(san.confidence(ThreadId(t)), 1.0);
+                let out = san.sanitize(ThreadId(t), probe_misses, 0, probe_misses);
+                prop_assert!(!out.corrected, "recycled slot inherited outlier history");
+                prop_assert_eq!(out.misses, probe_misses);
+                san.forget(ThreadId(t));
+            }
+        }
+    }
+
+    /// Machine: counter deltas and cache-line ownership are buried with
+    /// `retire_thread`; a successor in the recycled slot owns nothing
+    /// and counts from zero, even while the dead thread's lines are
+    /// still resident in the E-cache.
+    #[test]
+    fn machine_ownership_dies_with_the_thread(
+        lifecycles in proptest::collection::vec((1u64..64, 1u64..32), 1..12),
+    ) {
+        let mut m = Machine::new(MachineConfig::ultra1());
+        let mut next_tid = 1u64;
+        for &(lines, rounds) in &lifecycles {
+            let t = ThreadId(next_tid);
+            next_tid += 1;
+            let region = m.alloc(lines * 64, 64);
+            m.register_region(t, region, lines * 64);
+            m.set_running(0, Some(t));
+            for _ in 0..rounds {
+                for l in 0..lines {
+                    m.access(0, region.offset(l * 64), AccessKind::Read);
+                }
+            }
+            prop_assert_eq!(m.thread_stats(t).accesses, lines * rounds);
+            prop_assert!(m.l2_footprint_lines(0, t) > 0);
+            m.set_running(0, None);
+            m.retire_thread(t);
+            // Retired threads keep reporting from cold storage...
+            prop_assert_eq!(m.thread_stats(t).accesses, lines * rounds);
+            // ...but the successor that recycles the slot starts clean.
+            let u = ThreadId(next_tid);
+            next_tid += 1;
+            let fresh = m.alloc(64, 64);
+            m.register_region(u, fresh, 64);
+            prop_assert_eq!(m.thread_stats(u).accesses, 0);
+            prop_assert_eq!(
+                m.l2_footprint_lines(0, u), 0,
+                "successor inherited resident lines it never touched"
+            );
+        }
+    }
+
+    /// Sharing graph: `remove_thread` severs both directions; edges never
+    /// resurrect when the tid (or its recycled slot) reappears, in both
+    /// the overlay and the compacted CSR read path.
+    #[test]
+    fn graph_edges_die_with_the_thread(
+        seq in proptest::collection::vec((0u64..6, 0u64..6), 1..60),
+    ) {
+        let mut g = SharingGraph::new();
+        let mut model: std::collections::BTreeSet<(u64, u64)> = Default::default();
+        for (i, &(a, b)) in seq.iter().enumerate() {
+            if a == b {
+                continue;
+            }
+            if i % 3 == 2 {
+                g.remove_thread(ThreadId(a));
+                model.retain(|&(s, d)| s != a && d != a);
+            } else {
+                g.set(ThreadId(a), ThreadId(b), 0.5).unwrap();
+                model.insert((a, b));
+            }
+            if i % 2 == 0 {
+                g.compact();
+            }
+            prop_assert_eq!(g.edge_count(), model.len());
+            for t in 0u64..6 {
+                let outs: std::collections::BTreeSet<u64> =
+                    g.dependents_of(ThreadId(t)).map(|(d, _)| d.0).collect();
+                let want: std::collections::BTreeSet<u64> =
+                    model.iter().filter(|&&(s, _)| s == t).map(|&(_, d)| d).collect();
+                prop_assert_eq!(outs, want, "dependents of t{} diverged", t);
+            }
+        }
+    }
+}
