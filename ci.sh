@@ -21,6 +21,23 @@ GOLDEN="$PWD/results/golden_small.sha256"
 (cd "$SMOKE_OUT" && sha256sum -c "$GOLDEN")
 rm -rf "$SMOKE_OUT"
 
+# Thread-lifecycle chaos: every fault scenario must complete without
+# panic across all three policies (FCFS/LFF/CRT) and emit the churn
+# ablation table. Chaos cells never contaminate the golden artifacts —
+# the table only exists when --chaos is passed.
+CHAOS_OUT=$(mktemp -d)
+cargo run --release -p locality-repro --bin ablation -- \
+    --scale small --chaos all --out "$CHAOS_OUT"
+test -s "$CHAOS_OUT/ablation_chaos.csv"
+rm -rf "$CHAOS_OUT"
+
+# Crash safety: a repro-all SIGKILLed mid-run must, on rerun, resume
+# from the on-disk cache to artifacts byte-identical to an
+# uninterrupted run (and to the committed golden hashes). The test is
+# #[ignore]d in the default suite because it runs the full small suite
+# three times; release mode keeps that under half a minute.
+cargo test --release -p locality-repro --test kill_resume -- --ignored
+
 # Analyzer: the clean fixture must pass, the racy fixture must be flagged
 # (nonzero exit with a confirmed race).
 ANALYZE_OUT=$(mktemp -d)

@@ -133,6 +133,17 @@ impl RaceDetector {
             ObsEvent::Exit { tid } => {
                 self.clock_mut(tid).tick(tid);
             }
+            // An abort is the dead thread's final event: tick its clock so
+            // everything it did is below the abort. The engine emits the
+            // reclamation `MutexRelease`s (and `JoinWake`s) *after* the
+            // abort, by the dead thread itself — the release handler then
+            // publishes the post-abort clock into the mutex, so whoever
+            // reclaims the lock is happens-after everything the dead
+            // thread did while holding it. No phantom races against dead
+            // threads.
+            ObsEvent::Abort { tid } => {
+                self.clock_mut(tid).tick(tid);
+            }
             ObsEvent::JoinWake { waiter, target } => {
                 let tc = self.clock_mut(target).clone();
                 let wc = self.clock_mut(waiter);
@@ -335,6 +346,38 @@ mod tests {
             parties: vec![t(2), t(3)],
         });
         log.record(access(3, 0, 64, true));
+        assert!(RaceDetector::run(&log).races().is_empty());
+    }
+
+    #[test]
+    fn abort_reclamation_is_not_a_race() {
+        // Thread 2 dies holding the mutex; the engine reclaims the lock
+        // on its behalf (Abort, then MutexRelease by the corpse, then
+        // the hand-off MutexAcquire). The reclaiming thread's accesses
+        // to the protected range must be ordered, not racy.
+        let m = MutexId(0);
+        let mut log = ObsLog::new();
+        log.record(ObsEvent::Spawn { parent: None, child: t(1) });
+        log.record(ObsEvent::Spawn { parent: Some(t(1)), child: t(2) });
+        log.record(ObsEvent::Spawn { parent: Some(t(1)), child: t(3) });
+        log.record(ObsEvent::MutexAcquire { tid: t(2), mutex: m });
+        log.record(access(2, 0, 64, true));
+        log.record(ObsEvent::Abort { tid: t(2) });
+        log.record(ObsEvent::MutexRelease { tid: t(2), mutex: m });
+        log.record(ObsEvent::MutexAcquire { tid: t(3), mutex: m });
+        log.record(access(3, 0, 64, true));
+        assert!(RaceDetector::run(&log).races().is_empty());
+    }
+
+    #[test]
+    fn abort_join_wake_orders_the_joiner() {
+        let mut log = ObsLog::new();
+        log.record(ObsEvent::Spawn { parent: None, child: t(1) });
+        log.record(ObsEvent::Spawn { parent: Some(t(1)), child: t(2) });
+        log.record(access(2, 0, 64, true));
+        log.record(ObsEvent::Abort { tid: t(2) });
+        log.record(ObsEvent::JoinWake { waiter: t(1), target: t(2) });
+        log.record(access(1, 0, 64, true));
         assert!(RaceDetector::run(&log).races().is_empty());
     }
 

@@ -83,7 +83,9 @@ fn analyze_one(name: &'static str, rounds: u32) -> Result<WorkloadAnalysis, Repr
     engine.enable_observation();
     engine.spawn(program);
     engine.run()?;
-    let log = engine.take_observation().expect("observation was enabled");
+    let Some(log) = engine.take_observation() else {
+        return Err(ReproError::MissingResult(format!("observation log for workload {name}")));
+    };
     Ok(WorkloadAnalysis { name, report: analyze_log(&log, &AnalysisConfig::default()) })
 }
 
@@ -102,12 +104,19 @@ pub fn run_workloads(args: &Args, which: Workload) -> Result<Vec<WorkloadAnalysi
                 names.iter().map(|&n| s.spawn(move || analyze_one(n, rounds))).collect();
             handles
                 .into_iter()
-                .map(|h| h.join().expect("analyze worker panicked"))
+                .map(|h| {
+                    h.join().unwrap_or_else(|p| {
+                        Err(ReproError::RunPanicked {
+                            what: crate::runner::panic_message(p.as_ref()),
+                        })
+                    })
+                })
                 .collect::<Vec<_>>()
         });
-        let second = results.pop().expect("two workloads")?;
-        let first = results.pop().expect("two workloads")?;
-        Ok(vec![first, second])
+        match (results.pop(), results.pop()) {
+            (Some(second), Some(first)) => Ok(vec![first?, second?]),
+            _ => Err(ReproError::MissingResult("clean/racy workload pair".to_string())),
+        }
     } else {
         names.iter().map(|&n| analyze_one(n, rounds)).collect()
     }

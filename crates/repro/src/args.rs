@@ -4,7 +4,7 @@ use std::path::PathBuf;
 
 /// Usage text printed for `--help` and on argument errors.
 pub const USAGE: &str = "usage: [--scale paper|small] [--out DIR] [--jobs N] [--no-cache] \
-     [--fault SCENARIO|all] [--workload NAME|all] [--policy fcfs|lff|crt]
+     [--fault SCENARIO|all] [--chaos SCENARIO|all] [--workload NAME|all] [--policy fcfs|lff|crt]
 
 options:
   --scale paper|small  workload scale (default: paper)
@@ -14,6 +14,10 @@ options:
   --no-cache           ignore and do not write the on-disk result cache
   --fault SCENARIO     ablation only: run the counter-fault robustness
                        table for one scenario, or 'all'
+  --chaos SCENARIO     ablation only: run the thread-lifecycle chaos
+                       table for one scenario (abort-running,
+                       abort-locked, spawn-fail, abort-idle, churn), or
+                       'all'
   --workload NAME      analyze: which fixture workload to analyze
                        (clean, racy, or all; default: all)
                        trace: which monitored app to trace
@@ -42,6 +46,10 @@ pub struct Args {
     /// Counter-fault scenario keyword (`--fault <scenario>|all`), used
     /// by the ablation binary's robustness runs.
     pub fault: Option<String>,
+    /// Thread-lifecycle chaos scenario keyword (`--chaos
+    /// <scenario>|all`), used by the ablation binary's chaos table;
+    /// validated in [`ChaosScenario::parse`](crate::ChaosScenario).
+    pub chaos: Option<String>,
     /// Workload keyword (`--workload NAME|all`), used by the analyze
     /// binary (clean/racy fixtures) and the trace binary (monitored
     /// app); validated there so bad values surface as usage errors
@@ -78,6 +86,7 @@ impl Default for Args {
             scale: Scale::Paper,
             out: PathBuf::from("results"),
             fault: None,
+            chaos: None,
             workload: None,
             policy: None,
             jobs: default_jobs(),
@@ -124,6 +133,10 @@ impl Args {
                 "--fault" => {
                     let v = it.next().ok_or("--fault needs a scenario name (or 'all')")?;
                     out.fault = Some(v);
+                }
+                "--chaos" => {
+                    let v = it.next().ok_or("--chaos needs a scenario name (or 'all')")?;
+                    out.chaos = Some(v);
                 }
                 "--workload" => {
                     let v = it.next().ok_or("--workload needs a name (or 'all')")?;
@@ -212,6 +225,14 @@ mod tests {
         let a = parse(&["--fault", "wraparound"]).unwrap();
         assert_eq!(a.fault.as_deref(), Some("wraparound"));
         assert!(parse(&["--fault"]).is_err());
+    }
+
+    #[test]
+    fn chaos_scenario() {
+        assert_eq!(parse(&[]).unwrap().chaos, None);
+        let a = parse(&["--chaos", "abort-locked"]).unwrap();
+        assert_eq!(a.chaos.as_deref(), Some("abort-locked"));
+        assert!(parse(&["--chaos"]).is_err());
     }
 
     #[test]

@@ -23,6 +23,26 @@ pub enum ReproError {
     /// A command-line value was invalid (exit status 2, like the arg
     /// parser's own errors).
     Usage(String),
+    /// A disk-cache entry failed its checksum or decode. The entry has
+    /// been quarantined (renamed aside) and the run is recomputed; the
+    /// error is surfaced for logging, never fatal to a suite.
+    CorruptCache {
+        /// Where the quarantined entry now lives.
+        quarantined: std::path::PathBuf,
+        /// What was wrong with it.
+        what: String,
+    },
+    /// A run descriptor panicked inside its isolation boundary
+    /// (`catch_unwind`); the payload's message is preserved.
+    RunPanicked {
+        /// The panic message.
+        what: String,
+    },
+    /// A run exceeded the watchdog timeout and was abandoned.
+    RunTimedOut {
+        /// The timeout that expired.
+        after: std::time::Duration,
+    },
 }
 
 impl std::fmt::Display for ReproError {
@@ -36,6 +56,13 @@ impl std::fmt::Display for ReproError {
                 write!(f, "runner produced no result for descriptor {key}")
             }
             ReproError::Usage(msg) => write!(f, "{msg}"),
+            ReproError::CorruptCache { quarantined, what } => {
+                write!(f, "corrupt cache entry ({what}); quarantined at {}", quarantined.display())
+            }
+            ReproError::RunPanicked { what } => write!(f, "run panicked: {what}"),
+            ReproError::RunTimedOut { after } => {
+                write!(f, "run exceeded the {:.1}s watchdog timeout", after.as_secs_f64())
+            }
         }
     }
 }
@@ -47,7 +74,11 @@ impl std::error::Error for ReproError {
             ReproError::Runtime(e) => Some(e),
             ReproError::Model(e) => Some(e),
             ReproError::Io(e) => Some(e),
-            ReproError::MissingResult(_) | ReproError::Usage(_) => None,
+            ReproError::MissingResult(_)
+            | ReproError::Usage(_)
+            | ReproError::CorruptCache { .. }
+            | ReproError::RunPanicked { .. }
+            | ReproError::RunTimedOut { .. } => None,
         }
     }
 }

@@ -5,6 +5,7 @@
 //! nothing here may touch shared mutable state.
 
 use crate::args::Scale;
+use crate::chaos::{ChaosScenario, CHAOS_SEED};
 use crate::error::ReproError;
 use crate::faults::FaultScenario;
 use active_threads::events::EngineView;
@@ -325,8 +326,134 @@ pub fn fault_cell(
     let report = engine.run()?;
     let recovered = report.degraded_intervals > 0 && !engine.scheduler().is_degraded();
     drop(engine);
-    let probe = Rc::try_unwrap(probe).expect("engine dropped its hook").into_inner();
+    // The engine is gone, so the hook's Rc clone is too; an empty probe
+    // only happens if that invariant breaks, and defaulting keeps the
+    // pipeline panic-free either way.
+    let probe = Rc::try_unwrap(probe).map(RefCell::into_inner).unwrap_or_default();
     Ok(FaultCell { report, probe, recovered })
+}
+
+/// A mutex-disciplined workload for the chaos ablation: each worker
+/// repeatedly locks its stripe's mutex, rewrites its region while
+/// holding it, and unlocks. Lock-holder aborts therefore always orphan
+/// a held mutex, exercising poisoning and reclamation; waiters must be
+/// handed the corpse's lock or the scenario deadlocks.
+mod lockstep {
+    use active_threads::{BatchCtx, Control, Engine, MutexId, Program, ThreadId};
+    use locality_sim::VAddr;
+
+    const LINE: u64 = 64;
+
+    pub struct Params {
+        pub threads: usize,
+        pub mutexes: usize,
+        pub region_lines: u64,
+        pub periods: u32,
+    }
+
+    struct Worker {
+        buf: VAddr,
+        bytes: u64,
+        lock: MutexId,
+        periods: u32,
+        phase: u8,
+    }
+
+    impl Program for Worker {
+        fn next_batch(&mut self, ctx: &mut BatchCtx<'_>) -> Control {
+            match self.phase {
+                0 => {
+                    self.phase = 1;
+                    Control::Lock(self.lock)
+                }
+                1 => {
+                    ctx.register_region(self.buf, self.bytes);
+                    ctx.write_range(self.buf, self.bytes, LINE);
+                    ctx.compute(self.bytes / LINE * 2);
+                    self.phase = 2;
+                    Control::Unlock(self.lock)
+                }
+                _ => {
+                    self.periods -= 1;
+                    if self.periods == 0 {
+                        return Control::Exit;
+                    }
+                    self.phase = 0;
+                    Control::Yield
+                }
+            }
+        }
+        fn name(&self) -> &str {
+            "lockstep"
+        }
+    }
+
+    pub fn spawn(engine: &mut Engine, params: &Params) -> Vec<ThreadId> {
+        let stripes: Vec<MutexId> =
+            (0..params.mutexes.max(1)).map(|_| engine.sync_tables_mut().create_mutex()).collect();
+        let bytes = params.region_lines * LINE;
+        (0..params.threads)
+            .map(|i| {
+                let buf = engine.machine_mut().alloc(bytes, LINE);
+                engine.spawn(Box::new(Worker {
+                    buf,
+                    bytes,
+                    lock: stripes[i % stripes.len()],
+                    periods: params.periods,
+                    phase: 0,
+                }))
+            })
+            .collect()
+    }
+}
+
+/// The result of one thread-lifecycle chaos run.
+#[derive(Debug, Clone)]
+pub struct ChaosCell {
+    /// The engine's run report (`threads_aborted` counts the kills).
+    pub report: RunReport,
+    /// Footprint-prediction error accumulated over the run.
+    pub probe: PredictionProbe,
+    /// Mutexes a thread died holding — each was poisoned and reclaimed
+    /// (handed to a waiter or freed) instead of deadlocking the run.
+    pub poisoned: u64,
+}
+
+/// One chaos-scenario run: the overlapped-tasks workload plus the
+/// mutex-disciplined [`lockstep`] workload on 4 cpus under `policy`,
+/// with `scenario`'s lifecycle fault injector installed.
+///
+/// # Errors
+///
+/// Returns [`ReproError::Runtime`] if the run cannot survive the chaos.
+pub fn chaos_cell(
+    policy: SchedPolicy,
+    scenario: ChaosScenario,
+    scale: Scale,
+) -> Result<ChaosCell, ReproError> {
+    let tasks_params = match scale {
+        Scale::Paper => {
+            tasks::TasksParams { tasks: 192, footprint_lines: 100, periods: 20, overlap: 0.5 }
+        }
+        Scale::Small => {
+            tasks::TasksParams { tasks: 48, footprint_lines: 100, periods: 8, overlap: 0.5 }
+        }
+    };
+    let lock_params = match scale {
+        Scale::Paper => lockstep::Params { threads: 64, mutexes: 8, region_lines: 64, periods: 20 },
+        Scale::Small => lockstep::Params { threads: 16, mutexes: 4, region_lines: 64, periods: 8 },
+    };
+    let config = EngineConfig { chaos: scenario.config(CHAOS_SEED), ..EngineConfig::default() };
+    let mut engine = Engine::new(MachineConfig::enterprise5000(4), policy, config)?;
+    let probe = Rc::new(RefCell::new(PredictionProbe::default()));
+    engine.add_hook(Box::new(PredictionHook { probe: probe.clone(), scratch: Default::default() }));
+    tasks::spawn_parallel(&mut engine, &tasks_params);
+    lockstep::spawn(&mut engine, &lock_params);
+    let report = engine.run()?;
+    let poisoned = engine.sync_tables().poisoned_mutexes() as u64;
+    drop(engine);
+    let probe = Rc::try_unwrap(probe).map(RefCell::into_inner).unwrap_or_default();
+    Ok(ChaosCell { report, probe, poisoned })
 }
 
 /// The three thread classes of Table 3's priority-update cost model.
@@ -359,6 +486,8 @@ impl CostCase {
 /// deterministic; the nanoseconds are a wall-clock measurement and are
 /// therefore reported on stdout only, never in CSV output.
 pub fn update_cost_cell(policy: PolicyKind, case: CostCase) -> (u64, u64, f64) {
+    // 8192 lines is the paper's E-cache, a provably valid model size.
+    #[allow(clippy::expect_used)]
     let params = ModelParams::new(8192).expect("paper-size cache is a valid model");
     let schemes = PrioritySchemes::new(policy, params);
     let mut entry = FootprintEntry::cold();
@@ -421,6 +550,24 @@ mod tests {
             let (flops, lookups, _) = update_cost_cell(policy, CostCase::Independent);
             assert_eq!((flops, lookups), (0, 0), "{policy:?}");
         }
+    }
+
+    #[test]
+    fn chaos_cell_recovers_lock_holders() {
+        let cell = chaos_cell(SchedPolicy::Fcfs, ChaosScenario::AbortLocked, Scale::Small).unwrap();
+        assert!(cell.report.threads_aborted > 0, "the scenario must kill lock holders");
+        assert!(cell.poisoned > 0, "lock-holder deaths must poison mutexes");
+        assert!(cell.report.threads_completed > 0, "survivors must still finish");
+    }
+
+    #[test]
+    fn chaos_cells_are_deterministic() {
+        let a = chaos_cell(SchedPolicy::Lff, ChaosScenario::Churn, Scale::Small).unwrap();
+        let b = chaos_cell(SchedPolicy::Lff, ChaosScenario::Churn, Scale::Small).unwrap();
+        assert_eq!(a.report.threads_aborted, b.report.threads_aborted);
+        assert_eq!(a.report.total_l2_misses, b.report.total_l2_misses);
+        assert_eq!(a.poisoned, b.poisoned);
+        assert!(a.report.threads_aborted > 0, "churn must kill someone");
     }
 
     #[test]

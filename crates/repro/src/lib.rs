@@ -15,7 +15,7 @@
 //! | `fig7` | Figure 7 — overestimated footprints (typechecker, raytrace) |
 //! | `fig8` | Figure 8 — locality scheduling on the 1-cpu Ultra-1 |
 //! | `fig9` | Figure 9 — locality scheduling on the 8-cpu Enterprise 5000 |
-//! | `ablation` | §5 extras: annotation ablation, threshold sweep, page placement, invalidation effects; `--fault <scenario>` runs the counter-fault robustness table instead |
+//! | `ablation` | §5 extras: annotation ablation, threshold sweep, page placement, invalidation effects; `--fault <scenario>` runs the counter-fault robustness table, `--chaos <scenario>\|all` the thread-lifecycle chaos table |
 //! | `repro-all` | everything above through one shared runner (cross-figure runs execute once) |
 //! | `analyze` | race detection, lock-order cycles, and annotation lints over the deterministic racy/clean fixture pair (exit 1 on confirmed races; `--workload clean\|racy\|all`) |
 //! | `trace` | locality-trace observability: JSONL + Chrome `trace_event` exports and aggregated trace-metrics CSVs for a monitored app (`--workload APP\|all`, `--policy fcfs\|lff\|crt`; needs the `trace` feature) |
@@ -32,13 +32,29 @@
 //! threads and cached under `<out>/.cache` (disable with `--no-cache`).
 //! CSV artifacts are byte-identical for every `--jobs` value and across
 //! cache hits; only the printed wall-time stats vary.
+//!
+//! The pipeline is crash-safe: cache entries are checksummed and written
+//! atomically (corrupt entries are quarantined and recomputed), CSVs are
+//! written via temp-file + rename, and every run executes behind a panic
+//! isolation boundary with a seeded watchdog — a killed `repro-all`
+//! resumes from its per-run cache to byte-identical artifacts.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+// The harness must degrade gracefully, not panic: outside tests, every
+// fallible site either propagates a typed `ReproError` or carries a
+// targeted `#[allow]` with an infallibility argument.
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod analyze;
 pub mod args;
+// The bench harness measures, it doesn't reproduce figures: setup
+// failures there should abort loudly rather than thread Results through
+// timing loops.
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 pub mod bench;
+pub mod chaos;
+pub mod digest;
 pub mod error;
 pub mod experiments;
 pub mod faults;
@@ -51,6 +67,7 @@ pub mod table;
 pub mod trace;
 
 pub use args::{Args, Scale};
+pub use chaos::ChaosScenario;
 pub use error::ReproError;
 pub use faults::FaultScenario;
 pub use runner::{RunKind, RunOutput, RunRequest, Runner};

@@ -95,6 +95,9 @@ pub fn run(exp: &WalkExperiment) -> Vec<WalkPoint> {
     let mut config = MachineConfig::ultra1();
     config.hierarchy.l2.associativity = exp.associativity.max(1);
     let mut machine = Machine::new(config);
+    // Infallible: `l2_lines()` on a constructed machine is a positive
+    // power of two, the only thing `ModelParams::new` rejects.
+    #[allow(clippy::unwrap_used)]
     let model = FootprintModel::new(ModelParams::new(machine.l2_lines()).unwrap());
     let n = model.params().n();
     let walker = ThreadId(1);
@@ -130,6 +133,9 @@ pub fn run(exp: &WalkExperiment) -> Vec<WalkPoint> {
 
     // Reset the interval: everything from here on is the measured walk.
     machine.set_running(0, Some(walker));
+    // Infallible: cpu 0 exists on every config and the PIC was never
+    // poisoned on this freshly built machine.
+    #[allow(clippy::expect_used)]
     machine.pic_take_interval(0).expect("clean machine read");
     // The raw PIC registers are cumulative; measure against a baseline
     // like the runtime's interval reads do.

@@ -15,11 +15,23 @@
 //! descriptor string, which embeds the crate version and wire-format
 //! revision — a rebuild with different semantics never reuses stale
 //! results. Entries are written via a temp-file rename, so concurrent
-//! invocations sharing a cache directory cannot observe torn files.
+//! invocations sharing a cache directory cannot observe torn files, and
+//! each carries a SHA-256 of its payload: a truncated or bit-rotted
+//! entry is quarantined (renamed aside) and recomputed instead of
+//! misparsing or panicking.
+//!
+//! Runs execute behind a guard ([`GuardPolicy`]): panics are caught per
+//! descriptor (`catch_unwind`), a watchdog times out hung runs, and
+//! both are retried with bounded backoff before the typed error
+//! surfaces. Combined with the cache, this makes `repro-all` resumable:
+//! a killed invocation re-runs only the descriptors whose entries never
+//! landed, and the reassembled artifacts are byte-identical.
 
 use crate::args::{Args, Scale};
+use crate::chaos::ChaosScenario;
+use crate::digest;
 use crate::error::ReproError;
-use crate::experiments::{self, CostCase, FaultCell, PredictionProbe};
+use crate::experiments::{self, ChaosCell, CostCase, FaultCell, PredictionProbe};
 use crate::faults::FaultScenario;
 use crate::microbench::{self, WalkExperiment, WalkPoint};
 use crate::monitor::{self, MonitorTrace, Sample};
@@ -37,7 +49,7 @@ use std::time::{Duration, Instant};
 
 /// Bumped whenever the wire encoding of [`RunOutput`] changes, so stale
 /// cache entries miss instead of misparsing.
-const WIRE_FORMAT: u32 = 1;
+const WIRE_FORMAT: u32 = 2;
 
 /// Serializable page-placement selector mirroring
 /// [`locality_sim::PagePlacement`] (descriptors avoid embedded seeds by
@@ -164,6 +176,15 @@ pub enum RunKind {
         /// Workload scale.
         scale: Scale,
     },
+    /// A thread-lifecycle chaos cell (ablation 7, `--chaos`).
+    Chaos {
+        /// The scheduling policy.
+        policy: PolicyId,
+        /// The injected lifecycle-fault scenario.
+        scenario: ChaosScenario,
+        /// Workload scale.
+        scale: Scale,
+    },
     /// A Table 3 priority-update cost cell.
     UpdateCost {
         /// The locality policy.
@@ -217,6 +238,8 @@ pub enum RunOutput {
     Report(RunReport),
     /// A fault-robustness cell.
     FaultCell(FaultCell),
+    /// A thread-lifecycle chaos cell.
+    ChaosCell(ChaosCell),
     /// `(observed, predicted)` footprints of an invalidation cell.
     Invalidation {
         /// Ground-truth resident lines after the remote writes.
@@ -246,6 +269,7 @@ fn sim_misses(out: &RunOutput) -> u64 {
         RunOutput::Trace(trace) => trace.samples.last().map_or(0, |s| s.misses),
         RunOutput::Report(report) => report.total_l2_misses,
         RunOutput::FaultCell(cell) => cell.report.total_l2_misses,
+        RunOutput::ChaosCell(cell) => cell.report.total_l2_misses,
         RunOutput::Invalidation { .. }
         | RunOutput::UpdateCost { .. }
         | RunOutput::TraceSummary(_) => 0,
@@ -283,6 +307,9 @@ pub fn execute(kind: &RunKind) -> Result<RunOutput, ReproError> {
         RunKind::Fault { policy, scenario, scale } => {
             Ok(RunOutput::FaultCell(experiments::fault_cell(policy.to_sched(), scenario, scale)?))
         }
+        RunKind::Chaos { policy, scenario, scale } => {
+            Ok(RunOutput::ChaosCell(experiments::chaos_cell(policy.to_sched(), scenario, scale)?))
+        }
         RunKind::UpdateCost { policy, case } => {
             let (flops, lookups, ns_per_op) = experiments::update_cost_cell(policy, case);
             Ok(RunOutput::UpdateCost { flops, lookups, ns_per_op })
@@ -309,7 +336,7 @@ fn dec_f64(s: &str) -> Option<f64> {
 fn encode_report(out: &mut String, r: &RunReport) {
     out.push_str(&format!("report {}\n", r.policy));
     out.push_str(&format!(
-        "{} {} {} {} {} {} {} {} {} {} {} {}\n",
+        "{} {} {} {} {} {} {} {} {} {} {} {} {}\n",
         r.cpus,
         r.total_cycles,
         r.total_l2_misses,
@@ -317,6 +344,7 @@ fn encode_report(out: &mut String, r: &RunReport) {
         r.total_instructions,
         r.context_switches,
         r.threads_completed,
+        r.threads_aborted,
         r.steals,
         r.priority_flops.0,
         r.priority_flops.1,
@@ -328,7 +356,7 @@ fn encode_report(out: &mut String, r: &RunReport) {
 fn decode_report<'a, I: Iterator<Item = &'a str>>(lines: &mut I) -> Option<RunReport> {
     let policy = lines.next()?.strip_prefix("report ")?.to_string();
     let nums: Vec<u64> = lines.next()?.split(' ').map(str::parse).collect::<Result<_, _>>().ok()?;
-    if nums.len() != 12 {
+    if nums.len() != 13 {
         return None;
     }
     Some(RunReport {
@@ -340,10 +368,11 @@ fn decode_report<'a, I: Iterator<Item = &'a str>>(lines: &mut I) -> Option<RunRe
         total_instructions: nums[4],
         context_switches: nums[5],
         threads_completed: nums[6],
-        steals: nums[7],
-        priority_flops: (nums[8], nums[9]),
-        degraded_intervals: nums[10],
-        corrected_intervals: nums[11],
+        threads_aborted: nums[7],
+        steals: nums[8],
+        priority_flops: (nums[9], nums[10]),
+        degraded_intervals: nums[11],
+        corrected_intervals: nums[12],
         // Per-processor breakdowns are not cached; no figure consumes
         // them and they would dominate the entry size.
         per_cpu: Vec::new(),
@@ -382,6 +411,16 @@ fn encode(out: &RunOutput) -> String {
             s.push_str(&format!(
                 "fault {} {} {} {}\n",
                 u8::from(cell.recovered),
+                enc_f64(cell.probe.sum_abs_err),
+                enc_f64(cell.probe.sum_observed),
+                cell.probe.samples
+            ));
+            encode_report(&mut s, &cell.report);
+        }
+        RunOutput::ChaosCell(cell) => {
+            s.push_str(&format!(
+                "chaos {} {} {} {}\n",
+                cell.poisoned,
                 enc_f64(cell.probe.sum_abs_err),
                 enc_f64(cell.probe.sum_observed),
                 cell.probe.samples
@@ -471,6 +510,17 @@ fn decode(kind: &RunKind, payload: &str) -> Option<RunOutput> {
             let report = decode_report(&mut lines)?;
             Some(RunOutput::FaultCell(FaultCell { report, probe, recovered }))
         }
+        RunKind::Chaos { .. } => {
+            let mut it = lines.next()?.strip_prefix("chaos ")?.split(' ');
+            let poisoned = it.next()?.parse().ok()?;
+            let probe = PredictionProbe {
+                sum_abs_err: dec_f64(it.next()?)?,
+                sum_observed: dec_f64(it.next()?)?,
+                samples: it.next()?.parse().ok()?,
+            };
+            let report = decode_report(&mut lines)?;
+            Some(RunOutput::ChaosCell(ChaosCell { report, probe, poisoned }))
+        }
         RunKind::Invalidation { .. } => {
             let mut it = lines.next()?.strip_prefix("inval ")?.split(' ');
             Some(RunOutput::Invalidation {
@@ -535,25 +585,153 @@ impl DiskCache {
         self.dir.join(format!("{:016x}.run", fnv1a(key)))
     }
 
-    /// Loads a cached result; any miss, mismatch (hash collision), or
-    /// parse failure just means the run is executed again.
-    fn load(&self, key: &str, kind: &RunKind) -> Option<RunOutput> {
-        let text = std::fs::read_to_string(self.entry_path(key)).ok()?;
-        let (first, payload) = text.split_once('\n')?;
+    /// Loads a cached result. `Ok(None)` is a clean miss (no entry, or
+    /// an FNV key collision); [`ReproError::CorruptCache`] means the
+    /// entry existed but failed its checksum or decode — it has been
+    /// quarantined (renamed to `.quarantine`) so the recomputed result
+    /// can land fresh, and the caller recomputes after logging.
+    fn load(&self, key: &str, kind: &RunKind) -> Result<Option<RunOutput>, ReproError> {
+        let path = self.entry_path(key);
+        let Ok(text) = std::fs::read_to_string(&path) else {
+            return Ok(None);
+        };
+        let corrupt = |what: &str| {
+            let quarantined = path.with_extension("quarantine");
+            // Best effort: if the rename fails, the fresh store below
+            // simply overwrites the bad entry.
+            let _ = std::fs::rename(&path, &quarantined);
+            ReproError::CorruptCache { quarantined, what: what.to_string() }
+        };
+        let Some((first, rest)) = text.split_once('\n') else {
+            return Err(corrupt("truncated header"));
+        };
         if first != key {
-            return None;
+            return Ok(None);
         }
-        decode(kind, payload)
+        let Some((sum_line, payload)) = rest.split_once('\n') else {
+            return Err(corrupt("missing checksum line"));
+        };
+        let Some(expected) = sum_line.strip_prefix("sha256 ") else {
+            return Err(corrupt("malformed checksum line"));
+        };
+        if digest::hex(payload.as_bytes()) != expected {
+            return Err(corrupt("payload checksum mismatch"));
+        }
+        match decode(kind, payload) {
+            Some(out) => Ok(Some(out)),
+            None => Err(corrupt("undecodable payload")),
+        }
     }
 
     /// Stores a result atomically (temp file + rename), so concurrent
-    /// invocations sharing this directory never read torn entries.
+    /// invocations sharing this directory never read torn entries; the
+    /// embedded SHA-256 lets `load` reject anything that still lands
+    /// damaged (partial disk, bit rot).
     fn store(&self, key: &str, out: &RunOutput) -> std::io::Result<()> {
         std::fs::create_dir_all(&self.dir)?;
         let path = self.entry_path(key);
         let tmp = path.with_extension(format!("tmp{}", std::process::id()));
-        std::fs::write(&tmp, format!("{key}\n{}", encode(out)))?;
+        let payload = encode(out);
+        let checksum = digest::hex(payload.as_bytes());
+        std::fs::write(&tmp, format!("{key}\nsha256 {checksum}\n{payload}"))?;
         std::fs::rename(&tmp, &path)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Guarded execution: panic isolation, watchdog, bounded retry.
+
+/// Per-run isolation policy: how panics, hangs, and flaky failures are
+/// contained so one bad descriptor cannot tear down a whole suite.
+#[derive(Debug, Clone)]
+pub struct GuardPolicy {
+    /// Watchdog timeout per attempt. `None` disables the watchdog and
+    /// runs the descriptor on the calling worker thread (panic
+    /// isolation still applies).
+    pub timeout: Option<Duration>,
+    /// Additional attempts after a panicked or timed-out run.
+    pub retries: u32,
+    /// Base backoff between attempts (scaled by the attempt number).
+    pub backoff: Duration,
+}
+
+impl Default for GuardPolicy {
+    fn default() -> Self {
+        GuardPolicy {
+            timeout: Some(Duration::from_secs(600)),
+            retries: 1,
+            backoff: Duration::from_millis(50),
+        }
+    }
+}
+
+/// Renders a panic payload the way the default hook would.
+pub(crate) fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "opaque panic payload".to_string()
+    }
+}
+
+/// Runs one descriptor with panics converted to
+/// [`ReproError::RunPanicked`]. Every run builds its state privately,
+/// so unwinding cannot leave shared state torn (`AssertUnwindSafe` is
+/// sound here).
+fn execute_isolated(kind: &RunKind) -> Result<RunOutput, ReproError> {
+    match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| execute(kind))) {
+        Ok(res) => res,
+        Err(payload) => Err(ReproError::RunPanicked { what: panic_message(payload.as_ref()) }),
+    }
+}
+
+/// Runs one descriptor on a watchdog thread; a run that outlives
+/// `timeout` is abandoned (Rust threads cannot be killed — it finishes
+/// in the background) and reported as [`ReproError::RunTimedOut`].
+fn execute_watched(kind: RunKind, timeout: Duration) -> Result<RunOutput, ReproError> {
+    let (tx, rx) = std::sync::mpsc::channel();
+    std::thread::spawn(move || {
+        let _ = tx.send(execute_isolated(&kind));
+    });
+    match rx.recv_timeout(timeout) {
+        Ok(res) => res,
+        Err(std::sync::mpsc::RecvTimeoutError::Timeout) => {
+            Err(ReproError::RunTimedOut { after: timeout })
+        }
+        Err(std::sync::mpsc::RecvTimeoutError::Disconnected) => {
+            Err(ReproError::RunPanicked { what: "worker vanished before reporting".to_string() })
+        }
+    }
+}
+
+/// Executes one descriptor under `guard`: panic isolation, watchdog
+/// timeout, and bounded retry with linear backoff. Only panics and
+/// timeouts are retried — typed engine/model errors are deterministic
+/// and surface immediately.
+///
+/// # Errors
+///
+/// Propagates the underlying error, or [`ReproError::RunPanicked`] /
+/// [`ReproError::RunTimedOut`] once the retry budget is spent.
+pub fn execute_guarded(kind: &RunKind, guard: &GuardPolicy) -> Result<RunOutput, ReproError> {
+    let mut attempt = 0u32;
+    loop {
+        let res = match guard.timeout {
+            Some(timeout) => execute_watched(*kind, timeout),
+            None => execute_isolated(kind),
+        };
+        match res {
+            Err(e @ (ReproError::RunPanicked { .. } | ReproError::RunTimedOut { .. }))
+                if attempt < guard.retries =>
+            {
+                attempt += 1;
+                eprintln!("[guard] {e}; retrying ({attempt}/{})", guard.retries);
+                std::thread::sleep(guard.backoff * attempt);
+            }
+            other => return other,
+        }
     }
 }
 
@@ -580,12 +758,15 @@ pub struct RunnerConfig {
     pub jobs: usize,
     /// Cache directory; `None` disables the cache.
     pub cache_dir: Option<PathBuf>,
+    /// Panic/timeout isolation policy for individual runs.
+    pub guard: GuardPolicy,
 }
 
 /// The parallel, cached experiment runner.
 pub struct Runner {
     jobs: usize,
     cache: Option<DiskCache>,
+    guard: GuardPolicy,
     stats: Mutex<Vec<RunStat>>,
 }
 
@@ -595,6 +776,7 @@ impl Runner {
         Runner {
             jobs: config.jobs.max(1),
             cache: config.cache_dir.map(|dir| DiskCache { dir }),
+            guard: config.guard,
             stats: Mutex::new(Vec::new()),
         }
     }
@@ -605,6 +787,7 @@ impl Runner {
         Runner::new(RunnerConfig {
             jobs: args.jobs,
             cache_dir: (!args.no_cache).then(|| args.out.join(".cache")),
+            guard: GuardPolicy::default(),
         })
     }
 
@@ -644,7 +827,7 @@ impl Runner {
                     }
                     let i = unique[u];
                     let res = self.run_one(&reqs[i], &keys[i]);
-                    *slots[u].lock().expect("runner slot lock") = Some(res);
+                    *slots[u].lock().unwrap_or_else(std::sync::PoisonError::into_inner) = Some(res);
                 });
             }
         });
@@ -653,7 +836,7 @@ impl Runner {
         for (u, slot) in slots.into_iter().enumerate() {
             let res = slot
                 .into_inner()
-                .expect("runner slot lock")
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
                 .ok_or_else(|| ReproError::MissingResult(keys[unique[u]].clone()))?;
             done.push(Some(res?));
         }
@@ -667,18 +850,23 @@ impl Runner {
 
     fn run_one(&self, req: &RunRequest, key: &str) -> Result<RunOutput, ReproError> {
         if let Some(cache) = &self.cache {
-            if let Some(out) = cache.load(key, &req.kind) {
-                self.push_stat(RunStat {
-                    label: req.label.clone(),
-                    wall: Duration::ZERO,
-                    sim_misses: sim_misses(&out),
-                    cached: true,
-                });
-                return Ok(out);
+            match cache.load(key, &req.kind) {
+                Ok(Some(out)) => {
+                    self.push_stat(RunStat {
+                        label: req.label.clone(),
+                        wall: Duration::ZERO,
+                        sim_misses: sim_misses(&out),
+                        cached: true,
+                    });
+                    return Ok(out);
+                }
+                Ok(None) => {}
+                // Quarantined; recompute and store a fresh entry.
+                Err(e) => eprintln!("[cache] {}: {e}", req.label),
             }
         }
         let start = Instant::now();
-        let out = execute(&req.kind)?;
+        let out = execute_guarded(&req.kind, &self.guard)?;
         let wall = start.elapsed();
         if let Some(cache) = &self.cache {
             // A failing cache write must not kill the suite; the result
@@ -696,18 +884,22 @@ impl Runner {
         Ok(out)
     }
 
+    fn stats(&self) -> std::sync::MutexGuard<'_, Vec<RunStat>> {
+        self.stats.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
     fn push_stat(&self, stat: RunStat) {
-        self.stats.lock().expect("runner stats lock").push(stat);
+        self.stats().push(stat);
     }
 
     /// Runs executed fresh so far.
     pub fn fresh_runs(&self) -> usize {
-        self.stats.lock().expect("runner stats lock").iter().filter(|s| !s.cached).count()
+        self.stats().iter().filter(|s| !s.cached).count()
     }
 
     /// Runs served from the disk cache so far.
     pub fn cached_runs(&self) -> usize {
-        self.stats.lock().expect("runner stats lock").iter().filter(|s| s.cached).count()
+        self.stats().iter().filter(|s| s.cached).count()
     }
 
     /// The per-run instrumentation table: wall time and simulated-miss
@@ -718,7 +910,7 @@ impl Runner {
     ///
     /// Returns a [`TableError`] if a row cannot be appended.
     pub fn summary(&self) -> Result<Table, TableError> {
-        let mut stats = self.stats.lock().expect("runner stats lock").clone();
+        let mut stats = self.stats().clone();
         stats.sort_by(|a, b| a.label.cmp(&b.label));
         let mut t = Table::new(
             &format!(
@@ -857,6 +1049,7 @@ mod tests {
             total_instructions: 40,
             context_switches: 50,
             threads_completed: 60,
+            threads_aborted: 65,
             steals: 70,
             priority_flops: (80, 90),
             degraded_intervals: 1,
@@ -900,7 +1093,11 @@ mod tests {
     fn run_all_dedupes_and_orders() {
         let dir = std::env::temp_dir().join(format!("repro-runner-unit-{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
-        let runner = Runner::new(RunnerConfig { jobs: 4, cache_dir: Some(dir.join("cache")) });
+        let runner = Runner::new(RunnerConfig {
+            jobs: 4,
+            cache_dir: Some(dir.join("cache")),
+            guard: GuardPolicy::default(),
+        });
         // Two distinct walks, with the first repeated: 3 requests, 2 runs.
         let reqs = vec![walk_req(1), walk_req(2), walk_req(1)];
         let outs = runner.run_all(&reqs).expect("walks succeed");
@@ -915,7 +1112,11 @@ mod tests {
 
         // A second runner over the same cache dir does zero fresh runs
         // and returns identical results.
-        let runner2 = Runner::new(RunnerConfig { jobs: 1, cache_dir: Some(dir.join("cache")) });
+        let runner2 = Runner::new(RunnerConfig {
+            jobs: 1,
+            cache_dir: Some(dir.join("cache")),
+            guard: GuardPolicy::default(),
+        });
         let outs2 = runner2.run_all(&reqs).expect("cached walks succeed");
         assert_eq!(runner2.fresh_runs(), 0);
         // Stats count unique executions (the duplicate request shares
@@ -930,11 +1131,111 @@ mod tests {
 
     #[test]
     fn no_cache_runner_reruns() {
-        let runner = Runner::new(RunnerConfig { jobs: 2, cache_dir: None });
+        let runner =
+            Runner::new(RunnerConfig { jobs: 2, cache_dir: None, guard: GuardPolicy::default() });
         let reqs = vec![walk_req(3)];
         runner.run_all(&reqs).expect("walk succeeds");
         runner.run_all(&reqs).expect("walk succeeds");
         assert_eq!(runner.fresh_runs(), 2);
         assert_eq!(runner.cached_runs(), 0);
+    }
+
+    #[test]
+    fn wire_round_trips_chaos_cells() {
+        let cell = experiments::ChaosCell {
+            report: RunReport {
+                policy: "crt".to_string(),
+                cpus: 4,
+                total_cycles: 11,
+                total_l2_misses: 22,
+                total_l2_refs: 33,
+                total_instructions: 44,
+                context_switches: 55,
+                threads_completed: 66,
+                threads_aborted: 7,
+                steals: 88,
+                priority_flops: (9, 10),
+                degraded_intervals: 0,
+                corrected_intervals: 0,
+                per_cpu: Vec::new(),
+            },
+            probe: PredictionProbe { sum_abs_err: 3.5, sum_observed: 7.25, samples: 4 },
+            poisoned: 2,
+        };
+        let kind = RunKind::Chaos {
+            policy: PolicyId::Crt,
+            scenario: ChaosScenario::AbortLocked,
+            scale: Scale::Small,
+        };
+        let wire = encode(&RunOutput::ChaosCell(cell));
+        let back = decode(&kind, &wire).expect("chaos round trip");
+        assert_eq!(encode(&back), wire);
+    }
+
+    #[test]
+    fn corrupted_entry_is_quarantined_then_recomputed() {
+        let dir = std::env::temp_dir().join(format!("repro-quarantine-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cache_dir = dir.join("cache");
+        let config = RunnerConfig {
+            jobs: 1,
+            cache_dir: Some(cache_dir.clone()),
+            guard: GuardPolicy::default(),
+        };
+        let reqs = vec![walk_req(9)];
+        let outs = Runner::new(config.clone()).run_all(&reqs).expect("walk succeeds");
+
+        // Flip payload bytes behind the checksum's back.
+        let cache = DiskCache { dir: cache_dir.clone() };
+        let key = cache_key(&reqs[0].kind);
+        let path = cache.entry_path(&key);
+        let mut text = std::fs::read_to_string(&path).expect("entry exists");
+        text.truncate(text.len() - 8);
+        text.push_str("garbage\n");
+        std::fs::write(&path, text).expect("rewrite entry");
+        let err = cache.load(&key, &reqs[0].kind).expect_err("checksum must fail");
+        let ReproError::CorruptCache { quarantined, what } = &err else {
+            panic!("expected CorruptCache, got {err:?}");
+        };
+        assert!(what.contains("checksum"));
+        assert!(quarantined.exists(), "bad entry moved aside");
+        assert!(!path.exists(), "bad entry no longer served");
+
+        // A fresh runner over the damaged cache recomputes and re-stores
+        // the identical result instead of erroring or misparsing.
+        let runner = Runner::new(config);
+        let outs2 = runner.run_all(&reqs).expect("recompute succeeds");
+        assert_eq!(runner.fresh_runs(), 1);
+        assert_eq!(encode(&outs[0]), encode(&outs2[0]));
+        assert!(path.exists(), "fresh entry stored after quarantine");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn guard_times_out_and_retries_then_reports() {
+        let guard = GuardPolicy {
+            timeout: Some(Duration::from_micros(1)),
+            retries: 1,
+            backoff: Duration::ZERO,
+        };
+        // A full chaos cell takes hundreds of milliseconds — it cannot
+        // beat a one-microsecond watchdog, so both attempts time out.
+        let kind = RunKind::Chaos {
+            policy: PolicyId::Lff,
+            scenario: ChaosScenario::Churn,
+            scale: Scale::Small,
+        };
+        let err = execute_guarded(&kind, &guard).expect_err("watchdog must fire");
+        assert!(matches!(err, ReproError::RunTimedOut { .. }), "got {err:?}");
+    }
+
+    #[test]
+    fn panic_messages_are_preserved() {
+        let payload: Box<dyn std::any::Any + Send> = Box::new("boom");
+        assert_eq!(panic_message(payload.as_ref()), "boom");
+        let payload: Box<dyn std::any::Any + Send> = Box::new(String::from("dynamic boom"));
+        assert_eq!(panic_message(payload.as_ref()), "dynamic boom");
+        let payload: Box<dyn std::any::Any + Send> = Box::new(17u32);
+        assert_eq!(panic_message(payload.as_ref()), "opaque panic payload");
     }
 }

@@ -6,9 +6,14 @@
 //! 4. **Invalidation effects** (§3.4);
 //! 5. **Runtime sharing inference** (§7 future work);
 //! 6. **Counter-fault robustness** (`--fault <scenario>|all` runs *only*
-//!    this table).
+//!    this table);
+//! 7. **Thread-lifecycle chaos** (`--chaos <scenario>|all` runs *only*
+//!    this table): every policy under seeded thread aborts, deaths while
+//!    holding locks, and spawn failures — the run must complete, account
+//!    for every thread, and keep footprint predictions sane.
 
 use crate::args::{Args, Scale};
+use crate::chaos::ChaosScenario;
 use crate::error::ReproError;
 use crate::faults::FaultScenario;
 use crate::runner::{Placement, PolicyId, RunKind, RunRequest};
@@ -54,7 +59,40 @@ fn fault_scenarios(args: &Args) -> Result<Option<Vec<FaultScenario>>, ReproError
     }
 }
 
+fn chaos_kind(policy: PolicyId, scenario: ChaosScenario, scale: Scale) -> RunKind {
+    RunKind::Chaos { policy, scenario, scale }
+}
+
+/// The chaos table's policies: the three the paper compares.
+const CHAOS_POLICIES: [PolicyId; 3] = [PolicyId::Fcfs, PolicyId::Lff, PolicyId::Crt];
+
+/// Parses `--chaos` and canonicalizes the run list: the clean baseline
+/// first, then the requested fault scenarios.
+fn chaos_scenarios(args: &Args) -> Result<Option<Vec<ChaosScenario>>, ReproError> {
+    match &args.chaos {
+        None => Ok(None),
+        Some(value) => {
+            let requested = ChaosScenario::parse(value).map_err(ReproError::Usage)?;
+            let mut list = vec![ChaosScenario::Clean];
+            list.extend(requested.into_iter().filter(|s| *s != ChaosScenario::Clean));
+            Ok(Some(list))
+        }
+    }
+}
+
 pub(super) fn requests(args: &Args) -> Result<Vec<RunRequest>, ReproError> {
+    if let Some(scenarios) = chaos_scenarios(args)? {
+        let mut reqs = Vec::new();
+        for &scenario in &scenarios {
+            for policy in CHAOS_POLICIES {
+                reqs.push(RunRequest::new(
+                    format!("chaos:{}/{}", policy.name(), scenario.name()),
+                    chaos_kind(policy, scenario, args.scale),
+                ));
+            }
+        }
+        return Ok(reqs);
+    }
     if let Some(scenarios) = fault_scenarios(args)? {
         let mut reqs = vec![
             RunRequest::new(
@@ -109,6 +147,9 @@ pub(super) fn requests(args: &Args) -> Result<Vec<RunRequest>, ReproError> {
 }
 
 pub(super) fn emit(args: &Args, results: &ResultSet) -> Result<(), ReproError> {
+    if let Some(scenarios) = chaos_scenarios(args)? {
+        return emit_chaos(args, results, &scenarios);
+    }
     if let Some(scenarios) = fault_scenarios(args)? {
         return emit_faults(args, results, &scenarios);
     }
@@ -317,5 +358,63 @@ fn emit_faults(
          degraded mode under sustained traps and recovering once reads come back clean.\n"
     );
     t.write_csv(&args.csv_path("ablation_faults.csv")?)?;
+    Ok(())
+}
+
+fn emit_chaos(
+    args: &Args,
+    results: &ResultSet,
+    scenarios: &[ChaosScenario],
+) -> Result<(), ReproError> {
+    let mut t = Table::new(
+        "Ablation 7 — thread-lifecycle chaos (tasks + lock-stepped workers, 4 cpus)",
+        &[
+            "scenario",
+            "policy",
+            "aborted",
+            "completed",
+            "poisoned locks",
+            "l2 misses",
+            "miss ratio",
+            "vs clean",
+            "pred err (lines)",
+            "pred err (rel)",
+        ],
+    );
+    let ratio = |misses: u64, base: u64| {
+        if base == 0 {
+            0.0
+        } else {
+            misses as f64 / base as f64
+        }
+    };
+    for &scenario in scenarios {
+        for policy in CHAOS_POLICIES {
+            let cell = results.chaos_cell(&chaos_kind(policy, scenario, args.scale))?;
+            let clean =
+                results.chaos_cell(&chaos_kind(policy, ChaosScenario::Clean, args.scale))?;
+            let r = &cell.report;
+            t.row(&[
+                scenario.name().to_string(),
+                policy.name().to_string(),
+                r.threads_aborted.to_string(),
+                r.threads_completed.to_string(),
+                cell.poisoned.to_string(),
+                r.total_l2_misses.to_string(),
+                format!("{:.4}", r.miss_ratio()),
+                format!("{:.2}x", ratio(r.total_l2_misses, clean.report.total_l2_misses)),
+                format!("{:.1}", cell.probe.mean_abs_err()),
+                format!("{:.0}%", 100.0 * cell.probe.relative_err()),
+            ])?;
+        }
+    }
+    t.print();
+    println!(
+        "every scenario must finish without a panic: aborted threads leave the run queue,\n\
+         the sharing graph, and the owner directory; locks orphaned by a dying holder are\n\
+         poisoned, reclaimed, and handed to the next waiter. The footprint-prediction\n\
+         error shows how much thread churn costs the model.\n"
+    );
+    t.write_csv(&args.csv_path("ablation_chaos.csv")?)?;
     Ok(())
 }

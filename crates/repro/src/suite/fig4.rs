@@ -144,8 +144,9 @@ fn emit_panel(
     let mut s =
         Table::new(title, &["curve", "start", "end observed", "end predicted", "max rel err"]);
     for (name, pts) in curves {
-        let first = pts.first().expect("curve has points");
-        let last = pts.last().expect("curve has points");
+        let (Some(first), Some(last)) = (pts.first(), pts.last()) else {
+            return Err(ReproError::MissingResult(format!("fig4 curve {name} has no points")));
+        };
         s.row(&[
             name.clone(),
             format!("{:.0}", first.observed),

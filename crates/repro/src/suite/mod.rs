@@ -19,7 +19,7 @@ mod table3;
 
 use crate::args::Args;
 use crate::error::ReproError;
-use crate::experiments::FaultCell;
+use crate::experiments::{ChaosCell, FaultCell};
 use crate::microbench::WalkPoint;
 use crate::monitor::MonitorTrace;
 use crate::runner::{cache_key, RunKind, RunOutput, RunRequest, Runner};
@@ -181,6 +181,18 @@ impl ResultSet {
     pub fn fault_cell(&self, kind: &RunKind) -> Result<&FaultCell, ReproError> {
         match self.get(kind)? {
             RunOutput::FaultCell(c) => Ok(c),
+            _ => Err(Self::mismatch(kind)),
+        }
+    }
+
+    /// The cell a [`RunKind::Chaos`] descriptor produced.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ReproError::MissingResult`] if absent or mistyped.
+    pub fn chaos_cell(&self, kind: &RunKind) -> Result<&ChaosCell, ReproError> {
+        match self.get(kind)? {
+            RunOutput::ChaosCell(c) => Ok(c),
             _ => Err(Self::mismatch(kind)),
         }
     }

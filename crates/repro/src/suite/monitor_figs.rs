@@ -61,7 +61,9 @@ pub(super) fn fig5_emit(args: &Args, results: &ResultSet) -> Result<(), ReproErr
         }
         t.write_csv(&args.csv_path(&format!("fig5_{}.csv", app.name()))?)?;
 
-        let last = trace.last().expect("trace has samples");
+        let last = trace
+            .last()
+            .ok_or_else(|| ReproError::MissingResult(format!("fig5 trace for {}", app.name())))?;
         summary.row(&[
             app.name().to_string(),
             trace.samples.len().to_string(),
@@ -189,8 +191,9 @@ pub(super) fn fig7_emit(args: &Args, results: &ResultSet) -> Result<(), ReproErr
         }
         view.print();
 
-        let last = trace.last().expect("trace has samples");
-        let nlast = naive.last().expect("trace has samples");
+        let (Some(last), Some(nlast)) = (trace.last(), naive.last()) else {
+            return Err(ReproError::MissingResult(format!("fig7 trace for {}", app.name())));
+        };
         summary.row(&[
             app.name().to_string(),
             last.misses.to_string(),

@@ -157,14 +157,19 @@ impl Table {
         out
     }
 
-    /// Writes the CSV form to `path`.
+    /// Writes the CSV form to `path` atomically: the bytes land in a
+    /// sibling temp file first and are renamed into place, so a crash
+    /// mid-write never leaves a truncated artifact where a complete one
+    /// is expected (the kill-and-resume guarantee for `repro-all`).
     ///
     /// # Errors
     ///
     /// Returns [`TableError::Io`] if the file cannot be written.
     pub fn write_csv(&self, path: &Path) -> Result<(), TableError> {
-        std::fs::write(path, self.to_csv())
-            .map_err(|source| TableError::Io { path: path.to_path_buf(), source })?;
+        let io_err = |source| TableError::Io { path: path.to_path_buf(), source };
+        let tmp = path.with_extension(format!("csv.tmp{}", std::process::id()));
+        std::fs::write(&tmp, self.to_csv()).map_err(io_err)?;
+        std::fs::rename(&tmp, path).map_err(io_err)?;
         println!("[csv] {}", path.display());
         Ok(())
     }

@@ -154,7 +154,9 @@ pub fn traced_run(app: App, policy: PolicyId, seed: u64) -> Result<TracedRun, Re
     }));
     locality_trace::install(locality_trace::sink::DEFAULT_CAPACITY);
     let run = engine.run();
-    let sink = locality_trace::take().expect("sink installed above");
+    let Some(sink) = locality_trace::take() else {
+        return Err(ReproError::MissingResult("trace sink installed above".to_string()));
+    };
     run?;
     Ok(TracedRun { app, records: sink.records(), summary: sink.summary(Some(tid.0)) })
 }
@@ -265,7 +267,16 @@ fn export_runs(apps: &[App], policy: PolicyId, jobs: usize) -> Result<Vec<Traced
                 .iter()
                 .map(|&app| scope.spawn(move || traced_run(app, policy, app.default_seed())))
                 .collect();
-            handles.into_iter().map(|h| h.join().expect("trace worker panicked")).collect()
+            handles
+                .into_iter()
+                .map(|h| {
+                    h.join().unwrap_or_else(|p| {
+                        Err(ReproError::RunPanicked {
+                            what: crate::runner::panic_message(p.as_ref()),
+                        })
+                    })
+                })
+                .collect()
         })
     } else {
         apps.iter().map(|&app| traced_run(app, policy, app.default_seed())).collect()

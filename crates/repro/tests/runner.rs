@@ -10,7 +10,7 @@ use locality_repro::suite::{run_figures, Figure};
 use std::path::{Path, PathBuf};
 
 fn test_args(out: PathBuf, jobs: usize, no_cache: bool) -> Args {
-    Args { scale: Scale::Small, out, fault: None, workload: None, policy: None, jobs, no_cache }
+    Args { scale: Scale::Small, out, jobs, no_cache, ..Args::default() }
 }
 
 fn tmp_out(label: &str) -> PathBuf {

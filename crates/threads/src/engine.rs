@@ -15,6 +15,7 @@
 //! priority updates), fire scheduling-event hooks, and dispatch the next
 //! thread.
 
+use crate::chaos::{ChaosConfig, ChaosState};
 use crate::error::RuntimeError;
 use crate::events::{EngineHook, EngineView, SwitchEvent, SwitchReason};
 use crate::inference::{InferenceConfig, SharingInference};
@@ -22,7 +23,7 @@ use crate::observe::{ObsEvent, ObsLog};
 use crate::program::{BatchCtx, Control, PendingSpawn, Program};
 use crate::report::RunReport;
 use crate::sched::{self, SchedPolicy, Scheduler};
-use crate::sync::{MutexId, SyncTables};
+use crate::sync::{BarrierId, MutexId, SyncTables};
 use crate::thread::{Tcb, ThreadState};
 use locality_core::{
     CounterSanitizer, SanitizedInterval, SanitizerConfig, SharingGraph, ThreadId, ThreadSlots,
@@ -50,6 +51,10 @@ pub struct EngineConfig {
     /// drain a per-processor Cache Miss Lookaside buffer at each context
     /// switch and write inferred `at_share` edges into the graph.
     pub infer_sharing: Option<InferenceConfig>,
+    /// Optional thread-lifecycle fault injection (the chaos layer):
+    /// seeded, deterministic thread aborts, spawn failures, and idle
+    /// kills at well-defined points of the engine loop.
+    pub chaos: Option<ChaosConfig>,
     /// Safety valve: maximum engine steps before aborting the run.
     pub max_steps: u64,
 }
@@ -62,6 +67,7 @@ impl Default for EngineConfig {
             sync_op_cycles: 12,
             time_slice: None,
             infer_sharing: None,
+            chaos: None,
             max_steps: 2_000_000_000,
         }
     }
@@ -92,11 +98,13 @@ pub struct Engine<S: Scheduler = Box<dyn Scheduler>> {
     sleepers: BinaryHeap<Reverse<(u64, ThreadId)>>,
     inference: Option<SharingInference>,
     sanitizer: CounterSanitizer,
+    chaos: Option<ChaosState>,
     obs: Option<ObsLog>,
     hooks: Vec<Box<dyn EngineHook>>,
     next_tid: u64,
     live: u64,
     completed: u64,
+    aborted: u64,
     switches: u64,
     corrected_intervals: u64,
     steps: u64,
@@ -160,11 +168,13 @@ impl<S: Scheduler> Engine<S> {
             run_start: vec![0; cpus],
             sleepers: BinaryHeap::new(),
             sanitizer: CounterSanitizer::new(SanitizerConfig::default()),
+            chaos: config.chaos.filter(ChaosConfig::is_active).map(|cfg| ChaosState::new(&cfg)),
             obs: None,
             hooks: Vec::new(),
             next_tid: 1,
             live: 0,
             completed: 0,
+            aborted: 0,
             switches: 0,
             corrected_intervals: 0,
             steps: 0,
@@ -190,6 +200,10 @@ impl<S: Scheduler> Engine<S> {
     /// Adds an `at_share(src, dst, q)` annotation from outside any thread
     /// (equivalent to annotations placed at thread-creation sites).
     ///
+    /// An annotation naming an already-retired (exited or aborted)
+    /// thread is dropped: the teardown path has pruned that thread from
+    /// the graph, and nothing may resurrect edges for a corpse.
+    ///
     /// # Errors
     ///
     /// Returns [`locality_core::ModelError`] for invalid coefficients or
@@ -200,6 +214,9 @@ impl<S: Scheduler> Engine<S> {
         dst: ThreadId,
         q: f64,
     ) -> Result<(), locality_core::ModelError> {
+        if self.retired.contains_key(&src) || self.retired.contains_key(&dst) {
+            return Ok(());
+        }
         self.graph.set(src, dst, q)
     }
 
@@ -277,6 +294,25 @@ impl<S: Scheduler> Engine<S> {
     }
 
     fn admit(&mut self, spawn: PendingSpawn) {
+        if let (Some(cfg), Some(st)) = (self.config.chaos, self.chaos.as_mut()) {
+            if st.faults() < cfg.max_faults && st.roll(cfg.spawn_fail_per_64k) {
+                // Spawn failure: the thread is stillborn. It never binds
+                // a slot, never runs a batch, and never reaches the
+                // scheduler — but it is joinable (aborted threads land in
+                // the retired table like exited ones).
+                st.note_fault();
+                let mut tcb = Tcb::new(spawn.tid, spawn.program);
+                tcb.state = ThreadState::Aborted;
+                self.aborted += 1;
+                self.note(ObsEvent::Abort { tid: spawn.tid });
+                emit_with(|| TraceEvent::ThreadAbort { tid: spawn.tid.0 });
+                // The parent may have annotated the child between spawn
+                // and admission; those edges die with the stillbirth.
+                self.graph.remove_thread(spawn.tid);
+                self.retired.insert(spawn.tid, tcb);
+                return;
+            }
+        }
         let tcb = Tcb::new(spawn.tid, spawn.program);
         let slot = self.slots.bind(spawn.tid);
         let i = slot.index();
@@ -312,6 +348,7 @@ impl<S: Scheduler> Engine<S> {
                     }
                 }
             }
+            self.maybe_abort_idle(cpu)?;
         }
         Ok(self.report())
     }
@@ -328,6 +365,7 @@ impl<S: Scheduler> Engine<S> {
             total_instructions: per_cpu.iter().map(|s| s.instructions).sum(),
             context_switches: self.switches,
             threads_completed: self.completed,
+            threads_aborted: self.aborted,
             steals: self.sched.steals(),
             priority_flops: self.sched.priority_flops(),
             degraded_intervals: self.sched.degraded_intervals(),
@@ -353,6 +391,13 @@ impl<S: Scheduler> Engine<S> {
                 break;
             }
             self.sleepers.pop();
+            // A sleeper killed by fault injection leaves a stale heap
+            // entry behind (the binary heap has no random removal); it is
+            // discarded lazily here. Tids are never reused, so a failed
+            // slot lookup can only mean the thread is gone.
+            if self.slots.lookup(tid).is_none() {
+                continue;
+            }
             self.make_ready(tid)?;
         }
         Ok(())
@@ -459,6 +504,13 @@ impl<S: Scheduler> Engine<S> {
         self.clocks[cpu] += cycles;
         for spawn in spawns {
             self.admit(spawn);
+        }
+        // Chaos decision point: a thread aborted at a batch boundary dies
+        // *before* its control takes effect — a lock it was about to
+        // release stays held (and is reclaimed by the abort), a sync op
+        // it was about to issue never happens.
+        if self.maybe_abort_running(cpu, tid)? {
+            return Ok(());
         }
         self.handle_control(cpu, tid, control)?;
         // Time-slice preemption applies only if the thread kept running.
@@ -679,8 +731,10 @@ impl<S: Scheduler> Engine<S> {
         {
             let tcb = self.tcb_mut(tid)?;
             tcb.switches += 1;
-            if reason == SwitchReason::Exited {
-                tcb.state = ThreadState::Exited;
+            match reason {
+                SwitchReason::Exited => tcb.state = ThreadState::Exited,
+                SwitchReason::Aborted => tcb.state = ThreadState::Aborted,
+                _ => {}
             }
         }
         // Model updates: case 1 for the blocker, case 3 for dependents.
@@ -758,6 +812,165 @@ impl<S: Scheduler> Engine<S> {
             }
         }
         Ok(())
+    }
+
+    /// Chaos decision point for the thread that just finished a batch on
+    /// `cpu`. Returns `true` when the thread was aborted (its control
+    /// must then be discarded).
+    fn maybe_abort_running(&mut self, cpu: usize, tid: ThreadId) -> Result<bool, RuntimeError> {
+        let Some(cfg) = self.config.chaos else { return Ok(false) };
+        let Some(st) = self.chaos.as_mut() else { return Ok(false) };
+        if st.faults() >= cfg.max_faults
+            || self.live <= cfg.min_live
+            || !st.roll(cfg.abort_running_per_64k)
+        {
+            return Ok(false);
+        }
+        if cfg.only_lock_holders && !self.sync.mutexes.iter().any(|m| m.owner == Some(tid)) {
+            return Ok(false);
+        }
+        if let Some(st) = self.chaos.as_mut() {
+            st.note_fault();
+        }
+        // The dying thread's final partial interval is still read and
+        // sanitized — the scheduler sees a short interval, exactly what a
+        // real abort at an arbitrary PC would produce.
+        self.switch_out(cpu, tid, SwitchReason::Aborted)?;
+        self.abort_thread(tid)
+    }
+
+    /// Chaos decision point for threads that are *not* running: once per
+    /// engine step, possibly kill one ready/sleeping/blocked thread,
+    /// chosen uniformly in slot order.
+    fn maybe_abort_idle(&mut self, cpu: usize) -> Result<(), RuntimeError> {
+        let Some(cfg) = self.config.chaos else { return Ok(()) };
+        let Some(st) = self.chaos.as_mut() else { return Ok(()) };
+        if st.faults() >= cfg.max_faults
+            || self.live <= cfg.min_live
+            || !st.roll(cfg.abort_idle_per_64k)
+        {
+            return Ok(());
+        }
+        let victims: Vec<ThreadId> = self
+            .tcbs
+            .iter()
+            .flatten()
+            .filter(|t| {
+                matches!(t.state, ThreadState::Ready | ThreadState::Blocked | ThreadState::Sleeping)
+            })
+            .map(|t| t.id)
+            .collect();
+        if victims.is_empty() {
+            return Ok(());
+        }
+        let victim = {
+            let Some(st) = self.chaos.as_mut() else { return Ok(()) };
+            st.note_fault();
+            victims[st.pick(victims.len())]
+        };
+        set_clock(self.clocks[cpu]);
+        self.tcb_mut(victim)?.state = ThreadState::Aborted;
+        self.abort_thread(victim)?;
+        Ok(())
+    }
+
+    /// Tears a dead thread out of every runtime structure. The victim
+    /// must already be off every processor (`current`), with its TCB
+    /// state set to [`ThreadState::Aborted`]. This is the hostile twin of
+    /// [`finish_thread`](Self::finish_thread): same pruning chain, plus
+    /// orphaned-lock reclamation, waiter-queue purging, and barrier
+    /// membership shrinking — the recovery invariants §10 of DESIGN.md
+    /// documents.
+    fn abort_thread(&mut self, tid: ThreadId) -> Result<bool, RuntimeError> {
+        self.live -= 1;
+        self.aborted += 1;
+        self.note(ObsEvent::Abort { tid });
+        emit_with(|| TraceEvent::ThreadAbort { tid: tid.0 });
+        // Joins on an aborted thread complete like joins on an exited one.
+        let waiters = {
+            let tcb = self.tcb_mut(tid)?;
+            std::mem::take(&mut tcb.join_waiters)
+        };
+        for w in waiters {
+            self.note(ObsEvent::JoinWake { waiter: w, target: tid });
+            self.make_ready(w)?;
+        }
+        // Orphaned-lock reclamation: every mutex the dead thread owned is
+        // poisoned, then released on its behalf (FIFO handoff to the next
+        // waiter). The release/acquire events are emitted exactly as for
+        // a live unlock, and they follow the Abort event — so analyses
+        // see the reclamation happens-before ordered by the abort.
+        for i in 0..self.sync.mutexes.len() {
+            if self.sync.mutexes[i].owner == Some(tid) {
+                self.sync.mutexes[i].poisoned = true;
+                self.unlock_mutex(MutexId(i), tid)?;
+            }
+        }
+        // Purge the corpse from every wait queue: it can never be woken.
+        for m in &mut self.sync.mutexes {
+            m.waiters.retain(|&w| w != tid);
+        }
+        for s in &mut self.sync.sems {
+            s.waiters.retain(|&w| w != tid);
+        }
+        for c in &mut self.sync.conds {
+            c.waiters.retain(|&(w, _)| w != tid);
+        }
+        // A dead thread that already arrived at a barrier is no longer a
+        // party: shrink the membership so the survivors still release.
+        // (A party that dies *before* arriving cannot be distinguished
+        // from a non-party; that barrier will deadlock and be reported by
+        // the engine's deadlock detection.)
+        for i in 0..self.sync.barriers.len() {
+            let bar = &mut self.sync.barriers[i];
+            if let Some(pos) = bar.waiting.iter().position(|&w| w == tid) {
+                bar.waiting.remove(pos);
+                bar.parties -= 1;
+                if bar.parties > 0 && bar.waiting.len() == bar.parties {
+                    let parties: Vec<ThreadId> = bar.waiting.clone();
+                    let woken: Vec<ThreadId> = bar.waiting.drain(..).collect();
+                    self.note(ObsEvent::BarrierCross { barrier: BarrierId(i), parties });
+                    for w in woken {
+                        self.make_ready(w)?;
+                    }
+                }
+            }
+        }
+        // It may also be parked in another thread's join list.
+        for t in self.tcbs.iter_mut().flatten() {
+            t.join_waiters.retain(|&w| w != tid);
+        }
+        // The same pruning chain as a clean exit: annotation graph,
+        // scheduler run-queues (on_abort prunes ready structures the exit
+        // path could assume empty), machine owner directory + counter
+        // slots, sanitizer history, inference state — all through the
+        // slot-recycling path, so the slot is free to recycle and stale
+        // handles never resolve.
+        self.graph.remove_thread(tid);
+        self.sched.on_abort(tid);
+        self.machine.retire_thread(tid);
+        self.sanitizer.forget(tid);
+        if let Some(inference) = &mut self.inference {
+            inference.forget(tid);
+        }
+        if let Some(slot) = self.slots.release(tid) {
+            if let Some(tcb) = self.tcbs[slot.index()].take() {
+                debug_assert_eq!(tcb.state, ThreadState::Aborted);
+                self.retired.insert(tid, tcb);
+            }
+        }
+        Ok(true)
+    }
+
+    /// The synchronization tables (read-only: poisoning queries, counts).
+    pub fn sync_tables(&self) -> &SyncTables {
+        &self.sync
+    }
+
+    /// Threads killed by fault injection so far (including stillborn
+    /// spawns).
+    pub fn threads_aborted(&self) -> u64 {
+        self.aborted
     }
 
     /// Per-thread runtime counters `(switches, batches)`.
@@ -1316,5 +1529,146 @@ mod tests {
         let report = e.run().unwrap();
         assert!(report.priority_flops.0 > 0, "LFF must have spent flops on updates");
         assert_eq!(report.policy, "lff");
+    }
+
+    /// Lock → touch the buffer → Unlock → Yield, `rounds` times.
+    struct Locker {
+        m: MutexId,
+        buf: Option<VAddr>,
+        rounds: u32,
+        phase: u8,
+    }
+    impl Program for Locker {
+        fn next_batch(&mut self, ctx: &mut BatchCtx<'_>) -> Control {
+            match self.phase {
+                0 => {
+                    self.phase = 1;
+                    Control::Lock(self.m)
+                }
+                1 => {
+                    let buf = *self.buf.get_or_insert_with(|| ctx.alloc(4096, 64));
+                    ctx.register_region(buf, 4096);
+                    ctx.read_range(buf, 4096, 64);
+                    self.phase = 2;
+                    Control::Unlock(self.m)
+                }
+                _ => {
+                    self.rounds -= 1;
+                    if self.rounds == 0 {
+                        Control::Exit
+                    } else {
+                        self.phase = 0;
+                        Control::Yield
+                    }
+                }
+            }
+        }
+        fn name(&self) -> &str {
+            "locker"
+        }
+    }
+
+    fn chaos_engine(cpus: usize, policy: SchedPolicy, chaos: ChaosConfig) -> Engine {
+        let config = EngineConfig { chaos: Some(chaos), ..EngineConfig::default() };
+        Engine::new(MachineConfig::enterprise5000(cpus), policy, config).unwrap()
+    }
+
+    #[test]
+    fn chaos_abort_running_completes_across_policies() {
+        for policy in [SchedPolicy::Fcfs, SchedPolicy::Lff, SchedPolicy::Crt] {
+            let mut e = chaos_engine(4, policy, ChaosConfig::abort_running(7));
+            for _ in 0..16 {
+                e.spawn(Box::new(Walker::new(64 * 1024, 20)));
+            }
+            let report = e.run().expect("chaos run must complete");
+            assert!(report.threads_aborted > 0, "{policy:?}: nobody died at this rate/seed");
+            assert_eq!(
+                report.threads_completed + report.threads_aborted,
+                16,
+                "{policy:?}: every spawned thread must be accounted for"
+            );
+        }
+    }
+
+    #[test]
+    fn chaos_runs_are_deterministic() {
+        let run = || {
+            let mut e = chaos_engine(4, SchedPolicy::Lff, ChaosConfig::churn(99));
+            for _ in 0..12 {
+                e.spawn(Box::new(Walker::new(64 * 1024, 15)));
+            }
+            e.run().unwrap()
+        };
+        let a = run();
+        let b = run();
+        assert!(a.threads_aborted > 0, "churn must kill somebody");
+        assert_eq!(a, b, "identical chaos config must reproduce the identical report");
+    }
+
+    #[test]
+    fn chaos_poisoned_mutex_is_reclaimed_by_waiters() {
+        // Deterministic holder kill: every roll fires, victims must hold
+        // a mutex, and exactly one fault is allowed — the first thread to
+        // finish a batch while holding the lock dies, its Unlock is
+        // discarded, and the orphaned lock must reach the waiters anyway.
+        let chaos = ChaosConfig {
+            seed: 1,
+            abort_running_per_64k: 65536,
+            only_lock_holders: true,
+            max_faults: 1,
+            ..ChaosConfig::default()
+        };
+        let mut e = chaos_engine(2, SchedPolicy::Fcfs, chaos);
+        let m = e.sync_tables_mut().create_mutex();
+        for _ in 0..3 {
+            e.spawn(Box::new(Locker { m, buf: None, rounds: 4, phase: 0 }));
+        }
+        let report = e.run().expect("orphaned lock must be reclaimed, not deadlock");
+        assert_eq!(report.threads_aborted, 1);
+        assert_eq!(report.threads_completed, 2, "survivors must finish all their rounds");
+        assert!(e.sync_tables().is_poisoned(m), "owner death must poison the mutex");
+        assert_eq!(e.sync_tables().poisoned_mutexes(), 1);
+    }
+
+    #[test]
+    fn chaos_stillborn_spawns_are_joinable() {
+        // Every admission rolls and the first two faults are spent on the
+        // two walkers: both are stillborn. The joiner (admitted after the
+        // fault budget is exhausted) runs and joins both corpses.
+        struct Joiner {
+            targets: Vec<ThreadId>,
+        }
+        impl Program for Joiner {
+            fn next_batch(&mut self, _ctx: &mut BatchCtx<'_>) -> Control {
+                match self.targets.pop() {
+                    Some(t) => Control::Join(t),
+                    None => Control::Exit,
+                }
+            }
+        }
+        let chaos = ChaosConfig {
+            seed: 5,
+            spawn_fail_per_64k: 65536,
+            max_faults: 2,
+            ..ChaosConfig::default()
+        };
+        let mut e = chaos_engine(2, SchedPolicy::Lff, chaos);
+        let a = e.spawn(Box::new(Walker::new(1024, 1)));
+        let b = e.spawn(Box::new(Walker::new(1024, 1)));
+        e.spawn(Box::new(Joiner { targets: vec![a, b] }));
+        let report = e.run().expect("joins on stillborn threads must complete");
+        assert_eq!(report.threads_aborted, 2);
+        assert_eq!(report.threads_completed, 1);
+    }
+
+    #[test]
+    fn chaos_idle_kills_leave_consistent_queues() {
+        let mut e = chaos_engine(2, SchedPolicy::Crt, ChaosConfig::abort_idle(11));
+        for _ in 0..10 {
+            e.spawn(Box::new(Walker::new(32 * 1024, 25)));
+        }
+        let report = e.run().expect("idle kills must not corrupt the run queue");
+        assert!(report.threads_aborted > 0, "nobody died at this rate/seed");
+        assert_eq!(report.threads_completed + report.threads_aborted, 10);
     }
 }

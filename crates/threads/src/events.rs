@@ -23,6 +23,10 @@ pub enum SwitchReason {
     Exited,
     /// The thread exhausted its time slice.
     Preempted,
+    /// The thread was killed mid-interval by lifecycle fault injection
+    /// (the chaos layer); its final partial interval is still read and
+    /// sanitized like any other.
+    Aborted,
 }
 
 impl SwitchReason {
@@ -34,6 +38,7 @@ impl SwitchReason {
             SwitchReason::Sleeping => "sleeping",
             SwitchReason::Exited => "exited",
             SwitchReason::Preempted => "preempted",
+            SwitchReason::Aborted => "aborted",
         }
     }
 }

@@ -63,6 +63,7 @@
 
 mod error;
 
+pub mod chaos;
 pub mod engine;
 pub mod events;
 pub mod heap;
@@ -74,6 +75,7 @@ pub mod sched;
 pub mod sync;
 pub mod thread;
 
+pub use chaos::ChaosConfig;
 pub use engine::{Engine, EngineConfig};
 pub use error::RuntimeError;
 pub use events::{EngineHook, SwitchEvent, SwitchReason};

@@ -18,7 +18,13 @@
 //!   [`SemAcquire`](ObsEvent::SemAcquire) it satisfies;
 //! * a thread's [`Exit`](ObsEvent::Exit) precedes every
 //!   [`JoinWake`](ObsEvent::JoinWake) on it;
-//! * a [`Spawn`](ObsEvent::Spawn) precedes every event of the child.
+//! * a [`Spawn`](ObsEvent::Spawn) precedes every event of the child;
+//! * a thread's [`Abort`](ObsEvent::Abort) follows every event the
+//!   thread performed itself and precedes every [`JoinWake`] on it and
+//!   every [`MutexRelease`](ObsEvent::MutexRelease) reclaiming a lock it
+//!   died holding — so analyses may treat the abort as the dead thread's
+//!   final release point (post-abort reclamation is happens-before
+//!   ordered by the abort, never racy).
 //!
 //! [`Engine::enable_observation`]: crate::Engine::enable_observation
 
@@ -40,6 +46,14 @@ pub enum ObsEvent {
     /// A thread exited.
     Exit {
         /// The exiting thread.
+        tid: ThreadId,
+    },
+    /// A thread was killed by lifecycle fault injection (or was
+    /// stillborn on spawn failure). Joins on it still complete; locks it
+    /// held are reclaimed in the immediately following
+    /// [`MutexRelease`](ObsEvent::MutexRelease) events.
+    Abort {
+        /// The aborted thread.
         tid: ThreadId,
     },
     /// `waiter`'s join on `target` completed (`target` had exited).

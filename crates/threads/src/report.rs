@@ -21,6 +21,9 @@ pub struct RunReport {
     pub context_switches: u64,
     /// Threads that ran to completion.
     pub threads_completed: u64,
+    /// Threads killed by lifecycle fault injection (including failed
+    /// spawns); zero on chaos-free runs.
+    pub threads_aborted: u64,
     /// Threads stolen across processors by idle stealing.
     pub steals: u64,
     /// Floating-point operations spent on priority updates
@@ -90,6 +93,7 @@ mod tests {
             total_instructions: 1_000_000,
             context_switches: 10,
             threads_completed: 5,
+            threads_aborted: 0,
             steals: 0,
             priority_flops: (0, 0),
             degraded_intervals: 0,

@@ -45,6 +45,11 @@ impl Scheduler for FcfsScheduler {
 
     fn on_exit(&mut self, _tid: ThreadId) {}
 
+    fn on_abort(&mut self, tid: ThreadId) {
+        // An aborted thread may die while Ready; a clean exit never can.
+        self.queue.retain(|&t| t != tid);
+    }
+
     fn expected_footprint(&self, _cpu: usize, _tid: ThreadId) -> Option<f64> {
         None
     }
@@ -86,6 +91,21 @@ mod tests {
         assert_eq!(s.priority_flops(), (0, 0));
         assert_eq!(s.steals(), 0);
         assert_eq!(s.name(), "fcfs");
+    }
+
+    #[test]
+    fn abort_prunes_the_queue() {
+        let mut s = FcfsScheduler::new();
+        s.on_spawn(t(1));
+        s.on_spawn(t(2));
+        s.on_spawn(t(3));
+        s.on_abort(t(2));
+        assert_eq!(s.ready_count(), 2);
+        assert_eq!(s.pick(0), Some(t(1)));
+        assert_eq!(s.pick(0), Some(t(3)));
+        assert_eq!(s.pick(0), None);
+        // Aborting a thread that is not queued is a no-op.
+        s.on_abort(t(7));
     }
 
     #[test]

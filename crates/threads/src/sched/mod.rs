@@ -90,6 +90,17 @@ pub trait Scheduler {
     /// `tid` exited.
     fn on_exit(&mut self, tid: ThreadId);
 
+    /// `tid` was killed by lifecycle fault injection. Unlike
+    /// [`on_exit`](Self::on_exit) — where the engine guarantees the
+    /// thread already left every ready structure — an aborted thread may
+    /// still sit in a run queue, so implementations must prune it
+    /// everywhere. The default forwards to `on_exit`, which is correct
+    /// for schedulers whose exit path already removes the thread from
+    /// all structures.
+    fn on_abort(&mut self, tid: ThreadId) {
+        self.on_exit(tid);
+    }
+
     /// The expected footprint of `tid` on `cpu` in lines, if this policy
     /// tracks one (None for FCFS).
     fn expected_footprint(&self, cpu: usize, tid: ThreadId) -> Option<f64>;
@@ -160,6 +171,10 @@ impl Scheduler for Box<dyn Scheduler> {
 
     fn on_exit(&mut self, tid: ThreadId) {
         (**self).on_exit(tid);
+    }
+
+    fn on_abort(&mut self, tid: ThreadId) {
+        (**self).on_abort(tid);
     }
 
     fn expected_footprint(&self, cpu: usize, tid: ThreadId) -> Option<f64> {

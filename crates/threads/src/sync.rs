@@ -29,6 +29,11 @@ pub struct CondId(pub usize);
 pub(crate) struct MutexState {
     pub owner: Option<ThreadId>,
     pub waiters: VecDeque<ThreadId>,
+    /// Set when an owner died holding the mutex (lifecycle fault
+    /// injection). The lock itself is reclaimed — handed to the next
+    /// waiter or freed — but the flag records that the protected state
+    /// may have been left inconsistent.
+    pub poisoned: bool,
 }
 
 #[derive(Debug, Default)]
@@ -120,6 +125,17 @@ impl SyncTables {
     /// Number of objects of each kind `(mutexes, sems, barriers, conds)`.
     pub fn counts(&self) -> (usize, usize, usize, usize) {
         (self.mutexes.len(), self.sems.len(), self.barriers.len(), self.conds.len())
+    }
+
+    /// Number of mutexes poisoned by an owner dying while holding them
+    /// (zero on chaos-free runs).
+    pub fn poisoned_mutexes(&self) -> usize {
+        self.mutexes.iter().filter(|m| m.poisoned).count()
+    }
+
+    /// Whether `id` was poisoned by an owner death.
+    pub fn is_poisoned(&self, id: MutexId) -> bool {
+        self.mutexes.get(id.0).is_some_and(|m| m.poisoned)
     }
 }
 

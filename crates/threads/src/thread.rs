@@ -16,6 +16,9 @@ pub enum ThreadState {
     Sleeping,
     /// Finished.
     Exited,
+    /// Killed by fault injection before it could exit cleanly (or
+    /// stillborn on spawn failure); joinable like an exited thread.
+    Aborted,
 }
 
 /// A thread control block.

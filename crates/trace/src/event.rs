@@ -98,6 +98,12 @@ pub enum TraceEvent {
         /// Entries handed to the sharing inference.
         entries: u32,
     },
+    /// A thread was killed by lifecycle fault injection (engine
+    /// `abort_thread`; the chaos layer), including stillborn spawns.
+    ThreadAbort {
+        /// The aborted thread.
+        tid: u64,
+    },
     /// Ground truth vs model at a context switch (engine `switch_out`,
     /// sampled after the model updates — the Figure 5/7 quantities).
     PredictionSample {
@@ -124,6 +130,7 @@ impl TraceEvent {
             TraceEvent::Dispatch { .. } => "dispatch",
             TraceEvent::ModeTransition { .. } => "mode-transition",
             TraceEvent::CmlDrain { .. } => "cml-drain",
+            TraceEvent::ThreadAbort { .. } => "thread-abort",
             TraceEvent::PredictionSample { .. } => "prediction-sample",
         }
     }
@@ -146,6 +153,7 @@ mod tests {
                 .kind(),
             TraceEvent::ModeTransition { cpu: 0, degraded: true, confidence: 0.2 }.kind(),
             TraceEvent::CmlDrain { cpu: 0, entries: 3 }.kind(),
+            TraceEvent::ThreadAbort { tid: 0 }.kind(),
             TraceEvent::PredictionSample { cpu: 0, tid: 0, observed: 0.0, predicted: 0.0 }.kind(),
         ];
         let mut sorted = kinds.to_vec();

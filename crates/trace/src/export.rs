@@ -55,6 +55,7 @@ pub fn to_jsonl(records: &[Record]) -> String {
                 json_f64(confidence)
             ),
             TraceEvent::CmlDrain { cpu, entries } => format!(",\"cpu\":{cpu},\"entries\":{entries}"),
+            TraceEvent::ThreadAbort { tid } => format!(",\"tid\":{tid}"),
             TraceEvent::PredictionSample { cpu, tid, observed, predicted } => format!(
                 ",\"cpu\":{cpu},\"tid\":{tid},\"observed\":{},\"predicted\":{}",
                 json_f64(observed),

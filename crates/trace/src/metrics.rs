@@ -78,6 +78,9 @@ pub struct TraceAggregate {
     pub intervals: u64,
     /// Degradation-mode flips ([`TraceEvent::ModeTransition`]).
     pub mode_transitions: u64,
+    /// Threads killed by lifecycle fault injection
+    /// ([`TraceEvent::ThreadAbort`]).
+    pub thread_aborts: u64,
     /// Histogram of per-interval sanitized miss counts.
     pub miss_hist: Histogram,
     /// Histogram of ready-queue depth at each dispatch.
@@ -110,6 +113,7 @@ impl TraceAggregate {
                 self.fanout_hist.note(u64::from(fanout));
             }
             TraceEvent::ModeTransition { .. } => self.mode_transitions += 1,
+            TraceEvent::ThreadAbort { .. } => self.thread_aborts += 1,
             TraceEvent::PredictionSample { tid, observed, predicted, .. } => {
                 let abs = (predicted - observed).abs();
                 self.abs_err_hist.note(abs.ceil() as u64);

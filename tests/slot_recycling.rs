@@ -9,7 +9,10 @@ use proptest::prelude::*;
 use thread_locality::core::{
     CounterSanitizer, SanitizerConfig, SharingGraph, SlotId, ThreadId, ThreadSlots,
 };
-use thread_locality::sim::{AccessKind, Machine, MachineConfig};
+use thread_locality::sim::{AccessKind, Machine, MachineConfig, VAddr};
+use thread_locality::threads::{
+    BatchCtx, ChaosConfig, Control, Engine, EngineConfig, MutexId, Program, SchedPolicy,
+};
 
 /// One step of a random lifecycle schedule over a small tid universe.
 /// `op == 1` binds (idempotent), `op == 0` releases.
@@ -169,6 +172,137 @@ proptest! {
                     model.iter().filter(|&&(s, _)| s == t).map(|&(_, d)| d).collect();
                 prop_assert_eq!(outs, want, "dependents of t{} diverged", t);
             }
+        }
+    }
+}
+
+/// Lock a shared mutex, touch a private buffer, unlock, yield — the
+/// workload for the engine-level abort properties. Because work happens
+/// while the lock is held, chaos kills routinely orphan the mutex.
+struct Locker {
+    m: MutexId,
+    buf: Option<VAddr>,
+    rounds: u32,
+    phase: u8,
+}
+
+impl Program for Locker {
+    fn next_batch(&mut self, ctx: &mut BatchCtx<'_>) -> Control {
+        match self.phase {
+            0 => {
+                self.phase = 1;
+                Control::Lock(self.m)
+            }
+            1 => {
+                let buf = *self.buf.get_or_insert_with(|| ctx.alloc(4096, 64));
+                ctx.register_region(buf, 4096);
+                ctx.read_range(buf, 4096, 64);
+                self.phase = 2;
+                Control::Unlock(self.m)
+            }
+            _ => {
+                self.rounds -= 1;
+                if self.rounds == 0 {
+                    Control::Exit
+                } else {
+                    self.phase = 0;
+                    Control::Yield
+                }
+            }
+        }
+    }
+
+    fn name(&self) -> &str {
+        "locker"
+    }
+}
+
+const SPAWNED: u64 = 8;
+
+proptest! {
+    /// Engine-level teardown: whatever mix of running aborts, idle kills,
+    /// and spawn failures a random chaos config injects, the run
+    /// completes, every spawned thread is accounted for, and aborted
+    /// threads leave no sharing-graph edge and no owner-directory
+    /// footprint behind — the same fresh-slot invariant the component
+    /// properties above check, driven through the real abort path.
+    #[test]
+    fn aborted_threads_leave_no_trace(
+        seed in 0u64..u64::MAX,
+        abort_rate in 512u32..8192,
+        idle_rate in 0u32..2048,
+        spawn_rate in 0u32..8192,
+    ) {
+        let chaos = ChaosConfig {
+            seed,
+            abort_running_per_64k: abort_rate,
+            abort_idle_per_64k: idle_rate,
+            spawn_fail_per_64k: spawn_rate,
+            ..ChaosConfig::default()
+        };
+        let config = EngineConfig { chaos: Some(chaos), ..EngineConfig::default() };
+        let mut e = Engine::new(
+            MachineConfig::enterprise5000(2),
+            SchedPolicy::Lff,
+            config,
+        ).unwrap();
+        let m = e.sync_tables_mut().create_mutex();
+        let tids: Vec<ThreadId> = (0..SPAWNED)
+            .map(|_| e.spawn(Box::new(Locker { m, buf: None, rounds: 6, phase: 0 })))
+            .collect();
+        // Annotate a sharing chain so the graph has edges to tear down.
+        for pair in tids.windows(2) {
+            // Stillborn threads are already gone; annotating them errors.
+            let _ = e.annotate(pair[0], pair[1], 0.5);
+        }
+        let report = e.run().expect("chaos run must complete without deadlock or panic");
+        prop_assert_eq!(
+            report.threads_completed + report.threads_aborted,
+            SPAWNED,
+            "every spawned thread must retire as completed or aborted"
+        );
+        prop_assert_eq!(e.graph().edge_count(), 0, "dead threads left sharing-graph edges");
+        for &t in &tids {
+            prop_assert_eq!(e.graph().dependents_of(t).count(), 0);
+            for cpu in 0..2 {
+                prop_assert_eq!(
+                    e.machine().l2_footprint_lines(cpu, t), 0,
+                    "retired thread still owns cache lines in the directory"
+                );
+            }
+        }
+    }
+
+    /// Mid-lock-hold deaths: with kills restricted to mutex holders,
+    /// every fault orphans a held lock. The run must still complete (no
+    /// deadlock on the corpse's mutex), the lock must be poisoned, and
+    /// the fault budget must be spent exactly — the reclamation handoff
+    /// keeps creating new holders to kill.
+    #[test]
+    fn lock_holder_deaths_never_deadlock(seed in 0u64..u64::MAX, max_faults in 1u32..4) {
+        let chaos = ChaosConfig {
+            seed,
+            abort_running_per_64k: 65536,
+            only_lock_holders: true,
+            max_faults,
+            ..ChaosConfig::default()
+        };
+        let config = EngineConfig { chaos: Some(chaos), ..EngineConfig::default() };
+        let mut e = Engine::new(
+            MachineConfig::enterprise5000(2),
+            SchedPolicy::Crt,
+            config,
+        ).unwrap();
+        let m = e.sync_tables_mut().create_mutex();
+        for _ in 0..SPAWNED {
+            e.spawn(Box::new(Locker { m, buf: None, rounds: 4, phase: 0 }));
+        }
+        let report = e.run().expect("orphaned locks must be reclaimed, not deadlock");
+        prop_assert_eq!(u64::from(max_faults), report.threads_aborted);
+        prop_assert_eq!(report.threads_completed, SPAWNED - u64::from(max_faults));
+        prop_assert!(e.sync_tables().is_poisoned(m), "owner death must poison the mutex");
+        for cpu in 0..2 {
+            prop_assert_eq!(e.machine().l2_footprint_lines(cpu, ThreadId(1)), 0);
         }
     }
 }
