@@ -50,6 +50,33 @@ if cargo run --release -p locality-repro --bin analyze -- \
 fi
 rm -rf "$ANALYZE_OUT"
 
+# Model checker: the clean fixture must explore to quiescence with no
+# violations, the racy and deadlock fixtures must each be flagged
+# (nonzero exit with a counterexample on disk), and a written
+# counterexample must round-trip through --replay to the same violation
+# (replay reproducing a violation also exits nonzero).
+MC_OUT=$(mktemp -d)
+cargo run --release -p locality-repro --bin modelcheck -- \
+    --workload clean --out "$MC_OUT"
+if cargo run --release -p locality-repro --bin modelcheck -- \
+    --workload racy --out "$MC_OUT"; then
+    echo "modelcheck failed to flag the racy workload" >&2
+    exit 1
+fi
+if cargo run --release -p locality-repro --bin modelcheck -- \
+    --workload deadlock --out "$MC_OUT"; then
+    echo "modelcheck failed to flag the deadlock workload" >&2
+    exit 1
+fi
+test -s "$MC_OUT/counterexample_racy.txt"
+test -s "$MC_OUT/counterexample_deadlock.txt"
+if cargo run --release -p locality-repro --bin modelcheck -- \
+    --replay "$MC_OUT/counterexample_deadlock.txt"; then
+    echo "modelcheck replay failed to reproduce the deadlock" >&2
+    exit 1
+fi
+rm -rf "$MC_OUT"
+
 # Differential scheduler invariant checks: build the feature once and run
 # it over the fig5 monitored traces (a fresh out dir defeats the cache so
 # the checked runs actually execute).

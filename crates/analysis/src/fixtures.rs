@@ -14,7 +14,7 @@
 //!   schedule, so the race verdict cannot depend on scheduling, and the
 //!   missing annotation surfaces as `drift-missing`.
 
-use active_threads::{BatchCtx, Control, MutexId, Program};
+use active_threads::{BatchCtx, CondId, Control, MutexId, Program};
 use locality_sim::VAddr;
 
 /// Bytes of the parent-owned buffer both workers write.
@@ -172,6 +172,153 @@ pub fn racy_workload(rounds: u32) -> Box<dyn Program> {
         phase: 0,
         buf: None,
         second_worker: None,
+    })
+}
+
+/// A worker that acquires `first` then `second`, then releases both.
+struct LockPair {
+    first: MutexId,
+    second: MutexId,
+    phase: u8,
+}
+
+impl Program for LockPair {
+    fn next_batch(&mut self, _ctx: &mut BatchCtx<'_>) -> Control {
+        let phase = self.phase;
+        self.phase += 1;
+        match phase {
+            0 => Control::Lock(self.first),
+            1 => Control::Lock(self.second),
+            2 => Control::Unlock(self.second),
+            3 => Control::Unlock(self.first),
+            _ => Control::Exit,
+        }
+    }
+
+    fn name(&self) -> &str {
+        "lock-pair"
+    }
+}
+
+/// Deferred constructor for [`JoinTwo`]'s child pair.
+type SpawnPair = Box<dyn FnOnce(&mut BatchCtx<'_>) -> (Box<dyn Program>, Box<dyn Program>)>;
+
+/// A two-phase parent that spawns two children and joins them in order.
+struct JoinTwo {
+    children: Option<(locality_core::ThreadId, locality_core::ThreadId)>,
+    spawn: Option<SpawnPair>,
+    phase: u8,
+}
+
+impl Program for JoinTwo {
+    fn next_batch(&mut self, ctx: &mut BatchCtx<'_>) -> Control {
+        match self.phase {
+            0 => {
+                let spawn = self.spawn.take().expect("phase 0 runs once");
+                let (a, b) = spawn(ctx);
+                let c1 = ctx.spawn(a);
+                let c2 = ctx.spawn(b);
+                self.children = Some((c1, c2));
+                self.phase = 1;
+                Control::Join(c1)
+            }
+            1 => {
+                self.phase = 2;
+                Control::Join(self.children.expect("children spawned in phase 0").1)
+            }
+            _ => Control::Exit,
+        }
+    }
+
+    fn name(&self) -> &str {
+        "join-two"
+    }
+}
+
+/// The AB–BA deadlock workload: two workers acquire two mutexes in
+/// opposite orders. Under most schedules (including the engine's
+/// default run-to-block dispatch) each worker holds and releases both
+/// locks without contention and the run completes; under schedules
+/// where the acquires interleave, the workers deadlock. A
+/// single-schedule analysis sees at most a lock-order-cycle *warning* —
+/// only exhaustive exploration proves the deadlock is realizable.
+pub fn deadlock_workload() -> Box<dyn Program> {
+    Box::new(JoinTwo {
+        children: None,
+        spawn: Some(Box::new(|ctx| {
+            let a = ctx.create_mutex();
+            let b = ctx.create_mutex();
+            (
+                Box::new(LockPair { first: a, second: b, phase: 0 }),
+                Box::new(LockPair { first: b, second: a, phase: 0 }),
+            )
+        })),
+        phase: 0,
+    })
+}
+
+/// The condvar waiter of [`lost_wakeup_workload`].
+struct CondWaiter {
+    mutex: MutexId,
+    cond: CondId,
+    phase: u8,
+}
+
+impl Program for CondWaiter {
+    fn next_batch(&mut self, _ctx: &mut BatchCtx<'_>) -> Control {
+        let phase = self.phase;
+        self.phase += 1;
+        match phase {
+            0 => Control::Lock(self.mutex),
+            1 => Control::CondWait(self.cond, self.mutex),
+            2 => Control::Unlock(self.mutex),
+            _ => Control::Exit,
+        }
+    }
+
+    fn name(&self) -> &str {
+        "cond-waiter"
+    }
+}
+
+/// The one-shot signaler of [`lost_wakeup_workload`].
+struct CondSignaler {
+    cond: CondId,
+    phase: u8,
+}
+
+impl Program for CondSignaler {
+    fn next_batch(&mut self, _ctx: &mut BatchCtx<'_>) -> Control {
+        let phase = self.phase;
+        self.phase += 1;
+        match phase {
+            0 => Control::CondSignal(self.cond),
+            _ => Control::Exit,
+        }
+    }
+
+    fn name(&self) -> &str {
+        "cond-signaler"
+    }
+}
+
+/// The lost-wakeup workload: a waiter does `lock; cond_wait` while a
+/// signaler fires a single `cond_signal` with no predicate re-check.
+/// Schedules where the signal lands before the wait leave the waiter
+/// parked on the condvar forever — a condvar stall the model checker
+/// classifies separately from a lock-cycle deadlock.
+pub fn lost_wakeup_workload() -> Box<dyn Program> {
+    Box::new(JoinTwo {
+        children: None,
+        spawn: Some(Box::new(|ctx| {
+            let m = ctx.create_mutex();
+            let c = ctx.create_cond();
+            (
+                Box::new(CondWaiter { mutex: m, cond: c, phase: 0 }),
+                Box::new(CondSignaler { cond: c, phase: 0 }),
+            )
+        })),
+        phase: 0,
     })
 }
 

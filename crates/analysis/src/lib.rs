@@ -17,9 +17,17 @@
 //!   out-of-range coefficients, dangling endpoints, per-source out-weight
 //!   sums above 1, and annotation drift in both directions.
 //!
+//! * **Stateless model checking** ([`explore`]) — exhaustive schedule
+//!   exploration of the small fixture workloads with dynamic
+//!   partial-order reduction and sleep sets, driven through the engine's
+//!   controlled-scheduling mode; every explored schedule is checked for
+//!   races, deadlocks, and condvar stalls, and violations are emitted as
+//!   replayable counterexamples.
+//!
 //! [`analyze_log`] runs everything and assembles an [`AnalysisReport`];
 //! [`fixtures`] provides the deterministic racy/clean workload pair used
-//! by the `repro analyze` binary and CI.
+//! by the `repro analyze` binary and CI, plus the deadlock and
+//! lost-wakeup fixtures the model checker explores.
 //!
 //! The scheduler invariant checker (the third leg of the analysis layer)
 //! lives in `locality-core` behind the `invariant-checks` cargo feature,
@@ -30,6 +38,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod explore;
 pub mod fixtures;
 pub mod lint;
 pub mod lockorder;
@@ -37,8 +46,12 @@ pub mod race;
 pub mod report;
 pub mod vclock;
 
+pub use explore::{
+    explore, parse_counterexample, replay_counterexample, serialize_counterexample, Counterexample,
+    ExploreConfig, ExploreSummary, McViolation, McWorkload, ViolationKind,
+};
 pub use lint::{lint_annotations, LintConfig, ObservedSharing};
-pub use lockorder::LockOrderGraph;
+pub use lockorder::{LockOrderGraph, WitnessEdge};
 pub use race::{AccessInfo, Race, RaceDetector};
 pub use report::{AnalysisReport, Finding, Severity};
 pub use vclock::VClock;

@@ -158,7 +158,7 @@ impl RaceDetector {
                 self.clock_mut(tid).tick(tid);
                 let held = self.held.entry(tid).or_default();
                 for &outer in held.iter() {
-                    self.lock_order.add_edge(outer, mutex);
+                    self.lock_order.add_edge(outer, mutex, tid);
                 }
                 held.push(mutex);
             }

@@ -114,4 +114,107 @@ mod tests {
         c.tick(t(1));
         assert_eq!(c.to_string(), "{t1:1, t2:1}");
     }
+
+    // ------------------------------------------------------------------
+    // Algebraic laws, property-tested over arbitrary sparse clocks. The
+    // race detector and model checker lean on `join` being a semilattice
+    // operation and `le` being the matching partial order; these pin the
+    // laws down directly.
+
+    use proptest::prelude::*;
+
+    /// Builds a clock from a list of (thread, ticks) pairs.
+    fn clock(parts: &[(u64, u64)]) -> VClock {
+        let mut c = VClock::new();
+        for &(tid, n) in parts {
+            for _ in 0..n {
+                c.tick(t(tid));
+            }
+        }
+        c
+    }
+
+    /// Arbitrary sparse clock: up to 8 components over 6 threads with up
+    /// to 4 ticks each (duplicates accumulate).
+    fn clock_parts() -> impl Strategy<Value = Vec<(u64, u64)>> {
+        proptest::collection::vec((0u64..6, 0u64..5), 0..8)
+    }
+
+    fn joined(a: &VClock, b: &VClock) -> VClock {
+        let mut j = a.clone();
+        j.join(b);
+        j
+    }
+
+    proptest! {
+        /// `join` is commutative: max is symmetric per component.
+        #[test]
+        fn join_commutes(xa in clock_parts(), xb in clock_parts()) {
+            let (a, b) = (clock(&xa), clock(&xb));
+            prop_assert_eq!(joined(&a, &b), joined(&b, &a));
+        }
+
+        /// `join` is associative.
+        #[test]
+        fn join_is_associative(
+            xa in clock_parts(),
+            xb in clock_parts(),
+            xc in clock_parts(),
+        ) {
+            let (a, b, c) = (clock(&xa), clock(&xb), clock(&xc));
+            prop_assert_eq!(joined(&joined(&a, &b), &c), joined(&a, &joined(&b, &c)));
+        }
+
+        /// `join` is idempotent, with the zero clock as identity.
+        #[test]
+        fn join_is_idempotent_with_identity(xa in clock_parts()) {
+            let a = clock(&xa);
+            prop_assert_eq!(joined(&a, &a), a.clone());
+            prop_assert_eq!(joined(&a, &VClock::new()), a);
+        }
+
+        /// `le` is the partial order induced by `join`: reflexive,
+        /// antisymmetric, and both operands precede their join.
+        #[test]
+        fn le_is_a_partial_order_under_join(xa in clock_parts(), xb in clock_parts()) {
+            let (a, b) = (clock(&xa), clock(&xb));
+            prop_assert!(a.le(&a));
+            if a.le(&b) && b.le(&a) {
+                prop_assert_eq!(a.clone(), b.clone());
+            }
+            let j = joined(&a, &b);
+            prop_assert!(a.le(&j));
+            prop_assert!(b.le(&j));
+        }
+
+        /// `le` is transitive (third clock built above the second so the
+        /// premise is frequently exercised, not vacuous).
+        #[test]
+        fn le_is_transitive(xa in clock_parts(), xb in clock_parts(), xc in clock_parts()) {
+            let (a, b) = (clock(&xa), clock(&xb));
+            let c = joined(&b, &clock(&xc));
+            if a.le(&b) {
+                prop_assert!(b.le(&c));
+                prop_assert!(a.le(&c));
+            }
+        }
+
+        /// `concurrent_with` is symmetric and irreflexive, and ticking
+        /// one side of equal clocks orders them instead of making them
+        /// concurrent.
+        #[test]
+        fn concurrency_is_symmetric_and_irreflexive(
+            xa in clock_parts(),
+            xb in clock_parts(),
+            tid in 0u64..6,
+        ) {
+            let (a, b) = (clock(&xa), clock(&xb));
+            prop_assert_eq!(a.concurrent_with(&b), b.concurrent_with(&a));
+            prop_assert!(!a.concurrent_with(&a));
+            let mut ticked = a.clone();
+            ticked.tick(t(tid));
+            prop_assert!(!a.concurrent_with(&ticked));
+            prop_assert!(a.le(&ticked));
+        }
+    }
 }

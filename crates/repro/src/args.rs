@@ -4,7 +4,8 @@ use std::path::PathBuf;
 
 /// Usage text printed for `--help` and on argument errors.
 pub const USAGE: &str = "usage: [--scale paper|small] [--out DIR] [--jobs N] [--no-cache] \
-     [--fault SCENARIO|all] [--chaos SCENARIO|all] [--workload NAME|all] [--policy fcfs|lff|crt]
+     [--fault SCENARIO|all] [--chaos SCENARIO|all] [--workload NAME|all] [--policy fcfs|lff|crt] \
+     [--depth-bound N] [--max-schedules N] [--preempt-bound K] [--replay FILE]
 
 options:
   --scale paper|small  workload scale (default: paper)
@@ -20,11 +21,22 @@ options:
                        'all'
   --workload NAME      analyze: which fixture workload to analyze
                        (clean, racy, or all; default: all)
+                       modelcheck: which fixture workload to explore
+                       (clean, racy, deadlock, lostwake, or all;
+                       default: all)
                        trace: which monitored app to trace
                        (barnes, fmm, ocean, merge, photo, tsp,
                        typechecker, raytrace, or all)
   --policy NAME        trace only: scheduling policy of the traced run
                        (fcfs, lff, or crt; default: lff)
+  --depth-bound N      modelcheck: truncate schedules after N decisions
+                       (default: 64)
+  --max-schedules N    modelcheck: stop exploring after N schedules
+                       (default: 20000)
+  --preempt-bound K    modelcheck: only explore schedules with at most
+                       K preemptions (default: unbounded)
+  --replay FILE        modelcheck: re-execute a serialized counterexample
+                       and verify the violation reproduces
   --help, -h           print this help";
 
 /// Workload scale selector.
@@ -63,16 +75,38 @@ pub struct Args {
     pub jobs: usize,
     /// Disable the on-disk result cache (`--no-cache`).
     pub no_cache: bool,
+    /// Schedule depth bound for the modelcheck binary
+    /// (`--depth-bound N`); `None` uses the binary's default.
+    pub depth_bound: Option<u64>,
+    /// Exploration schedule cap for the modelcheck binary
+    /// (`--max-schedules N`); `None` uses the binary's default.
+    pub max_schedules: Option<u64>,
+    /// Preemption bound for the modelcheck binary
+    /// (`--preempt-bound K`); `None` explores without a bound.
+    pub preempt_bound: Option<u64>,
+    /// Counterexample file to re-execute (`--replay FILE`), used by the
+    /// modelcheck binary.
+    pub replay: Option<PathBuf>,
 }
 
 /// Outcome of parsing an argument list.
+// Boxed: `Args` dwarfs the unit `Help` variant, and every caller
+// immediately unwraps into the help/run split anyway.
 #[derive(Debug, Clone)]
 pub enum Parsed {
     /// Normal invocation.
-    Run(Args),
+    Run(Box<Args>),
     /// `--help`/`-h` was requested; the caller should print [`USAGE`]
     /// to stdout and exit successfully.
     Help,
+}
+
+/// Parses a strictly positive integer flag value.
+fn parse_positive(flag: &str, v: &str) -> Result<u64, String> {
+    match v.parse::<u64>() {
+        Ok(n) if n > 0 => Ok(n),
+        _ => Err(format!("{flag} needs a positive integer, got '{v}'")),
+    }
 }
 
 /// The default worker count: the host's available parallelism.
@@ -91,6 +125,10 @@ impl Default for Args {
             policy: None,
             jobs: default_jobs(),
             no_cache: false,
+            depth_bound: None,
+            max_schedules: None,
+            preempt_bound: None,
+            replay: None,
         }
     }
 }
@@ -146,11 +184,29 @@ impl Args {
                     let v = it.next().ok_or("--policy needs a name (fcfs|lff|crt)")?;
                     out.policy = Some(v);
                 }
+                "--depth-bound" => {
+                    let v = it.next().ok_or("--depth-bound needs a decision count")?;
+                    out.depth_bound = Some(parse_positive("--depth-bound", &v)?);
+                }
+                "--max-schedules" => {
+                    let v = it.next().ok_or("--max-schedules needs a schedule count")?;
+                    out.max_schedules = Some(parse_positive("--max-schedules", &v)?);
+                }
+                "--preempt-bound" => {
+                    let v = it.next().ok_or("--preempt-bound needs a preemption count")?;
+                    out.preempt_bound = Some(v.parse::<u64>().map_err(|_| {
+                        format!("--preempt-bound needs a non-negative integer, got '{v}'")
+                    })?);
+                }
+                "--replay" => {
+                    let v = it.next().ok_or("--replay needs a counterexample file")?;
+                    out.replay = Some(PathBuf::from(v));
+                }
                 "--help" | "-h" => return Ok(Parsed::Help),
                 other => return Err(format!("unknown argument '{other}'")),
             }
         }
-        Ok(Parsed::Run(out))
+        Ok(Parsed::Run(Box::new(out)))
     }
 
     /// Parses the process arguments. `--help`/`-h` prints usage to
@@ -158,7 +214,7 @@ impl Args {
     /// exit 2.
     pub fn from_env() -> Self {
         match Self::parse(std::env::args().skip(1)) {
-            Ok(Parsed::Run(args)) => args,
+            Ok(Parsed::Run(args)) => *args,
             Ok(Parsed::Help) => {
                 println!("{USAGE}");
                 std::process::exit(0);
@@ -188,7 +244,7 @@ mod tests {
 
     fn parse(args: &[&str]) -> Result<Args, String> {
         match Args::parse(args.iter().map(|s| s.to_string()))? {
-            Parsed::Run(a) => Ok(a),
+            Parsed::Run(a) => Ok(*a),
             Parsed::Help => Err("help requested".to_string()),
         }
     }
@@ -249,6 +305,37 @@ mod tests {
         let a = parse(&["--policy", "crt"]).unwrap();
         assert_eq!(a.policy.as_deref(), Some("crt"));
         assert!(parse(&["--policy"]).is_err());
+    }
+
+    #[test]
+    fn modelcheck_bounds() {
+        let a = parse(&[]).unwrap();
+        assert_eq!(a.depth_bound, None);
+        assert_eq!(a.max_schedules, None);
+        assert_eq!(a.preempt_bound, None);
+        assert_eq!(a.replay, None);
+
+        let a = parse(&[
+            "--depth-bound",
+            "32",
+            "--max-schedules",
+            "500",
+            "--preempt-bound",
+            "0",
+            "--replay",
+            "ce.txt",
+        ])
+        .unwrap();
+        assert_eq!(a.depth_bound, Some(32));
+        assert_eq!(a.max_schedules, Some(500));
+        assert_eq!(a.preempt_bound, Some(0));
+        assert_eq!(a.replay, Some(PathBuf::from("ce.txt")));
+
+        assert!(parse(&["--depth-bound"]).is_err());
+        assert!(parse(&["--depth-bound", "0"]).is_err());
+        assert!(parse(&["--max-schedules", "lots"]).is_err());
+        assert!(parse(&["--preempt-bound", "-1"]).is_err());
+        assert!(parse(&["--replay"]).is_err());
     }
 
     #[test]

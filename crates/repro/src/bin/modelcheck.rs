@@ -1,0 +1,12 @@
+//! Stateless model checking over the deterministic fixture workloads:
+//! exhaustive DPOR schedule exploration with per-schedule race,
+//! deadlock, and lost-wakeup checks (see `locality-analyze`).
+//!
+//! Exit status: 0 when every explored schedule of the selected
+//! workloads is clean, 1 when any violation was found (a replayable
+//! counterexample is written next to the CSVs) or when `--replay`
+//! reproduced its violation, 2 on usage errors.
+
+fn main() {
+    locality_repro::modelcheck::main_modelcheck();
+}

@@ -18,6 +18,7 @@
 //! | `ablation` | §5 extras: annotation ablation, threshold sweep, page placement, invalidation effects; `--fault <scenario>` runs the counter-fault robustness table, `--chaos <scenario>\|all` the thread-lifecycle chaos table |
 //! | `repro-all` | everything above through one shared runner (cross-figure runs execute once) |
 //! | `analyze` | race detection, lock-order cycles, and annotation lints over the deterministic racy/clean fixture pair (exit 1 on confirmed races; `--workload clean\|racy\|all`) |
+//! | `modelcheck` | stateless model checking: exhaustive DPOR schedule exploration of the fixture workloads, with replayable counterexamples (exit 1 on violations; `--workload clean\|racy\|deadlock\|lostwake\|all`, `--replay FILE`) |
 //! | `trace` | locality-trace observability: JSONL + Chrome `trace_event` exports and aggregated trace-metrics CSVs for a monitored app (`--workload APP\|all`, `--policy fcfs\|lff\|crt`; needs the `trace` feature) |
 //! | `trace-bench` | tracing-overhead bench: asserts the sink stays under its overhead budget (instrumented builds) or that instrumentation is fully compiled out (default builds) |
 //! | `bench` | offline hot-path microbenchmarks mirroring the criterion groups (`--save FILE` for flat medians, `--merge BEFORE AFTER` to assemble `BENCH_hotpath.json`) |
@@ -59,6 +60,7 @@ pub mod error;
 pub mod experiments;
 pub mod faults;
 pub mod microbench;
+pub mod modelcheck;
 pub mod monitor;
 pub mod perf;
 pub mod runner;

@@ -1,0 +1,437 @@
+//! The `modelcheck` binary's driver: exhaustively explore the schedule
+//! space of the small fixture workloads with the `locality-analyze`
+//! stateless model checker (DPOR + sleep sets), report violations as
+//! replayable counterexamples, and measure the DPOR reduction factor
+//! against naive full enumeration.
+//!
+//! Each (workload, mode) pair is one [`RunKind::ModelCheck`] cell
+//! through the shared runner — parallel across cells, cached on disk,
+//! assembled strictly in request order — so `modelcheck.csv` is
+//! byte-identical across reruns and `--jobs` values. `--replay FILE`
+//! re-executes a previously written counterexample and confirms the
+//! same violation recurs.
+
+use crate::args::Args;
+use crate::error::ReproError;
+use crate::runner::{RunKind, RunOutput, RunRequest, Runner};
+use crate::table::{f, Table};
+use locality_analyze::explore::{
+    explore, parse_counterexample, replay_counterexample, serialize_counterexample, ExploreConfig,
+    McWorkload, ViolationKind,
+};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Default per-execution decision bound (`--depth-bound`).
+pub const DEFAULT_DEPTH_BOUND: u64 = 64;
+/// Default exploration budget in executions (`--max-schedules`). Large
+/// enough that every fixture explores to quiescence even under naive
+/// enumeration.
+pub const DEFAULT_MAX_SCHEDULES: u64 = 20_000;
+
+/// Worker threads the exploration itself may use, set from `--jobs`
+/// before the runner dispatches cells. A process-global rather than a
+/// [`RunKind`] field so the cache key — and therefore the artifacts —
+/// cannot depend on the job count.
+static EXPLORE_JOBS: AtomicUsize = AtomicUsize::new(1);
+
+/// Sets the subtree-exploration worker count for subsequent cells.
+pub fn set_explore_jobs(jobs: usize) {
+    EXPLORE_JOBS.store(jobs.max(1), Ordering::Relaxed);
+}
+
+/// The aggregated result of exploring one (workload, mode) cell.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct McCell {
+    /// Terminal schedules explored.
+    pub schedules: u64,
+    /// Sleep-set-pruned executions.
+    pub pruned: u64,
+    /// Depth-bound truncations.
+    pub truncated: u64,
+    /// Whether `--max-schedules` cut exploration short.
+    pub capped: bool,
+    /// Longest schedule (decisions).
+    pub max_depth: u64,
+    /// Distinct race violations (0 or 1).
+    pub races: u64,
+    /// Distinct deadlock violations (0 or 1).
+    pub deadlocks: u64,
+    /// Distinct condvar-stall violations (0 or 1).
+    pub stalls: u64,
+    /// Distinct scheduler-invariant violations (0 or 1; only nonzero
+    /// under the `invariant-checks` feature).
+    pub invariants: u64,
+    /// The serialized counterexample of the first (most severe)
+    /// violation, if any.
+    pub counterexample: Option<String>,
+}
+
+impl McCell {
+    /// Total distinct violations.
+    pub fn violations(&self) -> u64 {
+        self.races + self.deadlocks + self.stalls + self.invariants
+    }
+}
+
+/// Executes one model-checking cell (called by the shared runner).
+pub fn modelcheck_cell(
+    workload: McWorkload,
+    naive: bool,
+    depth_bound: u64,
+    max_schedules: u64,
+    preempt_bound: Option<u64>,
+) -> McCell {
+    let cfg = ExploreConfig {
+        depth_bound: usize::try_from(depth_bound).unwrap_or(usize::MAX),
+        max_schedules: usize::try_from(max_schedules).unwrap_or(usize::MAX),
+        preempt_bound: preempt_bound.map(|b| usize::try_from(b).unwrap_or(usize::MAX)),
+        naive,
+        jobs: EXPLORE_JOBS.load(Ordering::Relaxed),
+    };
+    let summary = explore(workload, &cfg);
+    McCell {
+        schedules: summary.schedules,
+        pruned: summary.pruned,
+        truncated: summary.truncated,
+        capped: summary.capped,
+        max_depth: summary.max_depth,
+        races: summary.count_of(ViolationKind::Race),
+        deadlocks: summary.count_of(ViolationKind::Deadlock),
+        stalls: summary.count_of(ViolationKind::CondvarStall),
+        invariants: summary.count_of(ViolationKind::Invariant),
+        counterexample: summary.violations.first().map(|v| serialize_counterexample(workload, v)),
+    }
+}
+
+/// Which fixture workloads to model-check.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum McSelection {
+    /// One named workload.
+    One(McWorkload),
+    /// Every workload: clean, racy, deadlock, lostwake.
+    All,
+}
+
+impl McSelection {
+    /// Parses the `--workload` keyword (default `all`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ReproError::Usage`] for an unknown name.
+    pub fn from_args(args: &Args) -> Result<Self, ReproError> {
+        match args.workload.as_deref() {
+            None | Some("all") => Ok(McSelection::All),
+            Some(name) => McWorkload::from_name(name, 1).map(McSelection::One).ok_or_else(|| {
+                ReproError::Usage(format!(
+                    "unknown workload '{name}' (expected clean, racy, deadlock, lostwake, or all)"
+                ))
+            }),
+        }
+    }
+
+    /// The selected workloads, in fixed report order.
+    pub fn workloads(self) -> Vec<McWorkload> {
+        match self {
+            McSelection::One(w) => vec![w],
+            McSelection::All => vec![
+                McWorkload::Clean { rounds: 1 },
+                McWorkload::Racy { rounds: 1 },
+                McWorkload::Deadlock,
+                McWorkload::LostWakeup,
+            ],
+        }
+    }
+}
+
+/// One workload's paired DPOR/naive results.
+#[derive(Debug)]
+pub struct McRow {
+    /// The explored workload.
+    pub workload: McWorkload,
+    /// The DPOR exploration.
+    pub dpor: McCell,
+    /// The naive full enumeration (the reduction baseline).
+    pub naive: McCell,
+}
+
+fn bounds_of(args: &Args) -> (u64, u64, Option<u64>) {
+    (
+        args.depth_bound.unwrap_or(DEFAULT_DEPTH_BOUND),
+        args.max_schedules.unwrap_or(DEFAULT_MAX_SCHEDULES),
+        args.preempt_bound,
+    )
+}
+
+/// Runs the selected workloads (DPOR and naive modes) through the
+/// shared runner and returns the rows in selection order.
+pub fn run_cells(args: &Args, sel: McSelection) -> Result<Vec<McRow>, ReproError> {
+    let (depth_bound, max_schedules, preempt_bound) = bounds_of(args);
+    set_explore_jobs(args.jobs);
+    let workloads = sel.workloads();
+    let mut reqs = Vec::new();
+    for &workload in &workloads {
+        for naive in [false, true] {
+            let mode = if naive { "naive" } else { "dpor" };
+            reqs.push(RunRequest::new(
+                format!("modelcheck {} {mode}", workload.name()),
+                RunKind::ModelCheck { workload, naive, depth_bound, max_schedules, preempt_bound },
+            ));
+        }
+    }
+    // Cells stay sequential here (jobs=1): `--jobs` feeds the
+    // exploration's own wave parallelism instead, per the flag's
+    // contract; results are identical either way.
+    let runner = Runner::new(crate::runner::RunnerConfig {
+        jobs: 1,
+        cache_dir: (!args.no_cache).then(|| args.out.join(".cache")),
+        guard: crate::runner::GuardPolicy::default(),
+    });
+    let outputs = runner.run_all(&reqs)?;
+    let mut rows = Vec::new();
+    let mut it = outputs.into_iter();
+    for workload in workloads {
+        let (Some(RunOutput::ModelCheck(dpor)), Some(RunOutput::ModelCheck(naive))) =
+            (it.next(), it.next())
+        else {
+            return Err(ReproError::MissingResult(format!(
+                "modelcheck cell pair for {}",
+                workload.name()
+            )));
+        };
+        rows.push(McRow { workload, dpor, naive });
+    }
+    runner.summary()?.print();
+    Ok(rows)
+}
+
+/// Renders the per-workload exploration table.
+///
+/// # Errors
+///
+/// Returns a [`crate::table::TableError`] if a row is malformed.
+pub fn modelcheck_table(rows: &[McRow]) -> Result<Table, ReproError> {
+    let mut table = Table::new(
+        "Model checking (DPOR schedule exploration, naive-enumeration baseline)",
+        &[
+            "workload",
+            "schedules_dpor",
+            "schedules_naive",
+            "reduction",
+            "pruned",
+            "truncated",
+            "capped",
+            "max_depth",
+            "races",
+            "deadlocks",
+            "condvar_stalls",
+            "invariants",
+            "counterexample",
+        ],
+    );
+    for row in rows {
+        let reduction = if row.dpor.schedules > 0 {
+            f(row.naive.schedules as f64 / row.dpor.schedules as f64, 2)
+        } else {
+            "-".to_string()
+        };
+        let ce = if row.dpor.counterexample.is_some() {
+            format!("counterexample_{}.txt", row.workload.name())
+        } else {
+            "-".to_string()
+        };
+        table.row(&[
+            row.workload.name().to_string(),
+            row.dpor.schedules.to_string(),
+            row.naive.schedules.to_string(),
+            reduction,
+            row.dpor.pruned.to_string(),
+            row.dpor.truncated.to_string(),
+            if row.dpor.capped { "yes" } else { "no" }.to_string(),
+            row.dpor.max_depth.to_string(),
+            row.dpor.races.to_string(),
+            row.dpor.deadlocks.to_string(),
+            row.dpor.stalls.to_string(),
+            row.dpor.invariants.to_string(),
+            ce,
+        ])?;
+    }
+    Ok(table)
+}
+
+/// Writes each violating workload's counterexample next to the CSV.
+fn write_counterexamples(args: &Args, rows: &[McRow]) -> Result<(), ReproError> {
+    for row in rows {
+        if let Some(text) = &row.dpor.counterexample {
+            let path = args.csv_path(&format!("counterexample_{}.txt", row.workload.name()))?;
+            std::fs::write(&path, text)?;
+            println!("counterexample written to {}", path.display());
+        }
+    }
+    Ok(())
+}
+
+/// Replays a counterexample file: parses it, re-executes the engine
+/// down the recorded schedule, and confirms the same violation kind.
+///
+/// # Errors
+///
+/// [`ReproError::Usage`] when the file is malformed;
+/// [`ReproError::MissingResult`] when the schedule no longer reproduces
+/// the recorded violation.
+pub fn run_replay(path: &std::path::Path) -> Result<(), ReproError> {
+    let text = std::fs::read_to_string(path)?;
+    let ce = parse_counterexample(&text).map_err(|e| {
+        ReproError::Usage(format!("malformed counterexample {}: {e}", path.display()))
+    })?;
+    let v = replay_counterexample(&ce)
+        .map_err(|e| ReproError::MissingResult(format!("replay of {}: {e}", path.display())))?;
+    println!(
+        "replayed {} on workload {}: violation reproduced",
+        v.kind.as_str(),
+        ce.workload.name()
+    );
+    println!("  schedule: {}", v.schedule.iter().map(u64::to_string).collect::<Vec<_>>().join(","));
+    println!("  {}", v.detail);
+    Ok(())
+}
+
+/// The full `modelcheck` driver: explore (or replay), print, write CSV.
+///
+/// Returns `true` when any violation was found (or a replay reproduced
+/// one) — the process should exit nonzero.
+///
+/// # Errors
+///
+/// Returns [`ReproError::Usage`] for bad flag values or malformed
+/// counterexample files, or the first run/output error.
+pub fn run_modelcheck(args: &Args) -> Result<bool, ReproError> {
+    if let Some(path) = &args.replay {
+        run_replay(path)?;
+        return Ok(true);
+    }
+    let sel = McSelection::from_args(args)?;
+    let rows = run_cells(args, sel)?;
+
+    let table = modelcheck_table(&rows)?;
+    table.print();
+    table.write_csv(&args.csv_path("modelcheck.csv")?)?;
+    write_counterexamples(args, &rows)?;
+
+    let mut any = false;
+    for row in rows {
+        let v = row.dpor.violations();
+        let exhaustive = if row.dpor.capped { "capped" } else { "exhaustive" };
+        println!(
+            "{}: {} schedule(s) ({exhaustive}; naive {}), {} violation(s) -> {}",
+            row.workload.name(),
+            row.dpor.schedules,
+            row.naive.schedules,
+            v,
+            if v > 0 { "FAIL" } else { "ok" }
+        );
+        any |= v > 0;
+    }
+    Ok(any)
+}
+
+/// The modelcheck binary's `main`: exit 0 when no violation was found,
+/// 1 when a violation was found (or replayed), 2 on usage errors.
+pub fn main_modelcheck() {
+    let args = Args::from_env();
+    match run_modelcheck(&args) {
+        Ok(false) => {}
+        Ok(true) => std::process::exit(1),
+        Err(ReproError::Usage(msg)) => {
+            eprintln!("{msg}");
+            std::process::exit(2);
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::args::Scale;
+
+    fn args_for(workload: Option<&str>) -> Args {
+        Args {
+            scale: Scale::Small,
+            workload: workload.map(str::to_string),
+            jobs: 1,
+            no_cache: true,
+            out: std::env::temp_dir().join(format!("locality-mc-unit-{}", std::process::id())),
+            ..Args::default()
+        }
+    }
+
+    #[test]
+    fn selection_parses_and_rejects() {
+        assert_eq!(McSelection::from_args(&args_for(None)).unwrap(), McSelection::All);
+        assert_eq!(
+            McSelection::from_args(&args_for(Some("deadlock"))).unwrap(),
+            McSelection::One(McWorkload::Deadlock)
+        );
+        assert_eq!(McSelection::from_args(&args_for(Some("all"))).unwrap(), McSelection::All);
+        let err = McSelection::from_args(&args_for(Some("bogus"))).unwrap_err();
+        assert!(matches!(err, ReproError::Usage(_)), "{err:?}");
+        assert_eq!(McSelection::All.workloads().len(), 4);
+    }
+
+    #[test]
+    fn clean_cell_is_quiet_and_dpor_reduces() {
+        let dpor = modelcheck_cell(McWorkload::Clean { rounds: 1 }, false, 64, 20_000, None);
+        let naive = modelcheck_cell(McWorkload::Clean { rounds: 1 }, true, 64, 20_000, None);
+        assert_eq!(dpor.violations(), 0);
+        assert!(!dpor.capped, "clean DPOR exploration must be exhaustive");
+        assert!(!naive.capped, "clean naive exploration must be exhaustive");
+        assert!(
+            naive.schedules > dpor.schedules,
+            "reduction factor must exceed 1 (naive {} vs dpor {})",
+            naive.schedules,
+            dpor.schedules
+        );
+        assert!(dpor.counterexample.is_none());
+    }
+
+    #[test]
+    fn violating_cells_carry_replayable_counterexamples() {
+        for (workload, check) in [
+            (McWorkload::Racy { rounds: 1 }, "race"),
+            (McWorkload::Deadlock, "deadlock"),
+            (McWorkload::LostWakeup, "condvar-stall"),
+        ] {
+            let cell = modelcheck_cell(workload, false, 64, 20_000, None);
+            assert!(cell.violations() > 0, "{}", workload.name());
+            let text = cell.counterexample.as_deref().unwrap_or_else(|| {
+                panic!("{} cell should carry a counterexample", workload.name())
+            });
+            assert!(text.contains(&format!("violation {check}")), "{text}");
+            let ce = parse_counterexample(text).expect("parse");
+            replay_counterexample(&ce).expect("replay reproduces");
+        }
+    }
+
+    #[test]
+    fn cells_are_deterministic_across_explore_jobs() {
+        set_explore_jobs(1);
+        let serial = modelcheck_cell(McWorkload::Deadlock, false, 64, 5_000, None);
+        set_explore_jobs(4);
+        let parallel = modelcheck_cell(McWorkload::Deadlock, false, 64, 5_000, None);
+        set_explore_jobs(1);
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn table_reports_reduction_and_counterexample_paths() {
+        let dpor = modelcheck_cell(McWorkload::Racy { rounds: 1 }, false, 64, 5_000, None);
+        let naive = modelcheck_cell(McWorkload::Racy { rounds: 1 }, true, 64, 5_000, None);
+        let rows = vec![McRow { workload: McWorkload::Racy { rounds: 1 }, dpor, naive }];
+        let csv = modelcheck_table(&rows).unwrap().to_csv();
+        assert!(csv.contains("racy"), "{csv}");
+        assert!(csv.contains("counterexample_racy.txt"), "{csv}");
+    }
+}

@@ -34,6 +34,7 @@ use crate::error::ReproError;
 use crate::experiments::{self, ChaosCell, CostCase, FaultCell, PredictionProbe};
 use crate::faults::FaultScenario;
 use crate::microbench::{self, WalkExperiment, WalkPoint};
+use crate::modelcheck::McCell;
 use crate::monitor::{self, MonitorTrace, Sample};
 use crate::perf::{self, PerfApp};
 use crate::table::{Table, TableError};
@@ -192,6 +193,20 @@ pub enum RunKind {
         /// The thread class.
         case: CostCase,
     },
+    /// A stateless-model-checking cell (the `modelcheck` binary): one
+    /// exhaustive schedule exploration of a fixture workload.
+    ModelCheck {
+        /// The explored workload.
+        workload: locality_analyze::McWorkload,
+        /// Naive full enumeration (the DPOR reduction baseline)?
+        naive: bool,
+        /// Maximum decisions per execution.
+        depth_bound: u64,
+        /// Maximum executions across the exploration.
+        max_schedules: u64,
+        /// Optional preemption bound.
+        preempt_bound: Option<u64>,
+    },
     /// A traced monitored-application run's aggregated metrics (the
     /// `trace` binary). Only executable in builds with the `trace`
     /// feature; see [`crate::trace::trace_metrics_cell`].
@@ -260,6 +275,8 @@ pub enum RunOutput {
     /// A traced run's aggregated trace metrics (boxed: the histograms
     /// make it by far the largest payload).
     TraceSummary(Box<locality_trace::TraceSummary>),
+    /// A model-checking exploration summary.
+    ModelCheck(McCell),
 }
 
 /// Simulated E-cache misses a run performed (for the throughput stats).
@@ -272,7 +289,8 @@ fn sim_misses(out: &RunOutput) -> u64 {
         RunOutput::ChaosCell(cell) => cell.report.total_l2_misses,
         RunOutput::Invalidation { .. }
         | RunOutput::UpdateCost { .. }
-        | RunOutput::TraceSummary(_) => 0,
+        | RunOutput::TraceSummary(_)
+        | RunOutput::ModelCheck(_) => 0,
     }
 }
 
@@ -317,6 +335,15 @@ pub fn execute(kind: &RunKind) -> Result<RunOutput, ReproError> {
         RunKind::TraceMetrics { app, policy, seed } => Ok(RunOutput::TraceSummary(Box::new(
             crate::trace::trace_metrics_cell(app, policy, seed)?,
         ))),
+        RunKind::ModelCheck { workload, naive, depth_bound, max_schedules, preempt_bound } => {
+            Ok(RunOutput::ModelCheck(crate::modelcheck::modelcheck_cell(
+                workload,
+                naive,
+                depth_bound,
+                max_schedules,
+                preempt_bound,
+            )))
+        }
     }
 }
 
@@ -451,6 +478,27 @@ fn encode(out: &RunOutput) -> String {
                 s.push('\n');
             }
         }
+        RunOutput::ModelCheck(cell) => {
+            let ce_lines = cell.counterexample.as_deref().map_or(0, |t| t.lines().count());
+            s.push_str(&format!(
+                "mc {} {} {} {} {} {} {} {} {} {ce_lines}\n",
+                cell.schedules,
+                cell.pruned,
+                cell.truncated,
+                u8::from(cell.capped),
+                cell.max_depth,
+                cell.races,
+                cell.deadlocks,
+                cell.stalls,
+                cell.invariants
+            ));
+            if let Some(text) = &cell.counterexample {
+                for line in text.lines() {
+                    s.push_str(line);
+                    s.push('\n');
+                }
+            }
+        }
     }
     s
 }
@@ -560,6 +608,41 @@ fn decode(kind: &RunKind, payload: &str) -> Option<RunOutput> {
                 rel_err_mean,
                 rel_err_samples,
             })))
+        }
+        RunKind::ModelCheck { .. } => {
+            let mut it = lines.next()?.strip_prefix("mc ")?.split(' ');
+            let schedules = it.next()?.parse().ok()?;
+            let pruned = it.next()?.parse().ok()?;
+            let truncated = it.next()?.parse().ok()?;
+            let capped = it.next()? == "1";
+            let max_depth = it.next()?.parse().ok()?;
+            let races = it.next()?.parse().ok()?;
+            let deadlocks = it.next()?.parse().ok()?;
+            let stalls = it.next()?.parse().ok()?;
+            let invariants = it.next()?.parse().ok()?;
+            let ce_lines: usize = it.next()?.parse().ok()?;
+            let counterexample = if ce_lines == 0 {
+                None
+            } else {
+                let mut text = String::new();
+                for _ in 0..ce_lines {
+                    text.push_str(lines.next()?);
+                    text.push('\n');
+                }
+                Some(text)
+            };
+            Some(RunOutput::ModelCheck(McCell {
+                schedules,
+                pruned,
+                truncated,
+                capped,
+                max_depth,
+                races,
+                deadlocks,
+                stalls,
+                invariants,
+                counterexample,
+            }))
         }
     }
 }

@@ -20,10 +20,11 @@ use crate::error::RuntimeError;
 use crate::events::{EngineHook, EngineView, SwitchEvent, SwitchReason};
 use crate::inference::{InferenceConfig, SharingInference};
 use crate::observe::{ObsEvent, ObsLog};
+use crate::points::{BlockedOn, SchedulePoint, VisibleOp};
 use crate::program::{BatchCtx, Control, PendingSpawn, Program};
 use crate::report::RunReport;
 use crate::sched::{self, SchedPolicy, Scheduler};
-use crate::sync::{BarrierId, MutexId, SyncTables};
+use crate::sync::{BarrierId, CondId, MutexId, SemId, SyncTables};
 use crate::thread::{Tcb, ThreadState};
 use locality_core::{
     CounterSanitizer, SanitizedInterval, SanitizerConfig, SharingGraph, ThreadId, ThreadSlots,
@@ -57,6 +58,12 @@ pub struct EngineConfig {
     pub chaos: Option<ChaosConfig>,
     /// Safety valve: maximum engine steps before aborting the run.
     pub max_steps: u64,
+    /// Controlled scheduling for model checking: force a scheduling
+    /// decision at every visible operation (the running thread is
+    /// preempted after every batch) and record each batch as a
+    /// [`SchedulePoint`]. Off for normal runs — the engine then keeps
+    /// its fast continue-without-switch paths.
+    pub schedule_points: bool,
 }
 
 impl Default for EngineConfig {
@@ -69,6 +76,7 @@ impl Default for EngineConfig {
             infer_sharing: None,
             chaos: None,
             max_steps: 2_000_000_000,
+            schedule_points: false,
         }
     }
 }
@@ -100,6 +108,7 @@ pub struct Engine<S: Scheduler = Box<dyn Scheduler>> {
     sanitizer: CounterSanitizer,
     chaos: Option<ChaosState>,
     obs: Option<ObsLog>,
+    points: Vec<SchedulePoint>,
     hooks: Vec<Box<dyn EngineHook>>,
     next_tid: u64,
     live: u64,
@@ -170,6 +179,7 @@ impl<S: Scheduler> Engine<S> {
             sanitizer: CounterSanitizer::new(SanitizerConfig::default()),
             chaos: config.chaos.filter(ChaosConfig::is_active).map(|cfg| ChaosState::new(&cfg)),
             obs: None,
+            points: Vec::new(),
             hooks: Vec::new(),
             next_tid: 1,
             live: 0,
@@ -478,6 +488,7 @@ impl<S: Scheduler> Engine<S> {
     }
 
     fn step_thread(&mut self, cpu: usize, tid: ThreadId) -> Result<(), RuntimeError> {
+        let obs_start = self.obs.as_ref().map_or(0, ObsLog::len);
         let mut program = {
             let tcb = self.tcb_mut(tid)?;
             tcb.batches += 1;
@@ -495,13 +506,26 @@ impl<S: Scheduler> Engine<S> {
             next_tid: &mut self.next_tid,
             spawns: Vec::new(),
             obs: self.obs.as_mut(),
+            accesses: self.config.schedule_points.then(Vec::new),
         };
         let control = program.next_batch(&mut ctx);
         let cycles = ctx.cycles;
+        let accesses = ctx.accesses.take();
         let spawns = std::mem::take(&mut ctx.spawns);
         drop(ctx);
         self.tcb_mut(tid)?.program = Some(program);
         self.clocks[cpu] += cycles;
+        if self.config.schedule_points {
+            let point = SchedulePoint {
+                tid,
+                op: VisibleOp::of(control),
+                accesses: accesses.unwrap_or_default(),
+                spawned: spawns.iter().map(|s| s.tid).collect(),
+                obs_range: (obs_start, obs_start),
+            };
+            self.sched.on_schedule_point(&point);
+            self.points.push(point);
+        }
         for spawn in spawns {
             self.admit(spawn);
         }
@@ -513,11 +537,24 @@ impl<S: Scheduler> Engine<S> {
             return Ok(());
         }
         self.handle_control(cpu, tid, control)?;
+        if self.config.schedule_points {
+            let obs_end = self.obs.as_ref().map_or(0, ObsLog::len);
+            if let Some(point) = self.points.last_mut() {
+                point.obs_range.1 = obs_end;
+            }
+        }
         // Time-slice preemption applies only if the thread kept running.
         if let Some(slice) = self.config.time_slice {
             if self.current[cpu] == Some(tid) && self.clocks[cpu] - self.run_start[cpu] >= slice {
                 self.switch_out(cpu, tid, SwitchReason::Preempted)?;
             }
+        }
+        // Controlled scheduling: every visible operation is a decision
+        // point, so a thread that would continue on-processor (an
+        // uncontended lock, a post, an immediate join) is preempted and
+        // must be re-picked before its next batch.
+        if self.config.schedule_points && self.current[cpu] == Some(tid) {
+            self.switch_out(cpu, tid, SwitchReason::Preempted)?;
         }
         Ok(())
     }
@@ -965,6 +1002,63 @@ impl<S: Scheduler> Engine<S> {
     /// The synchronization tables (read-only: poisoning queries, counts).
     pub fn sync_tables(&self) -> &SyncTables {
         &self.sync
+    }
+
+    /// Takes the schedule points recorded so far (model checking with
+    /// [`EngineConfig::schedule_points`]; empty otherwise).
+    pub fn take_schedule_points(&mut self) -> Vec<SchedulePoint> {
+        std::mem::take(&mut self.points)
+    }
+
+    /// What a blocked thread is blocked on, found by scanning the sync
+    /// wait queues and join lists (blocked-state introspection for the
+    /// model checker's deadlock classification). `None` for threads that
+    /// are not live or not parked on anything.
+    pub fn blocked_on(&self, tid: ThreadId) -> Option<BlockedOn> {
+        // A condvar waiter that has been signalled moves to its mutex's
+        // waiter queue, so a thread sits in at most one queue; condvars
+        // are scanned first because "still waiting for the signal" is
+        // the classification that distinguishes a lost wakeup.
+        for (i, c) in self.sync.conds.iter().enumerate() {
+            if c.waiters.iter().any(|&(w, _)| w == tid) {
+                return Some(BlockedOn::Cond(CondId(i)));
+            }
+        }
+        for (i, m) in self.sync.mutexes.iter().enumerate() {
+            if m.waiters.contains(&tid) {
+                return Some(BlockedOn::Mutex(MutexId(i)));
+            }
+        }
+        for (i, s) in self.sync.sems.iter().enumerate() {
+            if s.waiters.contains(&tid) {
+                return Some(BlockedOn::Sem(SemId(i)));
+            }
+        }
+        for (i, b) in self.sync.barriers.iter().enumerate() {
+            if b.waiting.contains(&tid) {
+                return Some(BlockedOn::Barrier(BarrierId(i)));
+            }
+        }
+        for t in self.tcbs.iter().flatten() {
+            if t.join_waiters.contains(&tid) {
+                return Some(BlockedOn::Join(t.id));
+            }
+        }
+        None
+    }
+
+    /// Every live thread currently in the `Blocked` state with what it
+    /// is blocked on, sorted by thread id.
+    pub fn blocked_threads(&self) -> Vec<(ThreadId, Option<BlockedOn>)> {
+        let mut blocked: Vec<ThreadId> = self
+            .tcbs
+            .iter()
+            .flatten()
+            .filter(|t| t.state == ThreadState::Blocked)
+            .map(|t| t.id)
+            .collect();
+        blocked.sort_unstable();
+        blocked.into_iter().map(|tid| (tid, self.blocked_on(tid))).collect()
     }
 
     /// Threads killed by fault injection so far (including stillborn

@@ -69,6 +69,7 @@ pub mod events;
 pub mod heap;
 pub mod inference;
 pub mod observe;
+pub mod points;
 pub mod program;
 pub mod report;
 pub mod sched;
@@ -81,6 +82,7 @@ pub use error::RuntimeError;
 pub use events::{EngineHook, SwitchEvent, SwitchReason};
 pub use inference::{InferenceConfig, SharingInference};
 pub use observe::{ObsEvent, ObsLog};
+pub use points::{AccessSpan, BlockedOn, SchedulePoint, VisibleOp};
 pub use program::{BatchCtx, Control, Program};
 pub use report::RunReport;
 pub use sched::{SchedPolicy, Scheduler};

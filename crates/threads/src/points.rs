@@ -1,0 +1,285 @@
+//! Controlled-scheduling hooks for stateless model checking.
+//!
+//! When [`EngineConfig::schedule_points`](crate::EngineConfig) is set,
+//! the engine turns every *visible operation* — a batch ending in any
+//! [`Control`] — into a scheduling decision point: the running thread is
+//! forcibly preempted after each batch, so the scheduler's `pick` is
+//! consulted before every visible operation. Each executed batch is
+//! recorded as a [`SchedulePoint`] carrying the operation, the memory
+//! spans the batch touched, and any threads it spawned. A model checker
+//! (see `locality-analyze`) drives the engine down chosen interleavings
+//! by injecting a scripted scheduler and reads the recorded points back
+//! to compute happens-before and dependence between steps.
+
+use crate::program::Control;
+use crate::sync::{BarrierId, CondId, MutexId, SemId};
+use locality_core::ThreadId;
+use locality_sim::VAddr;
+
+/// One contiguous memory span touched by a batch (collected exactly,
+/// per batch, independent of the [`ObsLog`](crate::ObsLog)'s span
+/// coalescing).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AccessSpan {
+    /// First byte of the span.
+    pub start: VAddr,
+    /// Span length in bytes.
+    pub bytes: u64,
+    /// Whether the span was written (true) or only read (false).
+    pub write: bool,
+}
+
+impl AccessSpan {
+    /// Whether two spans overlap and at least one of them writes — the
+    /// data-conflict half of the model checker's dependence relation.
+    pub fn conflicts(&self, other: &AccessSpan) -> bool {
+        if !self.write && !other.write {
+            return false;
+        }
+        let a_end = self.start.0.saturating_add(self.bytes);
+        let b_end = other.start.0.saturating_add(other.bytes);
+        self.start.0 < b_end && other.start.0 < a_end
+    }
+}
+
+/// The visible operation a batch ended with — the scheduling-point
+/// taxonomy (DESIGN.md §12). One-to-one with [`Control`], so every way
+/// a batch can end is a decision point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VisibleOp {
+    /// Voluntary yield.
+    Yield,
+    /// Timed sleep.
+    Sleep(u64),
+    /// Mutex acquire (may block).
+    Lock(MutexId),
+    /// Mutex release.
+    Unlock(MutexId),
+    /// Semaphore P() (may block).
+    SemWait(SemId),
+    /// Semaphore V().
+    SemPost(SemId),
+    /// Barrier arrival (blocks unless last).
+    BarrierWait(BarrierId),
+    /// Atomic unlock + condition wait (blocks).
+    CondWait(CondId, MutexId),
+    /// Wake one condition waiter.
+    CondSignal(CondId),
+    /// Wake all condition waiters.
+    CondBroadcast(CondId),
+    /// Wait for a thread's exit (may block).
+    Join(ThreadId),
+    /// Thread termination.
+    Exit,
+}
+
+impl VisibleOp {
+    /// The visible operation of a batch-ending control.
+    pub fn of(control: Control) -> VisibleOp {
+        match control {
+            Control::Yield => VisibleOp::Yield,
+            Control::Sleep(d) => VisibleOp::Sleep(d),
+            Control::Lock(m) => VisibleOp::Lock(m),
+            Control::Unlock(m) => VisibleOp::Unlock(m),
+            Control::SemWait(s) => VisibleOp::SemWait(s),
+            Control::SemPost(s) => VisibleOp::SemPost(s),
+            Control::BarrierWait(b) => VisibleOp::BarrierWait(b),
+            Control::CondWait(c, m) => VisibleOp::CondWait(c, m),
+            Control::CondSignal(c) => VisibleOp::CondSignal(c),
+            Control::CondBroadcast(c) => VisibleOp::CondBroadcast(c),
+            Control::Join(t) => VisibleOp::Join(t),
+            Control::Exit => VisibleOp::Exit,
+        }
+    }
+
+    /// The sync object this operation touches, as a comparable key, if
+    /// any. Two operations on the same object are dependent.
+    pub fn sync_object(&self) -> Option<(u8, usize)> {
+        match *self {
+            VisibleOp::Lock(m) | VisibleOp::Unlock(m) => Some((0, m.0)),
+            VisibleOp::SemWait(s) | VisibleOp::SemPost(s) => Some((1, s.0)),
+            VisibleOp::BarrierWait(b) => Some((2, b.0)),
+            VisibleOp::CondSignal(c) | VisibleOp::CondBroadcast(c) => Some((3, c.0)),
+            // CondWait touches both the condvar and the mutex; the
+            // condvar key is returned here and the mutex is reported via
+            // `cond_wait_mutex`.
+            VisibleOp::CondWait(c, _) => Some((3, c.0)),
+            _ => None,
+        }
+    }
+
+    /// The mutex a `CondWait` atomically releases, if this is one.
+    pub fn cond_wait_mutex(&self) -> Option<MutexId> {
+        match *self {
+            VisibleOp::CondWait(_, m) => Some(m),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for VisibleOp {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match *self {
+            VisibleOp::Yield => write!(f, "yield"),
+            VisibleOp::Sleep(d) => write!(f, "sleep({d})"),
+            VisibleOp::Lock(m) => write!(f, "lock(m{})", m.0),
+            VisibleOp::Unlock(m) => write!(f, "unlock(m{})", m.0),
+            VisibleOp::SemWait(s) => write!(f, "sem-wait(s{})", s.0),
+            VisibleOp::SemPost(s) => write!(f, "sem-post(s{})", s.0),
+            VisibleOp::BarrierWait(b) => write!(f, "barrier(b{})", b.0),
+            VisibleOp::CondWait(c, m) => write!(f, "cond-wait(c{}, m{})", c.0, m.0),
+            VisibleOp::CondSignal(c) => write!(f, "cond-signal(c{})", c.0),
+            VisibleOp::CondBroadcast(c) => write!(f, "cond-broadcast(c{})", c.0),
+            VisibleOp::Join(t) => write!(f, "join({t})"),
+            VisibleOp::Exit => write!(f, "exit"),
+        }
+    }
+}
+
+/// One executed decision point: thread `tid` ran one batch that touched
+/// `accesses`, spawned `spawned`, and ended with `op`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SchedulePoint {
+    /// The thread that executed the batch.
+    pub tid: ThreadId,
+    /// The visible operation the batch ended with.
+    pub op: VisibleOp,
+    /// Exact memory spans touched by the batch (in access order).
+    pub accesses: Vec<AccessSpan>,
+    /// Children spawned during the batch (ready once it ends).
+    pub spawned: Vec<ThreadId>,
+    /// The half-open range of [`ObsLog`](crate::ObsLog) event indices
+    /// this step produced (batch events plus everything its visible
+    /// operation emitted — hand-offs, wakes, exits). `(0, 0)` when
+    /// observation is not enabled.
+    pub obs_range: (usize, usize),
+}
+
+impl SchedulePoint {
+    /// Whether two points are *dependent* — reordering them can change
+    /// the outcome. True when they touch the same sync object, conflict
+    /// on memory, or couple a `Join` with its target's `Exit`.
+    pub fn dependent(&self, other: &SchedulePoint) -> bool {
+        if self.tid == other.tid {
+            return true;
+        }
+        let same_sync = match (self.op.sync_object(), other.op.sync_object()) {
+            (Some(a), Some(b)) if a == b => true,
+            _ => {
+                // CondWait also touches its mutex.
+                let am = self.op.cond_wait_mutex();
+                let bm = other.op.cond_wait_mutex();
+                let a_mutex = match self.op {
+                    VisibleOp::Lock(m) | VisibleOp::Unlock(m) => Some(m),
+                    _ => am,
+                };
+                let b_mutex = match other.op {
+                    VisibleOp::Lock(m) | VisibleOp::Unlock(m) => Some(m),
+                    _ => bm,
+                };
+                matches!((a_mutex, b_mutex), (Some(x), Some(y)) if x == y)
+            }
+        };
+        if same_sync {
+            return true;
+        }
+        if matches!(self.op, VisibleOp::Join(t) if t == other.tid)
+            || matches!(other.op, VisibleOp::Join(t) if t == self.tid)
+        {
+            return true;
+        }
+        self.accesses.iter().any(|a| other.accesses.iter().any(|b| a.conflicts(b)))
+    }
+}
+
+/// Why a blocked thread is blocked — the engine's blocked-state
+/// introspection, used by the model checker to classify a global
+/// deadlock (lock cycle vs. lost wakeup).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BlockedOn {
+    /// Waiting to acquire a mutex.
+    Mutex(MutexId),
+    /// Waiting on a semaphore.
+    Sem(SemId),
+    /// Waiting at a barrier.
+    Barrier(BarrierId),
+    /// Waiting on a condition variable (a thread stuck here forever is a
+    /// lost wakeup).
+    Cond(CondId),
+    /// Waiting for another thread to exit.
+    Join(ThreadId),
+}
+
+impl std::fmt::Display for BlockedOn {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match *self {
+            BlockedOn::Mutex(m) => write!(f, "mutex m{}", m.0),
+            BlockedOn::Sem(s) => write!(f, "semaphore s{}", s.0),
+            BlockedOn::Barrier(b) => write!(f, "barrier b{}", b.0),
+            BlockedOn::Cond(c) => write!(f, "condvar c{}", c.0),
+            BlockedOn::Join(t) => write!(f, "join of {t}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn span(start: u64, bytes: u64, write: bool) -> AccessSpan {
+        AccessSpan { start: VAddr(start), bytes, write }
+    }
+
+    #[test]
+    fn span_conflicts_require_a_write_and_overlap() {
+        assert!(span(0, 64, true).conflicts(&span(32, 64, false)));
+        assert!(span(32, 64, false).conflicts(&span(0, 64, true)));
+        assert!(!span(0, 64, false).conflicts(&span(0, 64, false)));
+        assert!(!span(0, 64, true).conflicts(&span(64, 64, true)));
+    }
+
+    #[test]
+    fn visible_op_covers_every_control() {
+        assert_eq!(VisibleOp::of(Control::Yield), VisibleOp::Yield);
+        assert_eq!(VisibleOp::of(Control::Lock(MutexId(3))), VisibleOp::Lock(MutexId(3)));
+        assert_eq!(VisibleOp::of(Control::Exit), VisibleOp::Exit);
+        assert_eq!(
+            VisibleOp::of(Control::CondWait(CondId(1), MutexId(2))),
+            VisibleOp::CondWait(CondId(1), MutexId(2))
+        );
+    }
+
+    fn point(tid: u64, op: VisibleOp, accesses: Vec<AccessSpan>) -> SchedulePoint {
+        SchedulePoint { tid: ThreadId(tid), op, accesses, spawned: Vec::new(), obs_range: (0, 0) }
+    }
+
+    #[test]
+    fn dependence_same_mutex() {
+        let a = point(1, VisibleOp::Lock(MutexId(0)), vec![]);
+        let b = point(2, VisibleOp::Unlock(MutexId(0)), vec![]);
+        let c = point(2, VisibleOp::Lock(MutexId(1)), vec![]);
+        assert!(a.dependent(&b));
+        assert!(!a.dependent(&c));
+    }
+
+    #[test]
+    fn dependence_cond_wait_touches_its_mutex() {
+        let w = point(1, VisibleOp::CondWait(CondId(0), MutexId(5)), vec![]);
+        let l = point(2, VisibleOp::Lock(MutexId(5)), vec![]);
+        let s = point(2, VisibleOp::CondSignal(CondId(0)), vec![]);
+        assert!(w.dependent(&l));
+        assert!(w.dependent(&s));
+    }
+
+    #[test]
+    fn dependence_join_exit_pair_and_memory_conflicts() {
+        let j = point(1, VisibleOp::Join(ThreadId(2)), vec![]);
+        let e = point(2, VisibleOp::Exit, vec![]);
+        assert!(j.dependent(&e));
+        let r = point(1, VisibleOp::Yield, vec![span(0, 64, false)]);
+        let w = point(2, VisibleOp::Yield, vec![span(0, 8, true)]);
+        let r2 = point(2, VisibleOp::Yield, vec![span(0, 64, false)]);
+        assert!(r.dependent(&w));
+        assert!(!r.dependent(&r2));
+    }
+}

@@ -9,6 +9,7 @@
 //! like a fast user-level thread library.
 
 use crate::observe::{ObsEvent, ObsLog};
+use crate::points::AccessSpan;
 use crate::sync::{BarrierId, CondId, MutexId, SemId, SyncTables};
 use locality_core::{ModelError, SharingGraph, ThreadId};
 use locality_sim::{AccessKind, Machine, VAddr};
@@ -104,6 +105,10 @@ pub struct BatchCtx<'a> {
     pub(crate) next_tid: &'a mut u64,
     pub(crate) spawns: Vec<PendingSpawn>,
     pub(crate) obs: Option<&'a mut ObsLog>,
+    /// Exact per-batch access spans, collected only under controlled
+    /// scheduling (the `ObsLog` coalesces spans across batches, so the
+    /// model checker needs its own per-batch record).
+    pub(crate) accesses: Option<Vec<AccessSpan>>,
 }
 
 impl<'a> BatchCtx<'a> {
@@ -128,6 +133,9 @@ impl<'a> BatchCtx<'a> {
     fn note_access(&mut self, start: VAddr, bytes: u64, write: bool) {
         if let Some(log) = self.obs.as_deref_mut() {
             log.record(ObsEvent::Access { tid: self.tid, start, bytes, write });
+        }
+        if let Some(spans) = self.accesses.as_mut() {
+            spans.push(AccessSpan { start, bytes, write });
         }
     }
 

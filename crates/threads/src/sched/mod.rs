@@ -13,6 +13,7 @@ mod locality;
 pub use fcfs::FcfsScheduler;
 pub use locality::{LocalityConfig, LocalityScheduler, SchedMode};
 
+use crate::points::SchedulePoint;
 use locality_core::{PolicyKind, SanitizedInterval, SharingGraph, ThreadId};
 
 /// The policy selector used when building an [`crate::Engine`].
@@ -89,6 +90,12 @@ pub trait Scheduler {
 
     /// `tid` exited.
     fn on_exit(&mut self, tid: ThreadId);
+
+    /// A visible operation just executed under controlled scheduling
+    /// ([`crate::EngineConfig::schedule_points`]) — the controlled-
+    /// scheduling hook a model-checking scheduler uses to track sleep
+    /// sets. Never called in normal runs; the default ignores it.
+    fn on_schedule_point(&mut self, _point: &SchedulePoint) {}
 
     /// `tid` was killed by lifecycle fault injection. Unlike
     /// [`on_exit`](Self::on_exit) — where the engine guarantees the
@@ -171,6 +178,10 @@ impl Scheduler for Box<dyn Scheduler> {
 
     fn on_exit(&mut self, tid: ThreadId) {
         (**self).on_exit(tid);
+    }
+
+    fn on_schedule_point(&mut self, point: &SchedulePoint) {
+        (**self).on_schedule_point(point);
     }
 
     fn on_abort(&mut self, tid: ThreadId) {
