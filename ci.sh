@@ -10,6 +10,12 @@ cargo clippy --workspace --all-targets -- -D warnings
 # The bench targets must keep compiling (they are not timed in CI).
 cargo bench --no-run --workspace
 
+# Bench regression gate: the committed hot-path report must not record
+# any benchmark below its before-baseline. Deterministic — it audits the
+# merged JSON's recorded ratios, so CI never depends on wall-clock noise.
+cargo run --release -p locality-repro --bin bench -- \
+    --check BENCH_hotpath.json --fail-under 1.0
+
 # Smoke the full repro suite through the parallel cached runner, then
 # hold every artifact to the committed golden hashes: the small-scale
 # CSVs are byte-identical across machines, --jobs values, and the

@@ -330,7 +330,10 @@ pub fn run_schedule(
 ) -> Execution {
     let sched = ExploringScheduler::new(script, sleep, depth_bound);
     let config = EngineConfig { schedule_points: true, ..EngineConfig::default() };
-    let mut engine = Engine::with_scheduler(MachineConfig::ultra1(), sched, config);
+    // Infallible: `ultra1()` is a validated built-in description.
+    #[allow(clippy::expect_used)]
+    let mut engine = Engine::with_scheduler(MachineConfig::ultra1(), sched, config)
+        .expect("ultra1 machine is always valid");
     engine.enable_observation();
     engine.spawn(workload.program());
     let result = engine.run();

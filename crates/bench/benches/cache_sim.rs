@@ -11,7 +11,7 @@ fn bench_access_paths(c: &mut Criterion) {
 
     // L1 hit: repeatedly touch one address.
     group.bench_function("l1_hit", |b| {
-        let mut m = Machine::new(MachineConfig::ultra1());
+        let mut m = Machine::try_new(MachineConfig::ultra1()).unwrap();
         let a = m.alloc(64, 64);
         m.access(0, a, AccessKind::Read);
         b.iter(|| black_box(m.access(0, a, AccessKind::Read)))
@@ -19,7 +19,7 @@ fn bench_access_paths(c: &mut Criterion) {
 
     // L2 hit: alternate two lines that share an L1 set but not an L2 set.
     group.bench_function("l2_hit", |b| {
-        let mut m = Machine::new(MachineConfig::ultra1());
+        let mut m = Machine::try_new(MachineConfig::ultra1()).unwrap();
         let a = m.alloc(64 * 1024, 64);
         // 16 KiB apart: same L1-D index (16 KiB direct), different L2 index.
         let (x, y) = (a, a.offset(16 * 1024));
@@ -34,7 +34,7 @@ fn bench_access_paths(c: &mut Criterion) {
 
     // L2 miss: stream over a region far larger than the cache.
     group.bench_function("l2_miss_stream", |b| {
-        let mut m = Machine::new(MachineConfig::ultra1());
+        let mut m = Machine::try_new(MachineConfig::ultra1()).unwrap();
         let lines = 8192u64 * 4;
         let a = m.alloc(lines * 64, 64);
         let mut i = 0u64;
@@ -46,7 +46,7 @@ fn bench_access_paths(c: &mut Criterion) {
 
     // Coherent write with one remote sharer.
     group.bench_function("coherent_write", |b| {
-        let mut m = Machine::new(MachineConfig::enterprise5000(2));
+        let mut m = Machine::try_new(MachineConfig::enterprise5000(2)).unwrap();
         let a = m.alloc(64, 64);
         b.iter(|| {
             m.access(0, a, AccessKind::Read);
@@ -58,7 +58,7 @@ fn bench_access_paths(c: &mut Criterion) {
 
     // Footprint ground truth over a warm cache.
     c.bench_function("l2_footprint_query", |b| {
-        let mut m = Machine::new(MachineConfig::ultra1());
+        let mut m = Machine::try_new(MachineConfig::ultra1()).unwrap();
         let t = ThreadId(1);
         let a = m.alloc(8192 * 64, 64);
         m.register_region(t, a, 8192 * 64);

@@ -46,6 +46,13 @@ impl FootprintModel {
     /// lands on a line A already owns or claims a new one, so the footprint
     /// grows monotonically toward `N`.
     pub fn expected_blocking(&self, s: f64, n: u64) -> f64 {
+        // Zero misses leave the footprint untouched. The algebraic form
+        // is `N − (N − s)·k⁰ = N − (N − s)`, whose re-rounding can drift
+        // one ulp away from `s` for large `N`; return `s` exactly, which
+        // is also what the Markov chain says about an empty interval.
+        if n == 0 {
+            return s;
+        }
         let nn = self.params.n();
         nn - (nn - s) * self.params.k_pow(n)
     }
@@ -68,6 +75,11 @@ impl FootprintModel {
     ///
     /// Setting `q = 1` recovers case 1 and `q = 0` recovers case 2.
     pub fn expected_dependent(&self, q: f64, s: f64, n: u64) -> f64 {
+        // See expected_blocking: `target − (target − s)` need not round
+        // back to `s` exactly, and an empty interval changes nothing.
+        if n == 0 {
+            return s;
+        }
         let target = q * self.params.n();
         target - (target - s) * self.params.k_pow(n)
     }
@@ -153,6 +165,30 @@ mod tests {
         assert_eq!(m.expected_blocking(77.0, 0), 77.0);
         assert_eq!(m.expected_independent(77.0, 0), 77.0);
         assert_eq!(m.expected_dependent(0.3, 77.0, 0), 77.0);
+        // Values whose `target − (target − s)` round-trip drifts without
+        // the explicit n = 0 case: s with more mantissa bits than N − s
+        // can absorb.
+        let m = model(1 << 20);
+        for &s in &[0.1f64, 1e-9, 77.000000001, 1048575.999] {
+            assert_eq!(m.expected_blocking(s, 0), s, "blocking s={s}");
+            assert_eq!(m.expected_dependent(0.7, s, 0), s, "dependent s={s}");
+            assert_eq!(m.expected_independent(s, 0), s, "independent s={s}");
+        }
+    }
+
+    #[test]
+    fn q_edges_collapse_to_sibling_cases_bitwise() {
+        // q = 0: target is exactly 0, so qN − (qN − s)kⁿ = s·kⁿ bit for
+        // bit; q = 1: target is exactly N, matching blocking. The edges
+        // must agree with the sibling closed forms exactly, not just
+        // approximately.
+        let m = model(8192);
+        for &s in &[0.0f64, 1.0, 511.5, 8192.0] {
+            for &n in &[0u64, 1, 17, 1000, 100_000] {
+                assert_eq!(m.expected_dependent(0.0, s, n), m.expected_independent(s, n));
+                assert_eq!(m.expected_dependent(1.0, s, n), m.expected_blocking(s, n));
+            }
+        }
     }
 
     #[test]

@@ -72,24 +72,34 @@ impl DependentChain {
         let n = self.params.lines();
         assert_eq!(dist.len(), n + 1, "distribution must have N+1 entries");
         let mut next = vec![0.0; n + 1];
-        for (i, &p) in dist.iter().enumerate() {
+        self.step_into(dist, &mut next);
+        *dist = next;
+    }
+
+    /// One transition from `src` into the zeroed buffer `dst` — the
+    /// allocation-free core of [`step`](Self::step). Both the per-call
+    /// allocating form and the double-buffered iteration below perform
+    /// exactly these additions in this order, so they are bit-identical.
+    fn step_into(&self, src: &[f64], dst: &mut [f64]) {
+        let n = src.len() - 1;
+        for (i, &p) in src.iter().enumerate() {
             if p == 0.0 {
                 continue;
             }
             let (down, stay, up) = self.transition(i);
             if i > 0 {
-                next[i - 1] += p * down;
+                dst[i - 1] += p * down;
             }
-            next[i] += p * stay;
+            dst[i] += p * stay;
             if i < n {
-                next[i + 1] += p * up;
+                dst[i + 1] += p * up;
             }
         }
-        *dist = next;
     }
 
     /// The full distribution after `n` misses, starting from exactly `s0`
-    /// lines cached.
+    /// lines cached. Iterates with two reused buffers instead of one
+    /// allocation per step; the arithmetic is unchanged.
     ///
     /// # Panics
     ///
@@ -99,8 +109,11 @@ impl DependentChain {
         assert!(s0 <= lines, "initial footprint {s0} exceeds cache size");
         let mut dist = vec![0.0; lines + 1];
         dist[s0] = 1.0;
+        let mut next = vec![0.0; lines + 1];
         for _ in 0..n {
-            self.step(&mut dist);
+            self.step_into(&dist, &mut next);
+            std::mem::swap(&mut dist, &mut next);
+            next.fill(0.0);
         }
         dist
     }
@@ -122,6 +135,115 @@ impl DependentChain {
             e = e * k + self.q;
         }
         e
+    }
+
+    /// Tabulates the chain's transient expectation up to `n_max` misses.
+    ///
+    /// Pays the `O(n_max·N)` distribution iteration **once**; every
+    /// subsequent [`ChainTransientTable::expected_after`] query is `O(log
+    /// grid)`. The chain's expectation is exactly linear in the initial
+    /// footprint (`E' = E·k + q` regardless of the distribution's shape),
+    /// so stepping just two distributions — `s0 = 0` and `s0 = N` — pins
+    /// the whole family of transients.
+    pub fn tabulate(&self, n_max: u64) -> ChainTransientTable {
+        let lines = self.params.lines();
+        let nn = self.params.n();
+
+        // Grid: every miss count up to 16, then geometrically spaced
+        // (each step grows by n/8), with n_max always included. The
+        // transient is an exponential approach to qN, so geometric
+        // spacing keeps the interpolation error roughly uniform.
+        let mut grid = Vec::new();
+        let mut g = 0u64;
+        while g < n_max {
+            grid.push(g);
+            g = if g < 16 { g + 1 } else { g + (g / 8).max(1) };
+        }
+        grid.push(n_max);
+
+        let mut d0 = vec![0.0; lines + 1];
+        d0[0] = 1.0;
+        let mut dn = vec![0.0; lines + 1];
+        dn[lines] = 1.0;
+        let mut scratch = vec![0.0; lines + 1];
+        let mut a = Vec::with_capacity(grid.len());
+        let mut b = Vec::with_capacity(grid.len());
+        let mut cur = 0u64;
+        for &point in &grid {
+            while cur < point {
+                self.step_into(&d0, &mut scratch);
+                std::mem::swap(&mut d0, &mut scratch);
+                scratch.fill(0.0);
+                self.step_into(&dn, &mut scratch);
+                std::mem::swap(&mut dn, &mut scratch);
+                scratch.fill(0.0);
+                cur += 1;
+            }
+            let e0 = expectation(&d0);
+            let en = expectation(&dn);
+            a.push(e0);
+            b.push((en - e0) / nn);
+        }
+        ChainTransientTable { params: self.params, q: self.q, grid, a, b }
+    }
+}
+
+/// Memoized transient of the [`DependentChain`] expectation.
+///
+/// Holds `E[F | s0, n] = A(n) + s0·B(n)` sampled on a geometric grid of
+/// miss counts `n` (dense for small `n`): grid points reproduce the
+/// exact chain expectation, off-grid queries interpolate `A` and `B`
+/// linearly between neighbors, and queries beyond the tabulated range
+/// continue analytically from the last grid point (`E` approaches `qN`
+/// as `kᵐ` decays — the exact solution of the drift recurrence).
+#[derive(Debug, Clone)]
+pub struct ChainTransientTable {
+    params: ModelParams,
+    q: f64,
+    /// Sorted, deduplicated miss counts (always starts at 0).
+    grid: Vec<u64>,
+    /// `E[F | s0 = 0, n]` at each grid point.
+    a: Vec<f64>,
+    /// `(E[F | s0 = N, n] − E[F | s0 = 0, n]) / N` at each grid point.
+    b: Vec<f64>,
+}
+
+impl ChainTransientTable {
+    /// Expected footprint after `n` misses from initial footprint `s0`.
+    pub fn expected_after(&self, s0: f64, n: u64) -> f64 {
+        match self.grid.binary_search(&n) {
+            Ok(i) => self.a[i] + s0 * self.b[i],
+            Err(i) if i < self.grid.len() => {
+                // Between grid[i-1] and grid[i]; i ≥ 1 because grid[0] = 0.
+                let (n0, n1) = (self.grid[i - 1], self.grid[i]);
+                let t = (n - n0) as f64 / (n1 - n0) as f64;
+                let a = self.a[i - 1] + t * (self.a[i] - self.a[i - 1]);
+                let b = self.b[i - 1] + t * (self.b[i] - self.b[i - 1]);
+                a + s0 * b
+            }
+            Err(_) => {
+                // Past the table: E(n_max + m) = qN + (E(n_max) − qN)·kᵐ.
+                let last = self.grid.len() - 1;
+                let e_last = self.a[last] + s0 * self.b[last];
+                let target = self.q * self.params.n();
+                target + (e_last - target) * self.params.k_pow(n - self.grid[last])
+            }
+        }
+    }
+
+    /// The sharing coefficient the table was built for.
+    pub fn q(&self) -> f64 {
+        self.q
+    }
+
+    /// Largest tabulated miss count.
+    pub fn n_max(&self) -> u64 {
+        *self.grid.last().unwrap_or(&0)
+    }
+
+    /// Number of grid points.
+    pub fn grid_len(&self) -> usize {
+        self.grid.len()
     }
 }
 
@@ -227,6 +349,70 @@ mod tests {
             let closed = m.expected_dependent(0.33, 100.0, n);
             assert!((rec - closed).abs() < 1e-6, "n={n}: {rec} vs {closed}");
         }
+    }
+
+    #[test]
+    fn table_matches_chain_at_grid_points() {
+        let c = chain(96, 0.4);
+        let t = c.tabulate(512);
+        for &s0 in &[0usize, 17, 48, 96] {
+            for &n in &[0u64, 1, 5, 16, 512] {
+                let exact = c.expected_after(s0, n);
+                let tab = t.expected_after(s0 as f64, n);
+                assert!((exact - tab).abs() < 1e-9, "s0={s0} n={n}: {exact} vs {tab}");
+            }
+        }
+    }
+
+    #[test]
+    fn table_interpolates_between_grid_points() {
+        let c = chain(128, 0.6);
+        let t = c.tabulate(2048);
+        // Off-grid points: interpolation error stays small because the
+        // grid is geometric and the transient is a smooth exponential.
+        for &n in &[37u64, 101, 419, 1777] {
+            let exact = c.expected_after(30, n);
+            let tab = t.expected_after(30.0, n);
+            assert!((exact - tab).abs() < 0.05, "n={n}: {exact} vs {tab}");
+        }
+    }
+
+    #[test]
+    fn table_continues_beyond_range() {
+        let c = chain(64, 0.5);
+        let t = c.tabulate(256);
+        // Far past the table every transient has converged to qN.
+        let far = t.expected_after(10.0, 1_000_000);
+        assert!((far - 0.5 * 64.0).abs() < 1e-6, "{far}");
+        // Just past the table the analytic continuation tracks the
+        // recurrence oracle.
+        let rec = c.expected_after_recurrence(10.0, 300);
+        let tab = t.expected_after(10.0, 300);
+        assert!((rec - tab).abs() < 1e-6, "{rec} vs {tab}");
+    }
+
+    #[test]
+    fn table_is_linear_in_s0() {
+        let c = chain(64, 0.3);
+        let t = c.tabulate(128);
+        let (e0, e32, e64) =
+            (t.expected_after(0.0, 50), t.expected_after(32.0, 50), t.expected_after(64.0, 50));
+        assert!((e32 - (e0 + e64) / 2.0).abs() < 1e-9);
+        assert_eq!(t.n_max(), 128);
+        assert!(t.grid_len() > 16);
+        assert!((t.q() - 0.3).abs() < 1e-15);
+    }
+
+    #[test]
+    fn double_buffered_iteration_matches_per_step_allocation() {
+        // distribution_after must be bit-identical to naive repeated step.
+        let c = chain(48, 0.37);
+        let mut naive = vec![0.0; 49];
+        naive[20] = 1.0;
+        for _ in 0..200 {
+            c.step(&mut naive);
+        }
+        assert_eq!(c.distribution_after(20, 200), naive);
     }
 
     #[test]

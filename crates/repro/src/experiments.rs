@@ -62,7 +62,9 @@ pub fn placement_cell(app: App, placement: PagePlacement) -> Result<RunReport, R
 /// lines from cpu 1. Returns `(observed, predicted)` footprints — the
 /// counter-driven model keeps predicting the pre-invalidation value.
 pub fn invalidation_cell(written: u64) -> (u64, u64) {
-    let mut machine = Machine::new(MachineConfig::enterprise5000(2));
+    // Infallible: `enterprise5000(2)` is a validated built-in description.
+    #[allow(clippy::unwrap_used)]
+    let mut machine = Machine::try_new(MachineConfig::enterprise5000(2)).unwrap();
     let a = ThreadId(1);
     let lines = 4096u64;
     let region = machine.alloc(lines * 64, 64);

@@ -94,7 +94,11 @@ const WALKER_LINES: u64 = 8192 * 64;
 pub fn run(exp: &WalkExperiment) -> Vec<WalkPoint> {
     let mut config = MachineConfig::ultra1();
     config.hierarchy.l2.associativity = exp.associativity.max(1);
-    let mut machine = Machine::new(config);
+    // Infallible for every shipped experiment: `ultra1()` is valid and the
+    // associativity overrides are powers of two (1 for the paper's
+    // direct-mapped runs, 2 for the set-associative ablation).
+    #[allow(clippy::unwrap_used)]
+    let mut machine = Machine::try_new(config).unwrap();
     // Infallible: `l2_lines()` on a constructed machine is a positive
     // power of two, the only thing `ModelParams::new` rejects.
     #[allow(clippy::unwrap_used)]

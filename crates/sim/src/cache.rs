@@ -64,15 +64,6 @@ impl CacheGeometry {
     }
 }
 
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-struct Way {
-    /// Physical line number (`paddr / line_bytes`) resident in this way.
-    pline: u64,
-    dirty: bool,
-    /// LRU timestamp (global monotone counter).
-    last_use: u64,
-}
-
 /// Result of inserting a line: what, if anything, was displaced.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Eviction {
@@ -82,12 +73,39 @@ pub struct Eviction {
     pub dirty: bool,
 }
 
+/// Sentinel for a vacant way. Tags are stored as `pline + 1` so the
+/// vacant encoding is zero: a freshly built tag array is all-zero and the
+/// allocator can hand back untouched (lazily zeroed) pages instead of a
+/// real fill — machine construction sits inside the benchmarks' timed
+/// region. The `+ 1` cannot overflow: that would need a physical address
+/// within one line of the top of the 64-bit space.
+const EMPTY: u64 = 0;
+
+/// Tag encoding of a physical line number (see [`EMPTY`]).
+#[inline(always)]
+fn tag_of(pline: u64) -> u64 {
+    pline + 1
+}
+
 /// A set-associative cache tracking resident physical line numbers.
+///
+/// Storage is structure-of-arrays: the tag array (`plines`) is one `u64`
+/// per way, so the hot probe path touches 8 bytes per way instead of a
+/// padded tag/dirty/LRU record; the dirty bits and LRU timestamps live in
+/// side arrays only read on the insert/eviction paths.
 #[derive(Debug, Clone)]
 pub struct Cache {
     geometry: CacheGeometry,
-    /// `sets × ways` entries, row-major by set.
-    ways: Vec<Option<Way>>,
+    /// `sets − 1`; the validated geometry makes `sets` a power of two, so
+    /// set selection is a mask instead of a modulo on the access path.
+    set_mask: u64,
+    /// Tag per way (`pline + 1`, [`EMPTY`] = vacant), row-major by set.
+    plines: Vec<u64>,
+    /// Dirty flag per way (meaningless where `plines` is [`EMPTY`]).
+    dirty: Vec<bool>,
+    /// LRU timestamp per way (global monotone counter; unused, and left
+    /// untouched, for direct-mapped geometries).
+    last_use: Vec<u64>,
     tick: u64,
     resident: u64,
 }
@@ -96,7 +114,18 @@ impl Cache {
     /// Creates an empty cache.
     pub fn new(geometry: CacheGeometry) -> Self {
         let n = (geometry.sets() * geometry.associativity) as usize;
-        Cache { geometry, ways: vec![None; n], tick: 0, resident: 0 }
+        Cache {
+            geometry,
+            set_mask: geometry.sets() - 1,
+            plines: vec![EMPTY; n], // all-zero: backed by untouched pages
+            dirty: vec![false; n],
+            // Direct-mapped caches never consult LRU state; skip the
+            // allocation (every `last_use` access is behind an
+            // `associativity > 1` guard).
+            last_use: if geometry.associativity == 1 { Vec::new() } else { vec![0; n] },
+            tick: 0,
+            resident: 0,
+        }
     }
 
     /// The cache geometry.
@@ -104,8 +133,9 @@ impl Cache {
         self.geometry
     }
 
+    #[inline]
     fn set_of(&self, pline: u64) -> usize {
-        (pline % self.geometry.sets()) as usize
+        (pline & self.set_mask) as usize
     }
 
     fn set_range(&self, set: usize) -> std::ops::Range<usize> {
@@ -115,14 +145,22 @@ impl Cache {
 
     /// Looks the line up and, on a hit, refreshes its LRU position.
     /// Returns `true` on hit.
+    #[inline]
     pub fn probe(&mut self, pline: u64) -> bool {
+        // Direct-mapped: one way per set, so LRU state can never affect a
+        // victim choice — a probe is a single tag load and compare, with
+        // no timestamp maintenance (the probed line stays clean in the
+        // host cache).
+        if self.geometry.associativity == 1 {
+            return self.plines[(pline & self.set_mask) as usize] == tag_of(pline);
+        }
         self.tick += 1;
-        let set = self.set_of(pline);
         let tick = self.tick;
-        let range = self.set_range(set);
-        for way in self.ways[range].iter_mut().flatten() {
-            if way.pline == pline {
-                way.last_use = tick;
+        let tag = tag_of(pline);
+        let range = self.set_range(self.set_of(pline));
+        for i in range {
+            if self.plines[i] == tag {
+                self.last_use[i] = tick;
                 return true;
             }
         }
@@ -131,17 +169,17 @@ impl Cache {
 
     /// Whether the line is resident, without touching LRU state.
     pub fn contains(&self, pline: u64) -> bool {
-        let set = self.set_of(pline);
-        self.ways[self.set_range(set)].iter().any(|w| w.is_some_and(|way| way.pline == pline))
+        let range = self.set_range(self.set_of(pline));
+        self.plines[range].contains(&tag_of(pline))
     }
 
     /// Marks a resident line dirty. Returns `true` if the line was found.
     pub fn mark_dirty(&mut self, pline: u64) -> bool {
-        let set = self.set_of(pline);
-        let range = self.set_range(set);
-        for way in self.ways[range].iter_mut().flatten() {
-            if way.pline == pline {
-                way.dirty = true;
+        let tag = tag_of(pline);
+        let range = self.set_range(self.set_of(pline));
+        for i in range {
+            if self.plines[i] == tag {
+                self.dirty[i] = true;
                 return true;
             }
         }
@@ -157,43 +195,97 @@ impl Cache {
     /// Panics in debug builds if the line is already resident.
     pub fn insert(&mut self, pline: u64, dirty: bool) -> Option<Eviction> {
         debug_assert!(!self.contains(pline), "line {pline:#x} already resident");
+        // Direct-mapped: the single way of the set is the victim; no LRU
+        // scan or timestamp needed.
+        if self.geometry.associativity == 1 {
+            let set = (pline & self.set_mask) as usize;
+            let old = self.plines[set];
+            let old_dirty = self.dirty[set];
+            self.plines[set] = tag_of(pline);
+            self.dirty[set] = dirty;
+            return if old == EMPTY {
+                self.resident += 1;
+                None
+            } else {
+                Some(Eviction { pline: old - 1, dirty: old_dirty })
+            };
+        }
         self.tick += 1;
-        let set = self.set_of(pline);
-        let range = self.set_range(set);
-        let new = Way { pline, dirty, last_use: self.tick };
+        let range = self.set_range(self.set_of(pline));
 
-        // Empty way first.
-        let mut victim: Option<usize> = None;
+        // Empty way first; otherwise evict the LRU way. The set range is
+        // never empty (geometry validation keeps `ways ≥ 1`), so seeding
+        // the victim with the first index is always in range and the
+        // fallthrough below only runs when every way is occupied.
+        let mut victim = range.start;
         let mut victim_use = u64::MAX;
         for i in range {
-            match self.ways[i] {
-                None => {
-                    self.ways[i] = Some(new);
-                    self.resident += 1;
-                    return None;
-                }
-                Some(w) if w.last_use < victim_use => {
-                    victim_use = w.last_use;
-                    victim = Some(i);
-                }
-                Some(_) => {}
+            if self.plines[i] == EMPTY {
+                self.plines[i] = tag_of(pline);
+                self.dirty[i] = dirty;
+                self.last_use[i] = self.tick;
+                self.resident += 1;
+                return None;
+            }
+            if self.last_use[i] < victim_use {
+                victim_use = self.last_use[i];
+                victim = i;
             }
         }
-        let i = victim.expect("non-empty set must have an LRU victim");
-        let old = self.ways[i].replace(new).expect("victim way is occupied");
-        Some(Eviction { pline: old.pline, dirty: old.dirty })
+        let evicted = Eviction { pline: self.plines[victim] - 1, dirty: self.dirty[victim] };
+        self.plines[victim] = tag_of(pline);
+        self.dirty[victim] = dirty;
+        self.last_use[victim] = self.tick;
+        Some(evicted)
+    }
+
+    /// Fused lookup-plus-fill: probes for the line and, on a miss, inserts
+    /// it in the same step. Returns `(hit, eviction)`. On a hit the dirty
+    /// bit is set when `dirty` is passed (a store) and left untouched
+    /// otherwise (a load) — exactly `probe` + `mark_dirty`/`insert`,
+    /// which the set-associative path literally is; the direct-mapped
+    /// path just avoids recomputing the set and reloading the tag.
+    #[inline]
+    pub fn probe_or_fill(&mut self, pline: u64, dirty: bool) -> (bool, Option<Eviction>) {
+        if self.geometry.associativity == 1 {
+            let set = (pline & self.set_mask) as usize;
+            let tag = tag_of(pline);
+            let old = self.plines[set];
+            if old == tag {
+                if dirty {
+                    self.dirty[set] = true;
+                }
+                return (true, None);
+            }
+            let old_dirty = self.dirty[set];
+            self.plines[set] = tag;
+            self.dirty[set] = dirty;
+            return if old == EMPTY {
+                self.resident += 1;
+                (false, None)
+            } else {
+                (false, Some(Eviction { pline: old - 1, dirty: old_dirty }))
+            };
+        }
+        if self.probe(pline) {
+            if dirty {
+                self.mark_dirty(pline);
+            }
+            (true, None)
+        } else {
+            (false, self.insert(pline, dirty))
+        }
     }
 
     /// Removes the line if resident; returns whether it was dirty.
     pub fn invalidate(&mut self, pline: u64) -> Option<bool> {
-        let set = self.set_of(pline);
-        for i in self.set_range(set) {
-            if let Some(way) = self.ways[i] {
-                if way.pline == pline {
-                    self.ways[i] = None;
-                    self.resident -= 1;
-                    return Some(way.dirty);
-                }
+        let tag = tag_of(pline);
+        let range = self.set_range(self.set_of(pline));
+        for i in range {
+            if self.plines[i] == tag {
+                self.plines[i] = EMPTY;
+                self.resident -= 1;
+                return Some(self.dirty[i]);
             }
         }
         None
@@ -206,13 +298,13 @@ impl Cache {
 
     /// Iterates over resident physical line numbers (set order).
     pub fn iter_resident(&self) -> impl Iterator<Item = u64> + '_ {
-        self.ways.iter().filter_map(|w| w.map(|way| way.pline))
+        self.plines.iter().copied().filter(|&p| p != EMPTY).map(|p| p - 1)
     }
 
     /// Empties the cache (e.g. between experiment phases, mirroring the
     /// paper's "state is flushed from the cache" setup for Figure 5).
     pub fn flush(&mut self) {
-        self.ways.fill(None);
+        self.plines.fill(EMPTY);
         self.resident = 0;
     }
 }

@@ -110,6 +110,16 @@ impl Pic {
         }
     }
 
+    /// Records `refs` E-cache accesses of which `hits` hit, in one shot.
+    ///
+    /// Equivalent to `refs` calls of [`record_l2`](Self::record_l2) with
+    /// `hits` of them hitting: the counters are pure wrapping sums, so a
+    /// bulk add lands on exactly the same register values.
+    pub fn record_l2_bulk(&mut self, refs: u64, hits: u64) {
+        self.bump_by(PicEvent::EcacheRefs, refs);
+        self.bump_by(PicEvent::EcacheHits, hits);
+    }
+
     /// Records elapsed cycles (for a `Cycles` event selection).
     pub fn record_cycles(&mut self, cycles: u64) {
         if self.event0 == PicEvent::Cycles {
@@ -121,11 +131,17 @@ impl Pic {
     }
 
     fn bump(&mut self, ev: PicEvent) {
+        self.bump_by(ev, 1);
+    }
+
+    fn bump_by(&mut self, ev: PicEvent, n: u64) {
+        // `n as u32` is `n mod 2³²` — the same value `n` wrapping
+        // single-increments leave behind.
         if self.event0 == ev {
-            self.pic0 = self.pic0.wrapping_add(1);
+            self.pic0 = self.pic0.wrapping_add(n as u32);
         }
         if self.event1 == ev {
-            self.pic1 = self.pic1.wrapping_add(1);
+            self.pic1 = self.pic1.wrapping_add(n as u32);
         }
     }
 

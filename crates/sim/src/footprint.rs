@@ -14,7 +14,7 @@
 //! use locality_sim::machine::AccessKind;
 //! use locality_core::ThreadId;
 //!
-//! let mut m = Machine::new(MachineConfig::ultra1());
+//! let mut m = Machine::try_new(MachineConfig::ultra1())?;
 //! let a = m.alloc(4096, 64);
 //! m.register_region(ThreadId(1), a, 4096);
 //! for i in (0..4096u64).step_by(64) {
@@ -23,6 +23,7 @@
 //! let mut scratch = FootprintScratch::new();
 //! m.l2_footprints_into(0, &mut scratch);
 //! assert_eq!(scratch.lines(ThreadId(1)), 64);
+//! # Ok::<(), locality_sim::SimError>(())
 //! ```
 
 use locality_core::{ThreadId, ThreadSlots};

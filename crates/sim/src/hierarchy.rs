@@ -50,8 +50,10 @@ pub struct CpuCache {
     l1d: Cache,
     l2: Cache,
     pic: Pic,
-    l1_line: u64,
-    l2_line: u64,
+    /// `log2(line_bytes)` of the L1s / L2 — line sizes are validated
+    /// powers of two, so line-number extraction is a shift, not a divide.
+    l1_shift: u32,
+    l2_shift: u32,
 }
 
 impl CpuCache {
@@ -62,8 +64,8 @@ impl CpuCache {
             l1d: Cache::new(config.l1d),
             l2: Cache::new(config.l2),
             pic: Pic::new(),
-            l1_line: config.l1d.line_bytes,
-            l2_line: config.l2.line_bytes,
+            l1_shift: config.l1d.line_bytes.trailing_zeros(),
+            l2_shift: config.l2.line_bytes.trailing_zeros(),
         }
     }
 
@@ -85,8 +87,20 @@ impl CpuCache {
 
     /// Performs one access at physical address `pa`.
     pub fn access(&mut self, pa: u64, kind: HierAccess) -> AccessOutcome {
-        let pline1 = pa / self.l1_line;
-        let pline2 = pa / self.l2_line;
+        let outcome = self.access_quiet(pa, kind);
+        if outcome.l2_ref {
+            self.pic.record_l2(outcome.l2_hit);
+        }
+        outcome
+    }
+
+    /// [`access`](Self::access) without the PIC update. The run-level
+    /// machine path accumulates E-cache refs/hits across a whole run and
+    /// records them in one [`Pic::record_l2_bulk`] call; the final counter
+    /// values are identical because the PIC is a pure event counter.
+    pub fn access_quiet(&mut self, pa: u64, kind: HierAccess) -> AccessOutcome {
+        let pline1 = pa >> self.l1_shift;
+        let pline2 = pa >> self.l2_shift;
         match kind {
             HierAccess::Read => self.read_like(pline1, pline2, false),
             HierAccess::Fetch => self.read_like(pline1, pline2, true),
@@ -95,8 +109,16 @@ impl CpuCache {
     }
 
     fn read_like(&mut self, pline1: u64, pline2: u64, fetch: bool) -> AccessOutcome {
+        // Fused L1 probe-plus-fill (read allocate; a displaced L1 line is
+        // clean under write-through and simply dropped). Filling before
+        // the L2 step is equivalent to the textbook fill-after order: the
+        // only L1 work the L2 step can do is inclusion-invalidation of
+        // the *evicted* L2 line's sublines, which never cover this line —
+        // and if the displaced L1 line is among them, both orders leave
+        // the set holding exactly the new line.
         let l1 = if fetch { &mut self.l1i } else { &mut self.l1d };
-        if l1.probe(pline1) {
+        let (l1_hit, _) = l1.probe_or_fill(pline1, false);
+        if l1_hit {
             return AccessOutcome {
                 l1_hit: true,
                 l2_ref: false,
@@ -104,21 +126,13 @@ impl CpuCache {
                 change: L2Change::default(),
             };
         }
-        let l2_hit = self.l2.probe(pline2);
-        self.pic.record_l2(l2_hit);
+        let (l2_hit, evicted) = self.l2.probe_or_fill(pline2, false);
         let mut change = L2Change::default();
         if !l2_hit {
-            let evicted = self.l2.insert(pline2, false);
             if let Some(ev) = evicted {
                 self.enforce_inclusion(ev.pline);
             }
             change = L2Change { filled: Some(pline2), evicted };
-        }
-        // Allocate in the L1 (read allocate); evicted L1 lines are clean
-        // (write-through) and simply dropped.
-        let l1 = if fetch { &mut self.l1i } else { &mut self.l1d };
-        if !l1.contains(pline1) {
-            l1.insert(pline1, false);
         }
         AccessOutcome { l1_hit: false, l2_ref: true, l2_hit, change }
     }
@@ -127,14 +141,11 @@ impl CpuCache {
         // Write-through L1: update in place if present (stays clean), no
         // allocation on a write miss.
         let l1_hit = self.l1d.probe(pline1);
-        // The store always references the E-cache.
-        let l2_hit = self.l2.probe(pline2);
-        self.pic.record_l2(l2_hit);
+        // The store always references the E-cache: a hit marks the line
+        // dirty, a miss write-allocates it dirty.
+        let (l2_hit, evicted) = self.l2.probe_or_fill(pline2, true);
         let mut change = L2Change::default();
-        if l2_hit {
-            self.l2.mark_dirty(pline2);
-        } else {
-            let evicted = self.l2.insert(pline2, true);
+        if !l2_hit {
             if let Some(ev) = evicted {
                 self.enforce_inclusion(ev.pline);
             }
@@ -145,8 +156,8 @@ impl CpuCache {
 
     /// Invalidates the L1 lines covered by an evicted/invalidated L2 line.
     fn enforce_inclusion(&mut self, pline2: u64) {
-        let sublines = self.l2_line / self.l1_line;
-        let first = pline2 * sublines;
+        let sublines = 1u64 << (self.l2_shift - self.l1_shift);
+        let first = pline2 << (self.l2_shift - self.l1_shift);
         for pl1 in first..first + sublines {
             self.l1d.invalidate(pl1);
             self.l1i.invalidate(pl1);

@@ -31,7 +31,7 @@
 //! use locality_sim::{Machine, MachineConfig, AccessKind};
 //! use locality_core::ThreadId;
 //!
-//! let mut m = Machine::new(MachineConfig::ultra1());
+//! let mut m = Machine::try_new(MachineConfig::ultra1())?;
 //! let t = ThreadId(1);
 //! m.set_running(0, Some(t));
 //! let buf = m.alloc(4096, 64);
@@ -41,6 +41,7 @@
 //! }
 //! assert_eq!(m.l2_footprint_lines(0, t), 64); // 4096 B / 64 B lines
 //! assert_eq!(m.pic(0).misses(), 64);          // all compulsory misses
+//! # Ok::<(), locality_sim::SimError>(())
 //! ```
 
 #![forbid(unsafe_code)]

@@ -9,7 +9,7 @@ use crate::counters::{Pic, PicDelta};
 use crate::error::SimError;
 use crate::faults::{FaultConfig, FaultInjector};
 use crate::footprint::FootprintScratch;
-use crate::hierarchy::{CpuCache, HierAccess};
+use crate::hierarchy::{AccessOutcome, CpuCache, HierAccess};
 use crate::paging::PageTable;
 use crate::regions::RegionTable;
 use crate::stats::{CpuStats, ThreadStats};
@@ -74,22 +74,15 @@ pub struct Machine {
     cml: Option<Vec<Cml>>,
     /// Installed counter-fault injector (see [`crate::faults`]).
     faults: Option<FaultInjector>,
+    /// `log2` of the E-cache line size (validated power of two), cached so
+    /// the access path shifts instead of dividing.
+    l2_shift: u32,
 }
 
 impl Machine {
-    /// Builds the machine.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the configuration is invalid or has more than 64
-    /// processors (the coherence directory uses a 64-bit holder mask).
-    /// Use [`try_new`](Self::try_new) where a typed error is preferred.
-    pub fn new(config: MachineConfig) -> Self {
-        Self::try_new(config).expect("invalid machine configuration")
-    }
-
     /// Builds the machine, returning a typed error on an invalid
-    /// configuration instead of panicking.
+    /// configuration. (The old panicking `Machine::new` constructor is
+    /// gone; every caller now handles the `SimError`.)
     pub fn try_new(config: MachineConfig) -> Result<Self, SimError> {
         config.validate()?;
         if config.cpus > 64 {
@@ -100,6 +93,7 @@ impl Machine {
         let page_table =
             PageTable::new(config.page_bytes, config.l2_page_bins(), config.placement.clone());
         Ok(Machine {
+            l2_shift: config.hierarchy.l2.line_bytes.trailing_zeros(),
             cpu_stats: vec![CpuStats::default(); config.cpus],
             thread_stats: Vec::new(),
             retired_stats: HashMap::new(),
@@ -216,9 +210,11 @@ impl Machine {
     /// Binds `tid` to a statistics slot, zeroing a recycled slot's
     /// entry (and restoring cold stats if the thread was retired).
     fn stats_slot(&mut self, tid: ThreadId) -> usize {
-        let fresh = self.slots.lookup(tid).is_none();
+        if let Some(slot) = self.slots.lookup_cached(tid) {
+            return slot.index();
+        }
         let index = self.slots.bind(tid).index();
-        if fresh {
+        {
             if index >= self.thread_stats.len() {
                 self.thread_stats.resize(index + 1, ThreadStats::default());
             }
@@ -246,8 +242,7 @@ impl Machine {
             tracer.record(cpu, kind, va);
         }
         let pa = self.page_table.translate(va);
-        let l2_line = self.config.hierarchy.l2.line_bytes;
-        let pline2 = pa.0 / l2_line;
+        let pline2 = pa.0 >> self.l2_shift;
 
         // Check for remote holders before the local fill updates the
         // directory (this decides the E5000's 50-vs-80-cycle split).
@@ -334,10 +329,199 @@ impl Machine {
         }
         if outcome.l2_ref && !outcome.l2_hit {
             if let Some(devices) = &mut self.cml {
-                devices[cpu].record(va.page(self.config.page_bytes));
+                devices[cpu].record(va.0 >> self.page_table.page_shift());
             }
         }
         cycles
+    }
+
+    /// Performs a reference **run** — `count` accesses at `base`,
+    /// `base + stride`, `base + 2·stride`, … — on `cpu` and returns the
+    /// total cost in cycles.
+    ///
+    /// Observationally **byte-identical** to the equivalent per-address
+    /// loop of [`access`](Self::access): every element still probes the
+    /// cache tags in order (so LRU state, evictions, coherence, the CML,
+    /// and the trace evolve exactly as in the scalar path), but the run
+    /// pays for its bookkeeping once — page translation is cached per
+    /// page the run touches, PIC updates are batched into a single
+    /// [`Pic::record_l2_bulk`](crate::Pic) call, and per-cpu/per-thread
+    /// statistics are accumulated in registers and flushed once at the
+    /// end. A whole-line run (`stride` = L2 line size) therefore costs
+    /// exactly one tag probe per line plus O(1) overhead.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cpu` is out of range.
+    pub fn access_run(
+        &mut self,
+        cpu: usize,
+        base: VAddr,
+        stride: u64,
+        count: u64,
+        kind: AccessKind,
+    ) -> u64 {
+        if count == 0 {
+            return 0;
+        }
+        if let Some(tracer) = &mut self.tracer {
+            for i in 0..count {
+                tracer.record(cpu, kind, base.offset(i * stride));
+            }
+        }
+        let lat = self.config.latencies;
+        let hier: HierAccess = kind.into();
+        let is_write = kind == AccessKind::Write;
+        let me = 1u64 << cpu;
+        let page_shift = self.page_table.page_shift();
+        let page_mask = self.page_table.page_mask();
+        let l2_shift = self.l2_shift;
+
+        // Split borrows: the element loop touches the caches, directory,
+        // translation, CML, and (on invalidations) other cpus' stats.
+        let Machine {
+            cpus, page_table, directory, cml, cpu_stats, running_slot, thread_stats, ..
+        } = self;
+        let cpu_count = cpus.len();
+        let mut cml_dev = cml.as_mut().map(|devices| &mut devices[cpu]);
+
+        let mut cycles_total = 0u64;
+        let mut l1_misses = 0u64;
+        let mut l2_refs = 0u64;
+        let mut l2_hits = 0u64;
+        let mut l2_misses_remote = 0u64;
+
+        // One probe-plus-bookkeeping step, shared by the read and write
+        // loops below. Inlined so the per-element state stays in
+        // registers; the directory is only consulted on an L2 miss
+        // (remote-miss classification) — reading it *after* the probe is
+        // equivalent to reading it before, because the access itself
+        // cannot change `pline2`'s holders: the eviction touches the
+        // *displaced* line, and the fill (which adds this cpu) is applied
+        // after the read.
+        #[inline(always)]
+        fn run_element(
+            cache: &mut CpuCache,
+            directory: &mut Vec<u64>,
+            pa: u64,
+            l2_shift: u32,
+            hier: HierAccess,
+            me: u64,
+        ) -> (AccessOutcome, bool) {
+            let pline2 = pa >> l2_shift;
+            let outcome = cache.access_quiet(pa, hier);
+            let remote = outcome.l2_ref
+                && !outcome.l2_hit
+                && (directory.get(pline2 as usize).copied().unwrap_or(0) & !me) != 0;
+            if let Some(ev) = outcome.change.evicted {
+                if let Some(mask) = directory.get_mut(ev.pline as usize) {
+                    *mask &= !me;
+                }
+            }
+            if let Some(fill) = outcome.change.filled {
+                let index = fill as usize;
+                if index >= directory.len() {
+                    directory.resize(index + 1, 0);
+                }
+                directory[index] |= me;
+            }
+            (outcome, remote)
+        }
+
+        // One translation per page the run touches.
+        let mut cur_vpn = u64::MAX;
+        let mut frame_base = 0u64;
+        macro_rules! element_loop {
+            (|$va:ident, $pa:ident| $probe:expr) => {
+                for i in 0..count {
+                    let $va = base.0 + i * stride;
+                    let vpn = $va >> page_shift;
+                    if vpn != cur_vpn {
+                        frame_base = page_table.frame_of(vpn) << page_shift;
+                        cur_vpn = vpn;
+                    }
+                    let $pa = frame_base | ($va & page_mask);
+                    let (outcome, remote) = $probe;
+                    cycles_total += if outcome.l1_hit {
+                        lat.l1_hit
+                    } else if outcome.l2_hit {
+                        lat.l2_hit
+                    } else if remote {
+                        lat.l2_miss_remote
+                    } else {
+                        lat.l2_miss
+                    };
+                    if !outcome.l1_hit {
+                        l1_misses += 1;
+                    }
+                    if outcome.l2_ref {
+                        l2_refs += 1;
+                        if outcome.l2_hit {
+                            l2_hits += 1;
+                        } else {
+                            if remote {
+                                l2_misses_remote += 1;
+                            }
+                            if let Some(dev) = cml_dev.as_mut() {
+                                dev.record($va >> page_shift);
+                            }
+                        }
+                    }
+                }
+            };
+        }
+        if is_write {
+            element_loop!(|va, pa| {
+                let out = run_element(&mut cpus[cpu], directory, pa, l2_shift, hier, me);
+                let pline2 = pa >> l2_shift;
+                let holders = directory.get(pline2 as usize).copied().unwrap_or(0) & !me;
+                if holders != 0 {
+                    for other in 0..cpu_count {
+                        if holders & (1 << other) != 0 {
+                            cpus[other].invalidate_line(pline2);
+                            cpu_stats[other].invalidations += 1;
+                            if let Some(mask) = directory.get_mut(pline2 as usize) {
+                                *mask &= !(1u64 << other);
+                            }
+                        }
+                    }
+                }
+                out
+            });
+        } else {
+            // Reads never invalidate other cpus, so the cache borrow can
+            // be hoisted out of the loop (no per-element slice index).
+            let cache = &mut cpus[cpu];
+            element_loop!(|va, pa| run_element(cache, directory, pa, l2_shift, hier, me));
+        }
+
+        // PIC and statistics updated once per run.
+        cpus[cpu].pic_mut().record_l2_bulk(l2_refs, l2_hits);
+        let l2_misses = l2_refs - l2_hits;
+        let cs = &mut cpu_stats[cpu];
+        cs.instructions += count;
+        cs.mem_cycles += cycles_total;
+        if kind == AccessKind::Fetch {
+            cs.l1i_refs += count;
+            cs.l1i_misses += l1_misses;
+        } else {
+            cs.l1d_refs += count;
+            cs.l1d_misses += l1_misses;
+        }
+        cs.l2_refs += l2_refs;
+        cs.l2_hits += l2_hits;
+        cs.l2_misses += l2_misses;
+        cs.l2_misses_remote += l2_misses_remote;
+        let slot = running_slot[cpu];
+        if slot != IDLE_SLOT {
+            let ts = &mut thread_stats[slot as usize];
+            ts.accesses += count;
+            ts.instructions += count;
+            ts.mem_cycles += cycles_total;
+            ts.l2_refs += l2_refs;
+            ts.l2_misses += l2_misses;
+        }
+        cycles_total
     }
 
     /// Holder mask of a physical line (0 = not cached anywhere).
@@ -556,7 +740,7 @@ mod tests {
 
     #[test]
     fn sequential_walk_costs_and_counts() {
-        let mut m = Machine::new(MachineConfig::ultra1());
+        let mut m = Machine::try_new(MachineConfig::ultra1()).unwrap();
         m.set_running(0, Some(t(1)));
         let buf = m.alloc(64 * 64, 64);
         let mut cycles = 0;
@@ -579,7 +763,7 @@ mod tests {
 
     #[test]
     fn footprint_ground_truth() {
-        let mut m = Machine::new(MachineConfig::ultra1());
+        let mut m = Machine::try_new(MachineConfig::ultra1()).unwrap();
         m.set_running(0, Some(t(1)));
         let a = m.alloc(4096, 64);
         let b = m.alloc(4096, 64);
@@ -597,7 +781,7 @@ mod tests {
 
     #[test]
     fn shared_lines_count_for_both_threads() {
-        let mut m = Machine::new(MachineConfig::ultra1());
+        let mut m = Machine::try_new(MachineConfig::ultra1()).unwrap();
         m.set_running(0, Some(t(1)));
         let a = m.alloc(1024, 64);
         m.register_region(t(1), a, 1024);
@@ -611,7 +795,7 @@ mod tests {
 
     #[test]
     fn remote_miss_costs_more_on_e5000() {
-        let mut m = Machine::new(MachineConfig::enterprise5000(2));
+        let mut m = Machine::try_new(MachineConfig::enterprise5000(2)).unwrap();
         let a = m.alloc(64, 64);
         let c0 = m.access(0, a, AccessKind::Read);
         assert_eq!(c0, 50, "clean miss");
@@ -622,7 +806,7 @@ mod tests {
 
     #[test]
     fn write_invalidates_other_copies() {
-        let mut m = Machine::new(MachineConfig::enterprise5000(2));
+        let mut m = Machine::try_new(MachineConfig::enterprise5000(2)).unwrap();
         let a = m.alloc(64, 64);
         m.access(0, a, AccessKind::Read);
         m.access(1, a, AccessKind::Read);
@@ -636,7 +820,7 @@ mod tests {
 
     #[test]
     fn invalidation_shrinks_footprint() {
-        let mut m = Machine::new(MachineConfig::enterprise5000(2));
+        let mut m = Machine::try_new(MachineConfig::enterprise5000(2)).unwrap();
         let a = m.alloc(64 * 8, 64);
         m.register_region(t(1), a, 64 * 8);
         for i in 0..8u64 {
@@ -652,7 +836,7 @@ mod tests {
 
     #[test]
     fn flush_cpu_clears_footprints_and_directory() {
-        let mut m = Machine::new(MachineConfig::enterprise5000(2));
+        let mut m = Machine::try_new(MachineConfig::enterprise5000(2)).unwrap();
         let a = m.alloc(4096, 64);
         m.register_region(t(1), a, 4096);
         for i in (0..4096u64).step_by(64) {
@@ -667,7 +851,7 @@ mod tests {
 
     #[test]
     fn note_instructions_feeds_mpi() {
-        let mut m = Machine::new(MachineConfig::ultra1());
+        let mut m = Machine::try_new(MachineConfig::ultra1()).unwrap();
         m.set_running(0, Some(t(1)));
         let a = m.alloc(64, 64);
         m.access(0, a, AccessKind::Read);
@@ -681,7 +865,7 @@ mod tests {
     fn capacity_eviction_updates_directory() {
         // Two lines that conflict in the direct-mapped L2: after the
         // second fill, the first is no longer charged as remote elsewhere.
-        let mut m = Machine::new(MachineConfig::enterprise5000(2));
+        let mut m = Machine::try_new(MachineConfig::enterprise5000(2)).unwrap();
         let a = m.alloc(64, 64);
         let b = VAddr(a.0 + 512 * 1024); // same L2 index after translation?
                                          // Use page-coloring to be sure of conflict: translate both and
@@ -701,7 +885,7 @@ mod tests {
 
     #[test]
     fn tracing_records_and_replays_identically() {
-        let mut m = Machine::new(MachineConfig::ultra1());
+        let mut m = Machine::try_new(MachineConfig::ultra1()).unwrap();
         m.start_tracing();
         let a = m.alloc(4096, 64);
         for i in (0..4096u64).step_by(64) {
@@ -711,7 +895,7 @@ mod tests {
         let trace = m.take_trace().expect("tracing was on");
         assert_eq!(trace.len(), 65);
         // Replaying on a fresh identical machine reproduces the stats.
-        let mut fresh = Machine::new(MachineConfig::ultra1());
+        let mut fresh = Machine::try_new(MachineConfig::ultra1()).unwrap();
         // The fresh machine must see the same virtual addresses; alloc
         // the same block first so translation state matches.
         let b = fresh.alloc(4096, 64);
@@ -723,7 +907,7 @@ mod tests {
 
     #[test]
     fn cml_observes_miss_pages() {
-        let mut m = Machine::new(MachineConfig::ultra1());
+        let mut m = Machine::try_new(MachineConfig::ultra1()).unwrap();
         m.enable_cml(128);
         let a = m.alloc(3 * 8192, 8192); // three pages
         for page in 0..3u64 {
@@ -736,7 +920,7 @@ mod tests {
         assert!(drained.iter().all(|e| e.count == 1));
         assert!(m.cml_drain(0).is_empty());
         // Without a device, drain is empty.
-        let mut plain = Machine::new(MachineConfig::ultra1());
+        let mut plain = Machine::try_new(MachineConfig::ultra1()).unwrap();
         assert!(plain.cml_drain(0).is_empty());
     }
 
@@ -753,7 +937,7 @@ mod tests {
 
     #[test]
     fn take_interval_checks_cpu_and_user_access() {
-        let mut m = Machine::new(MachineConfig::ultra1());
+        let mut m = Machine::try_new(MachineConfig::ultra1()).unwrap();
         assert!(matches!(m.pic_take_interval(5), Err(SimError::BadCpu { cpu: 5, cpus: 1 })));
         let a = m.alloc(64, 64);
         m.access(0, a, AccessKind::Read);
@@ -767,7 +951,7 @@ mod tests {
     #[test]
     fn installed_fault_perturbs_reads() {
         use crate::faults::{FaultConfig, FaultKind, WRAP_ARTIFACT_THRESHOLD};
-        let mut m = Machine::new(MachineConfig::ultra1());
+        let mut m = Machine::try_new(MachineConfig::ultra1()).unwrap();
         m.install_fault(FaultConfig::always(FaultKind::Wraparound, 11));
         let a = m.alloc(4096, 64);
         for i in (0..4096u64).step_by(64) {
@@ -785,7 +969,7 @@ mod tests {
     #[test]
     fn trap_fault_leaves_interval_accumulating() {
         use crate::faults::{FaultConfig, FaultKind};
-        let mut m = Machine::new(MachineConfig::ultra1());
+        let mut m = Machine::try_new(MachineConfig::ultra1()).unwrap();
         // Trap for the first two reads, then recover.
         m.install_fault(FaultConfig::windowed(FaultKind::TrapOnRead, 1, 0, 2));
         let a = m.alloc(64 * 8, 64);
@@ -800,7 +984,7 @@ mod tests {
 
     #[test]
     fn retired_stats_survive_slot_recycling() {
-        let mut m = Machine::new(MachineConfig::ultra1());
+        let mut m = Machine::try_new(MachineConfig::ultra1()).unwrap();
         m.set_running(0, Some(t(1)));
         let a = m.alloc(64 * 8, 64);
         for i in 0..8u64 {
@@ -819,7 +1003,7 @@ mod tests {
 
     #[test]
     fn retire_while_running_goes_idle() {
-        let mut m = Machine::new(MachineConfig::ultra1());
+        let mut m = Machine::try_new(MachineConfig::ultra1()).unwrap();
         m.set_running(0, Some(t(1)));
         let a = m.alloc(64, 64);
         m.access(0, a, AccessKind::Read);
@@ -832,7 +1016,7 @@ mod tests {
     #[test]
     fn footprint_scratch_agrees_with_map_variant() {
         use crate::footprint::FootprintScratch;
-        let mut m = Machine::new(MachineConfig::ultra1());
+        let mut m = Machine::try_new(MachineConfig::ultra1()).unwrap();
         m.set_running(0, Some(t(1)));
         let a = m.alloc(4096, 64);
         m.register_region(t(1), a, 4096);
@@ -855,7 +1039,7 @@ mod tests {
 
     #[test]
     fn total_counters() {
-        let mut m = Machine::new(MachineConfig::enterprise5000(2));
+        let mut m = Machine::try_new(MachineConfig::enterprise5000(2)).unwrap();
         let a = m.alloc(128, 64);
         m.access(0, a, AccessKind::Read);
         m.access(1, a.offset(64), AccessKind::Read);

@@ -61,8 +61,14 @@ impl PagePlacement {
 #[derive(Debug, Clone)]
 pub struct PageTable {
     page_bytes: u64,
+    /// `log2(page_bytes)` / `page_bytes − 1`: page sizes are powers of
+    /// two, so page-number/offset splits are shift/mask on the hot path.
+    page_shift: u32,
+    page_mask: u64,
     /// Number of page-sized bins in the (physically indexed) L2.
     bins: u64,
+    /// `bins − 1` (bin counts are powers of two).
+    bin_mask: u64,
     policy: PagePlacement,
     /// Flat `vpn -> frame` table ([`UNMAPPED`] = never touched). The
     /// simulated allocator hands out dense low virtual addresses, so a
@@ -88,16 +94,25 @@ impl PageTable {
     ///
     /// # Panics
     ///
-    /// Panics if `bins == 0` or `page_bytes == 0`.
+    /// Panics if `bins` or `page_bytes` is zero or not a power of two
+    /// (both derive from validated machine geometry, which only admits
+    /// power-of-two sizes; the table exploits that for shift/mask
+    /// translation on the access path).
     pub fn new(page_bytes: u64, bins: u64, policy: PagePlacement) -> Self {
-        assert!(page_bytes > 0 && bins > 0, "page size and bin count must be non-zero");
+        assert!(
+            page_bytes.is_power_of_two() && bins.is_power_of_two(),
+            "page size and bin count must be non-zero powers of two"
+        );
         let rng = match policy {
             PagePlacement::Arbitrary { seed } => seed.max(1),
             _ => 1,
         };
         PageTable {
             page_bytes,
+            page_shift: page_bytes.trailing_zeros(),
+            page_mask: page_bytes - 1,
             bins,
+            bin_mask: bins - 1,
             policy,
             vpn_to_frame: Vec::new(),
             frame_to_vpn: Vec::new(),
@@ -129,11 +144,11 @@ impl PageTable {
 
     fn allocate_frame(&mut self, vpn: u64) -> u64 {
         let bin = match self.policy {
-            PagePlacement::Arbitrary { .. } => self.xorshift() % self.bins,
-            PagePlacement::PageColoring => vpn % self.bins,
+            PagePlacement::Arbitrary { .. } => self.xorshift() & self.bin_mask,
+            PagePlacement::PageColoring => vpn & self.bin_mask,
             PagePlacement::BinHopping => {
                 let b = self.next_bin;
-                self.next_bin = (self.next_bin + 1) % self.bins;
+                self.next_bin = (self.next_bin + 1) & self.bin_mask;
                 b
             }
         };
@@ -145,9 +160,19 @@ impl PageTable {
     }
 
     /// Translates a virtual address, faulting a frame in if needed.
+    #[inline]
     pub fn translate(&mut self, va: VAddr) -> PAddr {
-        let vpn = va.page(self.page_bytes);
-        let frame = match self.vpn_to_frame.get(vpn as usize) {
+        let vpn = va.0 >> self.page_shift;
+        let frame = self.frame_of(vpn);
+        PAddr((frame << self.page_shift) | (va.0 & self.page_mask))
+    }
+
+    /// The frame holding virtual page `vpn`, faulting it in if needed.
+    /// The run-access path caches the result per page so a whole run pays
+    /// one translation per page it touches.
+    #[inline]
+    pub fn frame_of(&mut self, vpn: u64) -> u64 {
+        match self.vpn_to_frame.get(vpn as usize) {
             Some(&f) if f != UNMAPPED => f,
             _ => {
                 let f = self.allocate_frame(vpn);
@@ -155,8 +180,19 @@ impl PageTable {
                 Self::set(&mut self.frame_to_vpn, f, vpn);
                 f
             }
-        };
-        PAddr(frame * self.page_bytes + va.page_offset(self.page_bytes))
+        }
+    }
+
+    /// `log2(page_bytes)` (pages are powers of two).
+    #[inline]
+    pub fn page_shift(&self) -> u32 {
+        self.page_shift
+    }
+
+    /// `page_bytes − 1`, the in-page offset mask.
+    #[inline]
+    pub fn page_mask(&self) -> u64 {
+        self.page_mask
     }
 
     fn set(table: &mut Vec<u64>, key: u64, value: u64) {
@@ -176,17 +212,17 @@ impl PageTable {
 
     /// Translates without faulting; `None` if the page was never touched.
     pub fn translate_existing(&self, va: VAddr) -> Option<PAddr> {
-        let vpn = va.page(self.page_bytes);
+        let vpn = va.0 >> self.page_shift;
         Self::get(&self.vpn_to_frame, vpn)
-            .map(|f| PAddr(f * self.page_bytes + va.page_offset(self.page_bytes)))
+            .map(|f| PAddr((f << self.page_shift) | (va.0 & self.page_mask)))
     }
 
     /// Inverse translation of a physical address (for footprint ground
     /// truth); `None` for frames the table never allocated.
     pub fn reverse(&self, pa: PAddr) -> Option<VAddr> {
-        let frame = pa.0 / self.page_bytes;
+        let frame = pa.0 >> self.page_shift;
         Self::get(&self.frame_to_vpn, frame)
-            .map(|vpn| VAddr(vpn * self.page_bytes + pa.0 % self.page_bytes))
+            .map(|vpn| VAddr((vpn << self.page_shift) | (pa.0 & self.page_mask)))
     }
 }
 

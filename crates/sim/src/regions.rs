@@ -48,13 +48,27 @@ impl RegionTable {
         }
         let (s, e) = (start.0, start.0 + bytes);
 
-        // If a segment begins before `s` and spills into the range, split it.
-        if let Some((&ss, seg)) = self.segments.range(..s).next_back() {
-            if seg.end > s {
-                let tail = Segment { end: seg.end, owners: seg.owners.clone() };
-                self.segments.get_mut(&ss).expect("segment exists").end = s;
-                self.segments.insert(s, tail);
+        // Fast path: periodic workloads re-register the same region every
+        // batch. If one existing segment covers the range exactly and
+        // already lists `tid`, the general walk below would be a no-op.
+        if let Some(seg) = self.segments.get(&s) {
+            if seg.end == e && seg.owners.binary_search(&tid).is_ok() {
+                return;
             }
+        }
+
+        // If a segment begins before `s` and spills into the range, split
+        // it: truncate in place through the mutable range cursor, then
+        // insert the split-off tail once that borrow ends.
+        let mut spill_tail = None;
+        if let Some((_, seg)) = self.segments.range_mut(..s).next_back() {
+            if seg.end > s {
+                spill_tail = Some(Segment { end: seg.end, owners: seg.owners.clone() });
+                seg.end = s;
+            }
+        }
+        if let Some(tail) = spill_tail {
+            self.segments.insert(s, tail);
         }
         // Walk segments starting in [s, e); fill gaps and tag overlaps.
         let mut cursor = s;
@@ -68,16 +82,22 @@ impl RegionTable {
                 }
                 Some((ss, se)) => {
                     debug_assert_eq!(ss, cursor);
-                    if se > e {
-                        // Split off the part past the range.
-                        let seg = self.segments.get_mut(&ss).expect("segment exists");
-                        let owners = seg.owners.clone();
-                        seg.end = e;
-                        self.segments.insert(e, Segment { end: se, owners });
+                    // `ss` was just read out of the map, so the lookup
+                    // succeeds; structured as `if let` so a (impossible)
+                    // miss degrades to a no-op instead of a panic.
+                    let mut past_tail = None;
+                    if let Some(seg) = self.segments.get_mut(&ss) {
+                        if se > e {
+                            // Split off the part past the range.
+                            past_tail = Some(Segment { end: se, owners: seg.owners.clone() });
+                            seg.end = e;
+                        }
+                        if let Err(pos) = seg.owners.binary_search(&tid) {
+                            seg.owners.insert(pos, tid);
+                        }
                     }
-                    let seg = self.segments.get_mut(&ss).expect("segment exists");
-                    if let Err(pos) = seg.owners.binary_search(&tid) {
-                        seg.owners.insert(pos, tid);
+                    if let Some(tail) = past_tail {
+                        self.segments.insert(e, tail);
                     }
                     cursor = se.min(e);
                 }

@@ -156,8 +156,8 @@ mod tests {
     #[test]
     fn replay_reproduces_machine_state() {
         let t = sample_trace();
-        let mut a = Machine::new(MachineConfig::enterprise5000(2));
-        let mut b = Machine::new(MachineConfig::enterprise5000(2));
+        let mut a = Machine::try_new(MachineConfig::enterprise5000(2)).unwrap();
+        let mut b = Machine::try_new(MachineConfig::enterprise5000(2)).unwrap();
         let ca = t.replay(&mut a);
         let cb = t.replay(&mut b);
         assert_eq!(ca, cb);
@@ -200,9 +200,10 @@ mod tests {
         for i in 0..2000u64 {
             t.record(0, AccessKind::Read, VAddr(0x10000 + (i % 700) * 8192));
         }
-        let mut careful = Machine::new(MachineConfig::ultra1());
+        let mut careful = Machine::try_new(MachineConfig::ultra1()).unwrap();
         let mut naive =
-            Machine::new(MachineConfig::ultra1().with_placement(PagePlacement::arbitrary()));
+            Machine::try_new(MachineConfig::ultra1().with_placement(PagePlacement::arbitrary()))
+                .unwrap();
         t.replay(&mut careful);
         t.replay(&mut naive);
         assert_eq!(careful.cpu_stats(0).l1d_refs, naive.cpu_stats(0).l1d_refs);

@@ -145,7 +145,7 @@ impl Engine {
         config: EngineConfig,
     ) -> Result<Self, RuntimeError> {
         let sched = sched::build(policy, machine.l2_lines(), machine.cpus)?;
-        Ok(Engine::with_scheduler(machine, sched, config))
+        Engine::with_scheduler(machine, sched, config)
     }
 }
 
@@ -155,14 +155,26 @@ impl<S: Scheduler> Engine<S> {
     /// dispatch of the default `Box<dyn Scheduler>` engine — the fast
     /// path for benchmarks and embedded uses that know their policy at
     /// compile time.
-    pub fn with_scheduler(machine: MachineConfig, sched: S, config: EngineConfig) -> Self {
-        let mut machine = Machine::new(machine);
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::InvalidMachine`] when the machine
+    /// description itself is invalid (bad cache geometry, zero
+    /// processors); scheduler-specific requirements are the caller's
+    /// problem here, since the scheduler arrives already built.
+    pub fn with_scheduler(
+        machine: MachineConfig,
+        sched: S,
+        config: EngineConfig,
+    ) -> Result<Self, RuntimeError> {
+        let mut machine = Machine::try_new(machine)
+            .map_err(|e| RuntimeError::InvalidMachine { what: e.to_string() })?;
         let cpus = machine.cpu_count();
         let inference = config.infer_sharing.map(|cfg| {
             machine.enable_cml(cfg.cml_entries);
             SharingInference::new(cfg)
         });
-        Engine {
+        Ok(Engine {
             inference,
             machine,
             config,
@@ -188,7 +200,7 @@ impl<S: Scheduler> Engine<S> {
             switches: 0,
             corrected_intervals: 0,
             steps: 0,
-        }
+        })
     }
 
     /// The simulated machine (ground truth, allocation, regions).
@@ -245,7 +257,7 @@ impl<S: Scheduler> Engine<S> {
     /// instead of panicking when the runtime's tables are inconsistent.
     fn tcb_mut(&mut self, tid: ThreadId) -> Result<&mut Tcb, RuntimeError> {
         self.slots
-            .lookup(tid)
+            .lookup_cached(tid)
             .and_then(|slot| self.tcbs[slot.index()].as_mut())
             .ok_or(RuntimeError::UnknownThread { thread: tid })
     }
@@ -492,7 +504,7 @@ impl<S: Scheduler> Engine<S> {
         let mut program = {
             let tcb = self.tcb_mut(tid)?;
             tcb.batches += 1;
-            tcb.program.take().ok_or(RuntimeError::Internal {
+            tcb.program.take().ok_or_else(|| RuntimeError::Internal {
                 what: format!("{tid} stepped while its program was checked out"),
             })?
         };

@@ -110,7 +110,7 @@ mod tests {
             clock: 100,
             switch_index: 0,
         };
-        let machine = Machine::new(locality_sim::MachineConfig::ultra1());
+        let machine = Machine::try_new(locality_sim::MachineConfig::ultra1()).unwrap();
         let sched = crate::sched::FcfsScheduler::new();
         let view = EngineView { machine: &machine, sched: &sched };
         h.on_context_switch(&ev, &view);

@@ -56,6 +56,45 @@ impl LineToucher {
             self.last_line = Some(line);
         }
     }
+
+    /// Reads every line covering `[start, start+bytes)` as one batched
+    /// run — byte-for-byte the accesses an ascending per-element
+    /// [`read`](Self::read) sweep over the span would issue (the first
+    /// line is deduplicated against the previous touch, later lines
+    /// cannot repeat because the sweep ascends).
+    pub fn read_span(&mut self, ctx: &mut BatchCtx<'_>, start: VAddr, bytes: u64) {
+        if let Some((first, count, last)) = self.span_lines(start, bytes) {
+            ctx.read_run_points(VAddr(first * LINE), LINE, count);
+            self.last_line = Some(last);
+        }
+    }
+
+    /// Writes every line covering `[start, start+bytes)` as one batched
+    /// run; see [`read_span`](Self::read_span).
+    pub fn write_span(&mut self, ctx: &mut BatchCtx<'_>, start: VAddr, bytes: u64) {
+        if let Some((first, count, last)) = self.span_lines(start, bytes) {
+            ctx.write_run_points(VAddr(first * LINE), LINE, count);
+            self.last_line = Some(last);
+        }
+    }
+
+    /// The `(first_line, count, last_line)` of the lines still to touch
+    /// for a span, after deduplicating the leading line; `None` if the
+    /// whole span collapses into the previously-touched line.
+    fn span_lines(&self, start: VAddr, bytes: u64) -> Option<(u64, u64, u64)> {
+        if bytes == 0 {
+            return None;
+        }
+        let mut first = start.0 / LINE;
+        let last = (start.0 + bytes - 1) / LINE;
+        if self.last_line == Some(first) {
+            if first == last {
+                return None;
+            }
+            first += 1;
+        }
+        Some((first, last - first + 1, last))
+    }
 }
 
 #[cfg(test)]

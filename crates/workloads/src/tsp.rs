@@ -245,10 +245,9 @@ impl TspTask {
         let mut cost = 0u64;
         let mut touch = LineToucher::new();
         for _ in 1..n {
-            // Scan the current row of our matrix for the cheapest edge.
-            for j in 0..n {
-                touch.read(ctx, self.matrix_addr.offset(((at * n + j) * 4) as u64));
-            }
+            // Scan the current row of our matrix for the cheapest edge —
+            // one batched run over the row's lines.
+            touch.read_span(ctx, self.matrix_addr.offset((at * n * 4) as u64), (n * 4) as u64);
             let next = (0..n)
                 .filter(|&j| !visited[j])
                 .min_by_key(|&j| dist[at * n + j])

@@ -14,7 +14,7 @@ use thread_locality::workloads::{merge, tasks, walk};
 fn machine_footprint_matches_model_for_random_walk() {
     // Drive the machine directly (no runtime): uniform random misses over
     // a huge region must follow the case-1 closed form.
-    let mut machine = Machine::new(MachineConfig::ultra1());
+    let mut machine = Machine::try_new(MachineConfig::ultra1()).unwrap();
     let tid = ThreadId(1);
     let lines = 8192u64 * 64;
     let region = machine.alloc(lines * 64, 64);
@@ -159,7 +159,7 @@ fn cross_cpu_invalidations_are_visible_to_ground_truth_only() {
     // Build footprint on cpu0, write from cpu1: ground truth shrinks, the
     // estimator (which ignores invalidations, paper §3.4) does not.
     use thread_locality::core::{EstimatorConfig, LocalityEstimator, PolicyKind, SharingGraph};
-    let mut machine = Machine::new(MachineConfig::enterprise5000(2));
+    let mut machine = Machine::try_new(MachineConfig::enterprise5000(2)).unwrap();
     let mut est = LocalityEstimator::new(EstimatorConfig::new(
         PolicyKind::Lff,
         ModelParams::new(8192).unwrap(),

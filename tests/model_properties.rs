@@ -125,3 +125,69 @@ proptest! {
         prop_assert!(g.is_empty());
     }
 }
+
+// Boundary cases the closed form and the memoized tables must agree on
+// exactly: zero misses (the identity transient), and the degenerate
+// sharing coefficients q = 0 (footprint only decays) and q = 1 (every
+// miss is a shared-state fill). Each test pins the boundary coordinate
+// and randomizes everything else.
+proptest! {
+    /// Zero misses change nothing, for every q, s0, and query route
+    /// (exact chain, closed form, memoized table).
+    #[test]
+    fn n_zero_is_identity(q in 0.0f64..=1.0, s0 in 0usize..=64) {
+        let params = ModelParams::new(64).unwrap();
+        let chain = DependentChain::new(params, q).unwrap();
+        prop_assert_eq!(chain.expected_after(s0, 0), s0 as f64);
+        let dist = chain.distribution_after(s0, 0);
+        prop_assert_eq!(dist[s0], 1.0);
+        prop_assert!((total_mass(&dist) - 1.0).abs() < 1e-12);
+        let model = FootprintModel::new(params);
+        prop_assert!((model.expected_dependent(q, s0 as f64, 0) - s0 as f64).abs() < 1e-12);
+        let table = chain.tabulate(256);
+        prop_assert!((table.expected_after(s0 as f64, 0) - s0 as f64).abs() < 1e-12);
+    }
+
+    /// At q = 0 and q = 1 the exact chain, the closed form, and the
+    /// memoized transient table agree for arbitrary (s0, n) — including
+    /// queries past the table's grid, which continue analytically.
+    #[test]
+    fn degenerate_q_routes_agree(
+        q_one in prop_oneof![Just(0.0f64), Just(1.0f64)],
+        s0 in 0usize..=64,
+        n in 0u64..1_000,
+    ) {
+        let params = ModelParams::new(64).unwrap();
+        let model = FootprintModel::new(params);
+        let chain = DependentChain::new(params, q_one).unwrap();
+        let exact = chain.expected_after(s0, n);
+        let closed = model.expected_dependent(q_one, s0 as f64, n);
+        prop_assert!((exact - closed).abs() < 1e-7,
+            "q={q_one} s0={s0} n={n}: exact {exact} vs closed {closed}");
+        // Table built shorter than the largest query: exercises both the
+        // interpolated and the extrapolated (n > n_max) paths. Off-grid
+        // queries interpolate the exponential transient linearly, so the
+        // table is only accurate to the grid spacing — hold it to a
+        // twentieth of a line, not float precision.
+        let table = chain.tabulate(128);
+        let tabulated = table.expected_after(s0 as f64, n);
+        prop_assert!((tabulated - closed).abs() < 5e-2,
+            "q={q_one} s0={s0} n={n}: table {tabulated} vs closed {closed}");
+    }
+
+    /// The hybrid eager/on-demand kⁿ table returns the same values as
+    /// the exact formula wherever the eager prefix ends.
+    #[test]
+    fn kpow_table_matches_formula(
+        entries in 1usize..512,
+        n in 0u64..2_048,
+    ) {
+        use thread_locality::core::tables::PrecomputedTables;
+        let params = ModelParams::new(512).unwrap();
+        let tables = PrecomputedTables::with_kpow_entries(params, entries);
+        let got = tables.k_pow(n);
+        let want = if (n as usize) < entries { params.k_pow(n) } else { 0.0 };
+        prop_assert!((got - want).abs() < 1e-12,
+            "entries={entries} n={n}: table {got} vs formula {want}");
+    }
+}

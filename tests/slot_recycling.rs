@@ -109,7 +109,7 @@ proptest! {
     fn machine_ownership_dies_with_the_thread(
         lifecycles in proptest::collection::vec((1u64..64, 1u64..32), 1..12),
     ) {
-        let mut m = Machine::new(MachineConfig::ultra1());
+        let mut m = Machine::try_new(MachineConfig::ultra1()).unwrap();
         let mut next_tid = 1u64;
         for &(lines, rounds) in &lifecycles {
             let t = ThreadId(next_tid);
