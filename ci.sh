@@ -27,6 +27,19 @@ GOLDEN="$PWD/results/golden_small.sha256"
 (cd "$SMOKE_OUT" && sha256sum -c "$GOLDEN")
 rm -rf "$SMOKE_OUT"
 
+# Geometry validation: the model-vs-simulator sweep across L2
+# geometries must run at small scale, and its CSV must be byte-identical
+# across --jobs values (the runner's determinism contract extends to the
+# new RunKind).
+GEOM_A=$(mktemp -d)
+GEOM_B=$(mktemp -d)
+cargo run --release -p locality-repro --bin geometry -- \
+    --scale small --jobs 1 --out "$GEOM_A"
+cargo run --release -p locality-repro --bin geometry -- \
+    --scale small --jobs 4 --out "$GEOM_B"
+cmp "$GEOM_A/geometry.csv" "$GEOM_B/geometry.csv"
+rm -rf "$GEOM_A" "$GEOM_B"
+
 # Thread-lifecycle chaos: every fault scenario must complete without
 # panic across all three policies (FCFS/LFF/CRT) and emit the churn
 # ablation table. Chaos cells never contaminate the golden artifacts —

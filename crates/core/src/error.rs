@@ -39,6 +39,12 @@ pub enum ModelError {
         /// The rejected fraction.
         frac: f64,
     },
+    /// A per-set estimator geometry was invalid: zero lines, ways, or
+    /// processors, or more ways than lines.
+    BadEstimatorGeometry {
+        /// Human-readable description of the rejected geometry.
+        reason: String,
+    },
     /// A self-edge `at_share(t, t, q)` was requested; a thread trivially
     /// shares all of its state with itself and such edges are rejected to
     /// keep the dependency graph meaningful.
@@ -65,6 +71,9 @@ impl fmt::Display for ModelError {
             }
             ModelError::NonFiniteFillFraction { frac } => {
                 write!(f, "fill fraction {frac} is not a number")
+            }
+            ModelError::BadEstimatorGeometry { reason } => {
+                write!(f, "bad estimator geometry: {reason}")
             }
             ModelError::SelfSharing { thread } => {
                 write!(f, "thread t{thread} cannot share state with itself")

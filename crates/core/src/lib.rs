@@ -73,16 +73,18 @@ pub mod flops;
 pub mod footprint;
 pub mod graph;
 pub mod markov;
+pub mod perset;
 pub mod priority;
 pub mod sanitizer;
 pub mod slots;
 pub mod tables;
 
 pub use error::ModelError;
-pub use estimator::{EstimatorConfig, LocalityEstimator};
+pub use estimator::{EstimatorConfig, FootprintEstimator, LocalityEstimator};
 pub use footprint::FootprintModel;
 pub use graph::SharingGraph;
 pub use params::ModelParams;
+pub use perset::{PerSetCase, PerSetEstimator};
 pub use priority::{FootprintEntry, PolicyKind, PrioritySchemes, PriorityUpdate};
 pub use sanitizer::{CounterSanitizer, SanitizedInterval, SanitizerConfig};
 pub use slots::{SlotId, ThreadSlots};

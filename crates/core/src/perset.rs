@@ -1,0 +1,432 @@
+//! A per-set occupancy generalization of the paper's birth–death chain
+//! to set-associative LRU caches.
+//!
+//! The paper's closed forms assume a direct-mapped cache: each of a
+//! blocking thread's misses lands in a uniformly random set and displaces
+//! whatever single line lives there, giving the per-miss survival factor
+//! `k = (N−1)/N`. With `W` ways per set and true-LRU replacement two
+//! things change: a miss displaces nothing while its set still has vacant
+//! ways, and when it does displace, the victim is the set's LRU way — so
+//! *whose* line dies depends on the age ordering of the set's occupants.
+//!
+//! The generalization therefore tracks one extra scalar alongside each
+//! thread's expected footprint `f`: the cache's total expected occupancy
+//! `T` (all threads' resident lines). Modelling ways as independently
+//! occupied with the population frequencies (`f/N` by the tracked thread,
+//! `(T−f)/N` by everyone else, `1 − T/N` vacant), the per-global-miss
+//! drifts are:
+//!
+//! * **total occupancy**: `T' = T + 1 − (T/N)^W` — a miss grows the cache
+//!   unless the chosen set was full.
+//! * **blocking** (the thread that misses): `f' = f + 1 − (T/N)^W · f/T`
+//!   — the inserted line is the blocker's; the evicted LRU way (when the
+//!   set is full) is the blocker's own with the age-uniform probability
+//!   `f/T`, since its lines are the ones being continuously refreshed.
+//! * **independent** (a sleeping, unrelated thread): `f' = f − ((T/N)^W −
+//!   ((T−f)/N)^W)` — the sleeper's lines are strictly the *oldest* in any
+//!   set they occupy, so it loses a line exactly when the chosen set is
+//!   full and holds at least one of its lines.
+//! * **dependent** (shares fraction `q > 0` of the blocker's region):
+//!   `f' = f + q − (T/N)^W · f/T` — reloads of the shared region insert
+//!   the sleeper's lines at rate `q`, and those lines age uniformly like
+//!   the blocker's (they are re-touched by the blocker), so eviction uses
+//!   the age-uniform form. Fixed point at full cache: `f* = qN`.
+//!
+//! At `W = 1` every eviction term collapses to `f/N` independently of
+//! `T`, so all three reduce exactly to the paper's direct-mapped
+//! recurrences (`f' = f + 1 − f/N`, `f' = f·k`, `f' = qN − (qN − f)·k`)
+//! and the estimator degenerates to the closed forms on the default
+//! geometry. Unlike [`LocalityEstimator`](crate::LocalityEstimator) the
+//! drifts have no log-space invariance to exploit, so updates are eager
+//! `O(tracked threads)` per interval — the price of generality, and
+//! exactly the cost Table 3 motivates avoiding for the common case.
+
+use crate::estimator::FootprintEstimator;
+use crate::graph::SharingGraph;
+use crate::priority::PriorityUpdate;
+use crate::{CpuId, ModelError, ThreadId};
+use std::collections::BTreeMap;
+
+/// Per-miss integration is chunked so one huge interval cannot stall a
+/// scheduling decision: beyond this many steps the drift is applied in
+/// equal-sized Euler super-steps (the drifts are smooth and contractive,
+/// so the coarsening error is far below the model error).
+const MAX_STEPS_PER_INTERVAL: u64 = 4096;
+
+/// Which drift applies to a tracked thread for one interval.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum PerSetCase {
+    /// The thread doing the missing (case 1).
+    Blocking,
+    /// An unrelated thread resident in the same cache (case 2).
+    Independent,
+    /// A thread sharing fraction `q ∈ (0, 1]` of its state (case 3).
+    Dependent(f64),
+}
+
+/// One per-global-miss Euler step of the per-set drifts (`h = 1` miss).
+///
+/// `f` is the tracked thread's expected footprint in lines, `total` the
+/// cache's total expected occupancy, `n_lines` the capacity `N`, `ways`
+/// the associativity `W`. Returns the advanced `(f, total)`, clamped to
+/// `0 ≤ f ≤ total ≤ N`.
+#[inline]
+pub fn drift_step(case: PerSetCase, f: f64, total: f64, n_lines: f64, ways: f64) -> (f64, f64) {
+    step_scaled(case, f, total, n_lines, ways, 1.0)
+}
+
+#[inline]
+fn step_scaled(
+    case: PerSetCase,
+    f: f64,
+    total: f64,
+    n_lines: f64,
+    ways: f64,
+    h: f64,
+) -> (f64, f64) {
+    let total = total.clamp(f.max(0.0), n_lines);
+    let p_full = (total / n_lines).clamp(0.0, 1.0).powf(ways);
+    let total_next = (total + h * (1.0 - p_full)).min(n_lines);
+    let f_next = match case {
+        PerSetCase::Blocking => {
+            let evict = if total > 0.0 { p_full * (f / total).clamp(0.0, 1.0) } else { 0.0 };
+            f + h * (1.0 - evict)
+        }
+        PerSetCase::Dependent(q) if q > 0.0 => {
+            let evict = if total > 0.0 { p_full * (f / total).clamp(0.0, 1.0) } else { 0.0 };
+            f + h * (q - evict)
+        }
+        // Case 2, and the q → 0 limit of case 3 (a sleeper that shares
+        // nothing decays like any other sleeper).
+        _ => {
+            let p_full_others = (((total - f) / n_lines).clamp(0.0, 1.0)).powf(ways);
+            f - h * (p_full - p_full_others)
+        }
+    };
+    (f_next.clamp(0.0, total_next), total_next)
+}
+
+/// Expected `(footprint, total occupancy)` after `n` misses of the given
+/// case, starting from `s0` tracked lines in a cache holding `total0`
+/// lines overall, with capacity `n_lines` and `ways` ways per set.
+///
+/// This is the pure-function form used by the `repro geometry` validation
+/// experiment; [`PerSetEstimator`] applies the same integration online.
+pub fn predict_after(
+    case: PerSetCase,
+    s0: f64,
+    total0: f64,
+    n: u64,
+    n_lines: f64,
+    ways: f64,
+) -> (f64, f64) {
+    let mut f = s0.clamp(0.0, n_lines);
+    let mut total = total0.clamp(f, n_lines);
+    if n == 0 {
+        return (f, total);
+    }
+    let (steps, h) = if n <= MAX_STEPS_PER_INTERVAL {
+        (n, 1.0)
+    } else {
+        (MAX_STEPS_PER_INTERVAL, n as f64 / MAX_STEPS_PER_INTERVAL as f64)
+    };
+    for _ in 0..steps {
+        (f, total) = step_scaled(case, f, total, n_lines, ways, h);
+    }
+    (f, total)
+}
+
+#[derive(Debug, Default, Clone)]
+struct PerSetCpu {
+    /// Expected footprint per tracked thread, in lines, kept eagerly
+    /// up to date (no lazy decay — the drifts don't factor).
+    footprints: BTreeMap<ThreadId, f64>,
+    /// Expected total cache occupancy in lines (all threads, including
+    /// ones never tracked here — advanced by the total-occupancy drift).
+    total: f64,
+    /// Total misses observed on this processor (diagnostics only).
+    m: u64,
+}
+
+/// A [`FootprintEstimator`] built on the per-set drifts above.
+///
+/// Priorities are the raw expected footprints (monotone in the estimate,
+/// which is all the LFF ordering requires). Every interval touches every
+/// tracked thread, so there is no flop counter to report — `flop_counts`
+/// stays at the trait default.
+#[derive(Debug, Clone)]
+pub struct PerSetEstimator {
+    n_lines: f64,
+    ways: f64,
+    cpus: Vec<PerSetCpu>,
+}
+
+impl PerSetEstimator {
+    /// Creates an estimator for a cache of `lines` total lines with
+    /// `ways` ways per set, tracked independently on `cpus` processors.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::BadEstimatorGeometry`] if `lines` or `ways`
+    /// is zero, `ways` exceeds `lines`, or `cpus` is zero.
+    pub fn new(lines: usize, ways: u64, cpus: usize) -> Result<Self, ModelError> {
+        if lines == 0 || ways == 0 || ways as usize > lines || cpus == 0 {
+            return Err(ModelError::BadEstimatorGeometry {
+                reason: format!("lines={lines} ways={ways} cpus={cpus}"),
+            });
+        }
+        Ok(PerSetEstimator {
+            n_lines: lines as f64,
+            ways: ways as f64,
+            cpus: vec![PerSetCpu::default(); cpus],
+        })
+    }
+
+    /// Total misses recorded on `cpu` so far.
+    pub fn misses(&self, cpu: CpuId) -> u64 {
+        self.cpus[cpu.0].m
+    }
+
+    /// Number of threads tracked on `cpu`.
+    pub fn tracked_on(&self, cpu: CpuId) -> usize {
+        self.cpus[cpu.0].footprints.len()
+    }
+
+    /// Expected total occupancy of `cpu`'s cache, in lines.
+    pub fn total_occupancy(&self, cpu: CpuId) -> f64 {
+        self.cpus[cpu.0].total
+    }
+}
+
+impl FootprintEstimator for PerSetEstimator {
+    fn on_switch(&mut self, cpu: CpuId, tid: ThreadId) {
+        self.cpus[cpu.0].footprints.entry(tid).or_insert(0.0);
+    }
+
+    fn on_miss(
+        &mut self,
+        cpu: CpuId,
+        tid: ThreadId,
+        n: u64,
+        graph: &SharingGraph,
+    ) -> Vec<PriorityUpdate> {
+        let state = &mut self.cpus[cpu.0];
+        state.m += n;
+        state.footprints.entry(tid).or_insert(0.0);
+        // Eagerly advance every tracked thread by this interval's misses.
+        // Each integrates against the same total-occupancy trajectory
+        // (which depends only on its own starting value), so the threads
+        // stay mutually consistent.
+        let (n_lines, ways, total0) = (self.n_lines, self.ways, state.total);
+        let mut total_next = total0;
+        for (&x, f) in state.footprints.iter_mut() {
+            let case = if x == tid {
+                PerSetCase::Blocking
+            } else {
+                let q = graph.weight(tid, x);
+                if q > 0.0 {
+                    PerSetCase::Dependent(q)
+                } else {
+                    PerSetCase::Independent
+                }
+            };
+            (*f, total_next) = predict_after(case, *f, total0, n, n_lines, ways);
+        }
+        state.total = total_next;
+        // Same update contract as the Markov estimator: blocker first,
+        // then dependents in graph order.
+        let mut updates = Vec::with_capacity(1 + graph.out_degree(tid));
+        updates.push(PriorityUpdate { thread: tid, prio: state.footprints[&tid] });
+        for (dep, _) in graph.dependents_of(tid) {
+            if let Some(&f) = state.footprints.get(&dep) {
+                updates.push(PriorityUpdate { thread: dep, prio: f });
+            }
+        }
+        updates
+    }
+
+    fn estimate(&self, cpu: CpuId, tid: ThreadId) -> f64 {
+        self.cpus[cpu.0].footprints.get(&tid).copied().unwrap_or(0.0)
+    }
+
+    fn priority(&self, cpu: CpuId, tid: ThreadId) -> f64 {
+        self.estimate(cpu, tid)
+    }
+
+    fn retire(&mut self, tid: ThreadId) {
+        for cpu in &mut self.cpus {
+            cpu.footprints.remove(&tid);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ModelParams;
+
+    const N: f64 = 8192.0;
+
+    /// Footprint after `n` misses, discarding the occupancy component.
+    fn fp(case: PerSetCase, s0: f64, total0: f64, n: u64, w: f64) -> f64 {
+        predict_after(case, s0, total0, n, N, w).0
+    }
+
+    #[test]
+    fn w1_blocking_matches_paper_closed_form() {
+        let params = ModelParams::new(8192).unwrap();
+        for &(s0, n) in &[(0.0, 1u64), (100.0, 500), (4096.0, 2000), (0.0, 100_000)] {
+            let closed = params.n() - (params.n() - s0) * params.k_pow(n);
+            let perset = fp(PerSetCase::Blocking, s0, s0, n, 1.0);
+            let tol = 1e-6 * N + if n > MAX_STEPS_PER_INTERVAL { 2.0 } else { 0.0 };
+            assert!(
+                (closed - perset).abs() <= tol,
+                "s0={s0} n={n}: closed {closed} vs per-set {perset}"
+            );
+        }
+    }
+
+    #[test]
+    fn w1_independent_matches_paper_closed_form() {
+        let params = ModelParams::new(8192).unwrap();
+        for &(s0, n) in &[(8192.0, 100u64), (2048.0, 3000), (100.0, 50)] {
+            let closed = s0 * params.k_pow(n);
+            let perset = fp(PerSetCase::Independent, s0, s0, n, 1.0);
+            assert!(
+                (closed - perset).abs() <= 1e-6 * N,
+                "s0={s0} n={n}: closed {closed} vs per-set {perset}"
+            );
+        }
+    }
+
+    #[test]
+    fn w1_dependent_matches_paper_closed_form() {
+        let params = ModelParams::new(8192).unwrap();
+        let q = 0.25;
+        for &(s0, n) in &[(0.0, 400u64), (1000.0, 2500)] {
+            let closed = q * params.n() - (q * params.n() - s0) * params.k_pow(n);
+            let perset = fp(PerSetCase::Dependent(q), s0, s0, n, 1.0);
+            assert!(
+                (closed - perset).abs() <= 1e-6 * N,
+                "s0={s0} n={n}: closed {closed} vs per-set {perset}"
+            );
+        }
+    }
+
+    #[test]
+    fn w1_drifts_are_total_invariant() {
+        // At W = 1 every eviction term collapses to f/N, so the paper's
+        // closed forms hold regardless of how full the rest of the cache
+        // is — the defining property of the direct-mapped chain.
+        for case in [PerSetCase::Blocking, PerSetCase::Independent, PerSetCase::Dependent(0.5)] {
+            let empty = fp(case, 2048.0, 2048.0, 1000, 1.0);
+            let full = fp(case, 2048.0, N, 1000, 1.0);
+            assert!((empty - full).abs() < 1e-9, "{case:?}: {empty} vs {full}");
+        }
+    }
+
+    #[test]
+    fn drifts_respect_fixed_points_and_bounds() {
+        for &w in &[1.0, 8.0, 8192.0] {
+            // Blocking saturates at N and never exceeds it.
+            let f = fp(PerSetCase::Blocking, 0.0, 0.0, 1_000_000, w);
+            assert!(f <= N && f > N * 0.99, "W={w}: blocking fixed point {f}");
+            // Independent decays to zero and never goes negative.
+            let f = fp(PerSetCase::Independent, N, N, 1_000_000, w);
+            assert!((0.0..1.0).contains(&f), "W={w}: independent tail {f}");
+            // Dependent saturates at qN in a full cache.
+            let f = fp(PerSetCase::Dependent(0.5), 0.0, N, 1_000_000, w);
+            assert!(f <= 0.5 * N + 1e-9 && f > 0.49 * N, "W={w}: dependent fixed point {f}");
+            // Total occupancy saturates at N.
+            let (_, t) = predict_after(PerSetCase::Blocking, 0.0, 0.0, 1_000_000, N, w);
+            assert!(t <= N && t > N * 0.99, "W={w}: occupancy fixed point {t}");
+        }
+    }
+
+    #[test]
+    fn higher_associativity_evicts_sleepers_faster_in_a_full_cache() {
+        // Under LRU with more ways, a sleeping thread's (globally old)
+        // lines are evicted sooner than under direct mapping — once the
+        // cache is full, every miss in a sleeper-holding set kills one.
+        let dm = fp(PerSetCase::Independent, 4096.0, N, 2000, 1.0);
+        let w8 = fp(PerSetCase::Independent, 4096.0, N, 2000, 8.0);
+        let fa = fp(PerSetCase::Independent, 4096.0, N, 2000, 8192.0);
+        assert!(fa < w8 && w8 < dm, "decay must speed up with ways: {dm} {w8} {fa}");
+    }
+
+    #[test]
+    fn vacant_ways_protect_sleepers() {
+        // In a mostly-empty associative cache, misses land in vacant ways
+        // and the sleeper decays far more slowly than the closed form's
+        // always-displace assumption says.
+        let half_full = fp(PerSetCase::Independent, 4096.0, 4096.0, 1000, 8.0);
+        let full = fp(PerSetCase::Independent, 4096.0, N, 1000, 8.0);
+        assert!(
+            half_full > full + 500.0,
+            "vacancy must slow decay: half-full {half_full} vs full {full}"
+        );
+    }
+
+    #[test]
+    fn chunked_integration_stays_close_to_exact() {
+        // n just over the chunk limit: coarse Euler steps must not drift
+        // far from the per-miss iteration.
+        let n = MAX_STEPS_PER_INTERVAL * 3 + 17;
+        let (mut exact, mut total) = (0.0, 0.0);
+        for _ in 0..n {
+            (exact, total) = drift_step(PerSetCase::Blocking, exact, total, N, 8.0);
+        }
+        let coarse = fp(PerSetCase::Blocking, 0.0, 0.0, n, 8.0);
+        assert!((exact - coarse).abs() < 0.01 * N, "exact {exact} vs chunked {coarse}");
+    }
+
+    #[test]
+    fn estimator_tracks_blocker_and_sleeper() {
+        let mut est = PerSetEstimator::new(8192, 8, 2).unwrap();
+        let g = SharingGraph::new();
+        let (a, b) = (ThreadId(1), ThreadId(2));
+        est.on_switch(CpuId(0), a);
+        est.on_switch(CpuId(0), b);
+        let ups = est.on_miss(CpuId(0), a, 2000, &g);
+        assert_eq!(ups.len(), 1);
+        assert_eq!(ups[0].thread, a);
+        let fa = est.estimate(CpuId(0), a);
+        assert!(fa > 1900.0 && fa <= 2000.0, "blocker fills vacant ways: {fa}");
+        assert!((est.total_occupancy(CpuId(0)) - fa).abs() < 1e-9);
+        assert_eq!(est.estimate(CpuId(0), b), 0.0, "empty sleeper stays empty");
+        // b runs long enough to fill the cache; a must decay.
+        est.on_miss(CpuId(0), b, 20_000, &g);
+        assert!(est.estimate(CpuId(0), a) < fa);
+        assert!(est.estimate(CpuId(0), b) > 6000.0);
+        assert_eq!(est.misses(CpuId(0)), 22_000);
+        // Per-cpu isolation and retire.
+        assert_eq!(est.estimate(CpuId(1), a), 0.0);
+        est.retire(a);
+        assert_eq!(est.estimate(CpuId(0), a), 0.0);
+        assert_eq!(est.tracked_on(CpuId(0)), 1);
+    }
+
+    #[test]
+    fn dependent_updates_follow_graph_order() {
+        let mut est = PerSetEstimator::new(8192, 2, 1).unwrap();
+        let mut g = SharingGraph::new();
+        let (a, b) = (ThreadId(1), ThreadId(2));
+        g.set(a, b, 0.5).unwrap();
+        est.on_switch(CpuId(0), a);
+        est.on_switch(CpuId(0), b);
+        let ups = est.on_miss(CpuId(0), a, 1000, &g);
+        assert_eq!(ups.len(), 2);
+        assert_eq!(ups[0].thread, a);
+        assert_eq!(ups[1].thread, b);
+        assert!(ups[1].prio > 0.0, "dependent grows toward qN");
+        assert!(ups[1].prio <= 0.5 * 8192.0 + 1e-9);
+    }
+
+    #[test]
+    fn bad_geometry_is_rejected() {
+        assert!(PerSetEstimator::new(0, 1, 1).is_err());
+        assert!(PerSetEstimator::new(64, 0, 1).is_err());
+        assert!(PerSetEstimator::new(64, 128, 1).is_err());
+        assert!(PerSetEstimator::new(64, 1, 0).is_err());
+    }
+}

@@ -5,7 +5,8 @@ use std::path::PathBuf;
 /// Usage text printed for `--help` and on argument errors.
 pub const USAGE: &str = "usage: [--scale paper|small] [--out DIR] [--jobs N] [--no-cache] \
      [--fault SCENARIO|all] [--chaos SCENARIO|all] [--workload NAME|all] [--policy fcfs|lff|crt] \
-     [--depth-bound N] [--max-schedules N] [--preempt-bound K] [--replay FILE]
+     [--depth-bound N] [--max-schedules N] [--preempt-bound K] [--replay FILE] \
+     [--geometry SxW] [--page-size BYTES]
 
 options:
   --scale paper|small  workload scale (default: paper)
@@ -37,6 +38,11 @@ options:
                        K preemptions (default: unbounded)
   --replay FILE        modelcheck: re-execute a serialized counterexample
                        and verify the violation reproduces
+  --geometry SxW       geometry: restrict the validation sweep to one
+                       L2 geometry of S sets by W ways (both positive
+                       powers of two, e.g. 1024x8)
+  --page-size BYTES    geometry: TLB page size in bytes (a positive
+                       power of two; default: 8192)
   --help, -h           print this help";
 
 /// Workload scale selector.
@@ -87,6 +93,15 @@ pub struct Args {
     /// Counterexample file to re-execute (`--replay FILE`), used by the
     /// modelcheck binary.
     pub replay: Option<PathBuf>,
+    /// L2 geometry override (`--geometry SxW`), used by the geometry
+    /// binary to restrict the sweep to one `(sets, ways)` cell. Both
+    /// components are validated as positive powers of two at parse
+    /// time.
+    pub geometry: Option<(u64, u64)>,
+    /// TLB page size override in bytes (`--page-size BYTES`), used by
+    /// the geometry binary; validated as a positive power of two at
+    /// parse time.
+    pub page_size: Option<u64>,
 }
 
 /// Outcome of parsing an argument list.
@@ -109,6 +124,27 @@ fn parse_positive(flag: &str, v: &str) -> Result<u64, String> {
     }
 }
 
+/// Parses a strictly positive power-of-two flag value.
+fn parse_pow2(flag: &str, v: &str) -> Result<u64, String> {
+    match v.parse::<u64>() {
+        Ok(n) if n > 0 && n.is_power_of_two() => Ok(n),
+        _ => Err(format!("{flag} needs a positive power of two, got '{v}'")),
+    }
+}
+
+/// Parses a `SxW` geometry value: both components positive powers of
+/// two.
+fn parse_geometry(v: &str) -> Result<(u64, u64), String> {
+    let bad = || format!("--geometry needs SETSxWAYS, both positive powers of two, got '{v}'");
+    let (s, w) = v.split_once('x').ok_or_else(bad)?;
+    let sets = s.parse::<u64>().map_err(|_| bad())?;
+    let ways = w.parse::<u64>().map_err(|_| bad())?;
+    if sets == 0 || ways == 0 || !sets.is_power_of_two() || !ways.is_power_of_two() {
+        return Err(bad());
+    }
+    Ok((sets, ways))
+}
+
 /// The default worker count: the host's available parallelism.
 pub fn default_jobs() -> usize {
     std::thread::available_parallelism().map(std::num::NonZeroUsize::get).unwrap_or(1)
@@ -129,6 +165,8 @@ impl Default for Args {
             max_schedules: None,
             preempt_bound: None,
             replay: None,
+            geometry: None,
+            page_size: None,
         }
     }
 }
@@ -201,6 +239,14 @@ impl Args {
                 "--replay" => {
                     let v = it.next().ok_or("--replay needs a counterexample file")?;
                     out.replay = Some(PathBuf::from(v));
+                }
+                "--geometry" => {
+                    let v = it.next().ok_or("--geometry needs SETSxWAYS (e.g. 1024x8)")?;
+                    out.geometry = Some(parse_geometry(&v)?);
+                }
+                "--page-size" => {
+                    let v = it.next().ok_or("--page-size needs a byte count")?;
+                    out.page_size = Some(parse_pow2("--page-size", &v)?);
                 }
                 "--help" | "-h" => return Ok(Parsed::Help),
                 other => return Err(format!("unknown argument '{other}'")),
@@ -336,6 +382,29 @@ mod tests {
         assert!(parse(&["--max-schedules", "lots"]).is_err());
         assert!(parse(&["--preempt-bound", "-1"]).is_err());
         assert!(parse(&["--replay"]).is_err());
+    }
+
+    #[test]
+    fn geometry_axis() {
+        let a = parse(&[]).unwrap();
+        assert_eq!(a.geometry, None);
+        assert_eq!(a.page_size, None);
+
+        let a = parse(&["--geometry", "1024x8", "--page-size", "4096"]).unwrap();
+        assert_eq!(a.geometry, Some((1024, 8)));
+        assert_eq!(a.page_size, Some(4096));
+        assert_eq!(parse(&["--geometry", "1x8192"]).unwrap().geometry, Some((1, 8192)));
+
+        assert!(parse(&["--geometry"]).is_err());
+        assert!(parse(&["--geometry", "1024"]).is_err());
+        assert!(parse(&["--geometry", "1024x0"]).is_err());
+        assert!(parse(&["--geometry", "0x8"]).is_err());
+        assert!(parse(&["--geometry", "1000x8"]).is_err());
+        assert!(parse(&["--geometry", "1024x3"]).is_err());
+        assert!(parse(&["--geometry", "8x8x8"]).is_err());
+        assert!(parse(&["--page-size"]).is_err());
+        assert!(parse(&["--page-size", "0"]).is_err());
+        assert!(parse(&["--page-size", "1000"]).is_err());
     }
 
     #[test]

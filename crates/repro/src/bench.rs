@@ -338,8 +338,58 @@ pub fn parse_flat_json(text: &str) -> Result<BTreeMap<String, f64>, String> {
     Ok(out)
 }
 
+/// Medians below this are indistinguishable from zero at the merged
+/// document's two-decimal ns resolution: the bench's operation is
+/// cheaper than the timer can resolve (e.g. the free independent-thread
+/// priority updates), so a before/after ratio is meaningless.
+pub const DEGENERATE_NS: f64 = 0.005;
+
+/// A bench whose baseline or after median is below [`DEGENERATE_NS`].
+/// Its "speedup" carries no information, so the merge omits the field
+/// and the gate reports the bench instead of failing on it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DegenerateBaseline {
+    /// Bench name (`group/name`).
+    pub name: String,
+    /// Median before, ns/op.
+    pub before_ns: f64,
+    /// Median after, ns/op.
+    pub after_ns: f64,
+}
+
+impl std::fmt::Display for DegenerateBaseline {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} has a ~0 ns median (before {:.2}, after {:.2}); \
+             speedup is meaningless and excluded from gating",
+            self.name, self.before_ns, self.after_ns
+        )
+    }
+}
+
+/// Speedups that participate in `--fail-under` gating, plus the benches
+/// excluded because their medians are below the timer's resolution.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct SpeedupSet {
+    /// `(name, before ÷ after)` pairs, in name order.
+    pub gated: Vec<(String, f64)>,
+    /// Benches with a [`DegenerateBaseline`], in name order.
+    pub degenerate: Vec<DegenerateBaseline>,
+}
+
+fn classify(name: &str, before_ns: f64, after_ns: f64, set: &mut SpeedupSet) {
+    if before_ns < DEGENERATE_NS || after_ns < DEGENERATE_NS {
+        set.degenerate.push(DegenerateBaseline { name: name.to_string(), before_ns, after_ns });
+    } else {
+        set.gated.push((name.to_string(), before_ns / after_ns));
+    }
+}
+
 /// Merges before/after runs into the `BENCH_hotpath.json` document:
 /// per-bench `before_ns`, `after_ns`, and `speedup` (before ÷ after).
+/// Benches with a [`DegenerateBaseline`] get no `speedup` field, so
+/// downstream `--check` gating never sees a spurious `0.00` ratio.
 pub fn merge_report(before: &BTreeMap<String, f64>, after: &BTreeMap<String, f64>) -> String {
     let mut out = String::from("{\n  \"unit\": \"median ns/op\",\n  \"benches\": {\n");
     let names: Vec<&String> = before.keys().chain(after.keys()).collect();
@@ -364,7 +414,7 @@ pub fn merge_report(before: &BTreeMap<String, f64>, after: &BTreeMap<String, f64
             out.push_str(&format!("\"after_ns\": {a:.2}"));
         }
         if let (Some(b), Some(a)) = (b, a) {
-            if *a > 0.0 {
+            if *b >= DEGENERATE_NS && *a >= DEGENERATE_NS {
                 out.push_str(&format!(", \"speedup\": {:.2}", b / a));
             }
         }
@@ -379,42 +429,60 @@ pub fn merge_report(before: &BTreeMap<String, f64>, after: &BTreeMap<String, f64
 }
 
 /// Speedups (`before ÷ after`) for every bench present in both maps,
-/// in name order. The merge path uses this to warn about regressions
-/// instead of silently recording them.
-pub fn speedups(
-    before: &BTreeMap<String, f64>,
-    after: &BTreeMap<String, f64>,
-) -> Vec<(String, f64)> {
-    before
-        .iter()
-        .filter_map(|(name, &b)| {
-            after.get(name).and_then(|&a| (a > 0.0).then(|| (name.clone(), b / a)))
-        })
-        .collect()
+/// in name order, split into gated ratios and degenerate exclusions.
+/// The merge path uses this to warn about regressions instead of
+/// silently recording them.
+pub fn speedups(before: &BTreeMap<String, f64>, after: &BTreeMap<String, f64>) -> SpeedupSet {
+    let mut set = SpeedupSet::default();
+    for (name, &b) in before {
+        if let Some(&a) = after.get(name) {
+            classify(name, b, a, &mut set);
+        }
+    }
+    set
 }
 
-/// Extracts `(name, speedup)` pairs from a merged report document (the
+/// Extracts one numeric field (e.g. `"speedup":`) from a merged-report
+/// bench line, `Ok(None)` if the field is absent.
+fn merged_field(line: &str, name: &str, key: &str) -> Result<Option<f64>, String> {
+    let Some((_, tail)) = line.split_once(&format!("\"{key}\":")) else { return Ok(None) };
+    let num = tail.trim_start().split([',', '}']).next().unwrap_or("").trim();
+    num.parse().map(Some).map_err(|e| format!("bad {key} for {name}: {e}"))
+}
+
+/// Extracts gating inputs from a merged report document (the
 /// `BENCH_hotpath.json` format [`merge_report`] emits), so CI can gate
-/// on the committed numbers without re-timing anything.
+/// on the committed numbers without re-timing anything. Bench entries
+/// without a `speedup` field but with a [`DegenerateBaseline`] pair of
+/// medians come back in `degenerate`, so the gate can surface them as
+/// typed warnings.
 ///
 /// # Errors
 ///
-/// Returns a description of the first malformed `speedup` field.
-pub fn parse_merged_speedups(text: &str) -> Result<Vec<(String, f64)>, String> {
-    let mut out = Vec::new();
+/// Returns a description of the first malformed numeric field.
+pub fn parse_merged_speedups(text: &str) -> Result<SpeedupSet, String> {
+    let mut set = SpeedupSet::default();
     for line in text.lines() {
-        let Some((head, tail)) = line.split_once("\"speedup\":") else { continue };
-        let name = head
+        if !line.contains("\"before_ns\":") && !line.contains("\"speedup\":") {
+            continue;
+        }
+        let name = line
             .trim_start()
             .strip_prefix('"')
             .and_then(|h| h.split_once('"'))
             .map(|(n, _)| n.to_string())
-            .ok_or_else(|| format!("speedup entry without a bench name: {line}"))?;
-        let num = tail.trim().trim_end_matches(['}', ',', ' ']);
-        let speedup: f64 = num.parse().map_err(|e| format!("bad speedup for {name}: {e}"))?;
-        out.push((name, speedup));
+            .ok_or_else(|| format!("bench entry without a name: {line}"))?;
+        if let Some(speedup) = merged_field(line, &name, "speedup")? {
+            set.gated.push((name, speedup));
+        } else if let (Some(before_ns), Some(after_ns)) =
+            (merged_field(line, &name, "before_ns")?, merged_field(line, &name, "after_ns")?)
+        {
+            if before_ns < DEGENERATE_NS || after_ns < DEGENERATE_NS {
+                set.degenerate.push(DegenerateBaseline { name, before_ns, after_ns });
+            }
+        }
     }
-    Ok(out)
+    Ok(set)
 }
 
 #[cfg(test)]
@@ -450,7 +518,32 @@ mod tests {
         a.insert("x".to_string(), 200.0);
         a.insert("new".to_string(), 5.0);
         let s = speedups(&b, &a);
-        assert_eq!(s, vec![("x".to_string(), 0.5)]);
+        assert_eq!(s.gated, vec![("x".to_string(), 0.5)]);
+        assert!(s.degenerate.is_empty());
+    }
+
+    #[test]
+    fn degenerate_baselines_are_excluded_not_zero() {
+        let mut b = BTreeMap::new();
+        b.insert("free".to_string(), 0.0);
+        b.insert("real".to_string(), 100.0);
+        let mut a = BTreeMap::new();
+        a.insert("free".to_string(), 0.004);
+        a.insert("real".to_string(), 50.0);
+        let s = speedups(&b, &a);
+        assert_eq!(s.gated, vec![("real".to_string(), 2.0)]);
+        assert_eq!(s.degenerate.len(), 1);
+        assert_eq!(s.degenerate[0].name, "free");
+        assert!(s.degenerate[0].to_string().contains("excluded from gating"));
+
+        // The merged document carries the medians but no speedup field,
+        // so a later `--check` never sees a spurious 0.00 ratio.
+        let doc = merge_report(&b, &a);
+        assert!(doc.contains("\"free\": {\"before_ns\": 0.00, \"after_ns\": 0.00}"), "{doc}");
+        let parsed = parse_merged_speedups(&doc).unwrap();
+        assert_eq!(parsed.gated, vec![("real".to_string(), 2.0)]);
+        assert_eq!(parsed.degenerate.len(), 1);
+        assert_eq!(parsed.degenerate[0].name, "free");
     }
 
     #[test]
@@ -463,10 +556,25 @@ mod tests {
         a.insert("slow".to_string(), 20.0);
         let doc = merge_report(&b, &a);
         let parsed = parse_merged_speedups(&doc).unwrap();
-        assert_eq!(parsed.len(), 2);
-        assert!(parsed.contains(&("fast".to_string(), 4.0)));
-        assert!(parsed.contains(&("slow".to_string(), 0.5)));
-        assert!(parse_merged_speedups("{}\n").unwrap().is_empty());
+        assert_eq!(parsed.gated.len(), 2);
+        assert!(parsed.gated.contains(&("fast".to_string(), 4.0)));
+        assert!(parsed.gated.contains(&("slow".to_string(), 0.5)));
+        assert!(parsed.degenerate.is_empty());
+        assert!(parse_merged_speedups("{}\n").unwrap().gated.is_empty());
+    }
+
+    #[test]
+    fn committed_report_round_trips_with_degenerates() {
+        // The real BENCH_hotpath.json has two free-update benches whose
+        // medians round to 0.00; they must come back as typed warnings,
+        // not gate failures.
+        let doc = "{\n  \"benches\": {\n    \
+                   \"priority_update/lff/independent\": {\"before_ns\": 0.00, \"after_ns\": 0.00},\n    \
+                   \"machine_access/l1_hit\": {\"before_ns\": 24.08, \"after_ns\": 12.95, \"speedup\": 1.86}\n  }\n}\n";
+        let parsed = parse_merged_speedups(doc).unwrap();
+        assert_eq!(parsed.gated, vec![("machine_access/l1_hit".to_string(), 1.86)]);
+        assert_eq!(parsed.degenerate.len(), 1);
+        assert_eq!(parsed.degenerate[0].name, "priority_update/lff/independent");
     }
 
     #[test]

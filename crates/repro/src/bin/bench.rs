@@ -28,11 +28,16 @@ fn usage() -> ExitCode {
     ExitCode::from(2)
 }
 
-/// Warns about every speedup below 1.0 and returns whether all speedups
-/// clear `fail_under` (always true when no ratio was given).
-fn gate(speedups: &[(String, f64)], fail_under: Option<f64>) -> bool {
+/// Warns about every speedup below 1.0 and returns whether all gated
+/// speedups clear `fail_under` (always true when no ratio was given).
+/// Degenerate ~0 ns baselines are surfaced as warnings, never failures:
+/// their ratios carry no information.
+fn gate(speedups: &bench::SpeedupSet, fail_under: Option<f64>) -> bool {
+    for d in &speedups.degenerate {
+        eprintln!("bench: warning: {d}");
+    }
     let mut ok = true;
-    for (name, s) in speedups {
+    for (name, s) in &speedups.gated {
         if *s < 1.0 {
             eprintln!("bench: warning: {name} regressed ({s:.2}x)");
         }
@@ -98,7 +103,11 @@ fn main() -> ExitCode {
         return match speedups {
             Ok(speedups) => {
                 if gate(&speedups, fail_under) {
-                    println!("{path}: {} bench(es) checked", speedups.len());
+                    println!(
+                        "{path}: {} bench(es) checked, {} degenerate",
+                        speedups.gated.len(),
+                        speedups.degenerate.len()
+                    );
                     ExitCode::SUCCESS
                 } else {
                     ExitCode::FAILURE

@@ -1,0 +1,11 @@
+//! Geometry validation: the random-memory-walk workloads replayed
+//! across L2 geometries of equal capacity, comparing the paper's
+//! direct-mapped closed forms against the per-set occupancy estimator
+//! (`--geometry SxW` restricts the sweep, `--page-size BYTES` sets the
+//! TLB page size).
+
+use locality_repro::suite::{main_for, Figure};
+
+fn main() {
+    main_for(Figure::Geometry);
+}

@@ -59,6 +59,7 @@ pub mod digest;
 pub mod error;
 pub mod experiments;
 pub mod faults;
+pub mod geometry;
 pub mod microbench;
 pub mod modelcheck;
 pub mod monitor;

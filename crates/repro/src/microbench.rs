@@ -93,7 +93,10 @@ const WALKER_LINES: u64 = 8192 * 64;
 /// appropriate prefix before counters are reset.
 pub fn run(exp: &WalkExperiment) -> Vec<WalkPoint> {
     let mut config = MachineConfig::ultra1();
-    config.hierarchy.l2.associativity = exp.associativity.max(1);
+    let ways = exp.associativity.max(1);
+    let l2_lines = config.hierarchy.l2.lines();
+    config.hierarchy.l2 =
+        locality_sim::CacheGeometry { sets: l2_lines / ways, ways, line: config.hierarchy.l2.line };
     // Infallible for every shipped experiment: `ultra1()` is valid and the
     // associativity overrides are powers of two (1 for the paper's
     // direct-mapped runs, 2 for the set-associative ablation).

@@ -33,6 +33,7 @@ use crate::digest;
 use crate::error::ReproError;
 use crate::experiments::{self, ChaosCell, CostCase, FaultCell, PredictionProbe};
 use crate::faults::FaultScenario;
+use crate::geometry::{self, GeometryExperiment, GeometryPoint};
 use crate::microbench::{self, WalkExperiment, WalkPoint};
 use crate::modelcheck::McCell;
 use crate::monitor::{self, MonitorTrace, Sample};
@@ -118,6 +119,9 @@ impl PolicyId {
 pub enum RunKind {
     /// A Figure 4 random-walk curve.
     Walk(WalkExperiment),
+    /// A geometry-validation curve (`repro geometry`): one workload on
+    /// one cache geometry, predicted by both estimators.
+    Geometry(GeometryExperiment),
     /// A Figure 5/6/7 monitored-application trace.
     Monitor {
         /// The monitored application.
@@ -247,6 +251,8 @@ pub fn cache_key(kind: &RunKind) -> String {
 pub enum RunOutput {
     /// Points of one walk curve.
     Points(Vec<WalkPoint>),
+    /// Points of one geometry-validation curve.
+    GeometryPoints(Vec<GeometryPoint>),
     /// A monitored-application trace.
     Trace(MonitorTrace),
     /// An engine run report.
@@ -287,6 +293,7 @@ fn sim_misses(out: &RunOutput) -> u64 {
         RunOutput::Report(report) => report.total_l2_misses,
         RunOutput::FaultCell(cell) => cell.report.total_l2_misses,
         RunOutput::ChaosCell(cell) => cell.report.total_l2_misses,
+        RunOutput::GeometryPoints(points) => points.last().map_or(0, |p| p.misses),
         RunOutput::Invalidation { .. }
         | RunOutput::UpdateCost { .. }
         | RunOutput::TraceSummary(_)
@@ -303,6 +310,7 @@ fn sim_misses(out: &RunOutput) -> u64 {
 pub fn execute(kind: &RunKind) -> Result<RunOutput, ReproError> {
     match *kind {
         RunKind::Walk(exp) => Ok(RunOutput::Points(microbench::run(&exp))),
+        RunKind::Geometry(exp) => Ok(RunOutput::GeometryPoints(geometry::run(&exp))),
         RunKind::Monitor { app, placement, seed } => {
             Ok(RunOutput::Trace(monitor::monitor_app_seeded(app, placement.to_sim(), seed)?))
         }
@@ -421,6 +429,18 @@ fn encode(out: &RunOutput) -> String {
                 ));
             }
         }
+        RunOutput::GeometryPoints(points) => {
+            s.push_str(&format!("gpoints {}\n", points.len()));
+            for p in points {
+                s.push_str(&format!(
+                    "{} {} {} {}\n",
+                    p.misses,
+                    enc_f64(p.observed),
+                    enc_f64(p.closed_form),
+                    enc_f64(p.per_set)
+                ));
+            }
+        }
         RunOutput::Trace(trace) => {
             s.push_str(&format!("trace {}\n", trace.samples.len()));
             for p in &trace.samples {
@@ -528,6 +548,20 @@ fn decode(kind: &RunKind, payload: &str) -> Option<RunOutput> {
                 });
             }
             Some(RunOutput::Points(points))
+        }
+        RunKind::Geometry(_) => {
+            let n: usize = lines.next()?.strip_prefix("gpoints ")?.parse().ok()?;
+            let mut points = Vec::with_capacity(n);
+            for _ in 0..n {
+                let mut it = lines.next()?.split(' ');
+                points.push(GeometryPoint {
+                    misses: it.next()?.parse().ok()?,
+                    observed: dec_f64(it.next()?)?,
+                    closed_form: dec_f64(it.next()?)?,
+                    per_set: dec_f64(it.next()?)?,
+                });
+            }
+            Some(RunOutput::GeometryPoints(points))
         }
         RunKind::Monitor { app, .. } => {
             let n: usize = lines.next()?.strip_prefix("trace ")?.parse().ok()?;
@@ -1070,6 +1104,21 @@ mod tests {
                 RunOutput::Points(vec![
                     WalkPoint { misses: 3, observed: 1.5, predicted: 0.1 },
                     WalkPoint { misses: 9, observed: f64::MAX, predicted: -0.0 },
+                ]),
+            ),
+            (
+                RunKind::Geometry(GeometryExperiment {
+                    monitored: crate::microbench::Monitored::Walker { s0: 0.0 },
+                    sets: 1024,
+                    ways: 8,
+                    page_bytes: 8192,
+                    total_misses: 100,
+                    sample_every: 50,
+                    seed: 3,
+                }),
+                RunOutput::GeometryPoints(vec![
+                    GeometryPoint { misses: 0, observed: 0.0, closed_form: 0.0, per_set: 0.0 },
+                    GeometryPoint { misses: 50, observed: 48.0, closed_form: 49.7, per_set: 49.9 },
                 ]),
             ),
             (

@@ -1,0 +1,105 @@
+//! The `repro geometry` validation experiment: every monitored workload
+//! of Figure 4 replayed across L2 geometries of equal capacity, with
+//! per-cell mean absolute prediction error for both predictors (the
+//! paper's closed forms and the per-set occupancy generalization).
+
+use crate::args::{Args, Scale};
+use crate::error::ReproError;
+use crate::geometry::{mean_abs_error, GeometryExperiment};
+use crate::microbench::Monitored;
+use crate::runner::{RunKind, RunRequest};
+use crate::suite::ResultSet;
+use crate::table::Table;
+
+/// The default sweep: the paper's direct-mapped E-cache, a modern
+/// 8-way geometry, and the fully associative limit — all 512 KiB.
+const GEOMETRIES: [(u64, u64); 3] = [(8192, 1), (1024, 8), (1, 8192)];
+
+/// Default TLB page size (the UltraSPARC-1's 8 KiB).
+const DEFAULT_PAGE_BYTES: u64 = 8 * 1024;
+
+fn workloads() -> [(&'static str, Monitored); 3] {
+    [
+        ("walker", Monitored::Walker { s0: 0.0 }),
+        ("sleeper", Monitored::Independent { s0: 4096.0 }),
+        ("dependent", Monitored::Dependent { q: 0.5, s0: 0.0 }),
+    ]
+}
+
+fn cells(args: &Args) -> Vec<(&'static str, GeometryExperiment)> {
+    let (total, every) = match args.scale {
+        Scale::Paper => (40_000u64, 4_000u64),
+        Scale::Small => (12_000, 2_000),
+    };
+    let geometries: Vec<(u64, u64)> =
+        args.geometry.map_or_else(|| GEOMETRIES.to_vec(), |g| vec![g]);
+    let page_bytes = args.page_size.unwrap_or(DEFAULT_PAGE_BYTES);
+    let mut out = Vec::with_capacity(workloads().len() * geometries.len());
+    for (name, monitored) in workloads() {
+        for &(sets, ways) in &geometries {
+            out.push((
+                name,
+                GeometryExperiment {
+                    monitored,
+                    sets,
+                    ways,
+                    page_bytes,
+                    total_misses: total,
+                    sample_every: every,
+                    seed: 31,
+                },
+            ));
+        }
+    }
+    out
+}
+
+pub(super) fn requests(args: &Args) -> Vec<RunRequest> {
+    cells(args)
+        .into_iter()
+        .map(|(name, exp)| {
+            RunRequest::new(
+                format!("geometry:{name}:{}", exp.geometry_label()),
+                RunKind::Geometry(exp),
+            )
+        })
+        .collect()
+}
+
+pub(super) fn emit(args: &Args, results: &ResultSet) -> Result<(), ReproError> {
+    let mut t = Table::new(
+        "Geometry validation — observed vs both predictors",
+        &["workload", "sets", "ways", "misses", "observed", "closed_form", "per_set"],
+    );
+    let mut s = Table::new(
+        "Geometry validation — mean abs prediction error (lines)",
+        &["workload", "geometry", "closed form", "per-set", "better"],
+    );
+    for (name, exp) in cells(args) {
+        let pts = results.geometry_points(&RunKind::Geometry(exp))?;
+        for p in pts {
+            t.row(&[
+                name.to_string(),
+                exp.sets.to_string(),
+                exp.ways.to_string(),
+                p.misses.to_string(),
+                format!("{:.1}", p.observed),
+                format!("{:.1}", p.closed_form),
+                format!("{:.1}", p.per_set),
+            ])?;
+        }
+        let closed = mean_abs_error(pts, |p| p.closed_form);
+        let per_set = mean_abs_error(pts, |p| p.per_set);
+        let better = if per_set <= closed { "per-set" } else { "closed" };
+        s.row(&[
+            name.to_string(),
+            exp.geometry_label(),
+            format!("{closed:.1}"),
+            format!("{per_set:.1}"),
+            better.to_string(),
+        ])?;
+    }
+    t.write_csv(&args.csv_path("geometry.csv")?)?;
+    s.print();
+    Ok(())
+}

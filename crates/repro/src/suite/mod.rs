@@ -12,6 +12,7 @@
 
 mod ablation;
 mod fig4;
+mod geometry;
 mod monitor_figs;
 mod perf_figs;
 mod static_tables;
@@ -20,6 +21,7 @@ mod table3;
 use crate::args::Args;
 use crate::error::ReproError;
 use crate::experiments::{ChaosCell, FaultCell};
+use crate::geometry::GeometryPoint;
 use crate::microbench::WalkPoint;
 use crate::monitor::MonitorTrace;
 use crate::runner::{cache_key, RunKind, RunOutput, RunRequest, Runner};
@@ -53,6 +55,9 @@ pub enum Figure {
     Table5,
     /// §5/§3 ablations (or the `--fault` robustness table).
     Ablation,
+    /// Geometry validation — model vs simulator across L2 geometries
+    /// (the `geometry` binary; not part of `repro-all`).
+    Geometry,
 }
 
 impl Figure {
@@ -89,6 +94,7 @@ impl Figure {
             Figure::Fig9 => perf_figs::figure_requests(8, args.scale),
             Figure::Table5 => perf_figs::table5_requests(args.scale),
             Figure::Ablation => ablation::requests(args)?,
+            Figure::Geometry => geometry::requests(args),
         })
     }
 
@@ -112,6 +118,7 @@ impl Figure {
             Figure::Fig9 => perf_figs::figure_emit(args, results, 8),
             Figure::Table5 => perf_figs::table5_emit(args, results),
             Figure::Ablation => ablation::emit(args, results),
+            Figure::Geometry => geometry::emit(args, results),
         }
     }
 }
@@ -144,6 +151,19 @@ impl ResultSet {
     pub fn points(&self, kind: &RunKind) -> Result<&[WalkPoint], ReproError> {
         match self.get(kind)? {
             RunOutput::Points(p) => Ok(p),
+            _ => Err(Self::mismatch(kind)),
+        }
+    }
+
+    /// The validation curve a [`RunKind::Geometry`] descriptor
+    /// produced.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ReproError::MissingResult`] if absent or mistyped.
+    pub fn geometry_points(&self, kind: &RunKind) -> Result<&[GeometryPoint], ReproError> {
+        match self.get(kind)? {
+            RunOutput::GeometryPoints(p) => Ok(p),
             _ => Err(Self::mismatch(kind)),
         }
     }

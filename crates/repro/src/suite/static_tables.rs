@@ -16,25 +16,25 @@ pub(super) fn emit_table1(args: &Args) -> Result<(), ReproError> {
     let h = ultra.hierarchy;
     t.row(&[
         "L1 I-cache".into(),
-        format!("{} KiB", h.l1i.size_bytes / 1024),
-        format!("{}-way", h.l1i.associativity),
-        format!("{} B", h.l1i.line_bytes),
+        format!("{} KiB", h.l1i.size_bytes() / 1024),
+        format!("{}-way", h.l1i.ways),
+        format!("{} B", h.l1i.line),
         "physically indexed/tagged".into(),
         format!("hit {}", ultra.latencies.l1_hit),
     ])?;
     t.row(&[
         "L1 D-cache".into(),
-        format!("{} KiB", h.l1d.size_bytes / 1024),
+        format!("{} KiB", h.l1d.size_bytes() / 1024),
         "direct".into(),
-        format!("{} B", h.l1d.line_bytes),
+        format!("{} B", h.l1d.line),
         "write-through, no-write-allocate".into(),
         format!("hit {}", ultra.latencies.l1_hit),
     ])?;
     t.row(&[
         "unified E-cache (L2)".into(),
-        format!("{} KiB", h.l2.size_bytes / 1024),
+        format!("{} KiB", h.l2.size_bytes() / 1024),
         "direct".into(),
-        format!("{} B", h.l2.line_bytes),
+        format!("{} B", h.l2.line),
         "write-back, inclusive of both L1s".into(),
         format!(
             "hit {}, miss {} (E5000: {} clean / {} cached elsewhere)",

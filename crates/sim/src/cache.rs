@@ -7,15 +7,19 @@
 
 use crate::SimError;
 
-/// Geometry of one cache level.
+/// Geometry of one cache level, in its index-native form: the address
+/// split is `line` offset bits, then `log2(sets)` index bits, then the
+/// tag. Capacity is the derived quantity (`sets × ways × line`), not a
+/// stored one — `8192×1` (direct-mapped), `1024×8` (8-way), and `1×8192`
+/// (fully associative) all describe the same 512 KiB of 64-byte lines.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CacheGeometry {
-    /// Total capacity in bytes.
-    pub size_bytes: u64,
+    /// Number of sets (1 = fully associative).
+    pub sets: u64,
+    /// Number of ways per set (1 = direct-mapped).
+    pub ways: u64,
     /// Line size in bytes.
-    pub line_bytes: u64,
-    /// Number of ways (1 = direct-mapped).
-    pub associativity: u64,
+    pub line: u64,
 }
 
 impl CacheGeometry {
@@ -24,43 +28,65 @@ impl CacheGeometry {
     /// # Errors
     ///
     /// Returns [`SimError::BadGeometry`] if any parameter is zero or not a
-    /// power of two, or if `size < line × associativity`.
-    pub fn new(size_bytes: u64, line_bytes: u64, associativity: u64) -> Result<Self, SimError> {
-        let geom = CacheGeometry { size_bytes, line_bytes, associativity };
+    /// power of two.
+    pub fn new(sets: u64, ways: u64, line: u64) -> Result<Self, SimError> {
+        let geom = CacheGeometry { sets, ways, line };
         geom.validate()?;
         Ok(geom)
     }
 
-    fn validate(&self) -> Result<(), SimError> {
-        for (name, v) in
-            [("size", self.size_bytes), ("line", self.line_bytes), ("ways", self.associativity)]
-        {
+    /// Creates a geometry from a total capacity, the historical
+    /// `(size, line, ways)` parameterization.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::BadGeometry`] if any parameter is zero or not a
+    /// power of two, or if `size < line × ways` (less than one set).
+    pub fn from_capacity(size_bytes: u64, line_bytes: u64, ways: u64) -> Result<Self, SimError> {
+        for (name, v) in [("size", size_bytes), ("line", line_bytes), ("ways", ways)] {
             if v == 0 || !v.is_power_of_two() {
                 return Err(SimError::BadGeometry {
                     reason: format!("{name} = {v} must be a non-zero power of two"),
                 });
             }
         }
-        if self.size_bytes < self.line_bytes * self.associativity {
+        if size_bytes < line_bytes * ways {
             return Err(SimError::BadGeometry {
                 reason: format!(
                     "size {} smaller than one set ({} bytes)",
-                    self.size_bytes,
-                    self.line_bytes * self.associativity
+                    size_bytes,
+                    line_bytes * ways
                 ),
             });
+        }
+        CacheGeometry::new(size_bytes / (line_bytes * ways), ways, line_bytes)
+    }
+
+    /// Validates the geometry (all three parameters must be non-zero
+    /// powers of two).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::BadGeometry`] on any violation.
+    pub fn validate(&self) -> Result<(), SimError> {
+        for (name, v) in [("sets", self.sets), ("ways", self.ways), ("line", self.line)] {
+            if v == 0 || !v.is_power_of_two() {
+                return Err(SimError::BadGeometry {
+                    reason: format!("{name} = {v} must be a non-zero power of two"),
+                });
+            }
         }
         Ok(())
     }
 
-    /// Total number of lines.
-    pub fn lines(&self) -> u64 {
-        self.size_bytes / self.line_bytes
+    /// Total capacity in bytes.
+    pub fn size_bytes(&self) -> u64 {
+        self.sets * self.ways * self.line
     }
 
-    /// Number of sets.
-    pub fn sets(&self) -> u64 {
-        self.lines() / self.associativity
+    /// Total number of lines.
+    pub fn lines(&self) -> u64 {
+        self.sets * self.ways
     }
 }
 
@@ -113,16 +139,16 @@ pub struct Cache {
 impl Cache {
     /// Creates an empty cache.
     pub fn new(geometry: CacheGeometry) -> Self {
-        let n = (geometry.sets() * geometry.associativity) as usize;
+        let n = geometry.lines() as usize;
         Cache {
             geometry,
-            set_mask: geometry.sets() - 1,
+            set_mask: geometry.sets - 1,
             plines: vec![EMPTY; n], // all-zero: backed by untouched pages
             dirty: vec![false; n],
             // Direct-mapped caches never consult LRU state; skip the
-            // allocation (every `last_use` access is behind an
-            // `associativity > 1` guard).
-            last_use: if geometry.associativity == 1 { Vec::new() } else { vec![0; n] },
+            // allocation (every `last_use` access is behind a
+            // `ways > 1` guard).
+            last_use: if geometry.ways == 1 { Vec::new() } else { vec![0; n] },
             tick: 0,
             resident: 0,
         }
@@ -139,7 +165,7 @@ impl Cache {
     }
 
     fn set_range(&self, set: usize) -> std::ops::Range<usize> {
-        let ways = self.geometry.associativity as usize;
+        let ways = self.geometry.ways as usize;
         set * ways..(set + 1) * ways
     }
 
@@ -151,7 +177,7 @@ impl Cache {
         // victim choice — a probe is a single tag load and compare, with
         // no timestamp maintenance (the probed line stays clean in the
         // host cache).
-        if self.geometry.associativity == 1 {
+        if self.geometry.ways == 1 {
             return self.plines[(pline & self.set_mask) as usize] == tag_of(pline);
         }
         self.tick += 1;
@@ -197,7 +223,7 @@ impl Cache {
         debug_assert!(!self.contains(pline), "line {pline:#x} already resident");
         // Direct-mapped: the single way of the set is the victim; no LRU
         // scan or timestamp needed.
-        if self.geometry.associativity == 1 {
+        if self.geometry.ways == 1 {
             let set = (pline & self.set_mask) as usize;
             let old = self.plines[set];
             let old_dirty = self.dirty[set];
@@ -247,7 +273,7 @@ impl Cache {
     /// path just avoids recomputing the set and reloading the tag.
     #[inline]
     pub fn probe_or_fill(&mut self, pline: u64, dirty: bool) -> (bool, Option<Eviction>) {
-        if self.geometry.associativity == 1 {
+        if self.geometry.ways == 1 {
             let set = (pline & self.set_mask) as usize;
             let tag = tag_of(pline);
             let old = self.plines[set];
@@ -314,27 +340,38 @@ mod tests {
     use super::*;
 
     fn dm_cache(lines: u64) -> Cache {
-        Cache::new(CacheGeometry::new(lines * 64, 64, 1).unwrap())
+        Cache::new(CacheGeometry::new(lines, 1, 64).unwrap())
     }
 
     #[test]
     fn geometry_validation() {
-        assert!(CacheGeometry::new(512 * 1024, 64, 1).is_ok());
-        assert!(CacheGeometry::new(0, 64, 1).is_err());
-        assert!(CacheGeometry::new(1024, 0, 1).is_err());
-        assert!(CacheGeometry::new(1024, 64, 0).is_err());
-        assert!(CacheGeometry::new(1000, 64, 1).is_err(), "non power of two");
-        assert!(CacheGeometry::new(64, 64, 2).is_err(), "one set needs 128B");
+        assert!(CacheGeometry::new(8192, 1, 64).is_ok());
+        assert!(CacheGeometry::new(0, 1, 64).is_err());
+        assert!(CacheGeometry::new(1024, 1, 0).is_err());
+        assert!(CacheGeometry::new(1024, 0, 64).is_err());
+        assert!(CacheGeometry::new(1000, 1, 64).is_err(), "non power of two");
+    }
+
+    #[test]
+    fn geometry_from_capacity() {
+        let g = CacheGeometry::from_capacity(512 * 1024, 64, 1).unwrap();
+        assert_eq!(g, CacheGeometry { sets: 8192, ways: 1, line: 64 });
+        assert_eq!(g.size_bytes(), 512 * 1024);
+        let g = CacheGeometry::from_capacity(16 * 1024, 32, 2).unwrap();
+        assert_eq!(g, CacheGeometry { sets: 256, ways: 2, line: 32 });
+        assert!(CacheGeometry::from_capacity(64, 64, 2).is_err(), "one set needs 128B");
+        assert!(CacheGeometry::from_capacity(0, 64, 1).is_err());
+        assert!(CacheGeometry::from_capacity(1000, 64, 1).is_err(), "non power of two");
     }
 
     #[test]
     fn geometry_derived_quantities() {
-        let g = CacheGeometry::new(512 * 1024, 64, 1).unwrap();
+        let g = CacheGeometry::new(8192, 1, 64).unwrap();
         assert_eq!(g.lines(), 8192);
-        assert_eq!(g.sets(), 8192);
-        let g = CacheGeometry::new(16 * 1024, 32, 2).unwrap();
+        assert_eq!(g.size_bytes(), 512 * 1024);
+        let g = CacheGeometry::new(256, 2, 32).unwrap();
         assert_eq!(g.lines(), 512);
-        assert_eq!(g.sets(), 256);
+        assert_eq!(g.size_bytes(), 16 * 1024);
     }
 
     #[test]
@@ -372,7 +409,7 @@ mod tests {
 
     #[test]
     fn lru_in_two_way_set() {
-        let g = CacheGeometry::new(4 * 64 * 2, 64, 2).unwrap(); // 4 sets, 2 ways
+        let g = CacheGeometry::new(4, 2, 64).unwrap(); // 4 sets, 2 ways
         let mut c = Cache::new(g);
         // Lines 0, 4, 8 all map to set 0.
         c.insert(0, false);

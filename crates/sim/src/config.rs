@@ -6,6 +6,7 @@
 
 use crate::cache::CacheGeometry;
 use crate::paging::PagePlacement;
+use crate::tlb::TlbConfig;
 use crate::SimError;
 
 /// Cycle costs of the memory hierarchy.
@@ -39,9 +40,9 @@ impl HierarchyConfig {
     /// The Table 1 UltraSPARC-1 hierarchy.
     pub fn ultrasparc1() -> Self {
         HierarchyConfig {
-            l1i: CacheGeometry { size_bytes: 16 * 1024, line_bytes: 32, associativity: 2 },
-            l1d: CacheGeometry { size_bytes: 16 * 1024, line_bytes: 32, associativity: 1 },
-            l2: CacheGeometry { size_bytes: 512 * 1024, line_bytes: 64, associativity: 1 },
+            l1i: CacheGeometry { sets: 256, ways: 2, line: 32 },
+            l1d: CacheGeometry { sets: 512, ways: 1, line: 32 },
+            l2: CacheGeometry { sets: 8192, ways: 1, line: 64 },
         }
     }
 
@@ -52,11 +53,11 @@ impl HierarchyConfig {
     ///
     /// Returns [`SimError::BadGeometry`] on any violation.
     pub fn validate(&self) -> Result<(), SimError> {
-        CacheGeometry::new(self.l1i.size_bytes, self.l1i.line_bytes, self.l1i.associativity)?;
-        CacheGeometry::new(self.l1d.size_bytes, self.l1d.line_bytes, self.l1d.associativity)?;
-        CacheGeometry::new(self.l2.size_bytes, self.l2.line_bytes, self.l2.associativity)?;
-        if !self.l2.line_bytes.is_multiple_of(self.l1d.line_bytes)
-            || !self.l2.line_bytes.is_multiple_of(self.l1i.line_bytes)
+        self.l1i.validate()?;
+        self.l1d.validate()?;
+        self.l2.validate()?;
+        if !self.l2.line.is_multiple_of(self.l1d.line)
+            || !self.l2.line.is_multiple_of(self.l1i.line)
         {
             return Err(SimError::BadGeometry {
                 reason: "L2 line size must be a multiple of the L1 line sizes (inclusion)".into(),
@@ -79,6 +80,8 @@ pub struct MachineConfig {
     pub page_bytes: u64,
     /// Virtual→physical page placement policy.
     pub placement: PagePlacement,
+    /// Per-processor TLB geometry and walk latency.
+    pub tlb: TlbConfig,
 }
 
 impl MachineConfig {
@@ -91,6 +94,7 @@ impl MachineConfig {
             latencies: CacheLatencies { l1_hit: 1, l2_hit: 3, l2_miss: 42, l2_miss_remote: 42 },
             page_bytes: 8 * 1024,
             placement: PagePlacement::bin_hopping(),
+            tlb: TlbConfig::default(),
         }
     }
 
@@ -104,6 +108,7 @@ impl MachineConfig {
             latencies: CacheLatencies { l1_hit: 1, l2_hit: 3, l2_miss: 50, l2_miss_remote: 80 },
             page_bytes: 8 * 1024,
             placement: PagePlacement::bin_hopping(),
+            tlb: TlbConfig::default(),
         }
     }
 
@@ -111,6 +116,28 @@ impl MachineConfig {
     #[must_use]
     pub fn with_placement(mut self, placement: PagePlacement) -> Self {
         self.placement = placement;
+        self
+    }
+
+    /// Replaces the E-cache geometry (builder-style). Line size and the
+    /// L1s are untouched, so Table 1 inclusion still validates.
+    #[must_use]
+    pub fn with_l2_geometry(mut self, l2: CacheGeometry) -> Self {
+        self.hierarchy.l2 = l2;
+        self
+    }
+
+    /// Replaces the page size (builder-style).
+    #[must_use]
+    pub fn with_page_size(mut self, page_bytes: u64) -> Self {
+        self.page_bytes = page_bytes;
+        self
+    }
+
+    /// Replaces the TLB configuration (builder-style).
+    #[must_use]
+    pub fn with_tlb(mut self, tlb: TlbConfig) -> Self {
+        self.tlb = tlb;
         self
     }
 
@@ -129,6 +156,7 @@ impl MachineConfig {
                 reason: format!("page size {} must be a power of two", self.page_bytes),
             });
         }
+        self.tlb.validate()?;
         Ok(())
     }
 
@@ -139,7 +167,7 @@ impl MachineConfig {
 
     /// Number of page-sized bins in the L2 cache (for placement policies).
     pub fn l2_page_bins(&self) -> u64 {
-        (self.hierarchy.l2.size_bytes / self.page_bytes).max(1)
+        (self.hierarchy.l2.size_bytes() / self.page_bytes).max(1)
     }
 }
 
@@ -151,9 +179,10 @@ mod tests {
     fn ultra1_matches_table1() {
         let c = MachineConfig::ultra1();
         assert_eq!(c.cpus, 1);
-        assert_eq!(c.hierarchy.l2.size_bytes, 512 * 1024);
-        assert_eq!(c.hierarchy.l2.line_bytes, 64);
-        assert_eq!(c.hierarchy.l2.associativity, 1);
+        assert_eq!(c.hierarchy.l2.size_bytes(), 512 * 1024);
+        assert_eq!(c.hierarchy.l2.line, 64);
+        assert_eq!(c.hierarchy.l2.ways, 1);
+        assert_eq!(c.tlb, TlbConfig::default());
         assert_eq!(c.l2_lines(), 8192);
         assert_eq!(c.latencies.l2_hit, 3);
         assert_eq!(c.latencies.l2_miss, 42);
@@ -180,7 +209,11 @@ mod tests {
         assert!(c.validate().is_err());
 
         let mut c = MachineConfig::ultra1();
-        c.hierarchy.l1d.line_bytes = 128; // larger than the L2 line
+        c.hierarchy.l1d.line = 128; // larger than the L2 line
+        assert!(c.validate().is_err());
+
+        let mut c = MachineConfig::ultra1();
+        c.tlb.ways = 0;
         assert!(c.validate().is_err());
     }
 
@@ -193,9 +226,17 @@ mod tests {
     #[test]
     fn l1_geometries_match_table1() {
         let h = HierarchyConfig::ultrasparc1();
-        assert_eq!(h.l1i.size_bytes, 16 * 1024);
-        assert_eq!(h.l1i.associativity, 2);
-        assert_eq!(h.l1i.line_bytes, 32);
-        assert_eq!(h.l1d.associativity, 1);
+        assert_eq!(h.l1i.size_bytes(), 16 * 1024);
+        assert_eq!(h.l1i.ways, 2);
+        assert_eq!(h.l1i.line, 32);
+        assert_eq!(h.l1d.ways, 1);
+
+        let c = MachineConfig::ultra1()
+            .with_l2_geometry(CacheGeometry { sets: 1024, ways: 8, line: 64 })
+            .with_page_size(4096)
+            .with_tlb(TlbConfig { sets: 16, ways: 4, walk_cycles: 30 });
+        assert!(c.validate().is_ok());
+        assert_eq!(c.l2_lines(), 8192);
+        assert_eq!(c.l2_page_bins(), 128);
     }
 }

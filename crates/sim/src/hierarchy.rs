@@ -64,8 +64,8 @@ impl CpuCache {
             l1d: Cache::new(config.l1d),
             l2: Cache::new(config.l2),
             pic: Pic::new(),
-            l1_shift: config.l1d.line_bytes.trailing_zeros(),
-            l2_shift: config.l2.line_bytes.trailing_zeros(),
+            l1_shift: config.l1d.line.trailing_zeros(),
+            l2_shift: config.l2.line.trailing_zeros(),
         }
     }
 

@@ -62,9 +62,15 @@ pub mod machine;
 pub mod paging;
 pub mod regions;
 pub mod stats;
+pub mod tlb;
 pub mod trace;
 
 pub use addr::{PAddr, VAddr};
+
+/// Spelled-out alias of [`VAddr`].
+pub type VirtualAddress = VAddr;
+/// Spelled-out alias of [`PAddr`].
+pub type PhysicalAddress = PAddr;
 pub use cache::{Cache, CacheGeometry};
 pub use cml::{Cml, CmlEntry};
 pub use config::{CacheLatencies, HierarchyConfig, MachineConfig};
@@ -76,4 +82,5 @@ pub use machine::{AccessKind, Machine};
 pub use paging::PagePlacement;
 pub use regions::RegionTable;
 pub use stats::{CpuStats, ThreadStats};
+pub use tlb::{Tlb, TlbConfig};
 pub use trace::{Trace, TraceRecord};

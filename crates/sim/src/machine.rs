@@ -13,6 +13,7 @@ use crate::hierarchy::{AccessOutcome, CpuCache, HierAccess};
 use crate::paging::PageTable;
 use crate::regions::RegionTable;
 use crate::stats::{CpuStats, ThreadStats};
+use crate::tlb::Tlb;
 use crate::trace::Trace;
 use locality_core::{ThreadId, ThreadSlots};
 use std::collections::{BTreeMap, HashMap};
@@ -77,6 +78,15 @@ pub struct Machine {
     /// `log2` of the E-cache line size (validated power of two), cached so
     /// the access path shifts instead of dividing.
     l2_shift: u32,
+    /// Per-processor TLBs (see [`crate::tlb`]).
+    tlbs: Vec<Tlb>,
+    /// Per-processor µ-translation cache: the last VPN translated
+    /// (`u64::MAX` = none) and its frame base. Both the scalar and the
+    /// run access paths consult it, so TLB probes fire exactly on page
+    /// transitions in either path and a mixed scalar/run access history
+    /// stays byte-identical (counters included) to the all-scalar one.
+    tlb_vpn: Vec<u64>,
+    tlb_frame: Vec<u64>,
 }
 
 impl Machine {
@@ -90,10 +100,14 @@ impl Machine {
             return Err(SimError::BadCpu { cpu: config.cpus - 1, cpus: 64 });
         }
         let cpus = (0..config.cpus).map(|_| CpuCache::new(&config.hierarchy)).collect();
+        let tlbs = (0..config.cpus).map(|_| Tlb::new(config.tlb)).collect();
         let page_table =
             PageTable::new(config.page_bytes, config.l2_page_bins(), config.placement.clone());
         Ok(Machine {
-            l2_shift: config.hierarchy.l2.line_bytes.trailing_zeros(),
+            tlbs,
+            tlb_vpn: vec![u64::MAX; config.cpus],
+            tlb_frame: vec![0; config.cpus],
+            l2_shift: config.hierarchy.l2.line.trailing_zeros(),
             cpu_stats: vec![CpuStats::default(); config.cpus],
             thread_stats: Vec::new(),
             retired_stats: HashMap::new(),
@@ -232,6 +246,31 @@ impl Machine {
         };
     }
 
+    /// Translates `va` on `cpu` through the µ-translation cache and the
+    /// TLB. Returns the physical address and the page-table-walk cycles
+    /// charged (non-zero only on a TLB miss). The TLB is probed exactly
+    /// when the accessed page changes; repeated accesses within a page
+    /// are translation-free, matching the run path.
+    #[inline]
+    fn translate_cached(&mut self, cpu: usize, va: VAddr) -> (u64, u64) {
+        let page_shift = self.page_table.page_shift();
+        let vpn = va.0 >> page_shift;
+        let mut walk = 0;
+        if self.tlb_vpn[cpu] != vpn {
+            if self.tlbs[cpu].probe(vpn) {
+                self.cpu_stats[cpu].tlb_hits += 1;
+            } else {
+                walk = self.tlbs[cpu].walk_cycles();
+                self.cpu_stats[cpu].tlb_misses += 1;
+                self.cpu_stats[cpu].tlb_walk_cycles += walk;
+                self.tlbs[cpu].insert(vpn);
+            }
+            self.tlb_vpn[cpu] = vpn;
+            self.tlb_frame[cpu] = self.page_table.frame_of(vpn) << page_shift;
+        }
+        (self.tlb_frame[cpu] | (va.0 & self.page_table.page_mask()), walk)
+    }
+
     /// Performs one memory access on `cpu` and returns its cost in cycles.
     ///
     /// # Panics
@@ -241,14 +280,14 @@ impl Machine {
         if let Some(tracer) = &mut self.tracer {
             tracer.record(cpu, kind, va);
         }
-        let pa = self.page_table.translate(va);
-        let pline2 = pa.0 >> self.l2_shift;
+        let (pa, walk_cycles) = self.translate_cached(cpu, va);
+        let pline2 = pa >> self.l2_shift;
 
         // Check for remote holders before the local fill updates the
         // directory (this decides the E5000's 50-vs-80-cycle split).
         let me = 1u64 << cpu;
         let holders_before = self.directory_mask(pline2);
-        let outcome = self.cpus[cpu].access(pa.0, kind.into());
+        let outcome = self.cpus[cpu].access(pa, kind.into());
         let remote = outcome.l2_ref && !outcome.l2_hit && (holders_before & !me) != 0;
 
         // Directory maintenance for this processor's fill/eviction.
@@ -273,17 +312,19 @@ impl Machine {
             }
         }
 
-        // Cycle cost.
+        // Cycle cost (the page-table walk, if any, rides on top; it is
+        // zero under the default TLB configuration).
         let lat = self.config.latencies;
-        let cycles = if outcome.l1_hit {
-            lat.l1_hit
-        } else if outcome.l2_hit {
-            lat.l2_hit
-        } else if remote {
-            lat.l2_miss_remote
-        } else {
-            lat.l2_miss
-        };
+        let cycles = walk_cycles
+            + if outcome.l1_hit {
+                lat.l1_hit
+            } else if outcome.l2_hit {
+                lat.l2_hit
+            } else if remote {
+                lat.l2_miss_remote
+            } else {
+                lat.l2_miss
+            };
 
         // Statistics.
         let cs = &mut self.cpu_stats[cpu];
@@ -380,16 +421,30 @@ impl Machine {
         // Split borrows: the element loop touches the caches, directory,
         // translation, CML, and (on invalidations) other cpus' stats.
         let Machine {
-            cpus, page_table, directory, cml, cpu_stats, running_slot, thread_stats, ..
+            cpus,
+            page_table,
+            directory,
+            cml,
+            cpu_stats,
+            running_slot,
+            thread_stats,
+            tlbs,
+            tlb_vpn,
+            tlb_frame,
+            ..
         } = self;
         let cpu_count = cpus.len();
         let mut cml_dev = cml.as_mut().map(|devices| &mut devices[cpu]);
+        let tlb = &mut tlbs[cpu];
+        let walk_cost = tlb.walk_cycles();
 
         let mut cycles_total = 0u64;
         let mut l1_misses = 0u64;
         let mut l2_refs = 0u64;
         let mut l2_hits = 0u64;
         let mut l2_misses_remote = 0u64;
+        let mut tlb_hits = 0u64;
+        let mut tlb_misses = 0u64;
 
         // One probe-plus-bookkeeping step, shared by the read and write
         // loops below. Inlined so the per-element state stays in
@@ -428,15 +483,23 @@ impl Machine {
             (outcome, remote)
         }
 
-        // One translation per page the run touches.
-        let mut cur_vpn = u64::MAX;
-        let mut frame_base = 0u64;
+        // One translation per page transition, continuing from wherever
+        // the previous access (scalar or run) left the µ-cache.
+        let mut cur_vpn = tlb_vpn[cpu];
+        let mut frame_base = tlb_frame[cpu];
         macro_rules! element_loop {
             (|$va:ident, $pa:ident| $probe:expr) => {
                 for i in 0..count {
                     let $va = base.0 + i * stride;
                     let vpn = $va >> page_shift;
                     if vpn != cur_vpn {
+                        if tlb.probe(vpn) {
+                            tlb_hits += 1;
+                        } else {
+                            tlb_misses += 1;
+                            cycles_total += walk_cost;
+                            tlb.insert(vpn);
+                        }
                         frame_base = page_table.frame_of(vpn) << page_shift;
                         cur_vpn = vpn;
                     }
@@ -495,12 +558,19 @@ impl Machine {
             element_loop!(|va, pa| run_element(cache, directory, pa, l2_shift, hier, me));
         }
 
+        // The next access on this cpu resumes from this run's last page.
+        tlb_vpn[cpu] = cur_vpn;
+        tlb_frame[cpu] = frame_base;
+
         // PIC and statistics updated once per run.
         cpus[cpu].pic_mut().record_l2_bulk(l2_refs, l2_hits);
         let l2_misses = l2_refs - l2_hits;
         let cs = &mut cpu_stats[cpu];
         cs.instructions += count;
         cs.mem_cycles += cycles_total;
+        cs.tlb_hits += tlb_hits;
+        cs.tlb_misses += tlb_misses;
+        cs.tlb_walk_cycles += tlb_misses * walk_cost;
         if kind == AccessKind::Fetch {
             cs.l1i_refs += count;
             cs.l1i_misses += l1_misses;
@@ -559,6 +629,11 @@ impl Machine {
     /// The performance counters of `cpu` (read-only).
     pub fn pic(&self, cpu: usize) -> &Pic {
         self.cpus[cpu].pic()
+    }
+
+    /// The TLB of `cpu` (read-only; reach/retire inspection for tests).
+    pub fn tlb(&self, cpu: usize) -> &Tlb {
+        &self.tlbs[cpu]
     }
 
     /// Installs a counter-fault injector; every subsequent
@@ -666,7 +741,7 @@ impl Machine {
     /// to `tid`'s registered state — the thread's observed footprint
     /// (paper §3's per-thread line association).
     pub fn l2_footprint_lines(&self, cpu: usize, tid: ThreadId) -> u64 {
-        let line = self.config.hierarchy.l2.line_bytes;
+        let line = self.config.hierarchy.l2.line;
         self.cpus[cpu]
             .l2()
             .iter_resident()
@@ -690,7 +765,7 @@ impl Machine {
     /// and allocation-free once the scratch has warmed up — cheap enough
     /// for monitoring hooks that sample at every context switch.
     pub fn l2_footprints_into(&self, cpu: usize, out: &mut FootprintScratch) {
-        let line = self.config.hierarchy.l2.line_bytes;
+        let line = self.config.hierarchy.l2.line;
         out.begin();
         let mut owners = out.take_owner_buf();
         for pl in self.cpus[cpu].l2().iter_resident() {
@@ -707,13 +782,16 @@ impl Machine {
         self.cpus[cpu].l2().resident_lines()
     }
 
-    /// Flushes all caches of `cpu` (experiment setup; directory updated).
+    /// Flushes all caches of `cpu` (experiment setup; directory updated),
+    /// the TLB, and the µ-translation cache.
     pub fn flush_cpu(&mut self, cpu: usize) {
         let resident: Vec<u64> = self.cpus[cpu].l2().iter_resident().collect();
         for pl in resident {
             self.directory_clear(pl, cpu);
         }
         self.cpus[cpu].flush();
+        self.tlbs[cpu].flush();
+        self.tlb_vpn[cpu] = u64::MAX;
     }
 
     /// Flushes every processor's caches.

@@ -31,6 +31,13 @@ pub struct CpuStats {
     pub instructions: u64,
     /// Cycles charged for memory accesses on this processor.
     pub mem_cycles: u64,
+    /// TLB hits (probes only fire on page transitions).
+    pub tlb_hits: u64,
+    /// TLB misses (each pays a page-table walk).
+    pub tlb_misses: u64,
+    /// Cycles spent in page-table walks (0 under the default free-walk
+    /// TLB configuration).
+    pub tlb_walk_cycles: u64,
 }
 
 /// Events attributed to one thread (wherever it ran).

@@ -29,7 +29,7 @@ use crate::thread::{Tcb, ThreadState};
 use locality_core::{
     CounterSanitizer, SanitizedInterval, SanitizerConfig, SharingGraph, ThreadId, ThreadSlots,
 };
-use locality_sim::{Machine, MachineConfig, SimError};
+use locality_sim::{CacheGeometry, Machine, MachineConfig, SimError, TlbConfig};
 use locality_trace::{emit_with, set_clock, TraceEvent};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap};
@@ -64,6 +64,33 @@ pub struct EngineConfig {
     /// [`SchedulePoint`]. Off for normal runs — the engine then keeps
     /// its fast continue-without-switch paths.
     pub schedule_points: bool,
+    /// Optional secondary-cache geometry override, applied to the machine
+    /// description before construction (`None` = keep the machine's own
+    /// geometry). Lets experiment descriptors vary geometry without
+    /// rebuilding the whole [`MachineConfig`].
+    pub l2_geometry: Option<CacheGeometry>,
+    /// Optional page-size override in bytes (`None` = machine default).
+    pub page_bytes: Option<u64>,
+    /// Optional TLB configuration override (`None` = machine default:
+    /// fully associative, 64 entries, free walks).
+    pub tlb: Option<TlbConfig>,
+}
+
+impl EngineConfig {
+    /// Applies this config's memory-system overrides to a machine
+    /// description (identity when all overrides are `None`).
+    pub fn apply_overrides(&self, mut machine: MachineConfig) -> MachineConfig {
+        if let Some(l2) = self.l2_geometry {
+            machine = machine.with_l2_geometry(l2);
+        }
+        if let Some(page) = self.page_bytes {
+            machine = machine.with_page_size(page);
+        }
+        if let Some(tlb) = self.tlb {
+            machine = machine.with_tlb(tlb);
+        }
+        machine
+    }
 }
 
 impl Default for EngineConfig {
@@ -77,6 +104,9 @@ impl Default for EngineConfig {
             chaos: None,
             max_steps: 2_000_000_000,
             schedule_points: false,
+            l2_geometry: None,
+            page_bytes: None,
+            tlb: None,
         }
     }
 }
@@ -144,6 +174,7 @@ impl Engine {
         policy: SchedPolicy,
         config: EngineConfig,
     ) -> Result<Self, RuntimeError> {
+        let machine = config.apply_overrides(machine);
         let sched = sched::build(policy, machine.l2_lines(), machine.cpus)?;
         Engine::with_scheduler(machine, sched, config)
     }
@@ -167,7 +198,7 @@ impl<S: Scheduler> Engine<S> {
         sched: S,
         config: EngineConfig,
     ) -> Result<Self, RuntimeError> {
-        let mut machine = Machine::try_new(machine)
+        let mut machine = Machine::try_new(config.apply_overrides(machine))
             .map_err(|e| RuntimeError::InvalidMachine { what: e.to_string() })?;
         let cpus = machine.cpu_count();
         let inference = config.infer_sharing.map(|cfg| {
@@ -806,6 +837,15 @@ impl<S: Scheduler> Engine<S> {
             refs: delta.refs,
             misses: delta.misses,
         });
+        emit_with(|| {
+            let s = self.machine.cpu_stats(cpu);
+            TraceEvent::TlbCounters {
+                cpu: cpu as u32,
+                hits: s.tlb_hits,
+                misses: s.tlb_misses,
+                walk_cycles: s.tlb_walk_cycles,
+            }
+        });
         // Scheduling-event hooks observe the post-update state.
         if !self.hooks.is_empty() {
             let mut hooks = std::mem::take(&mut self.hooks);
@@ -1148,6 +1188,39 @@ mod tests {
         let (switches, batches) = e.thread_counters(tid).unwrap();
         assert_eq!(batches, 3);
         assert_eq!(switches, 3); // 2 yields + exit
+    }
+
+    #[test]
+    fn engine_config_geometry_overrides_take_effect() {
+        // A costly-walk single-entry TLB must charge walk cycles that the
+        // default (free-walk) configuration does not.
+        let slow = EngineConfig {
+            tlb: Some(locality_sim::TlbConfig { sets: 1, ways: 1, walk_cycles: 100 }),
+            l2_geometry: Some(CacheGeometry::new(1024, 8, 64).unwrap()),
+            page_bytes: Some(4096),
+            ..EngineConfig::default()
+        };
+        let mut e = Engine::new(MachineConfig::ultra1(), SchedPolicy::Fcfs, slow).unwrap();
+        e.spawn(Box::new(Walker::new(64 * 1024, 2)));
+        let slow_report = e.run().unwrap();
+        let l2 = e.machine().config().hierarchy.l2;
+        assert_eq!((l2.sets, l2.ways), (1024, 8), "override must reach the machine");
+        assert_eq!(e.machine().config().page_bytes, 4096);
+        let walks: u64 =
+            (0..e.machine().cpu_count()).map(|c| e.machine().cpu_stats(c).tlb_walk_cycles).sum();
+        assert!(walks > 0, "a 64 KiB walk over 4 KiB pages must miss the 1-entry TLB");
+
+        let mut e =
+            Engine::new(MachineConfig::ultra1(), SchedPolicy::Fcfs, EngineConfig::default())
+                .unwrap();
+        e.spawn(Box::new(Walker::new(64 * 1024, 2)));
+        let fast_report = e.run().unwrap();
+        assert!(
+            slow_report.total_cycles > fast_report.total_cycles,
+            "walk latency must show up in the clock: {} vs {}",
+            slow_report.total_cycles,
+            fast_report.total_cycles
+        );
     }
 
     #[test]

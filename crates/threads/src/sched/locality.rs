@@ -56,8 +56,8 @@ use super::Scheduler;
 use crate::heap::PrioHeap;
 use crate::RuntimeError;
 use locality_core::{
-    CpuId, EstimatorConfig, LocalityEstimator, ModelParams, PolicyKind, SanitizedInterval,
-    SharingGraph, SlotId, ThreadId, ThreadSlots,
+    CpuId, EstimatorConfig, FootprintEstimator, LocalityEstimator, ModelParams, PolicyKind,
+    SanitizedInterval, SharingGraph, SlotId, ThreadId, ThreadSlots,
 };
 use locality_trace::{emit_with, TraceEvent};
 use std::collections::VecDeque;
@@ -137,10 +137,17 @@ struct SlotState {
 }
 
 /// LFF/CRT scheduler over per-processor priority heaps.
+///
+/// Generic over the footprint model: `E` defaults to the paper's
+/// direct-mapped Markov closed forms ([`LocalityEstimator`]); any other
+/// [`FootprintEstimator`] — e.g. the set-associative
+/// [`PerSetEstimator`](locality_core::PerSetEstimator) — plugs in via
+/// [`with_estimator`](LocalityScheduler::with_estimator) without touching
+/// dispatch logic.
 #[derive(Debug)]
-pub struct LocalityScheduler {
+pub struct LocalityScheduler<E: FootprintEstimator = LocalityEstimator> {
     config: LocalityConfig,
-    est: LocalityEstimator,
+    est: E,
     /// Dense thread-slot registry (scheduler-internal interning).
     slots: ThreadSlots,
     /// Slot-indexed dispatch state (`None` = slot free or never used).
@@ -188,6 +195,29 @@ impl LocalityScheduler {
         let params = ModelParams::new(l2_lines)
             .map_err(|e| RuntimeError::InvalidMachine { what: e.to_string() })?;
         let est = LocalityEstimator::new(EstimatorConfig::new(config.policy, params, cpus));
+        Self::with_estimator(config, est, cpus)
+    }
+}
+
+impl<E: FootprintEstimator> LocalityScheduler<E> {
+    /// Creates the scheduler around an explicit estimator (the seam for
+    /// plugging in non-default footprint models). `est` must track the
+    /// same `cpus` processors.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RuntimeError::InvalidMachine`] if `cpus == 0` or
+    /// `cpus > 64` (the heap-membership bitmask is a `u64`).
+    pub fn with_estimator(
+        config: LocalityConfig,
+        est: E,
+        cpus: usize,
+    ) -> Result<Self, RuntimeError> {
+        if cpus == 0 || cpus > 64 {
+            return Err(RuntimeError::InvalidMachine {
+                what: format!("cpus must be in 1..=64, got {cpus}"),
+            });
+        }
         Ok(LocalityScheduler {
             config,
             est,
@@ -226,7 +256,7 @@ impl LocalityScheduler {
     }
 
     /// The underlying estimator (inspection).
-    pub fn estimator(&self) -> &LocalityEstimator {
+    pub fn estimator(&self) -> &E {
         &self.est
     }
 
@@ -268,7 +298,7 @@ impl LocalityScheduler {
         debug_assert!(!self.is_ready(tid), "{tid} enqueued twice");
         let mut mask = 0u64;
         for cpu in 0..self.heaps.len() {
-            if self.est.expected_footprint(CpuId(cpu), tid) >= self.config.threshold_lines {
+            if self.est.estimate(CpuId(cpu), tid) >= self.config.threshold_lines {
                 self.heaps[cpu].push(tid, slot, self.est.priority(CpuId(cpu), tid));
                 mask |= 1 << cpu;
             }
@@ -393,9 +423,7 @@ impl LocalityScheduler {
     fn sweep(&mut self, cpu: usize) {
         let mut demote: Vec<(ThreadId, SlotId)> = self.heaps[cpu]
             .iter()
-            .filter(|&(tid, _, _)| {
-                self.est.expected_footprint(CpuId(cpu), tid) < self.config.threshold_lines
-            })
+            .filter(|&(tid, _, _)| self.est.estimate(CpuId(cpu), tid) < self.config.threshold_lines)
             .map(|(tid, slot, _)| (tid, slot))
             .collect();
         demote.sort_unstable_by_key(|&(tid, _)| tid);
@@ -489,7 +517,7 @@ impl LocalityScheduler {
     }
 }
 
-impl Scheduler for LocalityScheduler {
+impl<E: FootprintEstimator> Scheduler for LocalityScheduler<E> {
     fn on_spawn(&mut self, tid: ThreadId) {
         let slot = self.bind(tid);
         self.enqueue_ready(tid, slot);
@@ -502,7 +530,7 @@ impl Scheduler for LocalityScheduler {
 
     fn on_dispatch(&mut self, cpu: usize, tid: ThreadId) {
         self.remove_everywhere(tid);
-        self.est.on_dispatch(CpuId(cpu), tid);
+        self.est.on_switch(CpuId(cpu), tid);
     }
 
     fn on_interval_end(
@@ -516,7 +544,7 @@ impl Scheduler for LocalityScheduler {
         // The estimator always consumes the (sanitized, bounded) interval,
         // even in degraded mode: keeping footprint state warm makes the
         // switch back to Normal seamless once confidence recovers.
-        let updates = self.est.on_interval_end(CpuId(cpu), tid, interval.misses, model_graph);
+        let updates = self.est.on_miss(CpuId(cpu), tid, interval.misses, model_graph);
         for u in updates {
             if u.thread == tid {
                 // The blocker is still Running from the scheduler's point
@@ -527,7 +555,7 @@ impl Scheduler for LocalityScheduler {
             if !self.states[slot.index()].as_ref().is_some_and(|st| st.ready) {
                 continue;
             }
-            if self.est.expected_footprint(CpuId(cpu), u.thread) >= self.config.threshold_lines {
+            if self.est.estimate(CpuId(cpu), u.thread) >= self.config.threshold_lines {
                 self.promote(cpu, u.thread, slot, u.prio);
             } else {
                 self.demote(cpu, u.thread, slot);
@@ -566,7 +594,7 @@ impl Scheduler for LocalityScheduler {
             if let Some(st) = self.states[i].as_mut() {
                 st.heap_mask &= !(1 << cpu);
             }
-            if self.est.expected_footprint(CpuId(cpu), tid) < self.config.threshold_lines {
+            if self.est.estimate(CpuId(cpu), tid) < self.config.threshold_lines {
                 // Decayed: push to wherever it still belongs.
                 let mask = self.states[i].as_ref().map_or(0, |st| st.heap_mask);
                 if mask == 0 {
@@ -607,14 +635,14 @@ impl Scheduler for LocalityScheduler {
 
     fn on_exit(&mut self, tid: ThreadId) {
         self.remove_everywhere(tid);
-        self.est.remove_thread(tid);
+        self.est.retire(tid);
         if let Some(slot) = self.slots.release(tid) {
             self.states[slot.index()] = None;
         }
     }
 
     fn expected_footprint(&self, cpu: usize, tid: ThreadId) -> Option<f64> {
-        Some(self.est.expected_footprint(CpuId(cpu), tid))
+        Some(self.est.estimate(CpuId(cpu), tid))
     }
 
     fn ready_count(&self) -> usize {
@@ -626,8 +654,7 @@ impl Scheduler for LocalityScheduler {
     }
 
     fn priority_flops(&self) -> (u64, u64) {
-        let c = self.est.schemes().flop_counter();
-        (c.flops(), c.lookups())
+        self.est.flop_counts()
     }
 
     fn degraded_intervals(&self) -> u64 {
@@ -1030,5 +1057,30 @@ mod tests {
             "global FIFO grew unboundedly: {}",
             s.global.len()
         );
+    }
+
+    #[test]
+    fn per_set_estimator_plugs_into_the_scheduler() {
+        use locality_core::PerSetEstimator;
+        let est = PerSetEstimator::new(8192, 8, 1).unwrap();
+        let mut s = LocalityScheduler::with_estimator(LocalityConfig::new(PolicyKind::Lff), est, 1)
+            .unwrap();
+        // Same warm-up flow as the default estimator: the thread with the
+        // larger per-set footprint wins LFF dispatch.
+        for (tid, misses) in [(t(1), 100u64), (t(2), 600), (t(3), 300)] {
+            s.on_spawn(tid);
+            s.remove_everywhere(tid);
+            s.on_dispatch(0, tid);
+            s.on_interval_end(0, tid, interval(misses, 1.0), &SharingGraph::new());
+            s.on_ready(tid);
+        }
+        assert_eq!(s.pick(0), Some(t(2)));
+        assert_eq!(s.pick(0), Some(t(3)));
+        assert_eq!(s.pick(0), Some(t(1)));
+        // The per-set impl doesn't count flops (trait default).
+        assert_eq!(s.priority_flops(), (0, 0));
+        assert!(s.estimator().estimate(CpuId(0), t(2)) > 0.0);
+        s.on_exit(t(2));
+        assert_eq!(s.expected_footprint(0, t(2)), Some(0.0));
     }
 }

@@ -98,6 +98,22 @@ pub enum TraceEvent {
         /// Entries handed to the sharing inference.
         entries: u32,
     },
+    /// Cumulative TLB counters on a processor, sampled at interval end
+    /// alongside [`TraceEvent::IntervalEnd`]. Per-probe events would
+    /// flood the ring at access granularity (the same reason
+    /// `PredictionSample` lives behind a hook), so the simulator only
+    /// aggregates and the engine snapshots the totals once per interval;
+    /// consumers diff successive samples per cpu for interval deltas.
+    TlbCounters {
+        /// Processor index.
+        cpu: u32,
+        /// Cumulative TLB hits (page transitions with a held entry).
+        hits: u64,
+        /// Cumulative TLB misses (each charged a page-table walk).
+        misses: u64,
+        /// Cumulative cycles spent in page-table walks.
+        walk_cycles: u64,
+    },
     /// A thread was killed by lifecycle fault injection (engine
     /// `abort_thread`; the chaos layer), including stillborn spawns.
     ThreadAbort {
@@ -130,6 +146,7 @@ impl TraceEvent {
             TraceEvent::Dispatch { .. } => "dispatch",
             TraceEvent::ModeTransition { .. } => "mode-transition",
             TraceEvent::CmlDrain { .. } => "cml-drain",
+            TraceEvent::TlbCounters { .. } => "tlb-counters",
             TraceEvent::ThreadAbort { .. } => "thread-abort",
             TraceEvent::PredictionSample { .. } => "prediction-sample",
         }
@@ -153,6 +170,7 @@ mod tests {
                 .kind(),
             TraceEvent::ModeTransition { cpu: 0, degraded: true, confidence: 0.2 }.kind(),
             TraceEvent::CmlDrain { cpu: 0, entries: 3 }.kind(),
+            TraceEvent::TlbCounters { cpu: 0, hits: 0, misses: 0, walk_cycles: 0 }.kind(),
             TraceEvent::ThreadAbort { tid: 0 }.kind(),
             TraceEvent::PredictionSample { cpu: 0, tid: 0, observed: 0.0, predicted: 0.0 }.kind(),
         ];

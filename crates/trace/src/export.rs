@@ -55,6 +55,9 @@ pub fn to_jsonl(records: &[Record]) -> String {
                 json_f64(confidence)
             ),
             TraceEvent::CmlDrain { cpu, entries } => format!(",\"cpu\":{cpu},\"entries\":{entries}"),
+            TraceEvent::TlbCounters { cpu, hits, misses, walk_cycles } => {
+                format!(",\"cpu\":{cpu},\"hits\":{hits},\"misses\":{misses},\"walk_cycles\":{walk_cycles}")
+            }
             TraceEvent::ThreadAbort { tid } => format!(",\"tid\":{tid}"),
             TraceEvent::PredictionSample { cpu, tid, observed, predicted } => format!(
                 ",\"cpu\":{cpu},\"tid\":{tid},\"observed\":{},\"predicted\":{}",

@@ -128,6 +128,7 @@ impl TraceAggregate {
             TraceEvent::PicRead { .. }
             | TraceEvent::SanitizerVerdict { .. }
             | TraceEvent::Dispatch { .. }
+            | TraceEvent::TlbCounters { .. }
             | TraceEvent::CmlDrain { .. } => {}
         }
     }

@@ -11,7 +11,7 @@
 
 use proptest::prelude::*;
 use thread_locality::core::ThreadId;
-use thread_locality::sim::{AccessKind, Machine, MachineConfig, VAddr};
+use thread_locality::sim::{AccessKind, CacheGeometry, Machine, MachineConfig, TlbConfig, VAddr};
 use thread_locality::threads::sched::FcfsScheduler;
 use thread_locality::threads::{BatchCtx, ChaosConfig, Control, Engine, EngineConfig, Program};
 
@@ -284,5 +284,32 @@ proptest! {
         prop_assert_eq!(st_a, st_b);
         prop_assert_eq!(sw_a, sw_b);
         prop_assert_eq!(ab_a, ab_b, "same seed must kill the same threads");
+    }
+
+    /// Spelling the default memory system out explicitly — the ultra1's
+    /// direct-mapped 8192×1 L2, 8 KiB pages, and the default TLB — must
+    /// be indistinguishable from leaving every `EngineConfig` override
+    /// at `None`: same observation-log events, statistics, and switch
+    /// counts. The geometry plumbing is a pure generalization, not a
+    /// behavior change.
+    #[test]
+    fn explicit_direct_mapped_geometry_is_byte_identical(
+        specs in proptest::collection::vec(
+            (prop_oneof![Just(0u64), Just(32), Just(64), Just(192)],
+             1u64..48,
+             0u8..2),
+            1..5),
+        batched_sel in 0u8..2,
+    ) {
+        let batched = batched_sel == 1;
+        let explicit = EngineConfig {
+            l2_geometry: Some(CacheGeometry { sets: 8192, ways: 1, line: 64 }),
+            page_bytes: Some(8 * 1024),
+            tlb: Some(TlbConfig::default()),
+            ..EngineConfig::default()
+        };
+        let a = run_engine(batched, EngineConfig::default(), &specs);
+        let b = run_engine(batched, explicit, &specs);
+        prop_assert_eq!(a, b);
     }
 }

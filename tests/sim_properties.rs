@@ -4,7 +4,7 @@
 
 use proptest::prelude::*;
 use thread_locality::core::{ThreadId, ThreadSlots};
-use thread_locality::sim::{Cache, CacheGeometry, RegionTable, VAddr};
+use thread_locality::sim::{Cache, CacheGeometry, RegionTable, Tlb, TlbConfig, VAddr};
 use thread_locality::threads::heap::PrioHeap;
 
 /// A naive direct-mapped cache reference: one slot per set.
@@ -29,7 +29,7 @@ proptest! {
         accesses in proptest::collection::vec(0u64..256, 1..400)
     ) {
         let lines = 32u64;
-        let mut cache = Cache::new(CacheGeometry::new(lines * 64, 64, 1).unwrap());
+        let mut cache = Cache::new(CacheGeometry::new(lines, 1, 64).unwrap());
         let mut misses = 0;
         for &pline in &accesses {
             if !cache.probe(pline) {
@@ -56,7 +56,7 @@ proptest! {
     ) {
         let ways = 1u64 << ways_pow; // 1, 2 or 4 (sizes must be powers of two)
         let sets = 16u64;
-        let geom = CacheGeometry::new(sets * ways * 64, 64, ways).unwrap();
+        let geom = CacheGeometry::new(sets, ways, 64).unwrap();
         let mut cache = Cache::new(geom);
         for &pline in &accesses {
             if !cache.probe(pline) {
@@ -65,6 +65,124 @@ proptest! {
             // Just-accessed line must be resident.
             prop_assert!(cache.contains(pline));
             prop_assert!(cache.resident_lines() <= sets * ways);
+        }
+    }
+
+    /// Set-index mapping is exclusive: a line lives in exactly the set
+    /// `pline mod sets`. Lines of one residue class can only displace
+    /// each other — traffic on every other residue leaves the class
+    /// untouched, and overfilling the class evicts a class member.
+    #[test]
+    fn set_index_mapping_is_exclusive(
+        sets_pow in 0u32..=4,
+        ways_pow in 0u32..=2,
+        residue_sel in 0u64..16,
+        others in proptest::collection::vec(0u64..512, 0..64),
+    ) {
+        let sets = 1u64 << sets_pow;
+        let ways = 1u64 << ways_pow;
+        let residue = residue_sel % sets;
+        let mut cache = Cache::new(CacheGeometry::new(sets, ways, 64).unwrap());
+        let family: Vec<u64> = (0..ways).map(|i| residue + i * sets).collect();
+        for &l in &family {
+            cache.insert(l, false);
+        }
+        // Arbitrary traffic on other residues cannot displace the family.
+        for &o in &others {
+            if o % sets != residue {
+                cache.probe_or_fill(o, false);
+            }
+        }
+        for &l in &family {
+            prop_assert!(cache.contains(l), "cross-set traffic evicted line {}", l);
+        }
+        // One more line of the same residue displaces a family member.
+        let (hit, evicted) = cache.probe_or_fill(residue + ways * sets, false);
+        prop_assert!(!hit);
+        let e = evicted.expect("the set was full");
+        prop_assert_eq!(e.pline % sets, residue, "victim came from another set");
+        prop_assert!(family.contains(&e.pline));
+    }
+
+    /// The set-associative cache implements exact per-set LRU: hits,
+    /// eviction victims, and final residency all match a recency-list
+    /// reference model, for every geometry.
+    #[test]
+    fn lru_eviction_matches_reference(
+        accesses in proptest::collection::vec(0u64..96, 1..400),
+        sets_pow in 0u32..=3,
+        ways_pow in 0u32..=3,
+        dirt in proptest::collection::vec(0u8..2, 400),
+    ) {
+        let sets = 1u64 << sets_pow;
+        let ways = 1u64 << ways_pow;
+        let mut cache = Cache::new(CacheGeometry::new(sets, ways, 64).unwrap());
+        let mut refsets: Vec<Vec<u64>> = vec![Vec::new(); sets as usize];
+        for (i, &pline) in accesses.iter().enumerate() {
+            let set = &mut refsets[(pline % sets) as usize];
+            let ref_hit = set.iter().position(|&p| p == pline);
+            let (hit, evicted) = cache.probe_or_fill(pline, dirt[i] == 1);
+            prop_assert_eq!(hit, ref_hit.is_some());
+            match ref_hit {
+                Some(pos) => {
+                    set.remove(pos);
+                    prop_assert_eq!(evicted, None, "a hit must not evict");
+                }
+                None => {
+                    let victim =
+                        if set.len() == ways as usize { Some(set.remove(0)) } else { None };
+                    prop_assert_eq!(evicted.map(|e| e.pline), victim);
+                }
+            }
+            set.push(pline); // most recently used
+        }
+        let mut resident: Vec<u64> = cache.iter_resident().collect();
+        resident.sort_unstable();
+        let mut expected: Vec<u64> = refsets.into_iter().flatten().collect();
+        expected.sort_unstable();
+        prop_assert_eq!(resident, expected);
+    }
+
+    /// The TLB is the same per-set LRU structure over VPNs: hits and
+    /// eviction victims match the reference, reach never exceeds
+    /// `sets × ways` entries, the just-touched translation is always
+    /// resident, and a flush retires everything.
+    #[test]
+    fn tlb_matches_lru_reference_within_reach(
+        accesses in proptest::collection::vec(0u64..64, 1..300),
+        sets_pow in 0u32..=2,
+        ways_pow in 0u32..=2,
+        walk in 0u64..100,
+    ) {
+        let sets = 1u64 << sets_pow;
+        let ways = 1u64 << ways_pow;
+        let config = TlbConfig { sets, ways, walk_cycles: walk };
+        let mut tlb = Tlb::new(config);
+        prop_assert_eq!(tlb.walk_cycles(), walk);
+        let mut refsets: Vec<Vec<u64>> = vec![Vec::new(); sets as usize];
+        for &vpn in &accesses {
+            let set = &mut refsets[(vpn % sets) as usize];
+            let ref_hit = set.iter().position(|&v| v == vpn);
+            let hit = tlb.probe(vpn);
+            prop_assert_eq!(hit, ref_hit.is_some());
+            match ref_hit {
+                Some(pos) => {
+                    set.remove(pos);
+                }
+                None => {
+                    let victim =
+                        if set.len() == ways as usize { Some(set.remove(0)) } else { None };
+                    prop_assert_eq!(tlb.insert(vpn), victim);
+                }
+            }
+            set.push(vpn);
+            prop_assert!(tlb.contains(vpn));
+            prop_assert!(tlb.resident_entries() <= config.entries(), "reach exceeded");
+        }
+        tlb.flush();
+        prop_assert_eq!(tlb.resident_entries(), 0);
+        for &vpn in &accesses {
+            prop_assert!(!tlb.contains(vpn));
         }
     }
 

@@ -9,7 +9,7 @@ use proptest::prelude::*;
 use thread_locality::core::{
     CounterSanitizer, SanitizerConfig, SharingGraph, SlotId, ThreadId, ThreadSlots,
 };
-use thread_locality::sim::{AccessKind, Machine, MachineConfig, VAddr};
+use thread_locality::sim::{AccessKind, CacheGeometry, Machine, MachineConfig, TlbConfig, VAddr};
 use thread_locality::threads::{
     BatchCtx, ChaosConfig, Control, Engine, EngineConfig, MutexId, Program, SchedPolicy,
 };
@@ -303,6 +303,60 @@ proptest! {
         prop_assert!(e.sync_tables().is_poisoned(m), "owner death must poison the mutex");
         for cpu in 0..2 {
             prop_assert_eq!(e.machine().l2_footprint_lines(cpu, ThreadId(1)), 0);
+        }
+    }
+
+    /// TLB accounting under slot recycling and chaos aborts: with a tiny
+    /// TLB, a charged page-table walk, and random thread kills, every
+    /// processor's books must still balance — `misses × walk_cycles`
+    /// equals the walk-cycle counter, reach never exceeds the configured
+    /// entries, and retired threads leave no directory footprint. Thread
+    /// death must never corrupt or leak translation state.
+    #[test]
+    fn tlb_accounting_survives_chaos_aborts(
+        seed in 0u64..u64::MAX,
+        abort_rate in 512u32..8192,
+        walk in 1u64..64,
+        tlb_ways_pow in 0u32..=2,
+    ) {
+        let chaos = ChaosConfig {
+            seed,
+            abort_running_per_64k: abort_rate,
+            ..ChaosConfig::default()
+        };
+        let tlb = TlbConfig { sets: 2, ways: 1 << tlb_ways_pow, walk_cycles: walk };
+        let config = EngineConfig {
+            chaos: Some(chaos),
+            l2_geometry: Some(CacheGeometry { sets: 256, ways: 4, line: 64 }),
+            page_bytes: Some(4096),
+            tlb: Some(tlb),
+            ..EngineConfig::default()
+        };
+        let mut e = Engine::new(
+            MachineConfig::enterprise5000(2),
+            SchedPolicy::Lff,
+            config,
+        ).unwrap();
+        let m = e.sync_tables_mut().create_mutex();
+        let tids: Vec<ThreadId> = (0..SPAWNED)
+            .map(|_| e.spawn(Box::new(Locker { m, buf: None, rounds: 6, phase: 0 })))
+            .collect();
+        let report = e.run().expect("chaos run with a tiny TLB must complete");
+        prop_assert_eq!(report.threads_completed + report.threads_aborted, SPAWNED);
+        let mut translated = 0u64;
+        for cpu in 0..2 {
+            let stats = e.machine().cpu_stats(cpu);
+            prop_assert_eq!(
+                stats.tlb_misses * walk, stats.tlb_walk_cycles,
+                "walk cycles must be misses × walk latency on cpu {}", cpu
+            );
+            translated += stats.tlb_hits + stats.tlb_misses;
+        }
+        prop_assert!(translated > 0, "the workload must exercise translation");
+        for &t in &tids {
+            for cpu in 0..2 {
+                prop_assert_eq!(e.machine().l2_footprint_lines(cpu, t), 0);
+            }
         }
     }
 }
